@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of histogram construction: the plaintext
+//! engine and the encrypted builder under naive vs re-ordered
+//! accumulation (the §5.1 ablation at the data-structure level).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vf2_bench::key_bits;
+use vf2_crypto::encoding::EncodingConfig;
+use vf2_crypto::suite::{Ciphertext, Suite};
+use vf2_datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2_gbdt::binning::{BinnedDataset, BinningConfig};
+use vf2_gbdt::histogram::{build_layer_histograms, node_totals, GradPair};
+use vf2boost_core::hist_enc::EncHistBuilder;
+use vf2boost_core::rows::{ColMeta, RowMajorBins};
+
+fn bench_plaintext(c: &mut Criterion) {
+    let data = generate_classification(&SyntheticConfig {
+        rows: 10_000,
+        features: 50,
+        density: 0.2,
+        ..Default::default()
+    });
+    let binned = BinnedDataset::bin(&data, &BinningConfig::default());
+    let csr = RowMajorBins::from_binned(&binned);
+    let grads: Vec<GradPair> =
+        (0..data.num_rows()).map(|i| GradPair { g: (i % 7) as f64 * 0.1 - 0.3, h: 0.25 }).collect();
+    let node_of_row = vec![0i32; data.num_rows()];
+    let totals = node_totals(&grads, &node_of_row, 1);
+    let rows: Vec<u32> = (0..data.num_rows() as u32).collect();
+
+    let mut g = c.benchmark_group("plaintext_histograms");
+    g.sample_size(20);
+    g.bench_function("column_sweep_layer_build_10k_rows", |b| {
+        b.iter(|| build_layer_histograms(&binned, &grads, &node_of_row, &totals))
+    });
+    g.bench_function("csr_node_build_10k_rows", |b| {
+        b.iter(|| csr.node_histograms(&rows, &grads))
+    });
+    g.finish();
+}
+
+fn bench_encrypted(c: &mut Criterion) {
+    let encoding = EncodingConfig { base: 16, base_exp: 8, jitter: 4 };
+    let suite = Suite::paillier_seeded(key_bits().min(512), 42, encoding).expect("keygen");
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 256usize;
+    let ciphers: Vec<Ciphertext> =
+        (0..n).map(|i| suite.encrypt(i as f64 * 0.01 - 1.0, &mut rng).unwrap()).collect();
+    let bins: Vec<usize> = (0..n).map(|i| i % 20).collect();
+    let meta = vec![ColMeta { num_bins: 20, zero_bin: 0, dense: true }];
+
+    let mut g = c.benchmark_group("encrypted_accumulation_256_ciphers");
+    g.sample_size(10);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut builder = EncHistBuilder::new(&meta, &encoding, false);
+            for (c, &bin) in ciphers.iter().zip(&bins) {
+                builder.add(&suite, 0, bin, c).unwrap();
+            }
+            builder
+        })
+    });
+    g.bench_function("reordered", |b| {
+        b.iter(|| {
+            let mut builder = EncHistBuilder::new(&meta, &encoding, true);
+            for (c, &bin) in ciphers.iter().zip(&bins) {
+                builder.add(&suite, 0, bin, c).unwrap();
+            }
+            builder
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_plaintext, bench_encrypted);
+criterion_main!(benches);

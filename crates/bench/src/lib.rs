@@ -1,0 +1,122 @@
+//! Shared harness utilities for the table/figure benches.
+//!
+//! Every bench target regenerates one table or figure of the paper's §6 at
+//! a laptop-scale parameterization. Two environment variables rescale the
+//! experiments:
+//!
+//! * `VF2_SCALE` — multiplies every instance count (default 1.0; the
+//!   printed headers state the absolute sizes used).
+//! * `VF2_KEY_BITS` — Paillier modulus size (default 512; the paper uses
+//!   2048 — raise it on a beefier machine to reproduce absolute ratios
+//!   closer to the paper's).
+//!
+//! Because this reproduction may run every party on one core, each bench
+//! prints both the **measured** wall time and a **modeled** timeline built
+//! from per-party busy phases (see `vf2boost_core::telemetry`): the
+//! modeled-sequential column is what a phase-sequential protocol costs,
+//! the modeled-concurrent column what perfect cross-party overlap achieves.
+
+use std::time::Duration;
+
+use vf2_channel::WanConfig;
+use vf2boost_core::config::{CryptoConfig, TrainConfig};
+use vf2boost_core::telemetry::TrainReport;
+
+/// Reads `VF2_SCALE` (default `1.0`).
+pub fn scale() -> f64 {
+    std::env::var("VF2_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Reads `VF2_KEY_BITS` (default 512).
+pub fn key_bits() -> u64 {
+    std::env::var("VF2_KEY_BITS").ok().and_then(|s| s.parse().ok()).unwrap_or(512)
+}
+
+/// Scales an instance count by [`scale`], keeping a sane floor.
+pub fn scaled_rows(base: usize) -> usize {
+    ((base as f64 * scale()).round() as usize).max(64)
+}
+
+/// The paper's public-network bandwidth (300 Mbps), used to model the
+/// communication column of the cost dissections.
+pub const PAPER_BANDWIDTH_BYTES_PER_SEC: f64 = 300.0e6 / 8.0;
+
+/// Models the wire time of `bytes` at the paper's 300 Mbps link.
+pub fn modeled_comm(bytes: u64) -> Duration {
+    Duration::from_secs_f64(bytes as f64 / PAPER_BANDWIDTH_BYTES_PER_SEC)
+}
+
+/// A default experiment config: Paillier at [`key_bits`], instant in-process
+/// links (communication is *modeled* at 300 Mbps from measured bytes so the
+/// wall times stay compute-dominated and single-core-friendly).
+pub fn base_config() -> TrainConfig {
+    TrainConfig {
+        crypto: CryptoConfig::Paillier { key_bits: key_bits() },
+        encoding: vf2_crypto::encoding::EncodingConfig { base: 16, base_exp: 8, jitter: 4 },
+        wan: WanConfig::instant(),
+        workers: 1,
+        seed: 42,
+        ..TrainConfig::default()
+    }
+}
+
+/// Pretty seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:8.3}", d.as_secs_f64())
+}
+
+/// Speedup annotation `(x.yz×)` relative to a baseline duration.
+pub fn speedup(base: Duration, other: Duration) -> String {
+    if other.as_secs_f64() <= 0.0 {
+        return "   -  ".into();
+    }
+    format!("({:.2}x)", base.as_secs_f64() / other.as_secs_f64())
+}
+
+/// One row of a phase dissection from a train report.
+pub struct Dissection {
+    /// Guest encryption time.
+    pub enc: Duration,
+    /// Modeled 300 Mbps transfer time of all bytes the guest sent.
+    pub comm: Duration,
+    /// Host homomorphic accumulation time (max over hosts).
+    pub hadd: Duration,
+    /// Host pack/finalize time (max over hosts).
+    pub pack: Duration,
+    /// Guest decrypt + split finding time.
+    pub dec_find: Duration,
+    /// Measured wall time.
+    pub wall: Duration,
+    /// Modeled phase-sequential time.
+    pub modeled_seq: Duration,
+    /// Modeled fully-concurrent makespan.
+    pub modeled_conc: Duration,
+}
+
+/// Extracts the dissection columns from a report.
+pub fn dissect(report: &TrainReport) -> Dissection {
+    let hadd = report.hosts.iter().map(|h| h.phases.build_hist_enc).max().unwrap_or_default();
+    let pack = report.hosts.iter().map(|h| h.phases.pack).max().unwrap_or_default();
+    let comm = modeled_comm(report.total_bytes());
+    Dissection {
+        enc: report.guest.phases.encrypt,
+        comm,
+        hadd,
+        pack,
+        dec_find: report.guest.phases.decrypt_find,
+        wall: report.wall_time,
+        modeled_seq: report.modeled_sequential() + comm,
+        modeled_conc: report.modeled_concurrent().max(comm),
+    }
+}
+
+/// Prints a standard bench header.
+pub fn header(title: &str, detail: &str) {
+    println!("\n=== {title} ===");
+    println!("{detail}");
+    println!(
+        "scale={} key_bits={} (set VF2_SCALE / VF2_KEY_BITS to rescale)\n",
+        scale(),
+        key_bits()
+    );
+}

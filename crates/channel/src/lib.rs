@@ -1,0 +1,27 @@
+//! # vf2-channel
+//!
+//! Cross-party communication for the federated protocol.
+//!
+//! The paper routes all cross-enterprise traffic through message queues on
+//! gateway machines (Apache Pulsar) because the parties sit in different
+//! data centers behind restricted networks (§3.1). This crate reproduces
+//! the *behavioural* properties that matter to the protocol:
+//!
+//! * **Simulated WAN** — every message pays `latency + bytes/bandwidth` on
+//!   a FIFO link (the paper's clusters talk over a 300 Mbps public link),
+//!   so cipher size directly translates into transfer time, exactly the
+//!   cost the blaster-style encryption and histogram packing attack.
+//! * **Effectively-once delivery** — sequence-numbered envelopes with
+//!   duplicate suppression (Pulsar's effectively-once semantics).
+//! * **Transfer accounting** — per-link byte/message counters (Table 2's
+//!   "network transmission per tree" row).
+//! * A compact binary [`codec`] whose encoded size *is* the wire size used
+//!   by the WAN model.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod link;
+
+pub use codec::{Decoder, Encoder};
+pub use link::{duplex, Endpoint, Envelope, LinkStats, RecvError, WanConfig};

@@ -1,0 +1,89 @@
+//! Top-level training configuration.
+
+use vf2_channel::WanConfig;
+use vf2_crypto::encoding::EncodingConfig;
+use vf2_gbdt::train::GbdtParams;
+
+use crate::protocol::ProtocolConfig;
+
+/// Which cipher suite backs the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoConfig {
+    /// Real Paillier with an `S`-bit modulus (the paper recommends 2048).
+    Paillier {
+        /// Modulus bits `S`.
+        key_bits: u64,
+    },
+    /// Plaintext mock — the paper's VF-MOCK baseline.
+    Mock,
+}
+
+/// Everything needed to run one federated training job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// GBDT hyper-parameters (trees, learning rate, layers, bins, loss).
+    pub gbdt: GbdtParams,
+    /// Protocol variant and optimization toggles.
+    pub protocol: ProtocolConfig,
+    /// Cipher suite.
+    pub crypto: CryptoConfig,
+    /// Fixed-point encoding (base, exponent window).
+    pub encoding: EncodingConfig,
+    /// Simulated WAN characteristics of every cross-party link.
+    pub wan: WanConfig,
+    /// Data-parallel workers inside each party (shards per histogram
+    /// build; also the rayon pool width per party).
+    pub workers: usize,
+    /// Master seed: keys, encryption randomness, and exponent jitter all
+    /// derive from it.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            gbdt: GbdtParams::default(),
+            protocol: ProtocolConfig::vf2boost(),
+            crypto: CryptoConfig::Paillier { key_bits: 2048 },
+            encoding: EncodingConfig::default(),
+            wan: WanConfig::paper_public_network(),
+            workers: 1,
+            seed: 42,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A configuration sized for unit tests: small key, instant network,
+    /// few trees.
+    pub fn for_tests() -> TrainConfig {
+        TrainConfig {
+            gbdt: GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() },
+            crypto: CryptoConfig::Paillier { key_bits: 256 },
+            encoding: EncodingConfig { base: 16, base_exp: 8, jitter: 4 },
+            wan: WanConfig::instant(),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_protocol() {
+        let c = TrainConfig::default();
+        assert_eq!(c.gbdt.num_trees, 20);
+        assert_eq!(c.gbdt.max_layers, 7);
+        assert!((c.gbdt.learning_rate - 0.1).abs() < 1e-12);
+        assert_eq!(c.crypto, CryptoConfig::Paillier { key_bits: 2048 });
+    }
+
+    #[test]
+    fn test_config_is_small() {
+        let c = TrainConfig::for_tests();
+        assert!(matches!(c.crypto, CryptoConfig::Paillier { key_bits: 256 }));
+        assert!(c.gbdt.num_trees <= 4);
+    }
+}

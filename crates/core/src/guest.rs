@@ -1,0 +1,778 @@
+//! The guest party (the paper's *Party B*): label owner, private-key
+//! holder, and protocol driver.
+//!
+//! The guest implements both training protocols over the same node-level
+//! machinery:
+//!
+//! * **Sequential** (the VF-GBDT baseline): strict per-layer phases — ship
+//!   all gradients, wait for *every* host histogram of the layer, then
+//!   decrypt, decide, and split. Each party idles while the other works,
+//!   which is exactly the mutual waiting of §2.4's Bottleneck 1.
+//! * **Optimistic** (§4.2): the guest splits each node with its own best
+//!   split as soon as it finds one and charges ahead; when a host's
+//!   histograms later reveal a better host split, the node is *dirty* —
+//!   its subtree is rolled back (epochs are bumped so in-flight histograms
+//!   are discarded) and re-done from the host's placement.
+//!
+//! Gradient shipping uses blaster batches (§4.1) when configured: each
+//! batch is encrypted, handed to the (non-blocking) gateway link, and the
+//! next batch's encryption proceeds while earlier ciphers are still on the
+//! wire and hosts are already accumulating.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vf2_channel::Endpoint;
+use vf2_crypto::suite::Suite;
+use vf2_gbdt::binning::BinnedDataset;
+use vf2_gbdt::data::Dataset;
+use vf2_gbdt::histogram::GradPair;
+use vf2_gbdt::split::{best_of, best_split_from_prefix, find_best_split, SplitCandidate};
+use vf2_gbdt::tree::{layer_of, left_child, right_child, NodeId, NodeSplit};
+
+use crate::config::TrainConfig;
+use crate::hist_enc::unpack_feature_hist;
+use crate::messages::{FeatureMeta, HistPayload, Msg};
+use crate::model::{FedNode, FedTree};
+use crate::rows::{NodeRows, RowMajorBins};
+use crate::telemetry::{PartyTelemetry, Stopwatch, TreeRecord};
+use crate::wire;
+
+/// What the guest hands back after training.
+pub struct GuestOutput {
+    /// The guest-view trees.
+    pub trees: Vec<FedTree>,
+    /// Telemetry.
+    pub telemetry: PartyTelemetry,
+    /// Per-tree completion records.
+    pub tree_records: Vec<TreeRecord>,
+    /// Final training-set margins.
+    pub train_margins: Vec<f64>,
+}
+
+/// Which party won a node, if any.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Winner {
+    None,
+    Guest(SplitCandidate),
+    Host(usize, SplitCandidate),
+}
+
+/// The guest's record of one node's final decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Decision {
+    Leaf(f64),
+    GuestSplit(NodeSplit),
+    HostSplit { party: u16 },
+}
+
+/// Per-node in-flight state.
+struct NodeState {
+    total: GradPair,
+    guest_best: Option<SplitCandidate>,
+    host_best: Vec<Option<SplitCandidate>>,
+    host_received: Vec<bool>,
+    /// The guest split was already applied optimistically.
+    already_split: bool,
+    /// Waiting for a host's placement after choosing its split.
+    awaiting_placement: Option<usize>,
+    resolved: bool,
+}
+
+/// Per-tree mutable state.
+struct TreeCtx {
+    tree: u32,
+    grads: Vec<GradPair>,
+    rows: NodeRows,
+    epoch: Vec<u32>,
+    states: HashMap<NodeId, NodeState>,
+    decisions: HashMap<NodeId, Decision>,
+    pending: usize,
+}
+
+/// Adds the mass of implicit zeros (`node_total − Σ stored bins`) into the
+/// feature's zero bin.
+fn fold_zero_mass(bins: &mut [GradPair], meta: FeatureMeta, total: GradPair) {
+    let stored = bins.iter().fold(GradPair::ZERO, |a, &b| a.add(b));
+    bins[meta.zero_bin as usize] += total.sub(stored);
+}
+
+/// Runs the guest to completion and shuts the hosts down.
+pub fn run_guest(
+    data: Arc<Dataset>,
+    cfg: TrainConfig,
+    suite: Suite,
+    endpoints: Vec<Endpoint>,
+) -> GuestOutput {
+    GuestParty::new(data, cfg, suite, endpoints).run()
+}
+
+struct GuestParty {
+    cfg: TrainConfig,
+    suite: Suite,
+    endpoints: Vec<Endpoint>,
+    data: Arc<Dataset>,
+    binned: BinnedDataset,
+    csr: RowMajorBins,
+    host_metas: Vec<Vec<FeatureMeta>>,
+    pool: rayon::ThreadPool,
+    preds: Vec<f64>,
+    telemetry: PartyTelemetry,
+    tree_records: Vec<TreeRecord>,
+    started: Instant,
+}
+
+impl GuestParty {
+    fn new(
+        data: Arc<Dataset>,
+        cfg: TrainConfig,
+        suite: Suite,
+        endpoints: Vec<Endpoint>,
+    ) -> GuestParty {
+        assert!(data.labels().is_some(), "the guest must own the labels");
+        let binned = BinnedDataset::bin(&data, &cfg.gbdt.binning);
+        let csr = RowMajorBins::from_binned(&binned);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.workers.max(1))
+            .thread_name(|i| format!("guest-worker{i}"))
+            .build()
+            .expect("build guest worker pool");
+        let n = data.num_rows();
+        GuestParty {
+            preds: vec![cfg.gbdt.loss.base_score(); n],
+            host_metas: Vec::new(),
+            telemetry: PartyTelemetry { name: "guest".into(), ..Default::default() },
+            tree_records: Vec::new(),
+            started: Instant::now(),
+            cfg,
+            suite,
+            endpoints,
+            data,
+            binned,
+            csr,
+            pool,
+        }
+    }
+
+    fn run(mut self) -> GuestOutput {
+        // Collect each host's feature metadata (bin structure only).
+        self.host_metas = vec![Vec::new(); self.endpoints.len()];
+        for h in 0..self.endpoints.len() {
+            let t0 = Instant::now();
+            let env = self.endpoints[h].recv().expect("host hello");
+            self.telemetry.phases.idle += t0.elapsed();
+            match wire::decode(env.kind, env.payload).expect("decode hello") {
+                Msg::FeatureMeta(m) => self.host_metas[h] = m,
+                other => panic!("expected FeatureMeta, got kind {}", other.kind()),
+            }
+        }
+
+        self.started = Instant::now();
+        let mut trees = Vec::with_capacity(self.cfg.gbdt.num_trees);
+        for t in 0..self.cfg.gbdt.num_trees {
+            let tree = self.train_tree(t as u32);
+            trees.push(tree);
+            let labels = self.data.labels().expect("labels");
+            self.tree_records.push(TreeRecord {
+                tree: t,
+                completed_at: self.started.elapsed(),
+                train_loss: self.cfg.gbdt.loss.mean_loss(labels, &self.preds),
+            });
+        }
+        self.broadcast(&Msg::Shutdown);
+
+        self.telemetry.ops = self.suite.counters().snapshot();
+        self.telemetry.bytes_sent =
+            self.endpoints.iter().map(|e| e.send_stats().bytes()).sum();
+        self.telemetry.messages_sent =
+            self.endpoints.iter().map(|e| e.send_stats().messages()).sum();
+        GuestOutput {
+            trees,
+            telemetry: self.telemetry,
+            tree_records: self.tree_records,
+            train_margins: self.preds,
+        }
+    }
+
+    fn broadcast(&self, msg: &Msg) {
+        let payload = wire::encode(msg);
+        for ep in &self.endpoints {
+            ep.send(msg.kind(), payload.clone());
+        }
+    }
+
+    fn send_to(&self, host: usize, msg: &Msg) {
+        self.endpoints[host].send(msg.kind(), wire::encode(msg));
+    }
+
+    /// Blocks until any host message arrives (single-host fast path;
+    /// round-robin polling otherwise). Idle time is accounted.
+    fn recv_any(&mut self) -> (usize, Msg) {
+        let t0 = Instant::now();
+        if self.endpoints.len() == 1 {
+            let env = self.endpoints[0].recv().expect("host alive");
+            self.telemetry.phases.idle += t0.elapsed();
+            return (0, wire::decode(env.kind, env.payload).expect("decode"));
+        }
+        loop {
+            for h in 0..self.endpoints.len() {
+                if let Some(env) = self.endpoints[h].try_recv() {
+                    self.telemetry.phases.idle += t0.elapsed();
+                    return (h, wire::decode(env.kind, env.payload).expect("decode"));
+                }
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-tree driver
+    // ------------------------------------------------------------------
+
+    fn train_tree(&mut self, tree: u32) -> FedTree {
+        let labels = self.data.labels().expect("labels").to_vec();
+        let grads = self.cfg.gbdt.loss.grad_hess_all(&labels, &self.preds);
+        let n = self.data.num_rows();
+        let mut ctx = TreeCtx {
+            tree,
+            grads,
+            rows: NodeRows::new_tree(n, self.cfg.gbdt.max_layers),
+            epoch: vec![0; (1 << self.cfg.gbdt.max_layers) - 1],
+            states: HashMap::new(),
+            decisions: HashMap::new(),
+            pending: 0,
+        };
+
+        self.send_gradients(&ctx);
+        if self.cfg.protocol.optimistic {
+            self.run_tree_optimistic(&mut ctx);
+        } else {
+            self.run_tree_sequential(&mut ctx);
+        }
+        self.broadcast(&Msg::TreeDone { tree });
+
+        // Fold leaf weights into the training predictions.
+        let lr = self.cfg.gbdt.learning_rate;
+        for (&node, decision) in &ctx.decisions {
+            if let Decision::Leaf(w) = decision {
+                for &r in ctx.rows.rows(node) {
+                    self.preds[r as usize] += lr * w;
+                }
+            }
+        }
+        self.build_fed_tree(&ctx)
+    }
+
+    /// Encrypts and ships the gradient statistics — in one bulk message or
+    /// in pipelined blaster batches (§4.1).
+    fn send_gradients(&mut self, ctx: &TreeCtx) {
+        let n = ctx.grads.len();
+        let batch = self.cfg.protocol.blaster_batch.unwrap_or(n).max(1);
+        let g_vals: Vec<f64> = ctx.grads.iter().map(|p| p.g).collect();
+        let h_vals: Vec<f64> = ctx.grads.iter().map(|p| p.h).collect();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch).min(n);
+            let seed = self
+                .cfg
+                .seed
+                .wrapping_mul(0x517c_c1b7_2722_0a95)
+                .wrapping_add((ctx.tree as u64) << 32)
+                .wrapping_add(start as u64);
+            let t0 = Stopwatch::start(self.cfg.workers <= 1);
+            let (g_cts, h_cts) = if self.cfg.workers <= 1 {
+                (
+                    self.suite.encrypt_batch_seq(&g_vals[start..end], seed).expect("encrypt g"),
+                    self.suite
+                        .encrypt_batch_seq(&h_vals[start..end], seed ^ 0xdead_beef)
+                        .expect("encrypt h"),
+                )
+            } else {
+                self.pool.install(|| {
+                    (
+                        self.suite.encrypt_batch(&g_vals[start..end], seed).expect("encrypt g"),
+                        self.suite
+                            .encrypt_batch(&h_vals[start..end], seed ^ 0xdead_beef)
+                            .expect("encrypt h"),
+                    )
+                })
+            };
+            self.telemetry.phases.encrypt += t0.elapsed();
+            // Hand to the gateway immediately; encryption of the next batch
+            // overlaps with the wire and with host-side accumulation.
+            self.broadcast(&Msg::GradBatch {
+                tree: ctx.tree,
+                start_row: start as u32,
+                g: g_cts,
+                h: h_cts,
+                last: end == n,
+            });
+            start = end;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node machinery shared by both protocols
+    // ------------------------------------------------------------------
+
+    /// Materializes a node whose row list just became available. Returns
+    /// true if the node awaits validation (i.e. was not finalized a leaf).
+    fn materialize(&mut self, ctx: &mut TreeCtx, node: NodeId) -> bool {
+        ctx.epoch[node] += 1;
+        let last_layer = layer_of(node) + 1 == self.cfg.gbdt.max_layers;
+        let rows: Vec<u32> = ctx.rows.rows(node).to_vec();
+        let total = RowMajorBins::rows_total(&rows, &ctx.grads);
+
+        if last_layer {
+            self.finalize_leaf(ctx, node, total);
+            return false;
+        }
+
+        // FindSplitB: plaintext histograms over the guest's own features.
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let hists = self.csr.node_histograms(&rows, &ctx.grads);
+        let guest_best = best_of(
+            hists
+                .iter()
+                .enumerate()
+                .filter_map(|(f, h)| find_best_split(f, h, total, &self.cfg.gbdt.split)),
+        );
+        self.telemetry.phases.build_hist_plain += t0.elapsed();
+
+        self.broadcast(&Msg::NodeTask {
+            tree: ctx.tree,
+            node: node as u32,
+            epoch: ctx.epoch[node],
+        });
+        ctx.states.insert(
+            node,
+            NodeState {
+                total,
+                guest_best,
+                host_best: vec![None; self.endpoints.len()],
+                host_received: vec![false; self.endpoints.len()],
+                already_split: false,
+                awaiting_placement: None,
+                resolved: false,
+            },
+        );
+        ctx.pending += 1;
+
+        if self.cfg.protocol.optimistic {
+            if let Some(best) = guest_best {
+                // Optimistic node-splitting: act on our own best split
+                // before the hosts weigh in (§4.2). Speculation is bounded
+                // to ONE layer beyond the validated frontier, as in the
+                // paper ("only after FindSplitB of layer l+1 is done will
+                // Party B pause"): splitting deeper would let a dirty node
+                // near the root waste a whole subtree of host work.
+                if self.parent_validated(ctx, node) {
+                    self.apply_guest_split(ctx, node, best);
+                    ctx.states.get_mut(&node).expect("just inserted").already_split = true;
+                    self.telemetry.events.optimistic_splits += 1;
+                    self.materialize_children(ctx, node);
+                }
+            }
+        }
+        true
+    }
+
+    /// True when the node's parent decision has been validated (the root
+    /// has no parent and counts as validated).
+    fn parent_validated(&self, ctx: &TreeCtx, node: NodeId) -> bool {
+        match vf2_gbdt::tree::parent(node) {
+            None => true,
+            Some(p) => ctx.decisions.contains_key(&p),
+        }
+    }
+
+    /// Once `node` is validated, children whose optimistic split was
+    /// deferred by the one-layer speculation bound get split now.
+    fn speculate_children(&mut self, ctx: &mut TreeCtx, node: NodeId) {
+        if !self.cfg.protocol.optimistic {
+            return;
+        }
+        for child in [left_child(node), right_child(node)] {
+            let Some(st) = ctx.states.get(&child) else { continue };
+            if st.resolved || st.already_split || st.awaiting_placement.is_some() {
+                continue;
+            }
+            let Some(best) = st.guest_best else { continue };
+            self.apply_guest_split(ctx, child, best);
+            ctx.states.get_mut(&child).expect("state").already_split = true;
+            self.telemetry.events.optimistic_splits += 1;
+            self.materialize_children(ctx, child);
+        }
+    }
+
+    /// Computes and applies a guest-owned split's placement, informing all
+    /// hosts.
+    fn apply_guest_split(&mut self, ctx: &mut TreeCtx, node: NodeId, best: SplitCandidate) {
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let col = self.binned.column(best.feature);
+        let placement: Vec<bool> = ctx
+            .rows
+            .rows(node)
+            .iter()
+            .map(|&r| col.bin_of_row(r as usize) <= best.bin)
+            .collect();
+        ctx.rows.apply_placement(node, &placement);
+        self.telemetry.phases.split_nodes += t0.elapsed();
+        self.broadcast(&Msg::ApplyPlacement { tree: ctx.tree, node: node as u32, placement });
+    }
+
+    fn materialize_children(&mut self, ctx: &mut TreeCtx, node: NodeId) {
+        self.materialize(ctx, left_child(node));
+        self.materialize(ctx, right_child(node));
+    }
+
+    fn finalize_leaf(&mut self, ctx: &mut TreeCtx, node: NodeId, total: GradPair) {
+        let w = self.cfg.gbdt.split.leaf_weight(total);
+        ctx.decisions.insert(node, Decision::Leaf(w));
+        self.telemetry.events.leaves += 1;
+        self.broadcast(&Msg::NodeLeaf { tree: ctx.tree, node: node as u32 });
+    }
+
+    /// Decodes one host's histogram payload into that host's best split
+    /// for the node.
+    fn host_best_split(
+        &mut self,
+        host: usize,
+        payload: &HistPayload,
+        total: GradPair,
+        count: usize,
+    ) -> Option<SplitCandidate> {
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let metas = &self.host_metas[host];
+        let bound = self.cfg.gbdt.loss.grad_bound().max(self.cfg.gbdt.loss.hess_bound());
+        let suite = &self.suite;
+        let split_params = self.cfg.gbdt.split;
+        // One closure per feature: decrypt its histogram and search it.
+        // FindSplitA amortizes over workers (the paper's Table 5 notes the
+        // decryption cost "is also able to be amortized among workers").
+        let per_feature_raw = |(f, feat): (usize, &crate::messages::RawFeatureHist)| {
+            let mut bins: Vec<GradPair> = feat
+                .g
+                .iter()
+                .zip(&feat.h)
+                .map(|(cg, ch)| GradPair {
+                    g: suite.decrypt(cg).expect("decrypt g"),
+                    h: suite.decrypt(ch).expect("decrypt h"),
+                })
+                .collect();
+            fold_zero_mass(&mut bins, metas[f], total);
+            let hist = vf2_gbdt::histogram::Histogram { bins };
+            find_best_split(f, &hist, total, &split_params)
+        };
+        let per_feature_packed = |(f, feat): (usize, &crate::messages::PackedFeatureHist)| {
+            let mut bins = unpack_feature_hist(suite, feat, count, bound).expect("unpack");
+            fold_zero_mass(&mut bins, metas[f], total);
+            let prefix = vf2_gbdt::histogram::Histogram { bins }.prefix_sums();
+            best_split_from_prefix(f, &prefix, total, &split_params)
+        };
+        let best = if self.cfg.workers <= 1 {
+            match payload {
+                HistPayload::Raw(features) => {
+                    best_of(features.iter().enumerate().filter_map(per_feature_raw))
+                }
+                HistPayload::Packed(features) => {
+                    best_of(features.iter().enumerate().filter_map(per_feature_packed))
+                }
+            }
+        } else {
+            use rayon::prelude::*;
+            self.pool.install(|| match payload {
+                HistPayload::Raw(features) => best_of(
+                    features
+                        .par_iter()
+                        .enumerate()
+                        .filter_map(per_feature_raw)
+                        .collect::<Vec<_>>(),
+                ),
+                HistPayload::Packed(features) => best_of(
+                    features
+                        .par_iter()
+                        .enumerate()
+                        .filter_map(per_feature_packed)
+                        .collect::<Vec<_>>(),
+                ),
+            })
+        };
+        self.telemetry.phases.decrypt_find += t0.elapsed();
+        best
+    }
+
+
+    /// Picks the winner among the guest's and all hosts' candidates.
+    fn winner(state: &NodeState) -> Winner {
+        let mut win = match state.guest_best {
+            Some(c) => Winner::Guest(c),
+            None => Winner::None,
+        };
+        for (h, cand) in state.host_best.iter().enumerate() {
+            if let Some(c) = cand {
+                let beats = match win {
+                    Winner::None => true,
+                    Winner::Guest(g) => c.gain > g.gain,
+                    Winner::Host(_, g) => c.gain > g.gain,
+                };
+                if beats {
+                    win = Winner::Host(h, *c);
+                }
+            }
+        }
+        win
+    }
+
+    /// Resolves a node once every host's histograms have been seen.
+    fn resolve(&mut self, ctx: &mut TreeCtx, node: NodeId) {
+        let state = ctx.states.get(&node).expect("state exists");
+        debug_assert!(state.host_received.iter().all(|&b| b));
+        match Self::winner(state) {
+            Winner::None => {
+                // No split anywhere: the tentative leaf becomes real.
+                let total = state.total;
+                debug_assert!(!state.already_split);
+                self.finalize_leaf(ctx, node, total);
+                let state = ctx.states.get_mut(&node).expect("state");
+                state.resolved = true;
+                ctx.pending -= 1;
+            }
+            Winner::Guest(best) => {
+                let was_split = state.already_split;
+                let col = self.binned.column(best.feature);
+                ctx.decisions.insert(
+                    node,
+                    Decision::GuestSplit(NodeSplit {
+                        feature: best.feature,
+                        bin: best.bin,
+                        threshold: col.threshold(best.bin),
+                    }),
+                );
+                self.telemetry.events.splits_won += 1;
+                let state = ctx.states.get_mut(&node).expect("state");
+                state.resolved = true;
+                ctx.pending -= 1;
+                if !was_split {
+                    // Sequential mode, or an optimistic node whose own
+                    // speculation was deferred by the one-layer bound.
+                    self.apply_guest_split(ctx, node, best);
+                    self.materialize_children(ctx, node);
+                } else {
+                    // Optimistic + already split: validation succeeded; the
+                    // children whose speculation waited on this validation
+                    // may now charge ahead one more layer.
+                    self.speculate_children(ctx, node);
+                }
+            }
+            Winner::Host(h, best) => {
+                if state.already_split {
+                    // Dirty node: our optimistic guest split loses to host
+                    // `h`. Roll the subtree back (§4.2, Fig. 6).
+                    self.telemetry.events.dirty_nodes += 1;
+                    self.rollback_descendants(ctx, node);
+                    ctx.decisions.remove(&node);
+                }
+                self.send_to(
+                    h,
+                    &Msg::HostSplitChosen {
+                        tree: ctx.tree,
+                        node: node as u32,
+                        feature: best.feature as u32,
+                        bin: best.bin,
+                    },
+                );
+                let state = ctx.states.get_mut(&node).expect("state");
+                state.already_split = false;
+                state.awaiting_placement = Some(h);
+            }
+        }
+    }
+
+    /// Discards every strict descendant's state, decision, and rows;
+    /// bumps their epochs so in-flight histograms get dropped.
+    fn rollback_descendants(&mut self, ctx: &mut TreeCtx, node: NodeId) {
+        let mut stack = vec![left_child(node), right_child(node)];
+        while let Some(d) = stack.pop() {
+            if d >= ctx.epoch.len() {
+                continue;
+            }
+            ctx.epoch[d] += 1;
+            if let Some(s) = ctx.states.remove(&d) {
+                if !s.resolved {
+                    ctx.pending -= 1;
+                }
+            }
+            ctx.decisions.remove(&d);
+            stack.push(left_child(d));
+            stack.push(right_child(d));
+        }
+        ctx.rows.clear_descendants(node);
+    }
+
+    fn on_placement(&mut self, ctx: &mut TreeCtx, host: usize, node: NodeId, placement: Vec<bool>) {
+        let Some(state) = ctx.states.get_mut(&node) else { return };
+        if state.awaiting_placement != Some(host) {
+            return; // stale (the node was rolled back meanwhile)
+        }
+        state.awaiting_placement = None;
+        state.resolved = true;
+        ctx.pending -= 1;
+        ctx.decisions.insert(node, Decision::HostSplit { party: host as u16 });
+
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        ctx.rows.apply_placement(node, &placement);
+        self.telemetry.phases.split_nodes += t0.elapsed();
+        // Relay to the other hosts so their row lists stay aligned.
+        for other in 0..self.endpoints.len() {
+            if other != host {
+                self.send_to(
+                    other,
+                    &Msg::ApplyPlacement {
+                        tree: ctx.tree,
+                        node: node as u32,
+                        placement: placement.clone(),
+                    },
+                );
+            }
+        }
+        self.materialize_children(ctx, node);
+    }
+
+    fn on_node_histograms(
+        &mut self,
+        ctx: &mut TreeCtx,
+        host: usize,
+        node: NodeId,
+        epoch: u32,
+        payload: HistPayload,
+    ) {
+        if ctx.epoch.get(node).copied() != Some(epoch) || !ctx.states.contains_key(&node) {
+            self.telemetry.events.stale_histograms += 1;
+            return;
+        }
+        let (total, count) = {
+            let s = &ctx.states[&node];
+            if s.host_received[host] || s.resolved {
+                self.telemetry.events.stale_histograms += 1;
+                return;
+            }
+            (s.total, ctx.rows.rows(node).len())
+        };
+        let best = self.host_best_split(host, &payload, total, count);
+        let state = ctx.states.get_mut(&node).expect("state");
+        state.host_best[host] = best;
+        state.host_received[host] = true;
+        if state.host_received.iter().all(|&b| b) {
+            self.resolve(ctx, node);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic driver (§4.2)
+    // ------------------------------------------------------------------
+
+    fn run_tree_optimistic(&mut self, ctx: &mut TreeCtx) {
+        self.materialize(ctx, 0);
+        while ctx.pending > 0 {
+            let (host, msg) = self.recv_any();
+            match msg {
+                Msg::NodeHistograms { tree, node, epoch, payload } => {
+                    debug_assert_eq!(tree, ctx.tree);
+                    self.on_node_histograms(ctx, host, node as usize, epoch, payload);
+                }
+                Msg::Placement { tree, node, placement } => {
+                    debug_assert_eq!(tree, ctx.tree);
+                    self.on_placement(ctx, host, node as usize, placement);
+                }
+                other => panic!("guest received unexpected message kind {}", other.kind()),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential driver (the VF-GBDT baseline)
+    // ------------------------------------------------------------------
+
+    fn run_tree_sequential(&mut self, ctx: &mut TreeCtx) {
+        self.materialize(ctx, 0);
+        let mut active: Vec<NodeId> = ctx.states.keys().copied().collect();
+        // Histograms can arrive ahead of their layer (hosts start next-layer
+        // tasks as soon as placements land), so the buffer persists across
+        // layers.
+        let mut buffered: HashMap<(usize, NodeId), HistPayload> = HashMap::new();
+        while !active.is_empty() {
+            // Phase 1: buffer every active node's histograms from every
+            // host before decrypting anything (BuildHistA fully precedes
+            // FindSplitA, as in the baseline's Gantt chart).
+            let num_hosts = self.endpoints.len();
+            let needed = move |buf: &HashMap<(usize, NodeId), HistPayload>, active: &[NodeId]| {
+                active.iter().any(|&n| (0..num_hosts).any(|h| !buf.contains_key(&(h, n))))
+            };
+            while needed(&buffered, &active) {
+                let (host, msg) = self.recv_any();
+                match msg {
+                    Msg::NodeHistograms { node, epoch, payload, .. } => {
+                        debug_assert_eq!(epoch, ctx.epoch[node as usize]);
+                        buffered.insert((host, node as usize), payload);
+                    }
+                    other => panic!("unexpected message kind {} in layer wait", other.kind()),
+                }
+            }
+            // Phase 2: decrypt and decide every node.
+            let mut awaiting: Vec<NodeId> = Vec::new();
+            for &node in &active {
+                for host in 0..self.endpoints.len() {
+                    let payload = buffered.remove(&(host, node)).expect("buffered payload");
+                    let (total, count) =
+                        (ctx.states[&node].total, ctx.rows.rows(node).len());
+                    let best = self.host_best_split(host, &payload, total, count);
+                    let state = ctx.states.get_mut(&node).expect("state");
+                    state.host_best[host] = best;
+                    state.host_received[host] = true;
+                }
+                self.resolve(ctx, node);
+                if ctx.states[&node].awaiting_placement.is_some() {
+                    awaiting.push(node);
+                }
+            }
+            // Phase 3: collect placements for host-won nodes; histograms
+            // for the next layer may interleave and are buffered.
+            while awaiting.iter().any(|n| ctx.states[n].awaiting_placement.is_some()) {
+                let (host, msg) = self.recv_any();
+                match msg {
+                    Msg::Placement { node, placement, .. } => {
+                        self.on_placement(ctx, host, node as usize, placement);
+                    }
+                    Msg::NodeHistograms { node, epoch, payload, .. } => {
+                        debug_assert_eq!(epoch, ctx.epoch[node as usize]);
+                        buffered.insert((host, node as usize), payload);
+                    }
+                    other => panic!("unexpected message kind {} in placement wait", other.kind()),
+                }
+            }
+            // Next layer: the children materialized by resolve/on_placement.
+            active = ctx
+                .states
+                .iter()
+                .filter(|(_, s)| !s.resolved)
+                .map(|(&n, _)| n)
+                .collect();
+        }
+    }
+
+    /// Builds the guest-view tree from the final decisions.
+    fn build_fed_tree(&self, ctx: &TreeCtx) -> FedTree {
+        let mut tree = FedTree::new(self.cfg.gbdt.max_layers);
+        for (&node, decision) in &ctx.decisions {
+            tree.nodes[node] = match decision {
+                Decision::Leaf(w) => FedNode::Leaf(*w),
+                Decision::GuestSplit(s) => FedNode::GuestSplit(*s),
+                Decision::HostSplit { party } => FedNode::HostSplit { party: *party },
+            };
+        }
+        debug_assert!(tree.validate().is_ok(), "malformed federated tree");
+        tree
+    }
+}

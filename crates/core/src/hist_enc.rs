@@ -1,0 +1,454 @@
+//! Encrypted histogram construction — the host's BuildHistA phase.
+//!
+//! [`EncHistBuilder`] accumulates encrypted gradient statistics into
+//! per-feature, per-bin cipher sums under two strategies:
+//!
+//! * **Naive** (the baseline): one accumulator per bin; adding a cipher
+//!   whose exponent differs triggers a *scaling* (`SMul` by `B^Δe`), the
+//!   cost the paper measures as `O(N·(E−1)/E)` extra operations.
+//! * **Re-ordered** (§5.1): one workspace per distinct exponent; additions
+//!   always hit the matching workspace (no scaling), and the `E` workspaces
+//!   are merged with at most `E−1` scalings per bin at finalization.
+//!
+//! [`pack_feature_hist`] implements §5.2's "integration with histograms":
+//! shift the first gradient bin by `count × Bound + 1`, prefix-sum the
+//! bins, and pack the prefix ciphers so the guest needs one decryption per
+//! `t` bins. Hessians are non-negative and need no shift.
+
+use vf2_crypto::encoding::EncodingConfig;
+use vf2_crypto::error::{CryptoError, Result};
+use vf2_crypto::packing::PackingPlan;
+use vf2_crypto::suite::{Ciphertext, Suite, SuiteKind};
+
+use crate::messages::PackedFeatureHist;
+use crate::rows::ColMeta;
+
+/// One bin's accumulator.
+#[derive(Debug, Clone)]
+enum BinAcc {
+    /// Single accumulator with on-the-fly exponent alignment.
+    Naive(Option<Ciphertext>),
+    /// Per-exponent workspaces (index = exponent − base_exp).
+    Reordered(Vec<Option<Ciphertext>>),
+}
+
+/// An encrypted histogram over every feature of one node, for one
+/// statistic (gradients or hessians).
+#[derive(Debug, Clone)]
+pub struct EncHistBuilder {
+    /// `features[f][bin]`.
+    features: Vec<Vec<BinAcc>>,
+    reordered: bool,
+    base_exp: i32,
+    jitter: u32,
+}
+
+impl EncHistBuilder {
+    /// An empty builder shaped by the column metadata.
+    pub fn new(col_meta: &[ColMeta], encoding: &EncodingConfig, reordered: bool) -> Self {
+        let slots = encoding.jitter.max(1) as usize;
+        let features = col_meta
+            .iter()
+            .map(|m| {
+                let mk = || {
+                    if reordered {
+                        BinAcc::Reordered(vec![None; slots])
+                    } else {
+                        BinAcc::Naive(None)
+                    }
+                };
+                (0..m.num_bins).map(|_| mk()).collect()
+            })
+            .collect();
+        EncHistBuilder { features, reordered, base_exp: encoding.base_exp, jitter: encoding.jitter }
+    }
+
+    /// Accumulates one cipher into `(feature, bin)`.
+    pub fn add(&mut self, suite: &Suite, feature: usize, bin: usize, c: &Ciphertext) -> Result<()> {
+        match &mut self.features[feature][bin] {
+            BinAcc::Naive(acc) => {
+                *acc = Some(match acc.take() {
+                    None => c.clone(),
+                    Some(prev) => suite.add(&prev, c)?,
+                });
+            }
+            BinAcc::Reordered(slots) => {
+                let slot = (c.exponent() - self.base_exp) as usize;
+                debug_assert!(
+                    slot < self.jitter.max(1) as usize,
+                    "exponent {} outside the jitter window",
+                    c.exponent()
+                );
+                match &mut slots[slot] {
+                    None => slots[slot] = Some(c.clone()),
+                    Some(acc) => suite.add_assign_same_exp(acc, c)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another builder into this one (worker-shard aggregation).
+    /// Counts the HAdds it performs — aggregation is real work the paper's
+    /// scalability analysis charges (§6.4).
+    pub fn merge(&mut self, suite: &Suite, other: &EncHistBuilder) -> Result<()> {
+        debug_assert_eq!(self.reordered, other.reordered);
+        for (mine, theirs) in self.features.iter_mut().zip(&other.features) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                match (a, b) {
+                    (BinAcc::Naive(x), BinAcc::Naive(Some(y))) => {
+                        *x = Some(match x.take() {
+                            None => y.clone(),
+                            Some(prev) => suite.add(&prev, y)?,
+                        });
+                    }
+                    (BinAcc::Reordered(xs), BinAcc::Reordered(ys)) => {
+                        for (x, y) in xs.iter_mut().zip(ys) {
+                            if let Some(y) = y {
+                                match x {
+                                    None => *x = Some(y.clone()),
+                                    Some(acc) => suite.add_assign_same_exp(acc, y)?,
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes one feature's bins into ciphers.
+    ///
+    /// With `target_exp = Some(e)`, every bin is normalized to exponent `e`
+    /// (required before packing); re-ordered workspaces merge with at most
+    /// `E−1` scalings per bin. With `None`, bins keep their natural
+    /// exponents (the raw-wire baseline).
+    pub fn finalize_feature(
+        &self,
+        suite: &Suite,
+        feature: usize,
+        target_exp: Option<i32>,
+    ) -> Result<Vec<Ciphertext>> {
+        self.features[feature]
+            .iter()
+            .map(|acc| {
+                let merged: Option<Ciphertext> = match acc {
+                    BinAcc::Naive(a) => a.clone(),
+                    BinAcc::Reordered(slots) => {
+                        let mut out: Option<Ciphertext> = None;
+                        for s in slots.iter().flatten() {
+                            out = Some(match out {
+                                None => s.clone(),
+                                Some(prev) => suite.add(&prev, s)?,
+                            });
+                        }
+                        out
+                    }
+                };
+                Ok(match (merged, target_exp) {
+                    (Some(c), Some(t)) => suite.rescale_to(&c, t.max(c.exponent())),
+                    (Some(c), None) => c,
+                    // Empty bins ship as full-size zero ciphers so that the
+                    // wire sizes (and the WAN model built on them) stay
+                    // honest — see Suite::zero_obfuscated.
+                    (None, t) => suite.zero_obfuscated(t.unwrap_or(self.base_exp)),
+                })
+            })
+            .collect()
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// The packing shift applied to the first gradient bin: guarantees every
+/// prefix sum is positive since `Σg ≥ −count × bound` (§5.2). Both sides
+/// compute it from shared knowledge (node size and the loss's bound).
+pub fn packing_shift(count: usize, grad_bound: f64) -> f64 {
+    count as f64 * grad_bound + 1.0
+}
+
+/// The slot width in bits needed to hold any shifted prefix value at the
+/// common exponent, rounded up to a byte multiple and at least
+/// `target_bits`.
+pub fn required_slot_bits(
+    count: usize,
+    bound: f64,
+    encoding: &EncodingConfig,
+    target_bits: u32,
+) -> u32 {
+    let emax = max_exponent(encoding);
+    let max_value = (2.0 * count as f64 * bound + 2.0) * encoding.base_pow_f64(emax);
+    let bits = max_value.log2().ceil() as u32 + 1;
+    bits.max(target_bits).div_ceil(8) * 8
+}
+
+/// The largest exponent the jitter window can produce — the normalization
+/// target before packing.
+pub fn max_exponent(encoding: &EncodingConfig) -> i32 {
+    encoding.base_exp + encoding.jitter.max(1) as i32 - 1
+}
+
+/// Shifts, prefix-sums, and packs one feature's finalized bins (§5.2).
+///
+/// `bins_g` / `bins_h` must already share the exponent `max_exponent`.
+/// Returns the wire-ready packed feature histogram.
+pub fn pack_feature_hist(
+    suite: &Suite,
+    bins_g: &[Ciphertext],
+    bins_h: &[Ciphertext],
+    count: usize,
+    grad_bound: f64,
+    target_slot_bits: u32,
+    encoding: &EncodingConfig,
+) -> Result<PackedFeatureHist> {
+    debug_assert_eq!(bins_g.len(), bins_h.len());
+    let slot_bits = required_slot_bits(count, grad_bound, encoding, target_slot_bits);
+    let plan = match suite.kind() {
+        SuiteKind::Paillier => {
+            let pk = suite.public_key().expect("paillier suite has a public key");
+            let max = PackingPlan::max_slots(pk, slot_bits);
+            if max == 0 {
+                return Err(CryptoError::PackingCapacity { requested: 1, max: 0 });
+            }
+            PackingPlan::new(pk, slot_bits, max.min(bins_g.len()))?
+        }
+        SuiteKind::Plain => PackingPlan { slot_bits, slots: bins_g.len().max(1) },
+    };
+
+    // Shift the first gradient bin so every prefix is non-negative; one
+    // cheap plaintext addition per feature (O(D·T_HADD) per node overall).
+    let shift = packing_shift(count, grad_bound);
+    let mut prefix_g = Vec::with_capacity(bins_g.len());
+    let mut acc_g = suite.add_plain(&bins_g[0], shift)?;
+    prefix_g.push(acc_g.clone());
+    for b in &bins_g[1..] {
+        acc_g = suite.add(&acc_g, b)?;
+        prefix_g.push(acc_g.clone());
+    }
+    let mut prefix_h = Vec::with_capacity(bins_h.len());
+    let mut acc_h = bins_h[0].clone();
+    prefix_h.push(acc_h.clone());
+    for b in &bins_h[1..] {
+        acc_h = suite.add(&acc_h, b)?;
+        prefix_h.push(acc_h.clone());
+    }
+
+    let pack_all = |prefix: &[Ciphertext]| -> Result<Vec<_>> {
+        prefix.chunks(plan.slots).map(|chunk| suite.pack(chunk, &plan)).collect()
+    };
+    Ok(PackedFeatureHist {
+        g: pack_all(&prefix_g)?,
+        h: pack_all(&prefix_h)?,
+        bins: bins_g.len() as u16,
+    })
+}
+
+/// Decrypts a packed feature histogram back into per-bin gradient pairs
+/// (guest side). Inverts the shift and the prefix sums.
+pub fn unpack_feature_hist(
+    suite: &Suite,
+    packed: &PackedFeatureHist,
+    count: usize,
+    grad_bound: f64,
+) -> Result<Vec<vf2_gbdt::histogram::GradPair>> {
+    let shift = packing_shift(count, grad_bound);
+    let mut prefix_g = Vec::with_capacity(packed.bins as usize);
+    for p in &packed.g {
+        prefix_g.extend(suite.unpack_decrypt(p)?);
+    }
+    let mut prefix_h = Vec::with_capacity(packed.bins as usize);
+    for p in &packed.h {
+        prefix_h.extend(suite.unpack_decrypt(p)?);
+    }
+    debug_assert_eq!(prefix_g.len(), packed.bins as usize);
+    let mut out = Vec::with_capacity(packed.bins as usize);
+    let (mut prev_g, mut prev_h) = (shift, 0.0);
+    for (pg, ph) in prefix_g.iter().zip(&prefix_h) {
+        out.push(vf2_gbdt::histogram::GradPair { g: pg - prev_g, h: ph - prev_h });
+        prev_g = *pg;
+        prev_h = *ph;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vf2_gbdt::histogram::GradPair;
+
+    fn encoding() -> EncodingConfig {
+        EncodingConfig { base: 16, base_exp: 8, jitter: 4 }
+    }
+
+    fn suite() -> Suite {
+        Suite::paillier_seeded(384, 42, encoding()).unwrap()
+    }
+
+    fn meta(bins: u16) -> Vec<ColMeta> {
+        vec![ColMeta { num_bins: bins, zero_bin: 0, dense: true }]
+    }
+
+    /// Accumulates the same ciphers naive vs re-ordered; sums must agree
+    /// while the re-ordered path performs no scalings until finalize.
+    #[test]
+    fn reordered_matches_naive_with_fewer_scalings() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<f64> = (0..40).map(|i| (i as f64) * 0.01 - 0.2).collect();
+        let cts: Vec<Ciphertext> = values.iter().map(|&v| s.encrypt(v, &mut rng).unwrap()).collect();
+
+        let naive_suite = s.clone();
+        let mut naive = EncHistBuilder::new(&meta(1), &enc, false);
+        for c in &cts {
+            naive.add(&naive_suite, 0, 0, c).unwrap();
+        }
+        let naive_scalings = naive_suite.counters().snapshot().scalings;
+
+        let re_suite = s.public_half(); // fresh counters
+        let mut re = EncHistBuilder::new(&meta(1), &enc, true);
+        for c in &cts {
+            re.add(&re_suite, 0, 0, c).unwrap();
+        }
+        let accumulation_scalings = re_suite.counters().snapshot().scalings;
+        assert_eq!(accumulation_scalings, 0, "re-ordered accumulation never scales");
+        assert!(naive_scalings > 10, "naive should scale often, got {naive_scalings}");
+
+        let target = max_exponent(&enc);
+        let nb = naive.finalize_feature(&s, 0, Some(target)).unwrap();
+        let rb = re.finalize_feature(&re_suite, 0, Some(target)).unwrap();
+        let finalize_scalings = re_suite.counters().snapshot().scalings;
+        assert!(finalize_scalings <= (enc.jitter as u64), "merge needs ≤ E−1 scalings + normalize");
+
+        let expected: f64 = values.iter().sum();
+        assert!((s.decrypt(&nb[0]).unwrap() - expected).abs() < 1e-6);
+        assert!((s.decrypt(&rb[0]).unwrap() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_bins_finalize_to_zero() {
+        let s = suite();
+        let enc = encoding();
+        let b = EncHistBuilder::new(&meta(3), &enc, true);
+        let bins = b.finalize_feature(&s, 0, Some(max_exponent(&enc))).unwrap();
+        for bin in &bins {
+            assert_eq!(s.decrypt(bin).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = EncHistBuilder::new(&meta(2), &enc, true);
+        let mut b = EncHistBuilder::new(&meta(2), &enc, true);
+        a.add(&s, 0, 0, &s.encrypt(1.0, &mut rng).unwrap()).unwrap();
+        a.add(&s, 0, 1, &s.encrypt(2.0, &mut rng).unwrap()).unwrap();
+        b.add(&s, 0, 0, &s.encrypt(4.0, &mut rng).unwrap()).unwrap();
+        a.merge(&s, &b).unwrap();
+        let bins = a.finalize_feature(&s, 0, Some(max_exponent(&enc))).unwrap();
+        assert!((s.decrypt(&bins[0]).unwrap() - 5.0).abs() < 1e-6);
+        assert!((s.decrypt(&bins[1]).unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_bins() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(3);
+        let g_values = [-0.4, 0.3, -0.1, 0.25, 0.0];
+        let h_values = [0.1, 0.2, 0.05, 0.15, 0.0];
+        let count = 100;
+        let target = max_exponent(&enc);
+        let bins_g: Vec<Ciphertext> =
+            g_values.iter().map(|&v| s.encrypt_at(v, target, &mut rng).unwrap()).collect();
+        let bins_h: Vec<Ciphertext> =
+            h_values.iter().map(|&v| s.encrypt_at(v, target, &mut rng).unwrap()).collect();
+        let packed = pack_feature_hist(&s, &bins_g, &bins_h, count, 1.0, 64, &enc).unwrap();
+        let pairs = unpack_feature_hist(&s, &packed, count, 1.0).unwrap();
+        assert_eq!(pairs.len(), 5);
+        for (got, (wg, wh)) in pairs.iter().zip(g_values.iter().zip(&h_values)) {
+            assert!((got.g - wg).abs() < 1e-4, "g {} vs {wg}", got.g);
+            assert!((got.h - wh).abs() < 1e-4, "h {} vs {wh}", got.h);
+        }
+    }
+
+    #[test]
+    fn packing_reduces_decryptions() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(4);
+        let target = max_exponent(&enc);
+        let bins: Vec<Ciphertext> =
+            (0..6).map(|i| s.encrypt_at(i as f64 * 0.01, target, &mut rng).unwrap()).collect();
+        let before = s.counters().snapshot();
+        let packed = pack_feature_hist(&s, &bins, &bins, 50, 1.0, 64, &enc).unwrap();
+        unpack_feature_hist(&s, &packed, 50, 1.0).unwrap();
+        let delta = s.counters().snapshot().since(&before);
+        // 12 raw bins would need 12 decryptions; packed needs ≤ 4 here
+        // (384-bit key, 64-bit slots ⇒ up to 5 slots per cipher).
+        assert!(delta.dec <= 4, "decryptions {}", delta.dec);
+        assert!(delta.packs >= 2);
+    }
+
+    #[test]
+    fn required_slot_bits_grows_with_count() {
+        let enc = encoding();
+        let small = required_slot_bits(100, 1.0, &enc, 32);
+        let big = required_slot_bits(10_000_000, 1.0, &enc, 32);
+        assert!(big > small);
+        assert_eq!(small % 8, 0);
+    }
+
+    #[test]
+    fn plain_suite_pack_path_round_trips() {
+        let s = Suite::plain(encoding());
+        let mut rng = StdRng::seed_from_u64(5);
+        let target = max_exponent(&encoding());
+        let bins: Vec<Ciphertext> =
+            [-0.5, 0.5, 0.1].iter().map(|&v| s.encrypt_at(v, target, &mut rng).unwrap()).collect();
+        let packed = pack_feature_hist(&s, &bins, &bins, 10, 1.0, 64, &encoding()).unwrap();
+        let pairs = unpack_feature_hist(&s, &packed, 10, 1.0).unwrap();
+        assert!((pairs[0].g + 0.5).abs() < 1e-9);
+        assert!((pairs[1].g - 0.5).abs() < 1e-9);
+        assert!((pairs[2].g - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulated_then_packed_matches_plaintext_totals() {
+        // End-to-end: accumulate ciphers into bins, pack, unpack, compare
+        // against a plaintext histogram.
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut builder_g = EncHistBuilder::new(&meta(3), &enc, true);
+        let mut builder_h = EncHistBuilder::new(&meta(3), &enc, true);
+        let mut plain = vec![GradPair::ZERO; 3];
+        for i in 0..30 {
+            let bin = i % 3;
+            let g = (i as f64) * 0.01 - 0.15;
+            let h = 0.1;
+            plain[bin].g += g;
+            plain[bin].h += h;
+            builder_g.add(&s, 0, bin, &s.encrypt(g, &mut rng).unwrap()).unwrap();
+            builder_h.add(&s, 0, bin, &s.encrypt(h, &mut rng).unwrap()).unwrap();
+        }
+        let target = max_exponent(&enc);
+        let bg = builder_g.finalize_feature(&s, 0, Some(target)).unwrap();
+        let bh = builder_h.finalize_feature(&s, 0, Some(target)).unwrap();
+        let packed = pack_feature_hist(&s, &bg, &bh, 30, 1.0, 64, &enc).unwrap();
+        let pairs = unpack_feature_hist(&s, &packed, 30, 1.0).unwrap();
+        for (got, want) in pairs.iter().zip(&plain) {
+            assert!((got.g - want.g).abs() < 1e-5, "{} vs {}", got.g, want.g);
+            assert!((got.h - want.h).abs() < 1e-5, "{} vs {}", got.h, want.h);
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The host party (the paper's *Party A*): features only, no labels, no
+//! private key.
+//!
+//! The host is fully reactive. It receives encrypted gradient statistics
+//! (accumulating the root histogram incrementally as blaster batches
+//! arrive, §4.1), executes node histogram tasks, and recovers/applies
+//! splits it owns. Tasks are executed one node at a time between message
+//! polls — the paper's "slice the histogram construction into smaller
+//! tasks" (§4.2) — so a rollback arriving mid-layer aborts queued work for
+//! dirty subtrees before it runs.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use vf2_channel::{Endpoint, RecvError};
+use vf2_crypto::suite::{Ciphertext, Suite};
+use vf2_gbdt::binning::{BinnedDataset, BinnedColumn};
+use vf2_gbdt::data::Dataset;
+use vf2_gbdt::tree::NodeSplit;
+
+use crate::config::TrainConfig;
+use crate::hist_enc::{max_exponent, pack_feature_hist, EncHistBuilder};
+use crate::messages::{FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist};
+use crate::model::HostSplitTable;
+use crate::rows::{NodeRows, RowMajorBins};
+use crate::telemetry::{PartyTelemetry, Stopwatch};
+use crate::wire;
+
+/// Runs a host party to completion (until the guest sends `Shutdown` or
+/// disconnects). Returns the telemetry and the host's private split table.
+pub fn run_host(
+    party_index: usize,
+    data: Arc<Dataset>,
+    cfg: TrainConfig,
+    suite: Suite,
+    endpoint: Endpoint,
+) -> (PartyTelemetry, HostSplitTable) {
+    let mut host = HostParty::new(party_index, data, cfg, suite, endpoint);
+    host.run();
+    host.finish()
+}
+
+/// Per-tree mutable state.
+struct TreeState {
+    tree: u32,
+    /// Stored encrypted gradients, indexed by row.
+    enc_g: Vec<Ciphertext>,
+    /// Stored encrypted hessians, indexed by row.
+    enc_h: Vec<Ciphertext>,
+    /// Worker-sharded root histogram builders (gradients, hessians).
+    root_builders: Vec<(EncHistBuilder, EncHistBuilder)>,
+    root_sent: bool,
+    rows: NodeRows,
+}
+
+struct HostParty {
+    cfg: TrainConfig,
+    suite: Suite,
+    endpoint: Endpoint,
+    binned: BinnedDataset,
+    csr: RowMajorBins,
+    pool: rayon::ThreadPool,
+    state: Option<TreeState>,
+    /// Pending node tasks in arrival order; the map holds the latest epoch.
+    task_queue: VecDeque<u32>,
+    task_epoch: HashMap<u32, u32>,
+    splits: HostSplitTable,
+    telemetry: PartyTelemetry,
+    shutdown: bool,
+}
+
+impl HostParty {
+    fn new(
+        party_index: usize,
+        data: Arc<Dataset>,
+        cfg: TrainConfig,
+        suite: Suite,
+        endpoint: Endpoint,
+    ) -> HostParty {
+        let binned = BinnedDataset::bin(&data, &cfg.gbdt.binning);
+        let csr = RowMajorBins::from_binned(&binned);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.workers.max(1))
+            .thread_name(move |i| format!("host{party_index}-worker{i}"))
+            .build()
+            .expect("build host worker pool");
+        let telemetry =
+            PartyTelemetry { name: format!("host-{party_index}"), ..Default::default() };
+        HostParty {
+            cfg,
+            suite,
+            endpoint,
+            binned,
+            csr,
+            pool,
+            state: None,
+            task_queue: VecDeque::new(),
+            task_epoch: HashMap::new(),
+            splits: HostSplitTable::default(),
+            telemetry,
+            shutdown: false,
+        }
+    }
+
+    fn run(&mut self) {
+        // Announce histogram structure (bin counts + zero bins only).
+        let metas: Vec<FeatureMeta> = self
+            .binned
+            .columns()
+            .iter()
+            .map(|c| FeatureMeta { num_bins: c.num_bins() as u16, zero_bin: c.zero_bin })
+            .collect();
+        self.send(&Msg::FeatureMeta(metas));
+
+        while !self.shutdown {
+            let msg = if self.task_queue.is_empty() {
+                // Nothing to do: block (and account the idle time).
+                let t0 = Instant::now();
+                let r = self.endpoint.recv();
+                self.telemetry.phases.idle += t0.elapsed();
+                match r {
+                    Ok(env) => Some(env),
+                    Err(RecvError::Disconnected | RecvError::Timeout) => break,
+                }
+            } else {
+                self.endpoint.try_recv()
+            };
+            match msg {
+                Some(env) => {
+                    let m = wire::decode(env.kind, env.payload).expect("malformed message");
+                    self.handle(m);
+                }
+                None => self.run_one_task(),
+            }
+        }
+    }
+
+    fn finish(mut self) -> (PartyTelemetry, HostSplitTable) {
+        self.telemetry.ops = self.suite.counters().snapshot();
+        self.telemetry.bytes_sent = self.endpoint.send_stats().bytes();
+        self.telemetry.messages_sent = self.endpoint.send_stats().messages();
+        (self.telemetry, self.splits)
+    }
+
+    fn send(&self, msg: &Msg) {
+        self.endpoint.send(msg.kind(), wire::encode(msg));
+    }
+
+    fn ensure_tree(&mut self, tree: u32) -> &mut TreeState {
+        let stale = self.state.as_ref().map_or(true, |s| s.tree != tree);
+        if stale {
+            let n = self.csr.num_rows();
+            let workers = self.cfg.workers.max(1);
+            let mk = || {
+                (
+                    EncHistBuilder::new(
+                        &self.csr.col_meta,
+                        &self.cfg.encoding,
+                        self.cfg.protocol.reordered_accumulation,
+                    ),
+                    EncHistBuilder::new(
+                        &self.csr.col_meta,
+                        &self.cfg.encoding,
+                        self.cfg.protocol.reordered_accumulation,
+                    ),
+                )
+            };
+            self.state = Some(TreeState {
+                tree,
+                enc_g: Vec::with_capacity(n),
+                enc_h: Vec::with_capacity(n),
+                root_builders: (0..workers).map(|_| mk()).collect(),
+                root_sent: false,
+                rows: NodeRows::new_tree(n, self.cfg.gbdt.max_layers),
+            });
+            self.task_queue.clear();
+            self.task_epoch.clear();
+        }
+        self.state.as_mut().expect("just ensured")
+    }
+
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::GradBatch { tree, start_row, g, h, last } => {
+                self.on_grad_batch(tree, start_row, g, h, last);
+            }
+            Msg::NodeTask { tree, node, epoch } => {
+                self.ensure_tree(tree);
+                match self.task_epoch.get(&node) {
+                    Some(&old) if old >= epoch => {} // duplicate or stale
+                    Some(_) => {
+                        // Superseded before execution: the paper's aborted
+                        // sub-task.
+                        self.telemetry.events.aborted_tasks += 1;
+                        self.task_epoch.insert(node, epoch);
+                        if !self.task_queue.contains(&node) {
+                            self.task_queue.push_back(node);
+                        }
+                    }
+                    None => {
+                        self.task_epoch.insert(node, epoch);
+                        self.task_queue.push_back(node);
+                    }
+                }
+            }
+            Msg::ApplyPlacement { tree, node, placement } => {
+                let t0 = Stopwatch::start(self.cfg.workers <= 1);
+                let state = self.ensure_tree(tree);
+                state.rows.apply_placement(node as usize, &placement);
+                self.telemetry.phases.split_nodes += t0.elapsed();
+            }
+            Msg::HostSplitChosen { tree, node, feature, bin } => {
+                let t0 = Stopwatch::start(self.cfg.workers <= 1);
+                let col: &BinnedColumn = self.binned.column(feature as usize);
+                let threshold = col.threshold(bin);
+                self.splits.splits.insert(
+                    (tree, node),
+                    NodeSplit { feature: feature as usize, bin, threshold },
+                );
+                let state = self.state.as_mut().expect("tree state exists");
+                let placement: Vec<bool> = state
+                    .rows
+                    .rows(node as usize)
+                    .iter()
+                    .map(|&r| col.bin_of_row(r as usize) <= bin)
+                    .collect();
+                state.rows.apply_placement(node as usize, &placement);
+                self.telemetry.events.splits_won += 1;
+                self.telemetry.phases.split_nodes += t0.elapsed();
+                self.send(&Msg::Placement { tree, node, placement });
+            }
+            Msg::NodeLeaf { .. } => {}
+            Msg::TreeDone { .. } => {
+                self.state = None;
+                self.task_queue.clear();
+                self.task_epoch.clear();
+            }
+            Msg::Shutdown => self.shutdown = true,
+            other => panic!("host received unexpected message {:?}", other.kind()),
+        }
+    }
+
+    fn on_grad_batch(
+        &mut self,
+        tree: u32,
+        start_row: u32,
+        g: Vec<Ciphertext>,
+        h: Vec<Ciphertext>,
+        last: bool,
+    ) {
+        self.ensure_tree(tree);
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        {
+            let state = self.state.as_mut().expect("tree state exists");
+            assert_eq!(state.enc_g.len(), start_row as usize, "blaster batches must be in order");
+            state.enc_g.extend(g);
+            state.enc_h.extend(h);
+        }
+        // Accumulate the freshly arrived rows into the root histogram
+        // immediately — this is what overlaps BuildHistA with the guest's
+        // ongoing encryption (§4.1).
+        let (batch_start, batch_end) = {
+            let state = self.state.as_ref().unwrap();
+            (start_row as usize, state.enc_g.len())
+        };
+        self.accumulate_rows_into_root(batch_start, batch_end);
+        self.telemetry.phases.build_hist_enc += t0.elapsed();
+
+        if last {
+            let state = self.state.as_ref().unwrap();
+            assert_eq!(state.enc_g.len(), self.csr.num_rows(), "missing gradient rows");
+            let payload = self.merge_and_payload_root();
+            let state = self.state.as_mut().unwrap();
+            state.root_sent = true;
+            let tree = state.tree;
+            self.send(&Msg::NodeHistograms { tree, node: 0, epoch: 1, payload });
+        }
+    }
+
+    /// Shard-parallel accumulation of rows `[start, end)` into the root
+    /// builders.
+    fn accumulate_rows_into_root(&mut self, start: usize, end: usize) {
+        let workers = self.cfg.workers.max(1);
+        let state = self.state.as_mut().expect("tree state exists");
+        let csr = &self.csr;
+        let suite = &self.suite;
+        let enc_g = &state.enc_g;
+        let enc_h = &state.enc_h;
+        let rows_per = (end - start).div_ceil(workers);
+        if rows_per == 0 {
+            return;
+        }
+        if workers <= 1 {
+            let (bg, bh) = &mut state.root_builders[0];
+            for row in start..end {
+                for &(f, bin) in csr.row(row) {
+                    bg.add(suite, f as usize, bin as usize, &enc_g[row])
+                        .expect("root accumulate g");
+                    bh.add(suite, f as usize, bin as usize, &enc_h[row])
+                        .expect("root accumulate h");
+                }
+            }
+            return;
+        }
+        self.pool.install(|| {
+            rayon::scope(|scope| {
+                for (shard, (bg, bh)) in state.root_builders.iter_mut().enumerate() {
+                    let lo = start + shard * rows_per;
+                    let hi = (lo + rows_per).min(end);
+                    if lo >= hi {
+                        continue;
+                    }
+                    scope.spawn(move |_| {
+                        for row in lo..hi {
+                            for &(f, bin) in csr.row(row) {
+                                bg.add(suite, f as usize, bin as usize, &enc_g[row])
+                                    .expect("root accumulate g");
+                                bh.add(suite, f as usize, bin as usize, &enc_h[row])
+                                    .expect("root accumulate h");
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    }
+
+    /// Merges root shards and produces the root histogram payload.
+    fn merge_and_payload_root(&mut self) -> HistPayload {
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let state = self.state.as_mut().expect("tree state exists");
+        let mut shards = std::mem::take(&mut state.root_builders);
+        let (mut g, mut h) = shards.remove(0);
+        for (sg, sh) in &shards {
+            g.merge(&self.suite, sg).expect("merge root g");
+            h.merge(&self.suite, sh).expect("merge root h");
+        }
+        self.telemetry.phases.build_hist_enc += t0.elapsed();
+        let count = self.csr.num_rows();
+        self.make_payload(&g, &h, count)
+    }
+
+    /// Executes the oldest queued node task.
+    fn run_one_task(&mut self) {
+        let Some(node) = self.task_queue.pop_front() else { return };
+        let Some(&epoch) = self.task_epoch.get(&node) else { return };
+        let Some(state) = self.state.as_ref() else { return };
+        let tree = state.tree;
+        if node == 0 {
+            // The root histogram is always produced by the blaster path
+            // (incremental accumulation while batches arrive); the task is
+            // only a uniformity artifact of the guest's materialize step.
+            return;
+        }
+        let rows: Vec<u32> = state.rows.rows(node as usize).to_vec();
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let (g, h) = self.build_node_builders(&rows);
+        self.telemetry.phases.build_hist_enc += t0.elapsed();
+        let payload = self.make_payload(&g, &h, rows.len());
+        self.send(&Msg::NodeHistograms { tree, node, epoch, payload });
+    }
+
+    /// Worker-sharded histogram build for one node's rows.
+    fn build_node_builders(&self, rows: &[u32]) -> (EncHistBuilder, EncHistBuilder) {
+        let workers = self.cfg.workers.max(1);
+        let state = self.state.as_ref().expect("tree state exists");
+        let csr = &self.csr;
+        let suite = &self.suite;
+        let enc_g = &state.enc_g;
+        let enc_h = &state.enc_h;
+        let reordered = self.cfg.protocol.reordered_accumulation;
+        let mk = || {
+            (
+                EncHistBuilder::new(&csr.col_meta, &self.cfg.encoding, reordered),
+                EncHistBuilder::new(&csr.col_meta, &self.cfg.encoding, reordered),
+            )
+        };
+        if workers <= 1 || rows.len() < 2 * workers {
+            let (mut g, mut h) = mk();
+            for &row in rows {
+                for &(f, bin) in csr.row(row as usize) {
+                    g.add(suite, f as usize, bin as usize, &enc_g[row as usize])
+                        .expect("node accumulate g");
+                    h.add(suite, f as usize, bin as usize, &enc_h[row as usize])
+                        .expect("node accumulate h");
+                }
+            }
+            return (g, h);
+        }
+        let chunk = rows.len().div_ceil(workers);
+        let shards: Vec<(EncHistBuilder, EncHistBuilder)> = self.pool.install(|| {
+            use rayon::prelude::*;
+            rows.par_chunks(chunk)
+                .map(|part| {
+                    let (mut g, mut h) = mk();
+                    for &row in part {
+                        for &(f, bin) in csr.row(row as usize) {
+                            g.add(suite, f as usize, bin as usize, &enc_g[row as usize])
+                                .expect("node accumulate g");
+                            h.add(suite, f as usize, bin as usize, &enc_h[row as usize])
+                                .expect("node accumulate h");
+                        }
+                    }
+                    (g, h)
+                })
+                .collect()
+        });
+        let mut iter = shards.into_iter();
+        let (mut g, mut h) = iter.next().expect("at least one shard");
+        for (sg, sh) in iter {
+            g.merge(suite, &sg).expect("merge node g");
+            h.merge(suite, &sh).expect("merge node h");
+        }
+        (g, h)
+    }
+
+    /// Finalizes builders into the configured wire format.
+    fn make_payload(&mut self, g: &EncHistBuilder, h: &EncHistBuilder, count: usize) -> HistPayload {
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let suite = &self.suite;
+        let payload = if self.cfg.protocol.pack_histograms {
+            let target = max_exponent(&self.cfg.encoding);
+            let bound = self.cfg.gbdt.loss.grad_bound().max(self.cfg.gbdt.loss.hess_bound());
+            let pack_one = |f: usize| {
+                let bins_g = g.finalize_feature(suite, f, Some(target)).expect("finalize g");
+                let bins_h = h.finalize_feature(suite, f, Some(target)).expect("finalize h");
+                pack_feature_hist(
+                    suite,
+                    &bins_g,
+                    &bins_h,
+                    count,
+                    bound,
+                    self.cfg.protocol.target_slot_bits,
+                    &self.cfg.encoding,
+                )
+                .expect("pack feature")
+            };
+            let features: Vec<PackedFeatureHist> = if self.cfg.workers <= 1 {
+                (0..g.num_features()).map(pack_one).collect()
+            } else {
+                self.pool.install(|| {
+                    use rayon::prelude::*;
+                    (0..g.num_features()).into_par_iter().map(pack_one).collect()
+                })
+            };
+            HistPayload::Packed(features)
+        } else {
+            let raw_one = |f: usize| RawFeatureHist {
+                g: g.finalize_feature(suite, f, None).expect("finalize g"),
+                h: h.finalize_feature(suite, f, None).expect("finalize h"),
+            };
+            let features: Vec<RawFeatureHist> = if self.cfg.workers <= 1 {
+                (0..g.num_features()).map(raw_one).collect()
+            } else {
+                self.pool.install(|| {
+                    use rayon::prelude::*;
+                    (0..g.num_features()).into_par_iter().map(raw_one).collect()
+                })
+            };
+            HistPayload::Raw(features)
+        };
+        self.telemetry.phases.pack += t0.elapsed();
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // run_host is exercised end-to-end by the guest/train tests and the
+    // integration suite; here we only cover the party-index plumbing.
+    #[test]
+    fn telemetry_carries_party_name() {
+        use vf2_channel::{duplex, WanConfig};
+        use vf2_crypto::encoding::EncodingConfig;
+        use vf2_gbdt::data::FeatureColumn;
+
+        let (guest_ep, host_ep) = duplex(WanConfig::instant());
+        let data = Arc::new(Dataset::new(
+            4,
+            vec![FeatureColumn::Dense(vec![0.0, 1.0, 2.0, 3.0])],
+            None,
+        ));
+        let cfg = TrainConfig::for_tests();
+        let suite = Suite::plain(EncodingConfig::default());
+        let handle = std::thread::spawn(move || run_host(3, data, cfg, suite, host_ep));
+        // Read the FeatureMeta greeting, then shut the host down.
+        let env = guest_ep.recv().unwrap();
+        let msg = wire::decode(env.kind, env.payload).unwrap();
+        assert!(matches!(msg, Msg::FeatureMeta(ref m) if m.len() == 1));
+        guest_ep.send(Msg::Shutdown.kind(), wire::encode(&Msg::Shutdown));
+        let (telemetry, splits) = handle.join().unwrap();
+        assert_eq!(telemetry.name, "host-3");
+        assert!(splits.splits.is_empty());
+    }
+}

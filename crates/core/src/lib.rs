@@ -1,0 +1,56 @@
+//! # vf2boost-core
+//!
+//! The paper's primary contribution: a vertical federated GBDT engine with
+//! the VF²Boost optimizations.
+//!
+//! ## Roles
+//!
+//! * The **guest** (the paper's *Party B*) owns the labels and the Paillier
+//!   private key. It computes and encrypts gradient statistics, builds
+//!   plaintext histograms over its own features, decrypts host histograms,
+//!   and performs all split finding.
+//! * Each **host** (*Party A*) owns only features. It accumulates the
+//!   encrypted gradient statistics into per-node histograms via homomorphic
+//!   addition and recovers split feature/value when it owns a winning split.
+//!
+//! ## Protocols
+//!
+//! [`protocol::ProtocolConfig`] selects between the paper's baselines and
+//! optimizations:
+//!
+//! * `Sequential` — the SecureBoost-style phase-sequential protocol (the
+//!   paper's **VF-GBDT** baseline).
+//! * `Concurrent` — VF²Boost: **blaster-style encryption** (§4.1),
+//!   **optimistic node-splitting** with dirty-node rollback (§4.2),
+//!   **re-ordered histogram accumulation** (§5.1), and
+//!   **polynomial-based histogram packing** (§5.2), each independently
+//!   toggleable for ablation studies.
+//!
+//! Selecting the plaintext mock suite reproduces **VF-MOCK** (protocol
+//! overhead without cryptography).
+//!
+//! The [`train`] module spawns one thread per party, wires them with
+//! simulated WAN links from `vf2-channel`, and returns the trained
+//! [`model::FederatedModel`] plus per-party [`telemetry`].
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod guest;
+pub mod hist_enc;
+pub mod host;
+pub mod messages;
+pub mod model;
+pub mod persist;
+pub mod protocol;
+pub mod rows;
+pub mod telemetry;
+pub mod train;
+pub mod wire;
+
+pub use config::TrainConfig;
+pub use model::{FedNode, FederatedModel, FedTree};
+pub use persist::{decode_model, encode_model, load_model, save_model};
+pub use protocol::ProtocolConfig;
+pub use telemetry::{PartyTelemetry, PhaseTimes, TrainReport};
+pub use train::{train_federated, TrainOutput};

@@ -1,0 +1,258 @@
+//! The federated model: a tree ensemble whose split information is
+//! partitioned across parties.
+//!
+//! The paper's protocol guarantees that *only the owner party knows the
+//! actual split information* (§3.2): the guest's tree records, for every
+//! internal node, either its own full split or just *which host* owns it;
+//! each host keeps a private table mapping `(tree, node)` to the concrete
+//! feature/threshold it recovered from the winning bin index.
+//!
+//! Prediction is therefore a joint operation: routing a row through the
+//! ensemble consults the guest for guest-owned splits and the owning host
+//! for host-owned ones. [`FederatedModel::predict_margin`] performs that
+//! joint routing given every party's feature matrix (the evaluation-time
+//! equivalent of the paper's federated inference).
+
+use std::collections::HashMap;
+
+use vf2_gbdt::data::Dataset;
+use vf2_gbdt::loss::LossKind;
+use vf2_gbdt::tree::{left_child, right_child, NodeSplit};
+
+/// A node of the guest's view of one federated tree.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FedNode {
+    /// Not part of the tree.
+    #[default]
+    Absent,
+    /// A leaf and its weight.
+    Leaf(f64),
+    /// An internal node whose split the guest owns (full information).
+    GuestSplit(NodeSplit),
+    /// An internal node owned by host `party`; the guest knows nothing but
+    /// the owner.
+    HostSplit {
+        /// Owning host index.
+        party: u16,
+    },
+}
+
+/// One federated tree in heap layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedTree {
+    /// Maximum layers.
+    pub max_layers: usize,
+    /// Heap-layout nodes.
+    pub nodes: Vec<FedNode>,
+}
+
+impl FedTree {
+    /// An empty tree shell.
+    pub fn new(max_layers: usize) -> FedTree {
+        FedTree { max_layers, nodes: vec![FedNode::Absent; (1 << max_layers) - 1] }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, FedNode::Leaf(_))).count()
+    }
+
+    /// Splits owned by the guest.
+    pub fn guest_splits(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, FedNode::GuestSplit(_))).count()
+    }
+
+    /// Splits owned by any host.
+    pub fn host_splits(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, FedNode::HostSplit { .. })).count()
+    }
+
+    /// Structural check: internal nodes have children, leaves do not.
+    pub fn validate(&self) -> Result<(), String> {
+        if matches!(self.nodes[0], FedNode::Absent) {
+            return Err("root absent".into());
+        }
+        for id in 0..self.nodes.len() {
+            match self.nodes[id] {
+                FedNode::GuestSplit(_) | FedNode::HostSplit { .. } => {
+                    let (l, r) = (left_child(id), right_child(id));
+                    if l >= self.nodes.len()
+                        || matches!(self.nodes[l], FedNode::Absent)
+                        || matches!(self.nodes[r], FedNode::Absent)
+                    {
+                        return Err(format!("internal node {id} lacks children"));
+                    }
+                }
+                FedNode::Leaf(_) => {
+                    let l = left_child(id);
+                    if l < self.nodes.len() && !matches!(self.nodes[l], FedNode::Absent) {
+                        return Err(format!("leaf {id} has a child"));
+                    }
+                }
+                FedNode::Absent => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A host's private split table: `(tree, node) → split`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostSplitTable {
+    /// The recovered splits.
+    pub splits: HashMap<(u32, u32), NodeSplit>,
+}
+
+/// The jointly trained federated GBDT model.
+#[derive(Debug, Clone)]
+pub struct FederatedModel {
+    /// Guest-view trees, in boosting order.
+    pub trees: Vec<FedTree>,
+    /// Learning rate applied to leaf weights.
+    pub learning_rate: f64,
+    /// Initial margin.
+    pub base_score: f64,
+    /// Training loss (fixes the output transform).
+    pub loss: LossKind,
+    /// Per-host private split tables (index = host party).
+    pub host_tables: Vec<HostSplitTable>,
+}
+
+impl FederatedModel {
+    /// Joint routing of one instance. `host_rows[p]` is the dense feature
+    /// vector the instance has at host `p`; `guest_row` at the guest.
+    pub fn predict_margin_row(&self, host_rows: &[Vec<f32>], guest_row: &[f32]) -> f64 {
+        self.base_score
+            + (0..self.trees.len())
+                .map(|t| self.learning_rate * self.tree_leaf_weight(t, host_rows, guest_row))
+                .sum::<f64>()
+    }
+
+    /// Routes one instance through tree `t` alone and returns the leaf
+    /// weight (without learning rate). Useful for per-tree convergence
+    /// curves.
+    pub fn tree_leaf_weight(&self, t: usize, host_rows: &[Vec<f32>], guest_row: &[f32]) -> f64 {
+        let tree = &self.trees[t];
+        let mut id = 0usize;
+        loop {
+            match tree.nodes[id] {
+                FedNode::Leaf(w) => return w,
+                FedNode::GuestSplit(s) => {
+                    id = if guest_row[s.feature] <= s.threshold {
+                        left_child(id)
+                    } else {
+                        right_child(id)
+                    };
+                }
+                FedNode::HostSplit { party } => {
+                    let s = self.host_tables[party as usize]
+                        .splits
+                        .get(&(t as u32, id as u32))
+                        .unwrap_or_else(|| panic!("host {party} lacks split ({t}, {id})"));
+                    id = if host_rows[party as usize][s.feature] <= s.threshold {
+                        left_child(id)
+                    } else {
+                        right_child(id)
+                    };
+                }
+                FedNode::Absent => {
+                    debug_assert!(false, "routed into absent node {id}");
+                    return 0.0;
+                }
+            }
+        }
+    }
+
+    /// Joint margins for aligned datasets (`hosts[p]` row `i` is the same
+    /// instance as `guest` row `i` — the PSI alignment assumption).
+    pub fn predict_margin(&self, hosts: &[&Dataset], guest: &Dataset) -> Vec<f64> {
+        assert_eq!(hosts.len(), self.host_tables.len(), "one dataset per host");
+        for h in hosts {
+            assert_eq!(h.num_rows(), guest.num_rows(), "instances must be aligned");
+        }
+        (0..guest.num_rows())
+            .map(|r| {
+                let host_rows: Vec<Vec<f32>> = hosts.iter().map(|h| h.row_dense(r)).collect();
+                self.predict_margin_row(&host_rows, &guest.row_dense(r))
+            })
+            .collect()
+    }
+
+    /// Transformed predictions (probabilities for logistic loss).
+    pub fn predict(&self, hosts: &[&Dataset], guest: &Dataset) -> Vec<f64> {
+        self.predict_margin(hosts, guest).into_iter().map(|m| self.loss.transform(m)).collect()
+    }
+
+    /// Total splits owned by the guest across all trees.
+    pub fn total_guest_splits(&self) -> usize {
+        self.trees.iter().map(FedTree::guest_splits).sum()
+    }
+
+    /// Total splits owned by hosts across all trees.
+    pub fn total_host_splits(&self) -> usize {
+        self.trees.iter().map(FedTree::host_splits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf2_gbdt::data::FeatureColumn;
+
+    fn model() -> FederatedModel {
+        // Root: host split (x_A <= 0). Left child: guest split (x_B <= 0).
+        let mut tree = FedTree::new(3);
+        tree.nodes[0] = FedNode::HostSplit { party: 0 };
+        tree.nodes[1] = FedNode::GuestSplit(NodeSplit { feature: 0, bin: 0, threshold: 0.0 });
+        tree.nodes[2] = FedNode::Leaf(3.0);
+        tree.nodes[3] = FedNode::Leaf(1.0);
+        tree.nodes[4] = FedNode::Leaf(2.0);
+        let mut table = HostSplitTable::default();
+        table.splits.insert((0, 0), NodeSplit { feature: 0, bin: 0, threshold: 0.0 });
+        FederatedModel {
+            trees: vec![tree],
+            learning_rate: 1.0,
+            base_score: 0.0,
+            loss: LossKind::squared(),
+            host_tables: vec![table],
+        }
+    }
+
+    #[test]
+    fn joint_routing_consults_both_parties() {
+        let m = model();
+        assert_eq!(m.predict_margin_row(&[vec![-1.0]], &[-1.0]), 1.0);
+        assert_eq!(m.predict_margin_row(&[vec![-1.0]], &[1.0]), 2.0);
+        assert_eq!(m.predict_margin_row(&[vec![1.0]], &[0.0]), 3.0);
+    }
+
+    #[test]
+    fn predict_margin_over_datasets() {
+        let m = model();
+        let host = Dataset::new(3, vec![FeatureColumn::Dense(vec![-1.0, -1.0, 1.0])], None);
+        let guest =
+            Dataset::new(3, vec![FeatureColumn::Dense(vec![-1.0, 1.0, 0.0])], Some(vec![0.0; 3]));
+        assert_eq!(m.predict_margin(&[&host], &guest), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn split_ownership_counts() {
+        let m = model();
+        assert_eq!(m.total_guest_splits(), 1);
+        assert_eq!(m.total_host_splits(), 1);
+        assert_eq!(m.trees[0].num_leaves(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert!(model().trees[0].validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_children() {
+        let mut t = FedTree::new(2);
+        t.nodes[0] = FedNode::HostSplit { party: 0 };
+        t.nodes[1] = FedNode::Leaf(0.0);
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Model persistence: a compact, versioned binary format for trained
+//! models.
+//!
+//! The paper's deployment stores models on HDFS between the training and
+//! serving pipelines (§3.3). Here each party can persist its own view —
+//! the guest's trees plus, per host, that host's private split table —
+//! and reload it later for federated inference. The format reuses the
+//! wire codec, so it is deterministic and has no external schema
+//! dependencies.
+
+use std::path::Path;
+
+use bytes::Bytes;
+use vf2_channel::codec::{DecodeError, Decoder, Encoder};
+use vf2_gbdt::loss::LossKind;
+use vf2_gbdt::tree::NodeSplit;
+
+use crate::model::{FedNode, FederatedModel, FedTree, HostSplitTable};
+
+/// Magic bytes + format version.
+const MAGIC: &[u8; 4] = b"VF2B";
+const VERSION: u16 = 1;
+
+/// Persistence failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Underlying codec failure.
+    Codec(DecodeError),
+    /// Not a VF²Boost model file.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// Unknown enum tag while decoding.
+    BadTag(&'static str, u8),
+    /// Filesystem failure.
+    Io(String),
+}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Codec(e) => write!(f, "codec: {e}"),
+            PersistError::BadMagic => write!(f, "not a VF2Boost model file"),
+            PersistError::BadVersion(v) => write!(f, "unsupported model format version {v}"),
+            PersistError::BadTag(what, t) => write!(f, "bad {what} tag {t}"),
+            PersistError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn put_loss(e: &mut Encoder, loss: &LossKind) {
+    match loss {
+        LossKind::Logistic => e.put_u8(0),
+        LossKind::Squared { grad_bound } => {
+            e.put_u8(1);
+            e.put_f64(*grad_bound);
+        }
+    }
+}
+
+fn get_loss(d: &mut Decoder) -> Result<LossKind, PersistError> {
+    match d.get_u8()? {
+        0 => Ok(LossKind::Logistic),
+        1 => Ok(LossKind::Squared { grad_bound: d.get_f64()? }),
+        t => Err(PersistError::BadTag("loss", t)),
+    }
+}
+
+fn put_split(e: &mut Encoder, s: &NodeSplit) {
+    e.put_u32(s.feature as u32);
+    e.put_u16(s.bin);
+    e.put_f32(s.threshold);
+}
+
+fn get_split(d: &mut Decoder) -> Result<NodeSplit, PersistError> {
+    Ok(NodeSplit { feature: d.get_u32()? as usize, bin: d.get_u16()?, threshold: d.get_f32()? })
+}
+
+fn put_tree(e: &mut Encoder, t: &FedTree) {
+    e.put_varint(t.max_layers as u64);
+    e.put_varint(t.nodes.len() as u64);
+    for n in &t.nodes {
+        match n {
+            FedNode::Absent => e.put_u8(0),
+            FedNode::Leaf(w) => {
+                e.put_u8(1);
+                e.put_f64(*w);
+            }
+            FedNode::GuestSplit(s) => {
+                e.put_u8(2);
+                put_split(e, s);
+            }
+            FedNode::HostSplit { party } => {
+                e.put_u8(3);
+                e.put_u16(*party);
+            }
+        }
+    }
+}
+
+fn get_tree(d: &mut Decoder) -> Result<FedTree, PersistError> {
+    let max_layers = d.get_varint()? as usize;
+    let len = d.get_varint()? as usize;
+    let mut nodes = Vec::with_capacity(len);
+    for _ in 0..len {
+        nodes.push(match d.get_u8()? {
+            0 => FedNode::Absent,
+            1 => FedNode::Leaf(d.get_f64()?),
+            2 => FedNode::GuestSplit(get_split(d)?),
+            3 => FedNode::HostSplit { party: d.get_u16()? },
+            t => return Err(PersistError::BadTag("node", t)),
+        });
+    }
+    Ok(FedTree { max_layers, nodes })
+}
+
+/// Serializes a complete federated model (guest view + every host's split
+/// table — suitable for co-located evaluation harnesses; real deployments
+/// persist each party's part separately via [`encode_host_table`]).
+pub fn encode_model(model: &FederatedModel) -> Bytes {
+    let mut e = Encoder::new();
+    e.put_bytes(MAGIC);
+    e.put_u16(VERSION);
+    e.put_f64(model.learning_rate);
+    e.put_f64(model.base_score);
+    put_loss(&mut e, &model.loss);
+    e.put_varint(model.trees.len() as u64);
+    for t in &model.trees {
+        put_tree(&mut e, t);
+    }
+    e.put_varint(model.host_tables.len() as u64);
+    for table in &model.host_tables {
+        put_host_table(&mut e, table);
+    }
+    e.finish()
+}
+
+/// Deserializes a model produced by [`encode_model`].
+pub fn decode_model(bytes: Bytes) -> Result<FederatedModel, PersistError> {
+    let mut d = Decoder::new(bytes);
+    let magic = d.get_bytes()?;
+    if magic.as_ref() != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = d.get_u16()?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let learning_rate = d.get_f64()?;
+    let base_score = d.get_f64()?;
+    let loss = get_loss(&mut d)?;
+    let num_trees = d.get_varint()? as usize;
+    let mut trees = Vec::with_capacity(num_trees);
+    for _ in 0..num_trees {
+        trees.push(get_tree(&mut d)?);
+    }
+    let num_hosts = d.get_varint()? as usize;
+    let mut host_tables = Vec::with_capacity(num_hosts);
+    for _ in 0..num_hosts {
+        host_tables.push(get_host_table(&mut d)?);
+    }
+    Ok(FederatedModel { trees, learning_rate, base_score, loss, host_tables })
+}
+
+fn put_host_table(e: &mut Encoder, table: &HostSplitTable) {
+    // Deterministic output: entries sorted by key.
+    let mut keys: Vec<&(u32, u32)> = table.splits.keys().collect();
+    keys.sort();
+    e.put_varint(keys.len() as u64);
+    for k in keys {
+        e.put_u32(k.0);
+        e.put_u32(k.1);
+        put_split(e, &table.splits[k]);
+    }
+}
+
+fn get_host_table(d: &mut Decoder) -> Result<HostSplitTable, PersistError> {
+    let len = d.get_varint()? as usize;
+    let mut table = HostSplitTable::default();
+    for _ in 0..len {
+        let tree = d.get_u32()?;
+        let node = d.get_u32()?;
+        table.splits.insert((tree, node), get_split(d)?);
+    }
+    Ok(table)
+}
+
+/// Serializes one host's private split table alone (what a host party
+/// persists in a real deployment — the guest never sees it).
+pub fn encode_host_table(table: &HostSplitTable) -> Bytes {
+    let mut e = Encoder::new();
+    e.put_bytes(MAGIC);
+    e.put_u16(VERSION);
+    put_host_table(&mut e, table);
+    e.finish()
+}
+
+/// Deserializes a host split table.
+pub fn decode_host_table(bytes: Bytes) -> Result<HostSplitTable, PersistError> {
+    let mut d = Decoder::new(bytes);
+    if d.get_bytes()?.as_ref() != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = d.get_u16()?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    get_host_table(&mut d)
+}
+
+/// Writes a model to disk.
+pub fn save_model(model: &FederatedModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, encode_model(model))?;
+    Ok(())
+}
+
+/// Reads a model from disk.
+pub fn load_model(path: impl AsRef<Path>) -> Result<FederatedModel, PersistError> {
+    let bytes = std::fs::read(path)?;
+    decode_model(Bytes::from(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> FederatedModel {
+        let mut tree = FedTree::new(3);
+        tree.nodes[0] = FedNode::HostSplit { party: 0 };
+        tree.nodes[1] = FedNode::GuestSplit(NodeSplit { feature: 3, bin: 7, threshold: 0.25 });
+        tree.nodes[2] = FedNode::Leaf(-0.5);
+        tree.nodes[3] = FedNode::Leaf(1.5);
+        tree.nodes[4] = FedNode::Leaf(0.125);
+        let mut table = HostSplitTable::default();
+        table.splits.insert((0, 0), NodeSplit { feature: 1, bin: 2, threshold: -3.5 });
+        FederatedModel {
+            trees: vec![tree],
+            learning_rate: 0.1,
+            base_score: 0.0,
+            loss: LossKind::Logistic,
+            host_tables: vec![table],
+        }
+    }
+
+    #[test]
+    fn model_round_trips() {
+        let m = sample_model();
+        let decoded = decode_model(encode_model(&m)).unwrap();
+        assert_eq!(decoded.trees, m.trees);
+        assert_eq!(decoded.host_tables, m.host_tables);
+        assert_eq!(decoded.learning_rate, m.learning_rate);
+        assert_eq!(decoded.loss, m.loss);
+    }
+
+    #[test]
+    fn decoded_model_predicts_identically() {
+        let m = sample_model();
+        let decoded = decode_model(encode_model(&m)).unwrap();
+        for (host_v, guest_v) in [(-4.0f32, 0.0f32), (-3.0, 0.2), (5.0, 0.3)] {
+            let a = m.predict_margin_row(&[vec![host_v, host_v]], &[0.0, 0.0, 0.0, guest_v]);
+            let b = decoded.predict_margin_row(&[vec![host_v, host_v]], &[0.0, 0.0, 0.0, guest_v]);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn squared_loss_round_trips() {
+        let mut m = sample_model();
+        m.loss = LossKind::Squared { grad_bound: 42.0 };
+        let decoded = decode_model(encode_model(&m)).unwrap();
+        assert_eq!(decoded.loss, m.loss);
+    }
+
+    #[test]
+    fn host_table_round_trips_alone() {
+        let table = sample_model().host_tables.remove(0);
+        let decoded = decode_host_table(encode_host_table(&table)).unwrap();
+        assert_eq!(decoded, table);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let m = sample_model();
+        assert_eq!(encode_model(&m), encode_model(&m));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(matches!(decode_model(Bytes::from_static(b"\x04nope\x01\x00")), Err(_)));
+        let mut e = Encoder::new();
+        e.put_bytes(MAGIC);
+        e.put_u16(99);
+        assert!(matches!(decode_model(e.finish()), Err(PersistError::BadVersion(99))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = sample_model();
+        let path = std::env::temp_dir().join("vf2boost_model_test.bin");
+        save_model(&m, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.trees, m.trees);
+        let _ = std::fs::remove_file(path);
+    }
+}

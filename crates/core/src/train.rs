@@ -1,0 +1,334 @@
+//! Top-level federated training: spawns one thread per party, wires them
+//! with simulated WAN links, and assembles the federated model.
+//!
+//! This is the in-process equivalent of the paper's deployment (one Spark
+//! job per enterprise, Pulsar queues between the data centers): each party
+//! runs autonomously on its own thread and communicates *only* through the
+//! cross-party links — no shared state crosses the party boundary except
+//! the messages themselves.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use vf2_channel::link::duplex;
+use vf2_crypto::paillier::KeyPair;
+use vf2_crypto::suite::Suite;
+use vf2_gbdt::data::Dataset;
+
+use crate::config::{CryptoConfig, TrainConfig};
+use crate::guest::run_guest;
+use crate::host::run_host;
+use crate::model::FederatedModel;
+use crate::telemetry::TrainReport;
+
+/// The result of a federated training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutput {
+    /// The jointly trained model.
+    pub model: FederatedModel,
+    /// Per-party telemetry, wall time, and per-tree records.
+    pub report: TrainReport,
+    /// Final training-set margins at the guest.
+    pub train_margins: Vec<f64>,
+}
+
+/// Trains a federated GBDT over vertically partitioned data.
+///
+/// `hosts[p]` is host party `p`'s feature slice (no labels); `guest` is
+/// the label owner's slice. All datasets must be instance-aligned (the
+/// paper's PSI preprocessing).
+pub fn train_federated(hosts: &[Dataset], guest: &Dataset, cfg: &TrainConfig) -> TrainOutput {
+    assert!(!hosts.is_empty(), "at least one host party is required");
+    assert!(guest.labels().is_some(), "the guest must own the labels");
+    for (p, h) in hosts.iter().enumerate() {
+        assert_eq!(
+            h.num_rows(),
+            guest.num_rows(),
+            "host {p} instances are not aligned with the guest"
+        );
+        assert!(h.labels().is_none(), "host {p} must not carry labels");
+    }
+
+    // Key material: the guest holds the private key, hosts get the public
+    // half. Mock mode gives every party an independent plain suite so that
+    // operation counters stay per-party.
+    let guest_suite = match cfg.crypto {
+        CryptoConfig::Paillier { key_bits } => {
+            let keys = KeyPair::generate_seeded(key_bits, cfg.seed).expect("key generation");
+            Suite::paillier(keys, cfg.encoding)
+        }
+        CryptoConfig::Mock => Suite::plain(cfg.encoding),
+    };
+
+    let started = Instant::now();
+    let mut host_handles = Vec::with_capacity(hosts.len());
+    let mut guest_endpoints = Vec::with_capacity(hosts.len());
+    for (p, host_data) in hosts.iter().enumerate() {
+        let (guest_ep, host_ep) = duplex(cfg.wan);
+        guest_endpoints.push(guest_ep);
+        let data = Arc::new(host_data.clone());
+        let host_suite = match cfg.crypto {
+            CryptoConfig::Paillier { .. } => guest_suite.public_half(),
+            CryptoConfig::Mock => Suite::plain(cfg.encoding),
+        };
+        let host_cfg = *cfg;
+        let handle = thread::Builder::new()
+            .name(format!("vf2-host-{p}"))
+            .spawn(move || run_host(p, data, host_cfg, host_suite, host_ep))
+            .expect("spawn host thread");
+        host_handles.push(handle);
+    }
+
+    let guest_out = run_guest(Arc::new(guest.clone()), *cfg, guest_suite, guest_endpoints);
+    let wall_time = started.elapsed();
+
+    let mut host_telemetry = Vec::with_capacity(host_handles.len());
+    let mut host_tables = Vec::with_capacity(host_handles.len());
+    for handle in host_handles {
+        let (telemetry, table) = handle.join().expect("host thread panicked");
+        host_telemetry.push(telemetry);
+        host_tables.push(table);
+    }
+
+    let model = FederatedModel {
+        trees: guest_out.trees,
+        learning_rate: cfg.gbdt.learning_rate,
+        base_score: cfg.gbdt.loss.base_score(),
+        loss: cfg.gbdt.loss,
+        host_tables,
+    };
+    let report = TrainReport {
+        guest: guest_out.telemetry,
+        hosts: host_telemetry,
+        wall_time,
+        tree_records: guest_out.tree_records,
+    };
+    TrainOutput { model, report, train_margins: guest_out.train_margins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProtocolConfig;
+    use vf2_datagen::synthetic::{generate_classification, SyntheticConfig};
+    use vf2_datagen::vertical::split_vertical;
+    use vf2_gbdt::metrics::auc;
+    use vf2_gbdt::train::{GbdtParams, Trainer};
+
+    fn scenario(rows: usize, features: usize, host_feats: usize, seed: u64) -> vf2_datagen::vertical::VerticalScenario {
+        let data = generate_classification(&SyntheticConfig {
+            rows,
+            features,
+            density: 1.0,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed,
+        });
+        split_vertical(&data, &[host_feats])
+    }
+
+    fn mock_cfg() -> TrainConfig {
+        TrainConfig {
+            crypto: CryptoConfig::Mock,
+            ..TrainConfig::for_tests()
+        }
+    }
+
+    #[test]
+    fn mock_sequential_trains_and_predicts() {
+        let s = scenario(300, 10, 5, 21);
+        let cfg = TrainConfig {
+            protocol: ProtocolConfig::baseline(),
+            ..mock_cfg()
+        };
+        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        assert_eq!(out.model.trees.len(), cfg.gbdt.num_trees);
+        for t in &out.model.trees {
+            t.validate().expect("valid federated tree");
+        }
+        let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let a = auc(s.guest.labels().unwrap(), &margins);
+        assert!(a > 0.8, "train AUC {a}");
+    }
+
+    #[test]
+    fn mock_optimistic_matches_sequential_model() {
+        let s = scenario(300, 10, 5, 22);
+        let seq_cfg = TrainConfig { protocol: ProtocolConfig::baseline(), ..mock_cfg() };
+        let opt_cfg = TrainConfig {
+            protocol: ProtocolConfig { pack_histograms: false, ..ProtocolConfig::vf2boost() },
+            ..mock_cfg()
+        };
+        let seq = train_federated(&s.hosts, &s.guest, &seq_cfg);
+        let opt = train_federated(&s.hosts, &s.guest, &opt_cfg);
+        // The optimistic protocol must be *lossless*: identical final
+        // predictions (mock crypto is exact, so exact equality up to fp
+        // noise from summation order).
+        let sm = seq.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let om = opt.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        for (a, b) in sm.iter().zip(&om) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mock_federated_matches_centralized_training() {
+        // The lossless property (§2.3): federated training equals
+        // co-located training when bins agree.
+        let data = generate_classification(&SyntheticConfig {
+            rows: 400,
+            features: 8,
+            density: 1.0,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed: 23,
+        });
+        let s = split_vertical(&data, &[4]);
+        let cfg = TrainConfig { protocol: ProtocolConfig::baseline(), ..mock_cfg() };
+        let fed = train_federated(&s.hosts, &s.guest, &cfg);
+        let central_params = GbdtParams {
+            num_trees: cfg.gbdt.num_trees,
+            max_layers: cfg.gbdt.max_layers,
+            ..GbdtParams::default()
+        };
+        let central = Trainer::new(central_params).fit(&data);
+        let fm = fed.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let cm = central.predict_margin(&data);
+        // Allow tiny drift from tie-breaking between equal-gain splits.
+        let mean_diff: f64 =
+            fm.iter().zip(&cm).map(|(a, b)| (a - b).abs()).sum::<f64>() / fm.len() as f64;
+        assert!(mean_diff < 1e-6, "mean |Δmargin| = {mean_diff}");
+    }
+
+    #[test]
+    fn paillier_two_party_end_to_end() {
+        let s = scenario(120, 6, 3, 24);
+        let cfg = TrainConfig {
+            gbdt: GbdtParams { num_trees: 2, max_layers: 3, ..Default::default() },
+            ..TrainConfig::for_tests()
+        };
+        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let a = auc(s.guest.labels().unwrap(), &margins);
+        assert!(a > 0.7, "train AUC {a}");
+        // Crypto really ran: the guest encrypted 2 stats × rows × trees.
+        assert!(out.report.guest.ops.enc >= 2 * 120 * 2);
+        assert!(out.report.guest.ops.dec > 0);
+        assert!(out.report.hosts[0].ops.hadd > 0);
+    }
+
+    #[test]
+    fn paillier_matches_mock_decisions() {
+        // Fixed-point Paillier must produce the same tree decisions as the
+        // exact mock on well-separated data.
+        let s = scenario(100, 6, 3, 25);
+        let base = TrainConfig {
+            gbdt: GbdtParams { num_trees: 2, max_layers: 3, ..Default::default() },
+            ..TrainConfig::for_tests()
+        };
+        let paillier = train_federated(&s.hosts, &s.guest, &base);
+        let mock = train_federated(
+            &s.hosts,
+            &s.guest,
+            &TrainConfig { crypto: CryptoConfig::Mock, ..base },
+        );
+        let pm = paillier.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let mm = mock.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let mean_diff: f64 =
+            pm.iter().zip(&mm).map(|(a, b)| (a - b).abs()).sum::<f64>() / pm.len() as f64;
+        assert!(mean_diff < 1e-3, "mean |Δmargin| = {mean_diff}");
+    }
+
+    #[test]
+    fn multi_party_three_hosts() {
+        let data = generate_classification(&SyntheticConfig {
+            rows: 200,
+            features: 12,
+            density: 1.0,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed: 26,
+        });
+        let s = split_vertical(&data, &[3, 3, 3]);
+        let cfg = mock_cfg();
+        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        assert_eq!(out.report.hosts.len(), 3);
+        let refs: Vec<&Dataset> = s.hosts.iter().collect();
+        let margins = out.model.predict_margin(&refs, &s.guest);
+        let a = auc(s.guest.labels().unwrap(), &margins);
+        assert!(a > 0.75, "train AUC {a}");
+    }
+
+    #[test]
+    fn optimistic_run_reports_events() {
+        let s = scenario(300, 10, 5, 27);
+        let cfg = TrainConfig {
+            protocol: ProtocolConfig { pack_histograms: false, ..ProtocolConfig::vf2boost() },
+            ..mock_cfg()
+        };
+        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let ev = &out.report.guest.events;
+        assert!(ev.optimistic_splits > 0, "optimistic splits must occur");
+        // With an even feature split, some nodes must be won by the host
+        // (and thus rolled back under the optimistic protocol).
+        assert!(ev.dirty_nodes > 0, "expected dirty nodes on an even split");
+        let ratio = out.report.guest_split_ratio();
+        assert!(ratio > 0.15 && ratio < 0.85, "split ratio {ratio}");
+    }
+
+    #[test]
+    fn packed_histograms_preserve_quality() {
+        let s = scenario(150, 8, 4, 28);
+        let cfg = TrainConfig {
+            gbdt: GbdtParams { num_trees: 2, max_layers: 3, ..Default::default() },
+            crypto: CryptoConfig::Paillier { key_bits: 512 },
+            ..TrainConfig::for_tests()
+        };
+        let unpacked_cfg = TrainConfig {
+            protocol: ProtocolConfig { pack_histograms: false, ..cfg.protocol },
+            ..cfg
+        };
+        let packed = train_federated(&s.hosts, &s.guest, &cfg);
+        let raw = train_federated(&s.hosts, &s.guest, &unpacked_cfg);
+        let pm = packed.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let rm = raw.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let mean_diff: f64 =
+            pm.iter().zip(&rm).map(|(a, b)| (a - b).abs()).sum::<f64>() / pm.len() as f64;
+        assert!(mean_diff < 1e-3, "mean |Δmargin| = {mean_diff}");
+        // Packing must reduce decryptions and host→guest bytes.
+        assert!(packed.report.guest.ops.dec < raw.report.guest.ops.dec);
+        assert!(packed.report.hosts[0].bytes_sent < raw.report.hosts[0].bytes_sent);
+    }
+
+    #[test]
+    fn sparse_data_trains_correctly() {
+        let data = generate_classification(&SyntheticConfig {
+            rows: 400,
+            features: 20,
+            density: 0.3,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed: 29,
+        });
+        let s = split_vertical(&data, &[10]);
+        let out = train_federated(&s.hosts, &s.guest, &mock_cfg());
+        let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let a = auc(s.guest.labels().unwrap(), &margins);
+        assert!(a > 0.7, "train AUC {a}");
+    }
+
+    #[test]
+    fn workers_do_not_change_the_model() {
+        let s = scenario(200, 8, 4, 30);
+        let one = TrainConfig { workers: 1, ..mock_cfg() };
+        let four = TrainConfig { workers: 4, ..mock_cfg() };
+        let m1 = train_federated(&s.hosts, &s.guest, &one);
+        let m4 = train_federated(&s.hosts, &s.guest, &four);
+        let p1 = m1.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        let p4 = m4.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        for (a, b) in p1.iter().zip(&p4) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-operation counters backing the paper's cost model (§5).
+//!
+//! The paper reasons about training time through the unit costs
+//! `T_ENC`, `T_DEC`, `T_HADD`, `T_SMUL`, `T_COMM`. The [`OpCounters`]
+//! struct counts how many of each operation a run performs, so experiments
+//! can report both wall times and operation counts (e.g. the number of
+//! cipher *scalings* avoided by re-ordered accumulation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe counters for every cryptography-related operation.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// Encryptions performed (`T_ENC`).
+    pub enc: AtomicU64,
+    /// Decryptions performed (`T_DEC`). A packed decryption counts once.
+    pub dec: AtomicU64,
+    /// Homomorphic additions (`T_HADD`).
+    pub hadd: AtomicU64,
+    /// Scalar multiplications (`T_SMUL`), excluding scalings.
+    pub smul: AtomicU64,
+    /// Cipher scalings: `SMul` by a power of the encoding base performed to
+    /// align exponents before an addition. Re-ordered accumulation (§5.1)
+    /// exists to minimize this counter.
+    pub scalings: AtomicU64,
+    /// Cipher packing operations (§5.2): each counts the construction of one
+    /// packed cipher from `t` slot ciphers.
+    pub packs: AtomicU64,
+}
+
+impl OpCounters {
+    /// A fresh, shareable counter set.
+    pub fn new_shared() -> Arc<OpCounters> {
+        Arc::new(OpCounters::default())
+    }
+
+    /// Records `n` encryptions.
+    pub fn add_enc(&self, n: u64) {
+        self.enc.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` decryptions.
+    pub fn add_dec(&self, n: u64) {
+        self.dec.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` homomorphic additions.
+    pub fn add_hadd(&self, n: u64) {
+        self.hadd.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` scalar multiplications.
+    pub fn add_smul(&self, n: u64) {
+        self.smul.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` exponent-alignment scalings.
+    pub fn add_scaling(&self, n: u64) {
+        self.scalings.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` packing operations.
+    pub fn add_pack(&self, n: u64) {
+        self.packs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot.
+    pub fn snapshot(&self) -> OpSnapshot {
+        OpSnapshot {
+            enc: self.enc.load(Ordering::Relaxed),
+            dec: self.dec.load(Ordering::Relaxed),
+            hadd: self.hadd.load(Ordering::Relaxed),
+            smul: self.smul.load(Ordering::Relaxed),
+            scalings: self.scalings.load(Ordering::Relaxed),
+            packs: self.packs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.enc.store(0, Ordering::Relaxed);
+        self.dec.store(0, Ordering::Relaxed);
+        self.hadd.store(0, Ordering::Relaxed);
+        self.smul.store(0, Ordering::Relaxed);
+        self.scalings.store(0, Ordering::Relaxed);
+        self.packs.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable snapshot of [`OpCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Encryptions.
+    pub enc: u64,
+    /// Decryptions.
+    pub dec: u64,
+    /// Homomorphic additions.
+    pub hadd: u64,
+    /// Scalar multiplications.
+    pub smul: u64,
+    /// Exponent-alignment scalings.
+    pub scalings: u64,
+    /// Packing operations.
+    pub packs: u64,
+}
+
+impl OpSnapshot {
+    /// Component-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            enc: self.enc.saturating_sub(earlier.enc),
+            dec: self.dec.saturating_sub(earlier.dec),
+            hadd: self.hadd.saturating_sub(earlier.hadd),
+            smul: self.smul.saturating_sub(earlier.smul),
+            scalings: self.scalings.saturating_sub(earlier.scalings),
+            packs: self.packs.saturating_sub(earlier.packs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = OpCounters::default();
+        c.add_enc(3);
+        c.add_dec(1);
+        c.add_hadd(10);
+        c.add_scaling(4);
+        let s = c.snapshot();
+        assert_eq!(s.enc, 3);
+        assert_eq!(s.dec, 1);
+        assert_eq!(s.hadd, 10);
+        assert_eq!(s.scalings, 4);
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let c = OpCounters::default();
+        c.add_hadd(5);
+        let before = c.snapshot();
+        c.add_hadd(7);
+        c.add_pack(2);
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.hadd, 7);
+        assert_eq!(delta.packs, 2);
+        assert_eq!(delta.enc, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = OpCounters::default();
+        c.add_smul(9);
+        c.reset();
+        assert_eq!(c.snapshot(), OpSnapshot::default());
+    }
+}

@@ -1,0 +1,253 @@
+//! Fixed-point encoding of floating-point values into the Paillier
+//! plaintext space (paper §2.2).
+//!
+//! A value `v` is encoded as a pair `⟨e, V⟩` with
+//! `V = round(v · Bᵉ) + 𝟙(v < 0) · n`, where `B` is the encoding base
+//! (default 16) and `e` the exponent. Negative values occupy the top of the
+//! `[0, n)` range; the middle third is an overflow guard band.
+//!
+//! The exponent may be **jittered** per encoding (the paper's footnote 2:
+//! "the exponential term e can be non-deterministic in order to obfuscate
+//! the range of v"). In practice this produces `E ∈ [4, 8]` distinct
+//! exponents, which is exactly what makes the re-ordered accumulation
+//! technique of §5.1 profitable.
+
+use num_bigint::BigUint;
+use num_traits::ToPrimitive;
+use rand::Rng;
+
+use crate::error::{CryptoError, Result};
+use crate::paillier::PublicKey;
+
+/// Parameters of the fixed-point encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingConfig {
+    /// Encoding base `B` (the paper uses 16).
+    pub base: u32,
+    /// Smallest exponent used. `B^base_exp` is the minimum precision.
+    pub base_exp: i32,
+    /// Number of distinct exponents: each encoding draws its exponent
+    /// uniformly from `[base_exp, base_exp + jitter)`. `1` disables jitter.
+    /// The paper observes 4–8 distinct exponents in practice.
+    pub jitter: u32,
+}
+
+impl Default for EncodingConfig {
+    fn default() -> Self {
+        // B = 16, e₀ = 10 ⇒ at least 16¹⁰ = 2⁴⁰ of fractional precision.
+        EncodingConfig { base: 16, base_exp: 10, jitter: 4 }
+    }
+}
+
+impl EncodingConfig {
+    /// A deterministic configuration (no exponent jitter), useful for tests
+    /// and for the "naive" baseline where every cipher shares one exponent.
+    pub fn deterministic() -> Self {
+        EncodingConfig { jitter: 1, ..Self::default() }
+    }
+
+    /// Draws an exponent according to the jitter policy.
+    pub fn draw_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> i32 {
+        if self.jitter <= 1 {
+            self.base_exp
+        } else {
+            self.base_exp + rng.gen_range(0..self.jitter) as i32
+        }
+    }
+
+    /// `Bᵉ` as an exact big integer (requires `e ≥ 0`).
+    pub fn base_pow(&self, e: i32) -> BigUint {
+        assert!(e >= 0, "encoding exponents are non-negative");
+        BigUint::from(self.base).pow(e as u32)
+    }
+
+    /// `Bᵉ` as a float (for decoding).
+    pub fn base_pow_f64(&self, e: i32) -> f64 {
+        (self.base as f64).powi(e)
+    }
+}
+
+/// A fixed-point encoded plaintext `⟨e, V⟩` with `V ∈ [0, n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedNumber {
+    /// The big-integer representation `V` (sign folded in modulo `n`).
+    pub mantissa: BigUint,
+    /// The exponent `e`.
+    pub exponent: i32,
+}
+
+impl EncodedNumber {
+    /// Encodes `v` at the given exponent.
+    ///
+    /// Fails with [`CryptoError::EncodingOverflow`] if `|v·Bᵉ|` exceeds the
+    /// safe bound `n/3`.
+    pub fn encode(v: f64, exponent: i32, cfg: &EncodingConfig, pk: &PublicKey) -> Result<Self> {
+        if !v.is_finite() {
+            return Err(CryptoError::EncodingOverflow { what: format!("non-finite value {v}") });
+        }
+        let scaled = v * cfg.base_pow_f64(exponent);
+        if scaled.abs() >= i128::MAX as f64 {
+            return Err(CryptoError::EncodingOverflow {
+                what: format!("{v} at exponent {exponent}"),
+            });
+        }
+        let rounded = scaled.round() as i128;
+        let magnitude = BigUint::from(rounded.unsigned_abs());
+        if &magnitude > pk.max_int() {
+            return Err(CryptoError::EncodingOverflow {
+                what: format!("{v} at exponent {exponent} exceeds n/3"),
+            });
+        }
+        let mantissa = if rounded < 0 { pk.n() - magnitude } else { magnitude };
+        Ok(EncodedNumber { mantissa, exponent })
+    }
+
+    /// Encodes `v` with a jittered exponent drawn from `rng`.
+    pub fn encode_jittered<R: Rng + ?Sized>(
+        v: f64,
+        cfg: &EncodingConfig,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Result<Self> {
+        Self::encode(v, cfg.draw_exponent(rng), cfg, pk)
+    }
+
+    /// Decodes back to a float.
+    ///
+    /// Values in the top third of `[0, n)` decode as negative; the middle
+    /// third signals an overflow from homomorphic accumulation.
+    pub fn decode(&self, cfg: &EncodingConfig, pk: &PublicKey) -> Result<f64> {
+        let signed = decode_signed(&self.mantissa, pk)?;
+        Ok(signed / cfg.base_pow_f64(self.exponent))
+    }
+
+    /// Returns a copy rescaled to a (larger) target exponent.
+    ///
+    /// This is the plaintext analogue of the cipher *scaling* operation:
+    /// multiply the mantissa by `B^(target - e) mod n`.
+    pub fn rescale_to(&self, target: i32, cfg: &EncodingConfig, pk: &PublicKey) -> Self {
+        assert!(
+            target >= self.exponent,
+            "can only rescale to a larger exponent ({} -> {})",
+            self.exponent,
+            target
+        );
+        if target == self.exponent {
+            return self.clone();
+        }
+        let factor = cfg.base_pow(target - self.exponent);
+        EncodedNumber { mantissa: (&self.mantissa * factor) % pk.n(), exponent: target }
+    }
+
+    /// Plaintext addition of two encodings with identical exponents.
+    pub fn add_same_exp(&self, other: &Self, pk: &PublicKey) -> Self {
+        assert_eq!(self.exponent, other.exponent, "exponents must match");
+        EncodedNumber {
+            mantissa: (&self.mantissa + &other.mantissa) % pk.n(),
+            exponent: self.exponent,
+        }
+    }
+}
+
+/// Interprets a raw plaintext `V ∈ [0, n)` as a signed integer value,
+/// rejecting the ambiguous middle third.
+pub fn decode_signed(mantissa: &BigUint, pk: &PublicKey) -> Result<f64> {
+    if mantissa <= pk.max_int() {
+        Ok(mantissa.to_f64().unwrap_or(f64::INFINITY))
+    } else if mantissa > pk.half_n() {
+        let neg = pk.n() - mantissa;
+        if &neg > pk.max_int() {
+            return Err(CryptoError::DecodingOverflow);
+        }
+        Ok(-neg.to_f64().unwrap_or(f64::INFINITY))
+    } else {
+        Err(CryptoError::DecodingOverflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paillier::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pk() -> PublicKey {
+        KeyPair::generate_seeded(256, 42).unwrap().public
+    }
+
+    #[test]
+    fn encode_decode_round_trip_positive_and_negative() {
+        let pk = pk();
+        let cfg = EncodingConfig::default();
+        for v in [0.0, 1.0, -1.0, 0.5, -0.25, 123.456, -987.654, 1e-6, -1e-6] {
+            let enc = EncodedNumber::encode(v, cfg.base_exp, &cfg, &pk).unwrap();
+            let dec = enc.decode(&cfg, &pk).unwrap();
+            assert!((dec - v).abs() < 1e-9, "{v} -> {dec}");
+        }
+    }
+
+    #[test]
+    fn jittered_exponents_stay_in_window() {
+        let pk = pk();
+        let cfg = EncodingConfig { jitter: 4, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let enc = EncodedNumber::encode_jittered(0.75, &cfg, &pk, &mut rng).unwrap();
+            assert!(enc.exponent >= cfg.base_exp && enc.exponent < cfg.base_exp + 4);
+            seen.insert(enc.exponent);
+            assert!((enc.decode(&cfg, &pk).unwrap() - 0.75).abs() < 1e-9);
+        }
+        assert_eq!(seen.len(), 4, "all four jitter values should appear");
+    }
+
+    #[test]
+    fn rescale_preserves_value() {
+        let pk = pk();
+        let cfg = EncodingConfig::default();
+        for v in [3.25f64, -3.25] {
+            let enc = EncodedNumber::encode(v, cfg.base_exp, &cfg, &pk).unwrap();
+            let up = enc.rescale_to(cfg.base_exp + 3, &cfg, &pk);
+            assert_eq!(up.exponent, cfg.base_exp + 3);
+            assert!((up.decode(&cfg, &pk).unwrap() - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn add_same_exp_adds_signed_values() {
+        let pk = pk();
+        let cfg = EncodingConfig::default();
+        let a = EncodedNumber::encode(2.5, cfg.base_exp, &cfg, &pk).unwrap();
+        let b = EncodedNumber::encode(-4.0, cfg.base_exp, &cfg, &pk).unwrap();
+        let sum = a.add_same_exp(&b, &pk).decode(&cfg, &pk).unwrap();
+        assert!((sum - (-1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        let pk = pk();
+        let cfg = EncodingConfig::default();
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(EncodedNumber::encode(v, cfg.base_exp, &cfg, &pk).is_err());
+        }
+    }
+
+    #[test]
+    fn overflow_detected_on_huge_values() {
+        let pk = pk();
+        let cfg = EncodingConfig { base_exp: 50, ..Default::default() };
+        // 16^50 = 2^200 times anything sizable overflows a 256-bit n/3.
+        assert!(matches!(
+            EncodedNumber::encode(1e12, cfg.base_exp, &cfg, &pk),
+            Err(CryptoError::EncodingOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn middle_third_rejected_as_overflow() {
+        let pk = pk();
+        let mantissa = pk.half_n().clone(); // squarely in the guard band
+        assert!(matches!(decode_signed(&mantissa, &pk), Err(CryptoError::DecodingOverflow)));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the cryptographic substrate.
+
+use std::fmt;
+
+/// Errors produced by encoding, encryption, or packing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The value cannot be represented in the plaintext space without
+    /// overflowing the safe range `(-n/3, n/3)`.
+    EncodingOverflow {
+        /// Human-readable description of the overflowing quantity.
+        what: String,
+    },
+    /// A decoded plaintext landed in the ambiguous middle third of the
+    /// modulus, indicating that homomorphic additions overflowed.
+    DecodingOverflow,
+    /// Two ciphers from different public keys were combined.
+    KeyMismatch,
+    /// Packing parameters do not fit in the plaintext space.
+    PackingCapacity {
+        /// Requested number of packed slots.
+        requested: usize,
+        /// Maximum slots that fit for this key and slot width.
+        max: usize,
+    },
+    /// A packed value would not fit in its `M`-bit slot.
+    PackedValueTooLarge {
+        /// Index of the offending slot.
+        slot: usize,
+    },
+    /// An operation requiring the private key was attempted without one.
+    MissingPrivateKey,
+    /// Key generation failed (e.g. requested size too small).
+    KeyGeneration(String),
+    /// Plain/Paillier suite variants were mixed in one operation.
+    SuiteMismatch,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::EncodingOverflow { what } => {
+                write!(f, "fixed-point encoding overflow: {what}")
+            }
+            CryptoError::DecodingOverflow => {
+                write!(f, "decoded plaintext fell in the overflow region of the modulus")
+            }
+            CryptoError::KeyMismatch => write!(f, "ciphers belong to different public keys"),
+            CryptoError::PackingCapacity { requested, max } => write!(
+                f,
+                "cannot pack {requested} slots: at most {max} fit in the plaintext space"
+            ),
+            CryptoError::PackedValueTooLarge { slot } => {
+                write!(f, "value in packing slot {slot} exceeds the slot width")
+            }
+            CryptoError::MissingPrivateKey => {
+                write!(f, "operation requires a private key but none is available")
+            }
+            CryptoError::KeyGeneration(msg) => write!(f, "key generation failed: {msg}"),
+            CryptoError::SuiteMismatch => {
+                write!(f, "mixed plaintext and Paillier values in one operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CryptoError>;

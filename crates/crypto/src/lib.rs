@@ -1,0 +1,49 @@
+//! # vf2-crypto
+//!
+//! Cryptographic substrate for [VF²Boost] (SIGMOD 2021): a pure-Rust
+//! implementation of the Paillier additive homomorphic cryptosystem together
+//! with the GBDT-customized operations the paper builds on top of it:
+//!
+//! * **Fixed-point encoding** of floating-point gradient statistics into the
+//!   Paillier plaintext space, carrying an *exponent* term that may be
+//!   jittered to obfuscate value ranges (paper §2.2).
+//! * **Exponent-aware homomorphic addition** — adding two ciphers whose
+//!   exponents differ requires a cipher *scaling* (a scalar multiplication),
+//!   the cost the re-ordered accumulation technique of §5.1 avoids.
+//! * **Polynomial-based cipher packing** (§5.2) — packing `t` bounded
+//!   plaintexts into a single cipher so one decryption recovers all of them.
+//! * A **plaintext mock suite** implementing the identical API so that the
+//!   federated protocol can run without cryptography (the paper's VF-MOCK).
+//!
+//! The module split mirrors the paper's presentation:
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`math`] | number-theoretic primitives (primality, CRT) |
+//! | [`paillier`] | §2.2 cryptosystem (keygen, encrypt, decrypt, HAdd, SMul) |
+//! | [`encoding`] | §2.2 fixed-point `⟨e, V⟩` encoding |
+//! | [`encnum`] | encrypted floating-point numbers with exponents |
+//! | [`packing`] | §5.2 polynomial-based packing |
+//! | [`suite`] | unified cipher suite (Paillier or plaintext mock) |
+//! | [`counters`] | per-operation counters feeding the paper's cost model |
+//!
+//! [VF²Boost]: https://doi.org/10.1145/3448016.3457241
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod encnum;
+pub mod encoding;
+pub mod error;
+pub mod math;
+pub mod packing;
+pub mod paillier;
+pub mod suite;
+
+pub use counters::OpCounters;
+pub use encnum::EncryptedNumber;
+pub use encoding::{EncodedNumber, EncodingConfig};
+pub use error::{CryptoError, Result};
+pub use packing::{pack_ciphers, unpack_plaintext, PackingPlan};
+pub use paillier::{KeyPair, PrivateKey, PublicKey, RandomnessPool};
+pub use suite::{Ciphertext, PackedCiphertext, Suite, SuiteKind};

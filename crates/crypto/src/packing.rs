@@ -1,0 +1,193 @@
+//! Polynomial-based cipher packing (paper §5.2).
+//!
+//! Given `t` ciphers whose plaintexts are non-negative integers below
+//! `2^M`, the packing transformation
+//!
+//! ```text
+//! ⟦V̄⟧ = ⟦V₁⟧ ⊕ 2^M ⊗ (⟦V₂⟧ ⊕ 2^M ⊗ (⟦V₃⟧ ⊕ ···))
+//! ```
+//!
+//! yields a single cipher whose plaintext is the base-`2^M` polynomial
+//! `V̄ = V₁ + 2^M·(V₂ + 2^M·(V₃ + ···))`. One decryption then recovers all
+//! `t` values by slicing `V̄` into `M`-bit chunks — shrinking both the
+//! histogram transfer volume and the number of decryptions by `t×` at the
+//! price of `(t−1)` cheap `HAdd`/`SMul` pairs.
+//!
+//! Slot 1 occupies the least-significant bits.
+
+use num_bigint::BigUint;
+use num_traits::Zero;
+
+use crate::counters::OpCounters;
+use crate::error::{CryptoError, Result};
+use crate::paillier::{PublicKey, RawCipher};
+
+/// A validated packing layout: how many `M`-bit slots fit one cipher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackingPlan {
+    /// Bits per slot (the paper's `M`, default 64).
+    pub slot_bits: u32,
+    /// Slots per packed cipher (the paper's `t`).
+    pub slots: usize,
+}
+
+impl PackingPlan {
+    /// Largest number of `slot_bits`-wide slots that fit the plaintext
+    /// space of `pk` with a 2-bit guard below the modulus.
+    pub fn max_slots(pk: &PublicKey, slot_bits: u32) -> usize {
+        ((pk.bits().saturating_sub(2)) / slot_bits as u64) as usize
+    }
+
+    /// Builds a plan for `slots` slots, validating capacity.
+    pub fn new(pk: &PublicKey, slot_bits: u32, slots: usize) -> Result<Self> {
+        assert!(slot_bits > 0, "slot width must be positive");
+        let max = Self::max_slots(pk, slot_bits);
+        if slots == 0 || slots > max {
+            return Err(CryptoError::PackingCapacity { requested: slots, max });
+        }
+        Ok(PackingPlan { slot_bits, slots })
+    }
+
+    /// The widest plan the key supports at this slot width.
+    pub fn widest(pk: &PublicKey, slot_bits: u32) -> Result<Self> {
+        Self::new(pk, slot_bits, Self::max_slots(pk, slot_bits))
+    }
+}
+
+/// Packs up to `plan.slots` raw ciphers into one cipher.
+///
+/// Every plaintext must be a non-negative integer strictly below
+/// `2^slot_bits` — callers shift histogram bins positive first (§5.2
+/// "integration with histograms"). Costs `(len−1)` HAdds and `(len−1)`
+/// SMuls by `2^M` (a short-exponent exponentiation).
+pub fn pack_ciphers(
+    slots: &[RawCipher],
+    plan: &PackingPlan,
+    pk: &PublicKey,
+    counters: &OpCounters,
+) -> Result<RawCipher> {
+    if slots.is_empty() || slots.len() > plan.slots {
+        return Err(CryptoError::PackingCapacity { requested: slots.len(), max: plan.slots });
+    }
+    let shift = BigUint::from(1u32) << plan.slot_bits;
+    // Horner evaluation from the most-significant slot down.
+    let mut acc = slots.last().expect("non-empty").clone();
+    for c in slots.iter().rev().skip(1) {
+        counters.add_smul(1);
+        let shifted = pk.mul_raw(&acc, &shift);
+        counters.add_hadd(1);
+        acc = pk.add_raw(c, &shifted);
+    }
+    counters.add_pack(1);
+    Ok(acc)
+}
+
+/// Slices a decrypted packed plaintext back into `count` slot values.
+///
+/// `count` may be less than `plan.slots` when the final packed cipher of a
+/// histogram is only partially filled.
+pub fn unpack_plaintext(packed: &BigUint, plan: &PackingPlan, count: usize) -> Vec<BigUint> {
+    let mask = (BigUint::from(1u32) << plan.slot_bits) - BigUint::from(1u32);
+    let mut out = Vec::with_capacity(count);
+    let mut rest = packed.clone();
+    for _ in 0..count {
+        out.push(&rest & &mask);
+        rest >>= plan.slot_bits;
+    }
+    debug_assert!(rest.is_zero() || count < plan.slots, "residual bits beyond requested slots");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paillier::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (KeyPair, OpCounters, StdRng) {
+        (KeyPair::generate_seeded(512, 42).unwrap(), OpCounters::default(), StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn max_slots_respects_guard_band() {
+        let (kp, _, _) = setup();
+        // 512-bit n, 64-bit slots, 2-bit guard: (512-2)/64 = 7.
+        assert_eq!(PackingPlan::max_slots(&kp.public, 64), 7);
+        assert!(PackingPlan::new(&kp.public, 64, 8).is_err());
+        assert!(PackingPlan::new(&kp.public, 64, 7).is_ok());
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let (kp, ctr, mut rng) = setup();
+        let plan = PackingPlan::new(&kp.public, 64, 7).unwrap();
+        let values: Vec<u64> = vec![0, 1, u64::MAX, 42, 7, 123456789, u64::MAX - 1];
+        let ciphers: Vec<_> = values
+            .iter()
+            .map(|&v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
+            .collect();
+        let packed = pack_ciphers(&ciphers, &plan, &kp.public, &ctr).unwrap();
+        let plain = kp.private.decrypt_raw(&packed);
+        let unpacked = unpack_plaintext(&plain, &plan, values.len());
+        for (got, want) in unpacked.iter().zip(&values) {
+            assert_eq!(got, &BigUint::from(*want));
+        }
+    }
+
+    #[test]
+    fn partial_pack_round_trip() {
+        let (kp, ctr, mut rng) = setup();
+        let plan = PackingPlan::new(&kp.public, 32, 4).unwrap();
+        let values: Vec<u64> = vec![5, 10]; // fewer than plan.slots
+        let ciphers: Vec<_> = values
+            .iter()
+            .map(|&v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
+            .collect();
+        let packed = pack_ciphers(&ciphers, &plan, &kp.public, &ctr).unwrap();
+        let plain = kp.private.decrypt_raw(&packed);
+        let unpacked = unpack_plaintext(&plain, &plan, 2);
+        assert_eq!(unpacked, vec![BigUint::from(5u32), BigUint::from(10u32)]);
+    }
+
+    #[test]
+    fn packing_cost_is_t_minus_one_ops() {
+        let (kp, ctr, mut rng) = setup();
+        let plan = PackingPlan::new(&kp.public, 64, 5).unwrap();
+        let ciphers: Vec<_> = (0..5u64)
+            .map(|v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
+            .collect();
+        pack_ciphers(&ciphers, &plan, &kp.public, &ctr).unwrap();
+        let s = ctr.snapshot();
+        assert_eq!(s.hadd, 4);
+        assert_eq!(s.smul, 4);
+        assert_eq!(s.packs, 1);
+    }
+
+    #[test]
+    fn empty_and_oversized_inputs_rejected() {
+        let (kp, ctr, mut rng) = setup();
+        let plan = PackingPlan::new(&kp.public, 64, 2).unwrap();
+        assert!(pack_ciphers(&[], &plan, &kp.public, &ctr).is_err());
+        let ciphers: Vec<_> = (0..3u64)
+            .map(|v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
+            .collect();
+        assert!(pack_ciphers(&ciphers, &plan, &kp.public, &ctr).is_err());
+    }
+
+    #[test]
+    fn homomorphic_add_then_pack_preserves_sums() {
+        // Pack sums of ciphers (the histogram use case).
+        let (kp, ctr, mut rng) = setup();
+        let plan = PackingPlan::new(&kp.public, 64, 3).unwrap();
+        let a = kp.public.encrypt_raw(&BigUint::from(100u32), &mut rng);
+        let b = kp.public.encrypt_raw(&BigUint::from(23u32), &mut rng);
+        let bin0 = kp.public.add_raw(&a, &b); // 123
+        let bin1 = kp.public.encrypt_raw(&BigUint::from(7u32), &mut rng);
+        let bin2 = kp.public.encrypt_raw(&BigUint::from(0u32), &mut rng);
+        let packed = pack_ciphers(&[bin0, bin1, bin2], &plan, &kp.public, &ctr).unwrap();
+        let plain = kp.private.decrypt_raw(&packed);
+        let out = unpack_plaintext(&plain, &plan, 3);
+        assert_eq!(out, vec![BigUint::from(123u32), BigUint::from(7u32), BigUint::from(0u32)]);
+    }
+}

@@ -1,0 +1,469 @@
+//! The Paillier additive homomorphic cryptosystem (paper §2.2).
+//!
+//! A key pair is generated from an `S`-bit modulus `n = p·q`; ciphers live
+//! modulo `n²` and are therefore `2S` bits long. The generator is fixed to
+//! `g = n + 1`, which makes `gᵛ = 1 + v·n (mod n²)` a single multiplication.
+//!
+//! Supported operations (notation from the paper):
+//!
+//! * **HAdd** — `⟦U⟧ ⊕ ⟦V⟧ = ⟦U⟧·⟦V⟧ mod n² = ⟦U+V⟧`
+//! * **SMul** — `U ⊗ ⟦V⟧ = ⟦V⟧ᵁ mod n² = ⟦U·V⟧`
+//! * negation via modular inversion (cheaper than exponentiation by `n-1`)
+//!
+//! Decryption — the hot operation the paper's packing technique amortizes —
+//! uses the standard CRT split over `p²` and `q²`. Encryption can also run
+//! through the CRT when the private key is available (it always is on
+//! Party B, the only encrypting party in the protocol).
+
+use std::sync::Arc;
+
+use num_bigint::{BigUint, RandBigInt};
+use num_integer::Integer;
+use num_traits::One;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{CryptoError, Result};
+use crate::math::{crt_combine, gen_prime, l_function, mod_inverse};
+
+/// A raw Paillier ciphertext: an integer modulo `n²`.
+pub type RawCipher = BigUint;
+
+struct PkInner {
+    /// The modulus `n = p·q`.
+    n: BigUint,
+    /// `n²`, the cipher modulus.
+    nn: BigUint,
+    /// `n / 2`: plaintexts above this decode as negative.
+    half_n: BigUint,
+    /// `n / 3`: largest magnitude considered safe against add overflow.
+    max_int: BigUint,
+    /// Bit length of `n` (the paper's `S`).
+    bits: u64,
+}
+
+/// Paillier public key. Cheap to clone (internally reference-counted).
+#[derive(Clone)]
+pub struct PublicKey(Arc<PkInner>);
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublicKey").field("bits", &self.0.bits).finish()
+    }
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0.n == other.0.n
+    }
+}
+impl Eq for PublicKey {}
+
+impl PublicKey {
+    fn from_n(n: BigUint) -> Self {
+        let nn = &n * &n;
+        let half_n = &n >> 1;
+        let max_int = &n / BigUint::from(3u32);
+        let bits = n.bits();
+        PublicKey(Arc::new(PkInner { n, nn, half_n, max_int, bits }))
+    }
+
+    /// The modulus `n`.
+    pub fn n(&self) -> &BigUint {
+        &self.0.n
+    }
+
+    /// The cipher modulus `n²`.
+    pub fn nn(&self) -> &BigUint {
+        &self.0.nn
+    }
+
+    /// `n / 2`: encoded plaintexts above this represent negative values.
+    pub fn half_n(&self) -> &BigUint {
+        &self.0.half_n
+    }
+
+    /// `n / 3`: the safe magnitude bound for encoded plaintexts.
+    pub fn max_int(&self) -> &BigUint {
+        &self.0.max_int
+    }
+
+    /// Bit length of the modulus (the paper's `S`).
+    pub fn bits(&self) -> u64 {
+        self.0.bits
+    }
+
+    /// Size in bytes of one serialized cipher (`2S` bits, rounded up).
+    pub fn cipher_bytes(&self) -> usize {
+        (2 * self.0.bits as usize).div_ceil(8)
+    }
+
+    /// Encrypts an already-encoded plaintext `v ∈ [0, n)` with fresh
+    /// randomness drawn from `rng`.
+    pub fn encrypt_raw<R: Rng + ?Sized>(&self, v: &BigUint, rng: &mut R) -> RawCipher {
+        let rn = self.random_rn(rng);
+        self.encrypt_raw_with_rn(v, &rn)
+    }
+
+    /// Encrypts `v` using a precomputed obfuscation factor `rⁿ mod n²`
+    /// (see [`RandomnessPool`]).
+    pub fn encrypt_raw_with_rn(&self, v: &BigUint, rn: &BigUint) -> RawCipher {
+        // g = n+1  ⇒  g^v = 1 + v·n (mod n²)
+        let gv = (BigUint::one() + v * &self.0.n) % &self.0.nn;
+        (gv * rn) % &self.0.nn
+    }
+
+    /// Draws a random `r ∈ [1, n)` and returns `rⁿ mod n²`.
+    pub fn random_rn<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        let r = rng.gen_biguint_range(&BigUint::one(), &self.0.n);
+        r.modpow(&self.0.n, &self.0.nn)
+    }
+
+    /// Homomorphic addition: `⟦U⟧ ⊕ ⟦V⟧ = ⟦U+V⟧`.
+    pub fn add_raw(&self, a: &RawCipher, b: &RawCipher) -> RawCipher {
+        (a * b) % &self.0.nn
+    }
+
+    /// Scalar multiplication: `k ⊗ ⟦V⟧ = ⟦k·V⟧`.
+    pub fn mul_raw(&self, c: &RawCipher, k: &BigUint) -> RawCipher {
+        c.modpow(k, &self.0.nn)
+    }
+
+    /// Homomorphic negation: `⟦V⟧⁻¹ = ⟦n−V⟧ = ⟦−V⟧`.
+    ///
+    /// Implemented by modular inversion, which is much cheaper than
+    /// exponentiation by `n−1`.
+    pub fn neg_raw(&self, c: &RawCipher) -> RawCipher {
+        mod_inverse(c, &self.0.nn).expect("cipher is a unit modulo n²")
+    }
+
+    /// The trivial (non-obfuscated) encryption of zero, `⟦0⟧ = 1`.
+    ///
+    /// Useful as the additive identity when accumulating histograms; the sum
+    /// inherits the randomness of the accumulated ciphers.
+    pub fn zero_raw(&self) -> RawCipher {
+        BigUint::one()
+    }
+}
+
+struct SkInner {
+    public: PublicKey,
+    p: BigUint,
+    q: BigUint,
+    pp: BigUint,
+    qq: BigUint,
+    /// `p⁻¹ mod q` for CRT over (p, q).
+    p_inv_q: BigUint,
+    /// `p²⁻¹ mod q²` for CRT over (p², q²) used by fast encryption.
+    pp_inv_qq: BigUint,
+    /// `L_p(g^{p-1} mod p²)⁻¹ mod p`.
+    hp: BigUint,
+    /// `L_q(g^{q-1} mod q²)⁻¹ mod q`.
+    hq: BigUint,
+    /// `n mod p·(p-1)`: reduced exponent for `rⁿ mod p²`.
+    n_mod_ord_pp: BigUint,
+    /// `n mod q·(q-1)`: reduced exponent for `rⁿ mod q²`.
+    n_mod_ord_qq: BigUint,
+}
+
+/// Paillier private key. Cheap to clone (internally reference-counted).
+#[derive(Clone)]
+pub struct PrivateKey(Arc<SkInner>);
+
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateKey").field("bits", &self.0.public.bits()).finish()
+    }
+}
+
+impl PrivateKey {
+    /// The matching public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.0.public
+    }
+
+    /// Decrypts a raw cipher to its encoded plaintext in `[0, n)`.
+    ///
+    /// Uses the CRT split over `p²` / `q²`: two half-size exponentiations
+    /// instead of one full-size one.
+    pub fn decrypt_raw(&self, c: &RawCipher) -> BigUint {
+        let sk = &*self.0;
+        let p_minus_1 = &sk.p - BigUint::one();
+        let q_minus_1 = &sk.q - BigUint::one();
+        let mp = (l_function(&(c % &sk.pp).modpow(&p_minus_1, &sk.pp), &sk.p) * &sk.hp) % &sk.p;
+        let mq = (l_function(&(c % &sk.qq).modpow(&q_minus_1, &sk.qq), &sk.q) * &sk.hq) % &sk.q;
+        crt_combine(&mp, &mq, &sk.p, &sk.p_inv_q, &sk.q) % sk.public.n()
+    }
+
+    /// Fast encryption using the CRT: computes `rⁿ mod n²` as two half-size
+    /// exponentiations with reduced exponents. Only the private-key holder
+    /// can do this — in the protocol that is always Party B.
+    pub fn encrypt_raw<R: Rng + ?Sized>(&self, v: &BigUint, rng: &mut R) -> RawCipher {
+        let rn = self.random_rn_crt(rng);
+        self.0.public.encrypt_raw_with_rn(v, &rn)
+    }
+
+    /// Draws `r` and computes `rⁿ mod n²` via the CRT.
+    pub fn random_rn_crt<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        let sk = &*self.0;
+        let r = rng.gen_biguint_range(&BigUint::one(), sk.public.n());
+        let rp = (&r % &sk.pp).modpow(&sk.n_mod_ord_pp, &sk.pp);
+        let rq = (&r % &sk.qq).modpow(&sk.n_mod_ord_qq, &sk.qq);
+        crt_combine(&rp, &rq, &sk.pp, &sk.pp_inv_qq, &sk.qq) % sk.public.nn()
+    }
+}
+
+/// A freshly generated Paillier key pair.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    /// Public half (shared with every host party).
+    pub public: PublicKey,
+    /// Private half (kept by the label owner, Party B).
+    pub private: PrivateKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair with an `S = bits`-bit modulus using entropy
+    /// from `rng`.
+    ///
+    /// The paper recommends `S = 2048` for production; tests and scaled
+    /// experiments use smaller moduli.
+    pub fn generate_with_rng<R: Rng + ?Sized>(bits: u64, rng: &mut R) -> Result<KeyPair> {
+        if bits < 64 {
+            return Err(CryptoError::KeyGeneration(format!(
+                "modulus must be at least 64 bits, got {bits}"
+            )));
+        }
+        let half = bits / 2;
+        loop {
+            let p = gen_prime(half, rng);
+            let q = gen_prime(bits - half, rng);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            if n.bits() != bits {
+                continue;
+            }
+            let phi = (&p - BigUint::one()) * (&q - BigUint::one());
+            if !n.gcd(&phi).is_one() {
+                continue;
+            }
+            let public = PublicKey::from_n(n.clone());
+            let pp = &p * &p;
+            let qq = &q * &q;
+            let p_inv_q = match mod_inverse(&p, &q) {
+                Some(v) => v,
+                None => continue,
+            };
+            let pp_inv_qq = match mod_inverse(&pp, &qq) {
+                Some(v) => v,
+                None => continue,
+            };
+            // g = n + 1; hp = L_p(g^{p-1} mod p²)⁻¹ mod p (and likewise hq).
+            let g = &n + BigUint::one();
+            let p_minus_1 = &p - BigUint::one();
+            let q_minus_1 = &q - BigUint::one();
+            let hp_base = l_function(&(&g % &pp).modpow(&p_minus_1, &pp), &p) % &p;
+            let hq_base = l_function(&(&g % &qq).modpow(&q_minus_1, &qq), &q) % &q;
+            let (hp, hq) = match (mod_inverse(&hp_base, &p), mod_inverse(&hq_base, &q)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            let ord_pp = &p * &p_minus_1;
+            let ord_qq = &q * &q_minus_1;
+            let private = PrivateKey(Arc::new(SkInner {
+                public: public.clone(),
+                n_mod_ord_pp: &n % ord_pp,
+                n_mod_ord_qq: &n % ord_qq,
+                p,
+                q,
+                pp,
+                qq,
+                p_inv_q,
+                pp_inv_qq,
+                hp,
+                hq,
+            }));
+            return Ok(KeyPair { public, private });
+        }
+    }
+
+    /// Generates a key pair from a deterministic seed (for reproducible
+    /// experiments and tests).
+    pub fn generate_seeded(bits: u64, seed: u64) -> Result<KeyPair> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::generate_with_rng(bits, &mut rng)
+    }
+}
+
+/// A pool of precomputed obfuscation factors `rⁿ mod n²`.
+///
+/// Computing `rⁿ` dominates encryption cost. The pool precomputes a batch up
+/// front (optionally in parallel) and can stretch it further in *combine*
+/// mode: the product of two pooled factors `(r₁·r₂)ⁿ` is itself a valid
+/// obfuscation factor, so fresh randomness costs one modular multiplication
+/// instead of one exponentiation.
+pub struct RandomnessPool {
+    public: PublicKey,
+    pool: Mutex<Vec<BigUint>>,
+    combine: bool,
+    rng: Mutex<StdRng>,
+}
+
+impl RandomnessPool {
+    /// Precomputes `size` obfuscation factors. When `combine` is true the
+    /// pool never exhausts: it recombines pooled entries pairwise.
+    pub fn new(private: &PrivateKey, size: usize, combine: bool, seed: u64) -> Self {
+        use rayon::prelude::*;
+        let seeds: Vec<u64> = (0..size as u64).map(|i| seed.wrapping_add(i)).collect();
+        let pool: Vec<BigUint> = seeds
+            .par_iter()
+            .map(|&s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                private.random_rn_crt(&mut rng)
+            })
+            .collect();
+        RandomnessPool {
+            public: private.public().clone(),
+            pool: Mutex::new(pool),
+            combine,
+            rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15)),
+        }
+    }
+
+    /// Returns the next obfuscation factor.
+    ///
+    /// Panics if the pool is exhausted and combine mode is off.
+    pub fn next_rn(&self) -> BigUint {
+        let mut pool = self.pool.lock();
+        if !self.combine {
+            return pool.pop().expect("randomness pool exhausted (combine mode is off)");
+        }
+        let len = pool.len();
+        assert!(len >= 2, "combine mode needs at least two pooled factors");
+        let mut rng = self.rng.lock();
+        let i = rng.gen_range(0..len);
+        let j = (i + 1 + rng.gen_range(0..len - 1)) % len;
+        let combined = (&pool[i] * &pool[j]) % self.public.nn();
+        // Refresh the pool in place so repeated draws keep mixing.
+        pool[i] = combined.clone();
+        combined
+    }
+
+    /// Number of factors currently pooled.
+    pub fn len(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    /// True if no factors remain.
+    pub fn is_empty(&self) -> bool {
+        self.pool.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypair() -> KeyPair {
+        KeyPair::generate_seeded(256, 42).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(7);
+        for v in [0u64, 1, 2, 1234567, u64::MAX] {
+            let v = BigUint::from(v);
+            let c = kp.public.encrypt_raw(&v, &mut rng);
+            assert_eq!(kp.private.decrypt_raw(&c), v);
+        }
+    }
+
+    #[test]
+    fn crt_encryption_matches_plain_encryption_semantics() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = BigUint::from(987_654_321u64);
+        let c = kp.private.encrypt_raw(&v, &mut rng);
+        assert_eq!(kp.private.decrypt_raw(&c), v);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = BigUint::from(111u64);
+        let b = BigUint::from(222u64);
+        let ca = kp.public.encrypt_raw(&a, &mut rng);
+        let cb = kp.public.encrypt_raw(&b, &mut rng);
+        let sum = kp.public.add_raw(&ca, &cb);
+        assert_eq!(kp.private.decrypt_raw(&sum), BigUint::from(333u64));
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(10);
+        let v = BigUint::from(41u64);
+        let c = kp.public.encrypt_raw(&v, &mut rng);
+        let scaled = kp.public.mul_raw(&c, &BigUint::from(3u64));
+        assert_eq!(kp.private.decrypt_raw(&scaled), BigUint::from(123u64));
+    }
+
+    #[test]
+    fn negation_wraps_modulo_n() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(11);
+        let v = BigUint::from(5u64);
+        let c = kp.public.encrypt_raw(&v, &mut rng);
+        let neg = kp.public.neg_raw(&c);
+        let dec = kp.private.decrypt_raw(&neg);
+        assert_eq!(dec, kp.public.n() - BigUint::from(5u64));
+    }
+
+    #[test]
+    fn zero_raw_is_additive_identity() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(12);
+        let v = BigUint::from(77u64);
+        let c = kp.public.encrypt_raw(&v, &mut rng);
+        let sum = kp.public.add_raw(&c, &kp.public.zero_raw());
+        assert_eq!(kp.private.decrypt_raw(&sum), v);
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(13);
+        let v = BigUint::from(5u64);
+        let c1 = kp.public.encrypt_raw(&v, &mut rng);
+        let c2 = kp.public.encrypt_raw(&v, &mut rng);
+        assert_ne!(c1, c2, "two encryptions of the same value must differ");
+    }
+
+    #[test]
+    fn randomness_pool_combine_mode_never_exhausts() {
+        let kp = keypair();
+        let pool = RandomnessPool::new(&kp.private, 4, true, 99);
+        for _ in 0..64 {
+            let rn = pool.next_rn();
+            let c = kp.public.encrypt_raw_with_rn(&BigUint::from(9u64), &rn);
+            assert_eq!(kp.private.decrypt_raw(&c), BigUint::from(9u64));
+        }
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn keygen_rejects_tiny_moduli() {
+        assert!(KeyPair::generate_seeded(32, 1).is_err());
+    }
+
+    #[test]
+    fn cipher_bytes_matches_two_s_bits() {
+        let kp = keypair();
+        assert_eq!(kp.public.cipher_bytes(), 64); // 2 * 256 bits = 64 bytes
+    }
+}

@@ -1,0 +1,659 @@
+//! The unified cipher suite: one API over real Paillier cryptography and a
+//! plaintext mock.
+//!
+//! The federated protocol code in `vf2boost-core` is written once against
+//! [`Suite`]. Selecting [`SuiteKind::Paillier`] yields the real system;
+//! [`SuiteKind::Plain`] yields the paper's **VF-MOCK** baseline — identical
+//! message flow and operation *counts*, but plaintext arithmetic — which
+//! isolates protocol overhead from cryptography overhead (§6.3, Table 4).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::counters::OpCounters;
+use crate::encnum::EncryptedNumber;
+use crate::encoding::{EncodedNumber, EncodingConfig};
+use crate::error::{CryptoError, Result};
+use crate::packing::{pack_ciphers, unpack_plaintext, PackingPlan};
+use crate::paillier::{KeyPair, PrivateKey, PublicKey, RawCipher};
+
+/// Which cryptography backs a [`Suite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// Real Paillier homomorphic encryption.
+    Paillier,
+    /// Plaintext passthrough (the VF-MOCK baseline).
+    Plain,
+}
+
+/// A mock "cipher": the plaintext value tagged with the exponent it would
+/// have carried, so that exponent-alignment logic (and its counters) behave
+/// identically to the Paillier path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlainNumber {
+    /// The carried value.
+    pub value: f64,
+    /// The exponent the encoding would have used.
+    pub exponent: i32,
+}
+
+/// A value under the suite's (possibly mock) encryption.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ciphertext {
+    /// Real Paillier cipher.
+    Paillier(EncryptedNumber),
+    /// Plaintext mock.
+    Plain(PlainNumber),
+}
+
+impl Ciphertext {
+    /// The fixed-point exponent this cipher carries.
+    pub fn exponent(&self) -> i32 {
+        match self {
+            Ciphertext::Paillier(e) => e.exponent,
+            Ciphertext::Plain(p) => p.exponent,
+        }
+    }
+}
+
+/// A packed run of cipher slots (paper §5.2), or its mock equivalent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackedCiphertext {
+    /// One Paillier cipher holding `count` slots of `slot_bits` bits at a
+    /// common `exponent`.
+    Paillier {
+        /// The packed cipher.
+        cipher: RawCipher,
+        /// Common fixed-point exponent of every slot.
+        exponent: i32,
+        /// Number of occupied slots.
+        count: usize,
+        /// Slot width in bits.
+        slot_bits: u32,
+    },
+    /// Mock: the slot values in the clear.
+    Plain(Vec<f64>),
+}
+
+impl PackedCiphertext {
+    /// Number of values held.
+    pub fn count(&self) -> usize {
+        match self {
+            PackedCiphertext::Paillier { count, .. } => *count,
+            PackedCiphertext::Plain(v) => v.len(),
+        }
+    }
+}
+
+struct SuiteInner {
+    kind: SuiteKind,
+    pk: Option<PublicKey>,
+    sk: Option<PrivateKey>,
+    cfg: EncodingConfig,
+    counters: Arc<OpCounters>,
+    /// Cached full-size encryption of zero (see [`Suite::zero_obfuscated`]).
+    cached_zero: parking_lot::Mutex<Option<num_bigint::BigUint>>,
+}
+
+/// The cipher suite handed to each party.
+///
+/// Cheap to clone. Party B's suite holds the private key; host parties hold
+/// only the public key (their clone is produced by [`Suite::public_half`]).
+#[derive(Clone)]
+pub struct Suite(Arc<SuiteInner>);
+
+impl std::fmt::Debug for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Suite")
+            .field("kind", &self.0.kind)
+            .field("has_sk", &self.0.sk.is_some())
+            .finish()
+    }
+}
+
+impl Suite {
+    /// A full Paillier suite (public + private key) for the label owner.
+    pub fn paillier(keys: KeyPair, cfg: EncodingConfig) -> Suite {
+        Suite(Arc::new(SuiteInner {
+            kind: SuiteKind::Paillier,
+            pk: Some(keys.public),
+            sk: Some(keys.private),
+            cfg,
+            counters: OpCounters::new_shared(),
+            cached_zero: parking_lot::Mutex::new(None),
+        }))
+    }
+
+    /// A plaintext mock suite (the VF-MOCK baseline).
+    pub fn plain(cfg: EncodingConfig) -> Suite {
+        Suite(Arc::new(SuiteInner {
+            kind: SuiteKind::Plain,
+            pk: None,
+            sk: None,
+            cfg,
+            counters: OpCounters::new_shared(),
+            cached_zero: parking_lot::Mutex::new(None),
+        }))
+    }
+
+    /// Generates a Paillier suite from a seed (convenience for tests and
+    /// experiments).
+    pub fn paillier_seeded(bits: u64, seed: u64, cfg: EncodingConfig) -> Result<Suite> {
+        Ok(Self::paillier(KeyPair::generate_seeded(bits, seed)?, cfg))
+    }
+
+    /// The public-only view shared with host parties: same kind, same
+    /// encoding, same counters object is **not** shared (each party counts
+    /// its own operations).
+    pub fn public_half(&self) -> Suite {
+        Suite(Arc::new(SuiteInner {
+            kind: self.0.kind,
+            pk: self.0.pk.clone(),
+            sk: None,
+            cfg: self.0.cfg,
+            counters: OpCounters::new_shared(),
+            cached_zero: parking_lot::Mutex::new(None),
+        }))
+    }
+
+    /// Which backend this suite uses.
+    pub fn kind(&self) -> SuiteKind {
+        self.0.kind
+    }
+
+    /// The encoding configuration.
+    pub fn encoding(&self) -> &EncodingConfig {
+        &self.0.cfg
+    }
+
+    /// The operation counters for this party.
+    pub fn counters(&self) -> &Arc<OpCounters> {
+        &self.0.counters
+    }
+
+    /// The public key (Paillier suites only).
+    pub fn public_key(&self) -> Option<&PublicKey> {
+        self.0.pk.as_ref()
+    }
+
+    /// True when this suite can decrypt.
+    pub fn can_decrypt(&self) -> bool {
+        matches!(self.0.kind, SuiteKind::Plain) || self.0.sk.is_some()
+    }
+
+    fn pk(&self) -> &PublicKey {
+        self.0.pk.as_ref().expect("Paillier suite carries a public key")
+    }
+
+    fn sk(&self) -> Result<&PrivateKey> {
+        self.0.sk.as_ref().ok_or(CryptoError::MissingPrivateKey)
+    }
+
+    /// Encrypts `v` at a jittered exponent.
+    pub fn encrypt<R: Rng + ?Sized>(&self, v: f64, rng: &mut R) -> Result<Ciphertext> {
+        match self.0.kind {
+            SuiteKind::Paillier => Ok(Ciphertext::Paillier(EncryptedNumber::encrypt(
+                v,
+                self.sk()?,
+                &self.0.cfg,
+                rng,
+                &self.0.counters,
+            )?)),
+            SuiteKind::Plain => {
+                self.0.counters.add_enc(1);
+                Ok(Ciphertext::Plain(PlainNumber {
+                    value: v,
+                    exponent: self.0.cfg.draw_exponent(rng),
+                }))
+            }
+        }
+    }
+
+    /// Encrypts `v` at a fixed exponent (no jitter).
+    pub fn encrypt_at<R: Rng + ?Sized>(
+        &self,
+        v: f64,
+        exponent: i32,
+        rng: &mut R,
+    ) -> Result<Ciphertext> {
+        match self.0.kind {
+            SuiteKind::Paillier => Ok(Ciphertext::Paillier(EncryptedNumber::encrypt_at(
+                v,
+                exponent,
+                self.sk()?,
+                &self.0.cfg,
+                rng,
+                &self.0.counters,
+            )?)),
+            SuiteKind::Plain => {
+                self.0.counters.add_enc(1);
+                Ok(Ciphertext::Plain(PlainNumber { value: v, exponent }))
+            }
+        }
+    }
+
+    /// Encrypts a batch sequentially on the calling thread (same
+    /// per-element derivation as [`Suite::encrypt_batch`], so the two are
+    /// interchangeable bit-for-bit).
+    pub fn encrypt_batch_seq(&self, values: &[f64], seed: u64) -> Result<Vec<Ciphertext>> {
+        match self.0.kind {
+            SuiteKind::Paillier => {
+                let sk = self.sk()?;
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                        Ok(Ciphertext::Paillier(EncryptedNumber::encrypt(
+                            v,
+                            sk,
+                            &self.0.cfg,
+                            &mut rng,
+                            &self.0.counters,
+                        )?))
+                    })
+                    .collect()
+            }
+            SuiteKind::Plain => self.encrypt_batch(values, seed),
+        }
+    }
+
+    /// Encrypts a batch in parallel (rayon), deterministically derived from
+    /// `seed`. This is the encryption kernel of the blaster scheme.
+    pub fn encrypt_batch(&self, values: &[f64], seed: u64) -> Result<Vec<Ciphertext>> {
+        use rayon::prelude::*;
+        match self.0.kind {
+            SuiteKind::Paillier => {
+                let sk = self.sk()?.clone();
+                let cfg = self.0.cfg;
+                let out: Result<Vec<Ciphertext>> = values
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                        Ok(Ciphertext::Paillier(EncryptedNumber::encrypt(
+                            v,
+                            &sk,
+                            &cfg,
+                            &mut rng,
+                            &self.0.counters,
+                        )?))
+                    })
+                    .collect();
+                out
+            }
+            SuiteKind::Plain => {
+                self.0.counters.add_enc(values.len() as u64);
+                let mut rng = StdRng::seed_from_u64(seed);
+                Ok(values
+                    .iter()
+                    .map(|&v| {
+                        Ciphertext::Plain(PlainNumber {
+                            value: v,
+                            exponent: self.0.cfg.draw_exponent(&mut rng),
+                        })
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Decrypts a cipher to a float (requires the private key in Paillier
+    /// mode).
+    pub fn decrypt(&self, c: &Ciphertext) -> Result<f64> {
+        match (self.0.kind, c) {
+            (SuiteKind::Paillier, Ciphertext::Paillier(e)) => {
+                e.decrypt(self.sk()?, &self.0.cfg, &self.0.counters)
+            }
+            (SuiteKind::Plain, Ciphertext::Plain(p)) => {
+                self.0.counters.add_dec(1);
+                Ok(p.value)
+            }
+            _ => Err(CryptoError::SuiteMismatch),
+        }
+    }
+
+    /// Additive identity at the given exponent.
+    pub fn zero(&self, exponent: i32) -> Ciphertext {
+        match self.0.kind {
+            SuiteKind::Paillier => Ciphertext::Paillier(EncryptedNumber::zero(exponent, self.pk())),
+            SuiteKind::Plain => Ciphertext::Plain(PlainNumber { value: 0.0, exponent }),
+        }
+    }
+
+    /// A **full-size** encryption of zero at the given exponent.
+    ///
+    /// [`Suite::zero`] returns the trivial cipher `1`, which serializes to
+    /// a single byte — fine for arithmetic but dishonest as a wire object
+    /// (a real deployment obfuscates everything it ships, and an empty
+    /// histogram bin must be indistinguishable in *size* from a full one).
+    /// The obfuscation factor `rⁿ` is computed once per suite and cached:
+    /// `rⁿ mod n²` is itself a valid encryption of zero.
+    pub fn zero_obfuscated(&self, exponent: i32) -> Ciphertext {
+        match self.0.kind {
+            SuiteKind::Plain => self.zero(exponent),
+            SuiteKind::Paillier => {
+                let pk = self.pk();
+                let mut cached = self.0.cached_zero.lock();
+                let cipher = cached
+                    .get_or_insert_with(|| {
+                        let mut rng = StdRng::seed_from_u64(0x5eed_0bf0_5eed_0bf0);
+                        pk.random_rn(&mut rng)
+                    })
+                    .clone();
+                Ciphertext::Paillier(EncryptedNumber { cipher, exponent })
+            }
+        }
+    }
+
+    /// Exponent-aware homomorphic addition (scales if exponents differ).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        match (a, b) {
+            (Ciphertext::Paillier(x), Ciphertext::Paillier(y)) => Ok(Ciphertext::Paillier(
+                x.add(y, self.pk(), &self.0.cfg, &self.0.counters),
+            )),
+            (Ciphertext::Plain(x), Ciphertext::Plain(y)) => {
+                if x.exponent != y.exponent {
+                    self.0.counters.add_scaling(1);
+                }
+                self.0.counters.add_hadd(1);
+                Ok(Ciphertext::Plain(PlainNumber {
+                    value: x.value + y.value,
+                    exponent: x.exponent.max(y.exponent),
+                }))
+            }
+            _ => Err(CryptoError::SuiteMismatch),
+        }
+    }
+
+    /// In-place same-exponent addition (the histogram hot path).
+    pub fn add_assign_same_exp(&self, acc: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
+        match (acc, b) {
+            (Ciphertext::Paillier(x), Ciphertext::Paillier(y)) => {
+                x.add_assign_same_exp(y, self.pk(), &self.0.counters);
+                Ok(())
+            }
+            (Ciphertext::Plain(x), Ciphertext::Plain(y)) => {
+                debug_assert_eq!(x.exponent, y.exponent);
+                self.0.counters.add_hadd(1);
+                x.value += y.value;
+                Ok(())
+            }
+            _ => Err(CryptoError::SuiteMismatch),
+        }
+    }
+
+    /// Adds a plaintext constant to a cipher without fresh randomness
+    /// (`⟦V⟧ · gᵏ mod n²`). Used to shift histogram bins positive before
+    /// packing; costs one modular multiplication.
+    pub fn add_plain(&self, c: &Ciphertext, v: f64) -> Result<Ciphertext> {
+        match c {
+            Ciphertext::Paillier(e) => {
+                let pk = self.pk();
+                let encoded = EncodedNumber::encode(v, e.exponent, &self.0.cfg, pk)?;
+                self.0.counters.add_hadd(1);
+                let gv = pk.encrypt_raw_with_rn(&encoded.mantissa, &pk.zero_raw());
+                Ok(Ciphertext::Paillier(EncryptedNumber {
+                    cipher: pk.add_raw(&e.cipher, &gv),
+                    exponent: e.exponent,
+                }))
+            }
+            Ciphertext::Plain(p) => {
+                self.0.counters.add_hadd(1);
+                Ok(Ciphertext::Plain(PlainNumber { value: p.value + v, exponent: p.exponent }))
+            }
+        }
+    }
+
+    /// Rescales a cipher to a (larger) exponent.
+    pub fn rescale_to(&self, c: &Ciphertext, target: i32) -> Ciphertext {
+        match c {
+            Ciphertext::Paillier(e) => Ciphertext::Paillier(e.rescale_to(
+                target,
+                self.pk(),
+                &self.0.cfg,
+                &self.0.counters,
+            )),
+            Ciphertext::Plain(p) => {
+                if target != p.exponent {
+                    self.0.counters.add_scaling(1);
+                }
+                Ciphertext::Plain(PlainNumber { value: p.value, exponent: target })
+            }
+        }
+    }
+
+    /// Packs slot ciphers into one packed cipher (paper §5.2).
+    ///
+    /// All slots are first normalized to their maximum exponent. In Paillier
+    /// mode every slot plaintext must be non-negative and below
+    /// `2^slot_bits` *after* encoding — callers are responsible for shifting
+    /// (see `vf2boost-core::packing`).
+    pub fn pack(&self, slots: &[Ciphertext], plan: &PackingPlan) -> Result<PackedCiphertext> {
+        if slots.is_empty() {
+            return Err(CryptoError::PackingCapacity { requested: 0, max: plan.slots });
+        }
+        match self.0.kind {
+            SuiteKind::Paillier => {
+                let max_exp = slots.iter().map(Ciphertext::exponent).max().expect("non-empty");
+                let raws: Result<Vec<RawCipher>> = slots
+                    .iter()
+                    .map(|c| match c {
+                        Ciphertext::Paillier(e) => Ok(e
+                            .rescale_to(max_exp, self.pk(), &self.0.cfg, &self.0.counters)
+                            .cipher),
+                        Ciphertext::Plain(_) => Err(CryptoError::SuiteMismatch),
+                    })
+                    .collect();
+                let packed = pack_ciphers(&raws?, plan, self.pk(), &self.0.counters)?;
+                Ok(PackedCiphertext::Paillier {
+                    cipher: packed,
+                    exponent: max_exp,
+                    count: slots.len(),
+                    slot_bits: plan.slot_bits,
+                })
+            }
+            SuiteKind::Plain => {
+                self.0.counters.add_pack(1);
+                self.0.counters.add_hadd(slots.len().saturating_sub(1) as u64);
+                self.0.counters.add_smul(slots.len().saturating_sub(1) as u64);
+                let values: Result<Vec<f64>> = slots
+                    .iter()
+                    .map(|c| match c {
+                        Ciphertext::Plain(p) => Ok(p.value),
+                        Ciphertext::Paillier(_) => Err(CryptoError::SuiteMismatch),
+                    })
+                    .collect();
+                Ok(PackedCiphertext::Plain(values?))
+            }
+        }
+    }
+
+    /// Decrypts a packed cipher and returns the slot values (still shifted;
+    /// the caller subtracts the packing shift). One decryption recovers all
+    /// slots.
+    pub fn unpack_decrypt(&self, packed: &PackedCiphertext) -> Result<Vec<f64>> {
+        match packed {
+            PackedCiphertext::Paillier { cipher, exponent, count, slot_bits } => {
+                let sk = self.sk()?;
+                self.0.counters.add_dec(1);
+                let plain = sk.decrypt_raw(cipher);
+                let plan = PackingPlan { slot_bits: *slot_bits, slots: *count };
+                let scale = self.0.cfg.base_pow_f64(*exponent);
+                Ok(unpack_plaintext(&plain, &plan, *count)
+                    .into_iter()
+                    .map(|v| biguint_to_f64(&v) / scale)
+                    .collect())
+            }
+            PackedCiphertext::Plain(values) => {
+                self.0.counters.add_dec(1);
+                Ok(values.clone())
+            }
+        }
+    }
+
+    /// Serialized wire size in bytes of one cipher (drives the WAN model).
+    pub fn cipher_wire_bytes(&self) -> usize {
+        match self.0.kind {
+            // 2S-bit cipher + 4-byte exponent tag.
+            SuiteKind::Paillier => self.pk().cipher_bytes() + 4,
+            // f64 + exponent tag.
+            SuiteKind::Plain => 12,
+        }
+    }
+
+    /// Serialized wire size in bytes of one packed cipher.
+    pub fn packed_wire_bytes(&self, packed: &PackedCiphertext) -> usize {
+        match packed {
+            PackedCiphertext::Paillier { .. } => self.pk().cipher_bytes() + 16,
+            PackedCiphertext::Plain(values) => 8 * values.len() + 8,
+        }
+    }
+}
+
+fn biguint_to_f64(v: &num_bigint::BigUint) -> f64 {
+    use num_traits::ToPrimitive;
+    v.to_f64().unwrap_or(f64::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paillier_suite() -> Suite {
+        Suite::paillier_seeded(384, 42, EncodingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn paillier_suite_round_trip() {
+        let s = paillier_suite();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = s.encrypt(-2.75, &mut rng).unwrap();
+        assert!((s.decrypt(&c).unwrap() + 2.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plain_suite_round_trip() {
+        let s = Suite::plain(EncodingConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = s.encrypt(3.5, &mut rng).unwrap();
+        assert_eq!(s.decrypt(&c).unwrap(), 3.5);
+        assert_eq!(s.counters().snapshot().enc, 1);
+    }
+
+    #[test]
+    fn public_half_cannot_decrypt() {
+        let s = paillier_suite();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = s.encrypt(1.0, &mut rng).unwrap();
+        let host = s.public_half();
+        assert!(!host.can_decrypt());
+        assert!(matches!(host.decrypt(&c), Err(CryptoError::MissingPrivateKey)));
+    }
+
+    #[test]
+    fn host_can_accumulate_what_guest_decrypts() {
+        let guest = paillier_suite();
+        let host = guest.public_half();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = guest.encrypt_at(1.5, 10, &mut rng).unwrap();
+        let b = guest.encrypt_at(2.25, 10, &mut rng).unwrap();
+        let sum = host.add(&a, &b).unwrap();
+        assert!((guest.decrypt(&sum).unwrap() - 3.75).abs() < 1e-9);
+        // The host performed the addition, and its counters saw it.
+        assert_eq!(host.counters().snapshot().hadd, 1);
+        assert_eq!(guest.counters().snapshot().hadd, 0);
+    }
+
+    #[test]
+    fn add_plain_shifts_value() {
+        let s = paillier_suite();
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = s.encrypt_at(-0.5, 10, &mut rng).unwrap();
+        let shifted = s.add_plain(&c, 100.0).unwrap();
+        assert!((s.decrypt(&shifted).unwrap() - 99.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pack_and_unpack_positive_slots() {
+        let s = paillier_suite();
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = PackingPlan::new(s.public_key().unwrap(), 64, 3).unwrap();
+        // Positive values at a common exponent, as after shift+prefix-sum.
+        let slots: Vec<Ciphertext> = [1.5, 2.25, 100.0]
+            .iter()
+            .map(|&v| s.encrypt_at(v, 10, &mut rng).unwrap())
+            .collect();
+        let packed = s.pack(&slots, &plan).unwrap();
+        let values = s.unpack_decrypt(&packed).unwrap();
+        assert_eq!(values.len(), 3);
+        for (got, want) in values.iter().zip([1.5, 2.25, 100.0]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn pack_normalizes_mixed_exponents() {
+        let s = paillier_suite();
+        let mut rng = StdRng::seed_from_u64(6);
+        let plan = PackingPlan::new(s.public_key().unwrap(), 64, 2).unwrap();
+        let slots = vec![
+            s.encrypt_at(3.0, 10, &mut rng).unwrap(),
+            s.encrypt_at(4.0, 12, &mut rng).unwrap(),
+        ];
+        let packed = s.pack(&slots, &plan).unwrap();
+        let values = s.unpack_decrypt(&packed).unwrap();
+        assert!((values[0] - 3.0).abs() < 1e-6);
+        assert!((values[1] - 4.0).abs() < 1e-6);
+        assert!(s.counters().snapshot().scalings >= 1);
+    }
+
+    #[test]
+    fn plain_packing_mirrors_counts() {
+        let s = Suite::plain(EncodingConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let plan = PackingPlan { slot_bits: 64, slots: 4 };
+        let slots: Vec<Ciphertext> =
+            (0..4).map(|i| s.encrypt_at(i as f64, 10, &mut rng).unwrap()).collect();
+        let packed = s.pack(&slots, &plan).unwrap();
+        assert_eq!(s.unpack_decrypt(&packed).unwrap(), vec![0.0, 1.0, 2.0, 3.0]);
+        let snap = s.counters().snapshot();
+        assert_eq!(snap.packs, 1);
+        assert_eq!(snap.hadd, 3);
+        assert_eq!(snap.smul, 3);
+    }
+
+    #[test]
+    fn wire_sizes_reflect_key_size() {
+        let s = paillier_suite();
+        assert_eq!(s.cipher_wire_bytes(), 2 * 384 / 8 + 4);
+        let plain = Suite::plain(EncodingConfig::default());
+        assert_eq!(plain.cipher_wire_bytes(), 12);
+    }
+
+    #[test]
+    fn mixing_suites_is_an_error() {
+        let p = paillier_suite();
+        let m = Suite::plain(EncodingConfig::default());
+        let mut rng = StdRng::seed_from_u64(8);
+        let cp = p.encrypt(1.0, &mut rng).unwrap();
+        let cm = m.encrypt(1.0, &mut rng).unwrap();
+        assert!(matches!(p.add(&cp, &cm), Err(CryptoError::SuiteMismatch)));
+    }
+
+    #[test]
+    fn encrypt_batch_is_deterministic_given_seed() {
+        let s = paillier_suite();
+        let values = [0.5, -0.5, 0.25];
+        let a = s.encrypt_batch(&values, 99).unwrap();
+        let b = s.encrypt_batch(&values, 99).unwrap();
+        assert_eq!(a, b);
+        for (c, want) in a.iter().zip(values) {
+            assert!((s.decrypt(c).unwrap() - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Vertical partitioning: slicing a co-located dataset into per-party views.
+//!
+//! Vertical FL assumes the parties' instance sets have already been aligned
+//! (the paper preprocesses with private set intersection, §6.1); what
+//! remains is a column partition. Host parties (the paper's *Party A*'s)
+//! receive feature slices without labels; the guest (*Party B*) receives
+//! its slice plus the labels.
+
+use vf2_gbdt::data::Dataset;
+
+/// A complete vertical-FL scenario: host feature slices, the guest slice,
+/// and the co-located original for baseline comparisons.
+#[derive(Debug, Clone)]
+pub struct VerticalScenario {
+    /// Host parties' datasets (no labels), in party order.
+    pub hosts: Vec<Dataset>,
+    /// The guest's dataset (labels included).
+    pub guest: Dataset,
+    /// For each original feature index, `(party, local_index)` where party
+    /// `0..hosts.len()` is a host and `hosts.len()` is the guest.
+    pub feature_map: Vec<(usize, usize)>,
+}
+
+impl VerticalScenario {
+    /// Total parties (hosts + guest).
+    pub fn num_parties(&self) -> usize {
+        self.hosts.len() + 1
+    }
+}
+
+/// Splits `data` vertically: `host_counts[i]` features go to host `i` (in
+/// index order), the remainder to the guest. Labels stay with the guest.
+///
+/// # Panics
+/// If the host counts exceed the feature count or the data has no labels.
+pub fn split_vertical(data: &Dataset, host_counts: &[usize]) -> VerticalScenario {
+    assert!(data.labels().is_some(), "vertical scenarios need labels on the guest");
+    let total_hosts: usize = host_counts.iter().sum();
+    assert!(
+        total_hosts < data.num_features(),
+        "hosts take {total_hosts} of {} features, leaving none for the guest",
+        data.num_features()
+    );
+    let mut feature_map = vec![(0usize, 0usize); data.num_features()];
+    let mut hosts = Vec::with_capacity(host_counts.len());
+    let mut next = 0usize;
+    for (party, &count) in host_counts.iter().enumerate() {
+        let features: Vec<usize> = (next..next + count).collect();
+        for (local, &f) in features.iter().enumerate() {
+            feature_map[f] = (party, local);
+        }
+        hosts.push(data.select_features(&features, false));
+        next += count;
+    }
+    let guest_features: Vec<usize> = (next..data.num_features()).collect();
+    for (local, &f) in guest_features.iter().enumerate() {
+        feature_map[f] = (host_counts.len(), local);
+    }
+    let guest = data.select_features(&guest_features, true);
+    VerticalScenario { hosts, guest, feature_map }
+}
+
+/// Splits features evenly among `num_parties` parties (the last party is
+/// the guest), the layout of the paper's multi-party experiment (Table 6).
+pub fn split_even(data: &Dataset, num_parties: usize) -> VerticalScenario {
+    assert!(num_parties >= 2, "need at least one host and the guest");
+    let per = data.num_features() / num_parties;
+    assert!(per >= 1, "not enough features for {num_parties} parties");
+    let host_counts = vec![per; num_parties - 1];
+    split_vertical(data, &host_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_classification, SyntheticConfig};
+
+    fn data() -> Dataset {
+        generate_classification(&SyntheticConfig {
+            rows: 100,
+            features: 10,
+            density: 1.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn two_party_split_shapes() {
+        let d = data();
+        let s = split_vertical(&d, &[6]);
+        assert_eq!(s.num_parties(), 2);
+        assert_eq!(s.hosts[0].num_features(), 6);
+        assert_eq!(s.guest.num_features(), 4);
+        assert!(s.hosts[0].labels().is_none());
+        assert!(s.guest.labels().is_some());
+    }
+
+    #[test]
+    fn columns_are_preserved_exactly() {
+        let d = data();
+        let s = split_vertical(&d, &[6]);
+        for f in 0..10 {
+            let (party, local) = s.feature_map[f];
+            let col = if party == 0 { s.hosts[0].column(local) } else { s.guest.column(local) };
+            assert_eq!(col, d.column(f), "feature {f}");
+        }
+    }
+
+    #[test]
+    fn multi_party_even_split() {
+        let d = data();
+        let s = split_even(&d, 4);
+        assert_eq!(s.hosts.len(), 3);
+        assert!(s.hosts.iter().all(|h| h.num_features() == 2));
+        assert_eq!(s.guest.num_features(), 4); // remainder goes to the guest
+    }
+
+    #[test]
+    fn labels_identical_to_source() {
+        let d = data();
+        let s = split_vertical(&d, &[3]);
+        assert_eq!(s.guest.labels().unwrap(), d.labels().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaving none for the guest")]
+    fn hosts_cannot_take_everything() {
+        let d = data();
+        split_vertical(&d, &[10]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Twice-differentiable loss functions and their gradient statistics.
+//!
+//! For every instance GBDT needs the first and second derivative of the
+//! loss w.r.t. the current prediction (paper §2.1): the *gradient* `g` and
+//! *hessian* `h`. The federated protocol additionally relies on the loss
+//! providing **bounds** on `g` and `h` — the histogram packing technique
+//! (§5.2) shifts encrypted bins by `N × Bound` to make them provably
+//! non-negative before packing.
+
+use crate::histogram::GradPair;
+
+/// The supported loss functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossKind {
+    /// Logistic loss for binary classification; predictions are logits.
+    /// `g = σ(ŷ) − y ∈ [−1, 1]`, `h = σ(ŷ)(1 − σ(ŷ)) ∈ [0, ¼]`.
+    Logistic,
+    /// Squared error for regression: `g = ŷ − y`, `h = 1`.
+    ///
+    /// The gradient bound must cover `|ŷ − y|` for packing; callers with
+    /// wider label ranges should raise it.
+    Squared {
+        /// Upper bound on `|g|`, used by histogram packing.
+        grad_bound: f64,
+    },
+}
+
+impl LossKind {
+    /// Squared loss with the default gradient bound.
+    pub fn squared() -> LossKind {
+        LossKind::Squared { grad_bound: 1e3 }
+    }
+
+    /// Loss value for one instance.
+    pub fn loss(&self, y: f32, pred: f64) -> f64 {
+        match self {
+            LossKind::Logistic => {
+                let y = y as f64;
+                // Numerically stable: log(1 + e^{-|x|}) + max(x, 0) - x*y
+                let x = pred;
+                x.max(0.0) - x * y + (-(x.abs())).exp().ln_1p()
+            }
+            LossKind::Squared { .. } => {
+                let d = pred - y as f64;
+                0.5 * d * d
+            }
+        }
+    }
+
+    /// Gradient and hessian for one instance.
+    pub fn grad_hess(&self, y: f32, pred: f64) -> GradPair {
+        match self {
+            LossKind::Logistic => {
+                let p = sigmoid(pred);
+                GradPair { g: p - y as f64, h: (p * (1.0 - p)).max(1e-16) }
+            }
+            LossKind::Squared { .. } => GradPair { g: pred - y as f64, h: 1.0 },
+        }
+    }
+
+    /// Gradient pairs for a whole dataset.
+    pub fn grad_hess_all(&self, labels: &[f32], preds: &[f64]) -> Vec<GradPair> {
+        debug_assert_eq!(labels.len(), preds.len());
+        labels.iter().zip(preds).map(|(&y, &p)| self.grad_hess(y, p)).collect()
+    }
+
+    /// Mean loss over a dataset.
+    pub fn mean_loss(&self, labels: &[f32], preds: &[f64]) -> f64 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = labels.iter().zip(preds).map(|(&y, &p)| self.loss(y, p)).sum();
+        total / labels.len() as f64
+    }
+
+    /// The initial raw prediction (margin) before any tree.
+    pub fn base_score(&self) -> f64 {
+        0.0
+    }
+
+    /// Maps a raw margin to the output scale (probability for logistic).
+    pub fn transform(&self, margin: f64) -> f64 {
+        match self {
+            LossKind::Logistic => sigmoid(margin),
+            LossKind::Squared { .. } => margin,
+        }
+    }
+
+    /// Upper bound on `|g|` (used by packing's shift, §5.2).
+    pub fn grad_bound(&self) -> f64 {
+        match self {
+            LossKind::Logistic => 1.0,
+            LossKind::Squared { grad_bound } => *grad_bound,
+        }
+    }
+
+    /// Upper bound on `h` (hessians are non-negative for convex losses).
+    pub fn hess_bound(&self) -> f64 {
+        match self {
+            LossKind::Logistic => 0.25,
+            LossKind::Squared { .. } => 1.0,
+        }
+    }
+}
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_gradient_signs_encode_labels() {
+        // This is exactly the leak SecureBoost encrypts against (§2.3):
+        // g > 0 ⟺ y = 0 at any prediction.
+        for pred in [-3.0, 0.0, 2.5] {
+            assert!(LossKind::Logistic.grad_hess(0.0, pred).g > 0.0);
+            assert!(LossKind::Logistic.grad_hess(1.0, pred).g < 0.0);
+        }
+    }
+
+    #[test]
+    fn logistic_bounds_hold() {
+        let loss = LossKind::Logistic;
+        for y in [0.0f32, 1.0] {
+            for pred in [-20.0, -1.0, 0.0, 1.0, 20.0] {
+                let gh = loss.grad_hess(y, pred);
+                assert!(gh.g.abs() <= loss.grad_bound());
+                assert!(gh.h > 0.0 && gh.h <= loss.hess_bound());
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_loss_matches_closed_form() {
+        let loss = LossKind::Logistic;
+        let pred = 0.7;
+        let p = sigmoid(pred);
+        assert!((loss.loss(1.0, pred) - (-(p.ln()))).abs() < 1e-12);
+        assert!((loss.loss(0.0, pred) - (-((1.0 - p).ln()))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logistic_loss_stable_at_extremes() {
+        let loss = LossKind::Logistic;
+        assert!(loss.loss(1.0, 500.0).is_finite());
+        assert!(loss.loss(0.0, -500.0).is_finite());
+        assert!(loss.loss(1.0, -500.0) > 100.0);
+    }
+
+    #[test]
+    fn squared_loss_derivatives() {
+        let loss = LossKind::squared();
+        let gh = loss.grad_hess(3.0, 5.0);
+        assert_eq!(gh.g, 2.0);
+        assert_eq!(gh.h, 1.0);
+        assert_eq!(loss.loss(3.0, 5.0), 2.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for x in [0.0, 0.5, 3.0, 30.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(sigmoid(0.0), 0.5);
+    }
+
+    #[test]
+    fn transform_maps_to_probability() {
+        assert_eq!(LossKind::Logistic.transform(0.0), 0.5);
+        assert_eq!(LossKind::squared().transform(2.5), 2.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Evaluation metrics: AUC, log-loss, RMSE, accuracy.
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) formulation,
+/// with average ranks for tied scores. Returns 0.5 when one class is absent.
+pub fn auc(labels: &[f32], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    let n = labels.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+
+    let mut rank_sum_pos = 0.0f64;
+    let mut num_pos = 0u64;
+    let mut i = 0;
+    while i < n {
+        // Group of tied scores gets the average rank (1-based).
+        let mut j = i;
+        while j < n && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            if labels[idx] > 0.5 {
+                rank_sum_pos += avg_rank;
+                num_pos += 1;
+            }
+        }
+        i = j;
+    }
+    let num_neg = n as u64 - num_pos;
+    if num_pos == 0 || num_neg == 0 {
+        return 0.5;
+    }
+    (rank_sum_pos - (num_pos * (num_pos + 1)) as f64 / 2.0) / (num_pos as f64 * num_neg as f64)
+}
+
+/// Mean binary log-loss over probabilities (clamped away from 0/1).
+pub fn logloss(labels: &[f32], probs: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probs.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-15;
+    let total: f64 = labels
+        .iter()
+        .zip(probs)
+        .map(|(&y, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if y > 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(labels: &[f32], preds: &[f64]) -> f64 {
+    assert_eq!(labels.len(), preds.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = labels
+        .iter()
+        .zip(preds)
+        .map(|(&y, &p)| {
+            let d = p - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / labels.len() as f64;
+    mse.sqrt()
+}
+
+/// Fraction of correct binary predictions at threshold 0.5.
+pub fn accuracy(labels: &[f32], probs: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probs.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .zip(probs)
+        .filter(|(&y, &p)| (p >= 0.5) == (y > 0.5))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_auc_one() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!((auc(&labels, &scores) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_auc_zero() {
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!(auc(&labels, &scores).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ties_give_half() {
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        assert!((auc(&labels, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_defaults_to_half() {
+        assert_eq!(auc(&[1.0, 1.0], &[0.3, 0.7]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn auc_known_value_with_partial_ordering() {
+        // One inversion among 2x2: AUC = 3/4.
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        let scores = [0.1, 0.2, 0.3, 0.4];
+        assert!((auc(&labels, &scores) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logloss_of_confident_correct_is_small() {
+        let l = logloss(&[1.0, 0.0], &[0.99, 0.01]);
+        assert!(l < 0.02);
+        let bad = logloss(&[1.0, 0.0], &[0.01, 0.99]);
+        assert!(bad > 4.0);
+    }
+
+    #[test]
+    fn logloss_clamps_extremes() {
+        assert!(logloss(&[1.0], &[0.0]).is_finite());
+        assert!(logloss(&[0.0], &[1.0]).is_finite());
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - (2.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_threshold_half() {
+        let a = accuracy(&[1.0, 0.0, 1.0, 0.0], &[0.9, 0.1, 0.4, 0.6]);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Split finding: turning histograms into the best split (paper §2.1).
+//!
+//! The split gain of partitioning a node's instances `I` into `I_L` / `I_R`
+//! is
+//!
+//! ```text
+//! Gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
+//! ```
+//!
+//! and the optimal leaf weight is `ω* = −G/(H+λ)` (Eq. 1). Candidates are
+//! enumerated over histogram prefix sums; the same prefix-sum enumeration is
+//! reused by Party B over *decrypted* prefix sums coming from Party A's
+//! packed histograms (the packing of §5.2 ships prefix sums directly).
+
+use crate::histogram::{GradPair, Histogram};
+
+/// Regularization and acceptance thresholds for split search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitParams {
+    /// L2 regularization on leaf weights (the paper's `λ`).
+    pub lambda: f64,
+    /// Per-leaf penalty (the paper's `γ`).
+    pub gamma: f64,
+    /// Minimum hessian sum required in each child.
+    pub min_child_weight: f64,
+    /// Minimum gain for a split to be accepted.
+    pub min_split_gain: f64,
+}
+
+impl Default for SplitParams {
+    fn default() -> Self {
+        SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 1e-6, min_split_gain: 1e-9 }
+    }
+}
+
+impl SplitParams {
+    /// The impurity score `G²/(H+λ)` of a node.
+    pub fn impurity(&self, sum: GradPair) -> f64 {
+        sum.g * sum.g / (sum.h + self.lambda)
+    }
+
+    /// Optimal leaf weight `ω* = −G/(H+λ)`.
+    pub fn leaf_weight(&self, sum: GradPair) -> f64 {
+        -sum.g / (sum.h + self.lambda)
+    }
+
+    /// Gain of a concrete left/total partition.
+    pub fn gain(&self, left: GradPair, total: GradPair) -> f64 {
+        let right = total.sub(left);
+        0.5 * (self.impurity(left) + self.impurity(right) - self.impurity(total)) - self.gamma
+    }
+}
+
+/// The best split found for one feature on one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitCandidate {
+    /// Feature index (within the searching party's feature space).
+    pub feature: usize,
+    /// Split bin: instances with `bin ≤ bin` go left.
+    pub bin: u16,
+    /// The split gain.
+    pub gain: f64,
+    /// Gradient statistics of the left child.
+    pub left: GradPair,
+    /// Gradient statistics of the right child.
+    pub right: GradPair,
+}
+
+/// Finds the best split of one feature's histogram, if any candidate
+/// clears the acceptance thresholds.
+pub fn find_best_split(
+    feature: usize,
+    hist: &Histogram,
+    total: GradPair,
+    params: &SplitParams,
+) -> Option<SplitCandidate> {
+    best_split_from_prefix(feature, &hist.prefix_sums(), total, params)
+}
+
+/// Finds the best split from precomputed prefix sums (entry `b` = sum of
+/// bins `0..=b`). The final prefix equals the node total, so only bins
+/// `0..len-1` are candidate split points.
+pub fn best_split_from_prefix(
+    feature: usize,
+    prefix: &[GradPair],
+    total: GradPair,
+    params: &SplitParams,
+) -> Option<SplitCandidate> {
+    let mut best: Option<SplitCandidate> = None;
+    // The last prefix is the whole node: splitting there leaves the right
+    // child empty.
+    for (b, &left) in prefix.iter().enumerate().take(prefix.len().saturating_sub(1)) {
+        let right = total.sub(left);
+        if left.h < params.min_child_weight || right.h < params.min_child_weight {
+            continue;
+        }
+        let gain = params.gain(left, total);
+        if gain <= params.min_split_gain.max(0.0) {
+            continue;
+        }
+        if best.map_or(true, |c| gain > c.gain) {
+            best = Some(SplitCandidate { feature, bin: b as u16, gain, left, right });
+        }
+    }
+    best
+}
+
+/// Picks the best split across many per-feature candidates.
+pub fn best_of(candidates: impl IntoIterator<Item = SplitCandidate>) -> Option<SplitCandidate> {
+    candidates.into_iter().fold(None, |best, c| match best {
+        Some(b) if b.gain >= c.gain => Some(b),
+        _ => Some(c),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bins: &[(f64, f64)]) -> Histogram {
+        Histogram { bins: bins.iter().map(|&(g, h)| GradPair { g, h }).collect() }
+    }
+
+    #[test]
+    fn perfect_separation_is_found() {
+        // Bin 0: all-negative gradients, bin 1: all-positive. Splitting at
+        // bin 0 cleanly separates them.
+        let h = hist(&[(-5.0, 2.0), (5.0, 2.0)]);
+        let total = h.total();
+        let c = find_best_split(3, &h, total, &SplitParams::default()).expect("split exists");
+        assert_eq!(c.feature, 3);
+        assert_eq!(c.bin, 0);
+        assert!(c.gain > 0.0);
+        assert_eq!(c.left, GradPair { g: -5.0, h: 2.0 });
+        assert_eq!(c.right, GradPair { g: 5.0, h: 2.0 });
+    }
+
+    #[test]
+    fn homogeneous_histogram_has_no_split() {
+        // Identical bins ⇒ no gain anywhere.
+        let h = hist(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+        let total = h.total();
+        assert!(find_best_split(0, &h, total, &SplitParams::default()).is_none());
+    }
+
+    #[test]
+    fn gamma_suppresses_marginal_splits() {
+        let h = hist(&[(-5.0, 2.0), (5.0, 2.0)]);
+        let total = h.total();
+        let mut params = SplitParams::default();
+        let gain = find_best_split(0, &h, total, &params).unwrap().gain;
+        params.gamma = gain + 1.0;
+        assert!(find_best_split(0, &h, total, &params).is_none());
+    }
+
+    #[test]
+    fn min_child_weight_filters_thin_children() {
+        let h = hist(&[(-5.0, 0.5), (5.0, 10.0)]);
+        let total = h.total();
+        let params = SplitParams { min_child_weight: 1.0, ..Default::default() };
+        assert!(find_best_split(0, &h, total, &params).is_none());
+    }
+
+    #[test]
+    fn best_bin_wins_among_many() {
+        // Gradients ordered so the cleanest separation is between bins 1|2.
+        let h = hist(&[(-3.0, 1.0), (-3.0, 1.0), (3.0, 1.0), (3.0, 1.0)]);
+        let total = h.total();
+        let c = find_best_split(0, &h, total, &SplitParams::default()).unwrap();
+        assert_eq!(c.bin, 1);
+    }
+
+    #[test]
+    fn leaf_weight_matches_eq_1() {
+        let params = SplitParams { lambda: 1.0, ..Default::default() };
+        let w = params.leaf_weight(GradPair { g: 4.0, h: 3.0 });
+        assert!((w + 1.0).abs() < 1e-12); // -4 / (3+1)
+    }
+
+    #[test]
+    fn prefix_variant_agrees_with_histogram_variant() {
+        let h = hist(&[(1.0, 1.0), (-4.0, 2.0), (2.5, 0.5), (0.5, 1.0)]);
+        let total = h.total();
+        let params = SplitParams::default();
+        let a = find_best_split(7, &h, total, &params);
+        let b = best_split_from_prefix(7, &h.prefix_sums(), total, &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn best_of_prefers_highest_gain() {
+        let mk = |gain| SplitCandidate {
+            feature: 0,
+            bin: 0,
+            gain,
+            left: GradPair::ZERO,
+            right: GradPair::ZERO,
+        };
+        let best = best_of(vec![mk(1.0), mk(3.0), mk(2.0)]).unwrap();
+        assert_eq!(best.gain, 3.0);
+        assert!(best_of(vec![]).is_none());
+    }
+
+    #[test]
+    fn gain_is_symmetric_under_mirroring() {
+        let params = SplitParams::default();
+        let total = GradPair { g: 2.0, h: 5.0 };
+        let left = GradPair { g: -1.0, h: 2.0 };
+        let mirrored_left = total.sub(left);
+        assert!((params.gain(left, total) - params.gain(mirrored_left, total)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Multi-party CTR prediction over sparse features (the paper's §6.4
+//! scalability-w.r.t.-parties setting).
+//!
+//! An advertiser (the guest, with click labels) unites with *two* data
+//! partners, each contributing a sparse slice of high-dimensional
+//! behavioural features. The example shows the AUC climbing as parties
+//! join — the shape of the paper's Table 6 — and reports how histogram
+//! packing shrinks cross-party traffic.
+//!
+//! Run with: `cargo run --release --example ad_ctr_multiparty`
+
+use vf2boost::core::config::{CryptoConfig, TrainConfig};
+use vf2boost::core::protocol::ProtocolConfig;
+use vf2boost::core::train_federated;
+use vf2boost::datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2boost::datagen::vertical::split_even;
+use vf2boost::gbdt::data::Dataset;
+use vf2boost::gbdt::metrics::auc;
+use vf2boost::gbdt::train::{GbdtParams, Trainer};
+
+fn main() {
+    // Sparse, wide-ish data: 60 features at 20% density across 3 parties.
+    let data = generate_classification(&SyntheticConfig {
+        rows: 3_000,
+        features: 60,
+        density: 0.2,
+        informative_frac: 0.4,
+        label_noise: 0.03,
+        seed: 99,
+    });
+    let (train, valid) = data.split_rows(2_400);
+    let gbdt = GbdtParams { num_trees: 6, max_layers: 5, ..Default::default() };
+
+    // Every party owns a fixed 20-feature slice (the paper's Table 6
+    // layout: features divided into equal subsets, one per party), so each
+    // extra partner brings genuinely new signal.
+    let per_party = 20usize;
+    let take = |d: &vf2boost::gbdt::data::Dataset, k: usize| {
+        let feats: Vec<usize> = (0..k * per_party).collect();
+        d.select_features(&feats, true)
+    };
+
+    // Guest-only reference: the advertiser's own 20 features.
+    let solo_train = take(&train, 1);
+    let solo_valid = take(&valid, 1);
+    let solo = Trainer::new(gbdt).fit(&solo_train);
+    let vy = solo_valid.labels().unwrap();
+    let solo_auc = auc(vy, &solo.predict_margin(&solo_valid));
+    println!("guest-only AUC           : {solo_auc:.4}");
+
+    // Federated with 2 and 3 parties (mock crypto keeps the example fast;
+    // swap `CryptoConfig::Mock` for `Paillier { key_bits: 2048 }` for a
+    // production-realistic run).
+    for parties in [2usize, 3] {
+        let scenario = split_even(&take(&train, parties), parties);
+        let valid_scenario = split_even(&take(&valid, parties), parties);
+        let cfg = TrainConfig {
+            gbdt,
+            crypto: CryptoConfig::Mock,
+            wan: vf2boost::channel::WanConfig::instant(),
+            ..TrainConfig::for_tests()
+        };
+        let out = train_federated(&scenario.hosts, &scenario.guest, &cfg);
+        let host_refs: Vec<&Dataset> = valid_scenario.hosts.iter().collect();
+        let margins = out.model.predict_margin(&host_refs, &valid_scenario.guest);
+        let fed_auc = auc(valid_scenario.guest.labels().unwrap(), &margins);
+        println!(
+            "{parties}-party federated AUC    : {fed_auc:.4}  \
+             ({} host splits, {:.2?} wall)",
+            out.model.total_host_splits(),
+            out.report.wall_time
+        );
+        assert!(fed_auc > solo_auc, "each extra party should add signal");
+    }
+
+    // Packing ablation: bytes on the wire with and without §5.2's packing
+    // (small Paillier key so the example stays quick).
+    let scenario = split_even(&train, 2);
+    let base_cfg = TrainConfig {
+        gbdt: GbdtParams { num_trees: 2, max_layers: 4, ..gbdt },
+        crypto: CryptoConfig::Paillier { key_bits: 512 },
+        wan: vf2boost::channel::WanConfig::instant(),
+        ..TrainConfig::for_tests()
+    };
+    let packed = train_federated(&scenario.hosts, &scenario.guest, &base_cfg);
+    let raw_cfg = TrainConfig {
+        protocol: ProtocolConfig { pack_histograms: false, ..base_cfg.protocol },
+        ..base_cfg
+    };
+    let raw = train_federated(&scenario.hosts, &scenario.guest, &raw_cfg);
+    let packed_bytes = packed.report.hosts[0].bytes_sent;
+    let raw_bytes = raw.report.hosts[0].bytes_sent;
+    println!("\nhost→guest histogram traffic per run:");
+    println!("  raw ciphers : {raw_bytes} bytes");
+    println!(
+        "  packed      : {packed_bytes} bytes  ({:.1}x smaller)",
+        raw_bytes as f64 / packed_bytes as f64
+    );
+    assert!(packed_bytes * 2 < raw_bytes, "packing should cut histogram bytes sharply");
+}

@@ -1,0 +1,20 @@
+//! # vf2boost
+//!
+//! Umbrella crate for the VF²Boost reproduction (SIGMOD 2021): very fast
+//! vertical federated gradient boosting for cross-enterprise learning.
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`crypto`] — Paillier cryptosystem with GBDT-customized operations
+//! * [`gbdt`] — the histogram-based GBDT engine (non-federated baseline)
+//! * [`channel`] — simulated cross-party message queues
+//! * [`datagen`] — synthetic datasets and vertical partitioning
+//! * [`core`] — the federated training protocols (sequential & concurrent)
+//!
+//! See `examples/quickstart.rs` for a complete federated training run.
+
+pub use vf2_channel as channel;
+pub use vf2_crypto as crypto;
+pub use vf2_datagen as datagen;
+pub use vf2_gbdt as gbdt;
+pub use vf2boost_core as core;

@@ -1,0 +1,125 @@
+//! Behaviour under a constrained WAN and cross-party traffic accounting —
+//! the properties behind the paper's resource-utilization findings (§6.2)
+//! and the blaster/packing communication savings.
+
+use std::time::Duration;
+
+use vf2boost::channel::WanConfig;
+use vf2boost::core::config::{CryptoConfig, TrainConfig};
+use vf2boost::core::protocol::ProtocolConfig;
+use vf2boost::core::train_federated;
+use vf2boost::datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2boost::datagen::vertical::split_vertical;
+use vf2boost::gbdt::train::GbdtParams;
+
+fn scenario(seed: u64) -> vf2boost::datagen::vertical::VerticalScenario {
+    let data = generate_classification(&SyntheticConfig {
+        rows: 200,
+        features: 8,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed,
+    });
+    split_vertical(&data, &[4])
+}
+
+/// Training over a slow link must still converge to the same model.
+#[test]
+fn constrained_wan_does_not_change_the_model() {
+    let s = scenario(50);
+    let fast = TrainConfig {
+        gbdt: GbdtParams { num_trees: 2, max_layers: 3, ..Default::default() },
+        crypto: CryptoConfig::Mock,
+        wan: WanConfig::instant(),
+        ..TrainConfig::for_tests()
+    };
+    let slow = TrainConfig {
+        wan: WanConfig {
+            bandwidth_bytes_per_sec: 200_000.0,
+            latency: Duration::from_millis(5),
+            per_message_overhead_bytes: 64,
+        },
+        ..fast
+    };
+    let a = train_federated(&s.hosts, &s.guest, &fast);
+    let b = train_federated(&s.hosts, &s.guest, &slow);
+    let am = a.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    let bm = b.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    for (x, y) in am.iter().zip(&bm) {
+        assert!((x - y).abs() < 1e-12);
+    }
+    assert!(b.report.wall_time > a.report.wall_time, "the slow WAN must actually cost time");
+}
+
+/// Blaster batching multiplies message count but not byte volume.
+#[test]
+fn blaster_batches_split_messages_not_bytes() {
+    let s = scenario(51);
+    let base = TrainConfig {
+        gbdt: GbdtParams { num_trees: 1, max_layers: 3, ..Default::default() },
+        crypto: CryptoConfig::Mock,
+        protocol: ProtocolConfig::baseline(),
+        ..TrainConfig::for_tests()
+    };
+    let bulk = train_federated(&s.hosts, &s.guest, &base);
+    let blaster = train_federated(
+        &s.hosts,
+        &s.guest,
+        &TrainConfig {
+            protocol: ProtocolConfig { blaster_batch: Some(32), ..ProtocolConfig::baseline() },
+            ..base
+        },
+    );
+    assert!(
+        blaster.report.guest.messages_sent > bulk.report.guest.messages_sent + 4,
+        "batching must produce more gradient messages"
+    );
+    let bulk_bytes = bulk.report.guest.bytes_sent as f64;
+    let blaster_bytes = blaster.report.guest.bytes_sent as f64;
+    assert!(
+        (blaster_bytes - bulk_bytes).abs() / bulk_bytes < 0.05,
+        "payload volume should be nearly unchanged: {bulk_bytes} vs {blaster_bytes}"
+    );
+}
+
+/// Histogram packing must cut the host→guest traffic sharply under real
+/// ciphers (the paper reports 3.2 GB → 1.1 GB per tree on synthesis).
+#[test]
+fn packing_reduces_host_traffic() {
+    let s = scenario(52);
+    let base = TrainConfig {
+        gbdt: GbdtParams { num_trees: 1, max_layers: 4, ..Default::default() },
+        crypto: CryptoConfig::Paillier { key_bits: 512 },
+        ..TrainConfig::for_tests()
+    };
+    let raw = train_federated(
+        &s.hosts,
+        &s.guest,
+        &TrainConfig {
+            protocol: ProtocolConfig { pack_histograms: false, ..base.protocol },
+            ..base
+        },
+    );
+    let packed = train_federated(&s.hosts, &s.guest, &base);
+    let ratio = raw.report.hosts[0].bytes_sent as f64 / packed.report.hosts[0].bytes_sent as f64;
+    assert!(ratio > 2.0, "packing ratio only {ratio:.2}x");
+}
+
+/// Effectively-once delivery + FIFO links mean repeated runs are
+/// bit-for-bit reproducible given a seed.
+#[test]
+fn runs_are_deterministic_given_seed() {
+    let s = scenario(53);
+    let cfg = TrainConfig {
+        gbdt: GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() },
+        crypto: CryptoConfig::Paillier { key_bits: 384 },
+        protocol: ProtocolConfig::baseline(),
+        ..TrainConfig::for_tests()
+    };
+    let a = train_federated(&s.hosts, &s.guest, &cfg);
+    let b = train_federated(&s.hosts, &s.guest, &cfg);
+    let am = a.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    let bm = b.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    assert_eq!(am, bm, "sequential protocol must be fully deterministic");
+}
