@@ -50,13 +50,10 @@ fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("packing");
     g.sample_size(20);
     let plan = PackingPlan::widest(suite.public_key().unwrap(), 64).unwrap();
-    let slots: Vec<Ciphertext> = (0..plan.slots)
-        .map(|i| suite.encrypt_at(i as f64, 8, &mut rng).unwrap())
-        .collect();
+    let slots: Vec<Ciphertext> =
+        (0..plan.slots).map(|i| suite.encrypt_at(i as f64, 8, &mut rng).unwrap()).collect();
     let packed = suite.pack(&slots, &plan).unwrap();
-    g.bench_function("pack_full_cipher", |bench| {
-        bench.iter(|| suite.pack(&slots, &plan).unwrap())
-    });
+    g.bench_function("pack_full_cipher", |bench| bench.iter(|| suite.pack(&slots, &plan).unwrap()));
     g.bench_function("unpack_decrypt_full_cipher", |bench| {
         bench.iter(|| suite.unpack_decrypt(&packed).unwrap())
     });

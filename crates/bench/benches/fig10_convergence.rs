@@ -56,7 +56,10 @@ fn main() {
     let t = trees();
     for name in ["census", "a9a"] {
         let p = preset(name).unwrap().scaled((0.05 * scale()).min(1.0));
-        println!("-- {name}-like: N = {}, features A/B = {}/{} --", p.rows, p.features_a, p.features_b);
+        println!(
+            "-- {name}-like: N = {}, features A/B = {}/{} --",
+            p.rows, p.features_a, p.features_b
+        );
         let data = p.generate(42);
         let split_at = (data.num_rows() * 4) / 5;
         let (train, valid) = data.split_rows(split_at);
@@ -66,20 +69,19 @@ fn main() {
 
         // Non-federated references.
         let (_, co_hist) = Trainer::new(gbdt).fit_with_eval(&train, Some(&valid));
-        let (_, solo_hist) =
-            Trainer::new(gbdt).fit_with_eval(&train_s.guest, Some(&valid_s.guest));
+        let (_, solo_hist) = Trainer::new(gbdt).fit_with_eval(&train_s.guest, Some(&valid_s.guest));
         println!(
             "XGBoost co-located final logloss: {:.4}  |  Party-B-only final logloss: {:.4}",
             co_hist.last().unwrap().valid_loss.unwrap(),
             solo_hist.last().unwrap().valid_loss.unwrap()
         );
 
-        for (system, protocol) in [
-            ("VF-GBDT", ProtocolConfig::baseline()),
-            ("VF2Boost", ProtocolConfig::vf2boost()),
-        ] {
+        for (system, protocol) in
+            [("VF-GBDT", ProtocolConfig::baseline()), ("VF2Boost", ProtocolConfig::vf2boost())]
+        {
             let cfg = TrainConfig { gbdt, protocol, ..base_config() };
-            let out = train_federated(&train_s.hosts, &train_s.guest, &cfg);
+            let out =
+                train_federated(&train_s.hosts, &train_s.guest, &cfg).expect("training succeeds");
             let losses = federated_curve(&out.model, &valid_s.hosts[0], &valid_s.guest);
             println!("{system} series (seconds, valid logloss):");
             for (rec, loss) in out.report.tree_records.iter().zip(&losses) {

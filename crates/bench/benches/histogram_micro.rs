@@ -34,9 +34,7 @@ fn bench_plaintext(c: &mut Criterion) {
     g.bench_function("column_sweep_layer_build_10k_rows", |b| {
         b.iter(|| build_layer_histograms(&binned, &grads, &node_of_row, &totals))
     });
-    g.bench_function("csr_node_build_10k_rows", |b| {
-        b.iter(|| csr.node_histograms(&rows, &grads))
-    });
+    g.bench_function("csr_node_build_10k_rows", |b| b.iter(|| csr.node_histograms(&rows, &grads)));
     g.finish();
 }
 

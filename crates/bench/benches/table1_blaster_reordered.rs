@@ -50,7 +50,7 @@ fn run(n: usize, protocol: ProtocolConfig) -> (Duration, Duration, Duration, Dur
         protocol,
         ..base_config()
     };
-    let out = train_federated(&s.hosts, &s.guest, &cfg);
+    let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
     let d = dissect(&out.report);
     (d.enc, d.comm, d.hadd, d.wall)
 }

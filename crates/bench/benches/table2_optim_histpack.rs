@@ -50,7 +50,7 @@ fn run(n: usize, feats_a: usize, feats_b: usize, protocol: ProtocolConfig) -> Ro
         protocol,
         ..base_config()
     };
-    let out = train_federated(&s.hosts, &s.guest, &cfg);
+    let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
     let r = &out.report;
     let comm = modeled_comm(r.total_bytes());
     // Sequential protocol: parties alternate, so busy times add. Optimistic:
@@ -82,7 +82,8 @@ fn main() {
     let both = ProtocolConfig { optimistic: true, pack_histograms: true, ..base };
 
     let n = scaled_rows(5_000);
-    for (fa, fb, paper) in [(40usize, 10usize, "40K/10K"), (25, 25, "25K/25K"), (10, 40, "10K/40K")] {
+    for (fa, fb, paper) in [(40usize, 10usize, "40K/10K"), (25, 25, "25K/25K"), (10, 40, "10K/40K")]
+    {
         println!("-- features A/B = {fa}/{fb} (paper: {paper}) --");
         let mut rows = Vec::new();
         for (label, protocol) in [

@@ -28,8 +28,7 @@ fn main() {
         "Table 4: end-to-end per-tree time and AUC on the large-scale presets",
         "paper shape: XGB < VF-MOCK << VF2Boost < VF-GBDT; AUC federated ≈ co-located > B-only",
     );
-    let trees: usize =
-        std::env::var("VF2_TREES").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let trees: usize = std::env::var("VF2_TREES").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
     let factors = [
         ("susy", 0.001),
         ("epsilon", 0.004),
@@ -39,7 +38,17 @@ fn main() {
     ];
     println!(
         "{:<12}{:>8}{:>10}{:>9} | {:>9}{:>10}{:>10}{:>10} | {:>8}{:>8}{:>8}",
-        "dataset", "N", "D(A/B)", "dens%", "XGB s/t", "MOCK s/t", "GBDT s/t", "VF2 s/t", "AUCvf2", "AUCco", "AUConly"
+        "dataset",
+        "N",
+        "D(A/B)",
+        "dens%",
+        "XGB s/t",
+        "MOCK s/t",
+        "GBDT s/t",
+        "VF2 s/t",
+        "AUCvf2",
+        "AUCco",
+        "AUConly"
     );
     for (name, factor) in factors {
         let p = preset(name).unwrap().scaled((factor * scale()).min(1.0));
@@ -62,7 +71,8 @@ fn main() {
         // Federated variants.
         let run = |crypto: CryptoConfig, protocol: ProtocolConfig| {
             let cfg = TrainConfig { gbdt, crypto, protocol, ..base_config() };
-            let out = train_federated(&train_s.hosts, &train_s.guest, &cfg);
+            let out =
+                train_federated(&train_s.hosts, &train_s.guest, &cfg).expect("training succeeds");
             let per_tree = out.report.wall_time / trees as u32;
             let margins = out.model.predict_margin(&[&valid_s.hosts[0]], &valid_s.guest);
             (per_tree, auc(valid_s.guest.labels().unwrap(), &margins))

@@ -39,7 +39,7 @@ fn main() {
                 workers,
                 ..base_config()
             };
-            let out = train_federated(&s.hosts, &s.guest, &cfg);
+            let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
             let busy = out.report.hosts[0].phases.busy() + out.report.guest.phases.busy();
             let wall = out.report.wall_time;
             let (b1, w1) = match (base_busy, base_wall) {
@@ -52,11 +52,11 @@ fn main() {
             };
             // Aggregation/sync that does not parallelize: node splitting
             // (placement bitmaps are inherently sequential per node).
-            let serial: std::time::Duration = out.report.guest.phases.split_nodes
-                + out.report.hosts[0].phases.split_nodes;
+            let serial: std::time::Duration =
+                out.report.guest.phases.split_nodes + out.report.hosts[0].phases.split_nodes;
             let b1s = b1.as_secs_f64();
-            let modeled = (b1s - serial.as_secs_f64()).max(0.0) / workers as f64
-                + serial.as_secs_f64();
+            let modeled =
+                (b1s - serial.as_secs_f64()).max(0.0) / workers as f64 + serial.as_secs_f64();
             println!(
                 "  {workers} workers: wall {} ({:.2}x)   modeled {:8.3}s ({:.2}x)",
                 secs(wall),

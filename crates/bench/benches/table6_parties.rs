@@ -28,8 +28,7 @@ fn main() {
         "Table 6: scalability w.r.t. #parties (speedup over 2 parties) + AUC",
         "paper: AUC climbs with each party (epsilon 0.825/0.837/0.856); time cost within ~10%",
     );
-    let trees: usize =
-        std::env::var("VF2_TREES").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let trees: usize = std::env::var("VF2_TREES").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
     for (name, factor) in [("epsilon", 0.004), ("rcv1", 0.002)] {
         let p = preset(name).unwrap().scaled((factor * scale()).min(1.0));
         let data = p.generate(13);
@@ -54,7 +53,7 @@ fn main() {
             let s = take_parties(&train, parties);
             let v = take_parties(&valid, parties);
             let cfg = TrainConfig { gbdt, ..base_config() };
-            let out = train_federated(&s.hosts, &s.guest, &cfg);
+            let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
             let wall = out.report.wall_time;
             // On this single machine every party timeshares the same CPU,
             // so wall time is additive in parties; the paper's setting

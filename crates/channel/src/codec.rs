@@ -138,10 +138,72 @@ impl Encoder {
                 byte = 0;
             }
         }
-        if bits.len() % 8 != 0 {
+        if !bits.len().is_multiple_of(8) {
             self.buf.put_u8(byte);
         }
     }
+}
+
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { CRC32_POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial) over a byte stream.
+///
+/// Every link frame carries a CRC-32 over its header and payload; the
+/// receiver recomputes it and rejects corrupt frames, which the
+/// reliable-delivery sublayer then re-requests (see [`crate::link`]).
+#[derive(Debug, Clone)]
+pub struct Checksum {
+    state: u32,
+}
+
+impl Checksum {
+    /// A fresh checksum state.
+    pub fn new() -> Checksum {
+        Checksum { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC32_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finalizes and returns the CRC-32 value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Checksum {
+        Checksum::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut c = Checksum::new();
+    c.update(bytes);
+    c.finish()
 }
 
 /// Decoding failures.
@@ -402,5 +464,34 @@ mod tests {
         e.put_varint(u64::MAX);
         let mut d = Decoder::new(e.finish());
         assert!(d.get_f64_slice().is_err());
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b""), 0);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Checksum::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), checksum(data));
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let clean = checksum(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum(&flipped), clean, "flip at byte {i} bit {bit}");
+            }
+        }
     }
 }

@@ -11,17 +11,27 @@
 //!   a FIFO link (the paper's clusters talk over a 300 Mbps public link),
 //!   so cipher size directly translates into transfer time, exactly the
 //!   cost the blaster-style encryption and histogram packing attack.
-//! * **Effectively-once delivery** — sequence-numbered envelopes with
-//!   duplicate suppression (Pulsar's effectively-once semantics).
+//! * **Reliable exactly-once delivery** — sequence-numbered, CRC-32
+//!   checksummed envelopes with cumulative acks, retransmission on
+//!   timeout (exponential backoff + jitter), duplicate suppression and
+//!   in-order reassembly (Pulsar's effectively-once semantics, hardened
+//!   for a hostile wire).
+//! * **Deterministic fault injection** — a seeded [`fault::FaultConfig`]
+//!   plan makes each direction drop, duplicate, reorder, corrupt, stall
+//!   or disconnect on schedule, so chaos tests replay bit-for-bit.
 //! * **Transfer accounting** — per-link byte/message counters (Table 2's
-//!   "network transmission per tree" row).
+//!   "network transmission per tree" row) plus fault counters
+//!   (retransmissions, acks, corrupt frames rejected, duplicates
+//!   suppressed).
 //! * A compact binary [`codec`] whose encoded size *is* the wire size used
 //!   by the WAN model.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod fault;
 pub mod link;
 
-pub use codec::{Decoder, Encoder};
-pub use link::{duplex, Endpoint, Envelope, LinkStats, RecvError, WanConfig};
+pub use codec::{checksum, Checksum, Decoder, Encoder};
+pub use fault::{FaultConfig, ReliabilityConfig, StallWindow};
+pub use link::{duplex, duplex_faulty, Endpoint, Envelope, LinkStats, RecvError, WanConfig};

@@ -1,18 +1,42 @@
-//! Simulated cross-party WAN links with effectively-once delivery.
+//! Simulated cross-party WAN links with reliable, exactly-once delivery
+//! over a faulty wire.
 //!
 //! A [`duplex`] call returns two [`Endpoint`]s wired back-to-back through
-//! two one-directional simulated links. Each direction has a pump thread
-//! that models the gateway message queue:
+//! two one-directional simulated links. Each direction has a gateway pump
+//! thread that models the wire:
 //!
 //! * messages serialize onto the wire FIFO at `bandwidth` bytes/sec (a
 //!   sender never overtakes an earlier message),
 //! * every message additionally experiences a propagation `latency`
 //!   (messages pipeline: a second message does not wait for the first's
 //!   latency, only for its serialization),
-//! * duplicate envelopes (same or older sequence number) are suppressed at
-//!   the receiver — Pulsar's effectively-once semantics.
+//! * with [`duplex_faulty`], the pump additionally injects a seeded,
+//!   deterministic [`FaultConfig`] plan: drops, duplicates, bounded
+//!   reordering, payload bit flips, timed stalls and scripted
+//!   disconnects.
+//!
+//! Above the wire sits a reliable-delivery sublayer modeled on the
+//! paper's Pulsar gateway queues: every data frame carries a CRC-32
+//! (see [`crate::codec::Checksum`]) and a monotone sequence number; the
+//! receiver acknowledges cumulatively, delivers strictly in order
+//! (exactly-once), and the sender retransmits unacked frames on a
+//! timeout with exponential backoff and jitter. The protocol above the
+//! endpoints therefore sees clean, ordered envelopes regardless of wire
+//! faults — or a [`RecvError`] if the peer is truly gone.
+//!
+//! ## Timeouts
+//!
+//! [`Endpoint::recv`] blocks until a message has fully "arrived" per the
+//! WAN model. [`Endpoint::recv_timeout`] is the liveness escape hatch:
+//! it returns [`RecvError::Timeout`] once the deadline passes with no
+//! delivery, without consuming any in-flight message — callers decide
+//! whether to retry or declare the peer lost. A stalled or blackholed
+//! link therefore surfaces as `Timeout` at the configured deadline
+//! rather than hanging forever (the federated driver in `vf2boost-core`
+//! maps this to its `PeerLost` error).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -20,6 +44,11 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec::Checksum;
+use crate::fault::{FaultConfig, FaultPlan, ReliabilityConfig};
 
 /// WAN characteristics of one link direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +93,7 @@ impl WanConfig {
 }
 
 /// A routed message: a kind tag for dispatch, a sequence number for
-/// effectively-once delivery, and the payload.
+/// exactly-once ordered delivery, and the payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Message-kind tag (the protocol's discriminant).
@@ -75,31 +104,66 @@ pub struct Envelope {
     pub payload: Bytes,
 }
 
-/// Cumulative transfer statistics of one link direction.
+/// Cumulative statistics of one link direction (data flowing A→B lives
+/// in one `LinkStats`, acks for that data count here too even though
+/// they physically travel B→A).
 #[derive(Debug, Default)]
 pub struct LinkStats {
-    /// Messages sent.
+    /// Application messages sent.
     pub messages: AtomicU64,
-    /// Payload bytes sent (excluding framing overhead).
+    /// Application payload bytes sent (excluding framing overhead).
     pub bytes: AtomicU64,
     /// Duplicates suppressed at the receiver.
     pub duplicates_dropped: AtomicU64,
+    /// Data frames retransmitted after an RTO expiry.
+    pub retransmissions: AtomicU64,
+    /// Ack frames received for this direction's data.
+    pub acks_received: AtomicU64,
+    /// Frames rejected at the receiver due to checksum mismatch.
+    pub corrupt_rejected: AtomicU64,
+    /// Frames the fault plan silently dropped (including blackholes).
+    pub faults_dropped: AtomicU64,
+    /// Data frames the fault plan corrupted in flight.
+    pub faults_corrupted: AtomicU64,
+    /// Frames the fault plan held back for reordering.
+    pub faults_reordered: AtomicU64,
+    /// Frames the fault plan delivered twice.
+    pub faults_duplicated: AtomicU64,
+}
+
+macro_rules! stats_getters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&self) -> u64 {
+                self.$name.load(Ordering::Relaxed)
+            }
+        )+
+    };
 }
 
 impl LinkStats {
-    /// Messages sent so far.
-    pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
-    }
-
-    /// Payload bytes sent so far.
-    pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
-    }
-
-    /// Duplicates dropped so far.
-    pub fn duplicates_dropped(&self) -> u64 {
-        self.duplicates_dropped.load(Ordering::Relaxed)
+    stats_getters! {
+        /// Application messages sent so far.
+        messages,
+        /// Application payload bytes sent so far.
+        bytes,
+        /// Duplicates dropped so far.
+        duplicates_dropped,
+        /// Retransmissions so far.
+        retransmissions,
+        /// Acks received so far.
+        acks_received,
+        /// Corrupt frames rejected so far.
+        corrupt_rejected,
+        /// Frames dropped by fault injection so far.
+        faults_dropped,
+        /// Frames corrupted by fault injection so far.
+        faults_corrupted,
+        /// Frames reordered by fault injection so far.
+        faults_reordered,
+        /// Frames duplicated by fault injection so far.
+        faults_duplicated,
     }
 }
 
@@ -123,14 +187,50 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// What actually travels over the simulated wire.
+#[derive(Debug, Clone)]
+enum Frame {
+    /// An application envelope plus its CRC-32.
+    Data { env: Envelope, checksum: u32 },
+    /// Cumulative acknowledgement: every seq `<= cum_seq` arrived intact.
+    Ack { cum_seq: u64 },
+}
+
+/// CRC-32 over a frame's header and payload.
+fn frame_checksum(kind: u16, seq: u64, payload: &[u8]) -> u32 {
+    let mut c = Checksum::new();
+    c.update(&kind.to_le_bytes());
+    c.update(&seq.to_le_bytes());
+    c.update(payload);
+    c.finish()
+}
+
+/// An unacked frame awaiting (re)transmission.
+struct Pending {
+    env: Envelope,
+    checksum: u32,
+    next_at: Instant,
+    rto: Duration,
+}
+
+type RetxBuffer = BTreeMap<u64, Pending>;
+
+/// How often blocked link threads poll for shutdown.
+const LINK_TICK: Duration = Duration::from_millis(20);
+
 /// One end of a duplex cross-party link.
+///
+/// Dropping an endpoint tears down its side of the link; the peer then
+/// observes [`RecvError::Disconnected`] once its delivery queue drains.
 pub struct Endpoint {
-    tx: Sender<Envelope>,
-    rx: Receiver<(Instant, Envelope)>,
+    raw_tx: Sender<Frame>,
+    delivered_rx: Receiver<Envelope>,
     next_seq: AtomicU64,
-    last_delivered_seq: Mutex<Option<u64>>,
+    retx: Arc<Mutex<RetxBuffer>>,
+    rel: ReliabilityConfig,
     send_stats: Arc<LinkStats>,
     recv_stats: Arc<LinkStats>,
+    shutdown: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -145,83 +245,85 @@ impl std::fmt::Debug for Endpoint {
 impl Endpoint {
     /// Sends a message. Never blocks on the WAN simulation (the sender
     /// hands the message to the gateway queue and proceeds — this is what
-    /// lets the blaster scheme overlap encryption with transfer).
+    /// lets the blaster scheme overlap encryption with transfer). The
+    /// frame stays in the retransmit buffer until the peer acknowledges
+    /// it, so wire faults cannot lose it.
     pub fn send(&self, kind: u16, payload: Bytes) {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         self.send_stats.messages.fetch_add(1, Ordering::Relaxed);
         self.send_stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let checksum = frame_checksum(kind, seq, &payload);
+        let env = Envelope { kind, seq, payload };
+        self.retx.lock().insert(
+            seq,
+            Pending {
+                env: env.clone(),
+                checksum,
+                next_at: Instant::now() + self.rel.initial_rto,
+                rto: self.rel.initial_rto,
+            },
+        );
         // Ignore a disconnected peer: protocol teardown races are benign.
-        let _ = self.tx.send(Envelope { kind, seq, payload });
+        let _ = self.raw_tx.send(Frame::Data { env, checksum });
     }
 
-    /// Sends a pre-built envelope verbatim (test hook for duplicate
-    /// injection; normal code uses [`Endpoint::send`]).
+    /// Sends a pre-built envelope verbatim, bypassing sequence assignment
+    /// and the retransmit buffer (test hook for duplicate injection;
+    /// normal code uses [`Endpoint::send`]). The envelope should reuse an
+    /// already-assigned sequence number — a gap the sender never fills
+    /// would stall the receiver's in-order delivery.
     pub fn send_envelope_raw(&self, env: Envelope) {
         self.send_stats.messages.fetch_add(1, Ordering::Relaxed);
         self.send_stats.bytes.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
-        let _ = self.tx.send(env);
+        let checksum = frame_checksum(env.kind, env.seq, &env.payload);
+        let _ = self.raw_tx.send(Frame::Data { env, checksum });
     }
 
     /// Receives the next message, blocking until it has "arrived" per the
-    /// WAN model. Duplicates are dropped transparently.
+    /// WAN model. Delivery is exactly-once and strictly in sequence
+    /// order; duplicates and corrupt frames are handled below this call.
     pub fn recv(&self) -> Result<Envelope, RecvError> {
-        loop {
-            let (deliver_at, env) = self.rx.recv().map_err(|_| RecvError::Disconnected)?;
-            sleep_until(deliver_at);
-            if self.accept(&env) {
-                return Ok(env);
-            }
-        }
+        self.delivered_rx.recv().map_err(|_| RecvError::Disconnected)
     }
 
-    /// Receives with a timeout.
+    /// Receives with a deadline. Returns [`RecvError::Timeout`] if no
+    /// message has fully arrived within `timeout`; no in-flight message
+    /// is consumed or lost by timing out, so callers may retry. This is
+    /// the primitive the federated driver builds its per-phase peer
+    /// deadlines on: a stalled link fires `Timeout` at the configured
+    /// deadline instead of hanging.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let (deliver_at, env) = self.rx.recv_timeout(remaining).map_err(|e| match e {
-                RecvTimeoutError::Timeout => RecvError::Timeout,
-                RecvTimeoutError::Disconnected => RecvError::Disconnected,
-            })?;
-            if deliver_at > deadline {
-                // The message is in flight but will land after the caller's
-                // deadline; honor the model and still deliver it late-free
-                // next time. We cannot push back, so sleep and deliver.
-                sleep_until(deliver_at);
-            } else {
-                sleep_until(deliver_at);
-            }
-            if self.accept(&env) {
-                return Ok(env);
-            }
-        }
+        self.delivered_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
     }
 
     /// Non-blocking receive: returns a message only if one has fully
     /// arrived.
     pub fn try_recv(&self) -> Option<Envelope> {
-        loop {
-            let (deliver_at, env) = self.rx.try_recv().ok()?;
-            if Instant::now() < deliver_at {
-                sleep_until(deliver_at);
-            }
-            if self.accept(&env) {
-                return Some(env);
-            }
-        }
+        self.delivered_rx.try_recv().ok()
     }
 
-    fn accept(&self, env: &Envelope) -> bool {
-        let mut last = self.last_delivered_seq.lock();
-        match *last {
-            Some(prev) if env.seq <= prev => {
-                self.recv_stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
-                false
+    /// Blocks until every frame this endpoint sent has been acknowledged
+    /// by the peer, or `timeout` expires. Returns `true` when the
+    /// retransmit buffer drained.
+    ///
+    /// Call this before dropping the endpoint after a final message (an
+    /// orderly `Shutdown`): dropping tears the link down, and a frame
+    /// the fault plan happened to drop would otherwise die in the
+    /// retransmit buffer — turning a clean goodbye into a peer-side
+    /// `Disconnected`.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.retx.lock().is_empty() {
+                return true;
             }
-            _ => {
-                *last = Some(env.seq);
-                true
+            if Instant::now() >= deadline {
+                return false;
             }
+            thread::sleep(Duration::from_millis(1));
         }
     }
 
@@ -236,6 +338,14 @@ impl Endpoint {
     }
 }
 
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // Wake the reliability thread out of its retransmit loop so the
+        // teardown cascade (rel thread → pump → peer) can proceed.
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
 fn sleep_until(deadline: Instant) {
     let now = Instant::now();
     if deadline > now {
@@ -244,65 +354,308 @@ fn sleep_until(deadline: Instant) {
 }
 
 /// Creates a duplex link: two endpoints, each direction simulated with
-/// `cfg`.
+/// `cfg`, fault-free.
 pub fn duplex(cfg: WanConfig) -> (Endpoint, Endpoint) {
-    let (a, b_rx, ab_stats) = one_direction(cfg);
-    let (b, a_rx, ba_stats) = one_direction(cfg);
-    (
-        Endpoint {
-            tx: a,
-            rx: a_rx,
-            next_seq: AtomicU64::new(0),
-            last_delivered_seq: Mutex::new(None),
-            send_stats: ab_stats.clone(),
-            recv_stats: ba_stats.clone(),
-        },
-        Endpoint {
-            tx: b,
-            rx: b_rx,
-            next_seq: AtomicU64::new(0),
-            last_delivered_seq: Mutex::new(None),
-            send_stats: ba_stats,
-            recv_stats: ab_stats,
-        },
-    )
+    duplex_faulty(cfg, FaultConfig::none(), FaultConfig::none(), ReliabilityConfig::default())
 }
 
-/// Builds one simulated direction and spawns its pump thread.
-fn one_direction(
+/// Creates a duplex link whose directions misbehave per the given fault
+/// plans (`fault_ab` applies to frames A→B, `fault_ba` to B→A). The
+/// reliable-delivery sublayer masks every fault except a permanent
+/// disconnect: application messages arrive exactly once, in order,
+/// bit-intact.
+pub fn duplex_faulty(
     cfg: WanConfig,
-) -> (Sender<Envelope>, Receiver<(Instant, Envelope)>, Arc<LinkStats>) {
-    let (tx, pump_rx) = unbounded::<Envelope>();
-    let (pump_tx, rx) = unbounded::<(Instant, Envelope)>();
-    let stats = Arc::new(LinkStats::default());
+    fault_ab: FaultConfig,
+    fault_ba: FaultConfig,
+    rel: ReliabilityConfig,
+) -> (Endpoint, Endpoint) {
+    let ab_stats = Arc::new(LinkStats::default());
+    let ba_stats = Arc::new(LinkStats::default());
+
+    let (a_tx, ab_pump_rx) = unbounded::<Frame>();
+    let (ab_wire_tx, ab_wire_rx) = unbounded::<(Instant, Frame)>();
+    spawn_pump(cfg, fault_ab, rel, ab_pump_rx, ab_wire_tx, ab_stats.clone());
+
+    let (b_tx, ba_pump_rx) = unbounded::<Frame>();
+    let (ba_wire_tx, ba_wire_rx) = unbounded::<(Instant, Frame)>();
+    spawn_pump(cfg, fault_ba, rel, ba_pump_rx, ba_wire_tx, ba_stats.clone());
+
+    let a =
+        spawn_endpoint(a_tx, ba_wire_rx, rel, ab_stats.clone(), ba_stats.clone(), fault_ab.seed);
+    let b = spawn_endpoint(b_tx, ab_wire_rx, rel, ba_stats, ab_stats, fault_ba.seed);
+    (a, b)
+}
+
+/// Builds one endpoint and spawns its reliability thread, which owns the
+/// incoming wire, the ack generation, and the retransmit timer.
+fn spawn_endpoint(
+    raw_tx: Sender<Frame>,
+    incoming: Receiver<(Instant, Frame)>,
+    rel: ReliabilityConfig,
+    send_stats: Arc<LinkStats>,
+    recv_stats: Arc<LinkStats>,
+    jitter_seed: u64,
+) -> Endpoint {
+    let (delivered_tx, delivered_rx) = unbounded::<Envelope>();
+    let retx: Arc<Mutex<RetxBuffer>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    {
+        let raw_tx = raw_tx.clone();
+        let retx = retx.clone();
+        let send_stats = send_stats.clone();
+        let recv_stats = recv_stats.clone();
+        let shutdown = shutdown.clone();
+        thread::Builder::new()
+            .name("vf2-link-rel".into())
+            .spawn(move || {
+                reliability_loop(
+                    incoming,
+                    raw_tx,
+                    delivered_tx,
+                    retx,
+                    rel,
+                    send_stats,
+                    recv_stats,
+                    shutdown,
+                    jitter_seed,
+                );
+            })
+            .expect("spawn link reliability thread");
+    }
+    Endpoint {
+        raw_tx,
+        delivered_rx,
+        next_seq: AtomicU64::new(0),
+        retx,
+        rel,
+        send_stats,
+        recv_stats,
+        shutdown,
+    }
+}
+
+/// Receiver-side reliable delivery plus sender-side retransmission.
+#[allow(clippy::too_many_arguments)]
+fn reliability_loop(
+    incoming: Receiver<(Instant, Frame)>,
+    raw_tx: Sender<Frame>,
+    delivered_tx: Sender<Envelope>,
+    retx: Arc<Mutex<RetxBuffer>>,
+    rel: ReliabilityConfig,
+    send_stats: Arc<LinkStats>,
+    recv_stats: Arc<LinkStats>,
+    shutdown: Arc<AtomicBool>,
+    jitter_seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(jitter_seed ^ 0x5EED_AC4E);
+    // Next in-order sequence number to deliver to the application.
+    let mut expected: u64 = 0;
+    // Out-of-order frames parked until the gap before them is filled.
+    let mut parked: BTreeMap<u64, Envelope> = BTreeMap::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        let mut wait = LINK_TICK;
+        if let Some(due) = retx.lock().values().map(|p| p.next_at).min() {
+            wait = wait.min(due.saturating_duration_since(now));
+        }
+        match incoming.recv_timeout(wait) {
+            Ok((deliver_at, frame)) => {
+                // Honor the WAN model: the frame exists only once it has
+                // propagated.
+                sleep_until(deliver_at);
+                match frame {
+                    Frame::Data { env, checksum } => {
+                        if frame_checksum(env.kind, env.seq, &env.payload) != checksum {
+                            // Reject silently; the missing ack makes the
+                            // sender re-send an intact copy.
+                            recv_stats.corrupt_rejected.fetch_add(1, Ordering::Relaxed);
+                        } else if env.seq < expected || parked.contains_key(&env.seq) {
+                            recv_stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            parked.insert(env.seq, env);
+                            while let Some(next) = parked.remove(&expected) {
+                                if delivered_tx.send(next).is_err() {
+                                    // Application endpoint is gone.
+                                    return;
+                                }
+                                expected += 1;
+                            }
+                        }
+                        // Cumulative ack (also re-sent on duplicates and
+                        // corruption, so lost acks heal themselves).
+                        if expected > 0 {
+                            let _ = raw_tx.send(Frame::Ack { cum_seq: expected - 1 });
+                        }
+                    }
+                    Frame::Ack { cum_seq } => {
+                        send_stats.acks_received.fetch_add(1, Ordering::Relaxed);
+                        let mut buffer = retx.lock();
+                        let keep = buffer.split_off(&(cum_seq + 1));
+                        *buffer = keep;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        // Retransmit everything past its deadline, with exponential
+        // backoff and jitter so repeated losses don't synchronize.
+        let now = Instant::now();
+        let mut buffer = retx.lock();
+        for pending in buffer.values_mut() {
+            if pending.next_at <= now {
+                send_stats.retransmissions.fetch_add(1, Ordering::Relaxed);
+                let _ = raw_tx
+                    .send(Frame::Data { env: pending.env.clone(), checksum: pending.checksum });
+                pending.rto = pending.rto.saturating_mul(rel.backoff).min(rel.max_rto);
+                let jitter = 1.0 + rel.jitter_frac * rng.gen::<f64>();
+                pending.next_at = now + pending.rto.mul_f64(jitter);
+            }
+        }
+    }
+}
+
+/// Spawns one direction's gateway pump: wire pacing plus fault injection.
+fn spawn_pump(
+    cfg: WanConfig,
+    fault: FaultConfig,
+    rel: ReliabilityConfig,
+    pump_rx: Receiver<Frame>,
+    wire_tx: Sender<(Instant, Frame)>,
+    stats: Arc<LinkStats>,
+) {
     thread::Builder::new()
         .name("vf2-gateway-pump".into())
         .spawn(move || {
-            // `wire_free_at` enforces FIFO serialization: each message
+            let mut plan = FaultPlan::new(fault);
+            let born = Instant::now();
+            // `wire_free_at` enforces FIFO serialization: each frame
             // occupies the wire for its serialization time.
-            let mut wire_free_at = Instant::now();
-            while let Ok(env) = pump_rx.recv() {
-                let now = Instant::now();
-                let start = wire_free_at.max(now);
-                let ser = cfg.serialize_time(env.payload.len());
-                wire_free_at = start + ser;
-                // Pace the pump so the sender-side queue drains at wire
-                // speed (models gateway back-pressure without blocking the
-                // send call itself).
-                sleep_until(wire_free_at);
-                let deliver_at = wire_free_at + cfg.latency;
-                if pump_tx.send((deliver_at, env)).is_err() {
-                    break;
+            let mut wire_free_at = born;
+            // Frames held back by the reorder fault: (frames still to
+            // overtake this one, frame).
+            let mut held: Vec<(usize, Frame)> = Vec::new();
+            'pump: loop {
+                let frame = match pump_rx.recv_timeout(LINK_TICK) {
+                    Ok(f) => Some(f),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                let mut to_send: Vec<Frame> = Vec::new();
+                match frame {
+                    Some(mut frame) => {
+                        let action = plan.next_frame();
+                        if plan.blackholed() {
+                            stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
+                            held.clear();
+                            continue;
+                        }
+                        // Every later frame ages the reorder holds.
+                        for h in &mut held {
+                            h.0 = h.0.saturating_sub(1);
+                        }
+                        if action.drop {
+                            stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            if action.corrupt {
+                                if let Frame::Data { env, .. } = &mut frame {
+                                    corrupt_payload(env, plan.rng());
+                                    stats.faults_corrupted.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            if action.hold_depth > 0 {
+                                held.push((action.hold_depth, frame));
+                                stats.faults_reordered.fetch_add(1, Ordering::Relaxed);
+                            } else if action.duplicate {
+                                stats.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+                                to_send.push(frame.clone());
+                                to_send.push(frame);
+                            } else {
+                                to_send.push(frame);
+                            }
+                        }
+                    }
+                    // Idle tick: flush every hold so reordering at the
+                    // tail of a burst doesn't become a permanent drop.
+                    None => {
+                        for h in &mut held {
+                            h.0 = 0;
+                        }
+                    }
+                }
+                let mut i = 0;
+                while i < held.len() {
+                    if held[i].0 == 0 {
+                        to_send.push(held.remove(i).1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                for f in to_send {
+                    let now = Instant::now();
+                    let mut start = wire_free_at.max(now);
+                    if let Some(window) = fault.stall {
+                        let stall_start = born + window.after;
+                        let stall_end = stall_start + window.duration;
+                        if start >= stall_start && start < stall_end {
+                            start = stall_end;
+                        }
+                    }
+                    let size = match &f {
+                        Frame::Data { env, .. } => env.payload.len(),
+                        Frame::Ack { .. } => rel.ack_wire_bytes,
+                    };
+                    wire_free_at = start + cfg.serialize_time(size);
+                    // Pace the pump so the sender-side queue drains at
+                    // wire speed (models gateway back-pressure without
+                    // blocking the send call itself).
+                    sleep_until(wire_free_at);
+                    let deliver_at = wire_free_at + cfg.latency;
+                    if wire_tx.send((deliver_at, f)).is_err() {
+                        break 'pump;
+                    }
                 }
             }
         })
         .expect("spawn gateway pump thread");
-    (tx, rx, stats)
+}
+
+/// Flips one random payload bit (the advertised checksum is left alone,
+/// so the receiver detects the damage). Empty payloads grow a junk byte
+/// instead, which equally breaks the checksum.
+fn corrupt_payload(env: &mut Envelope, rng: &mut StdRng) {
+    let mut bytes = env.payload.to_vec();
+    if bytes.is_empty() {
+        bytes.push(0xFF);
+    } else {
+        let byte = rng.gen_range(0..bytes.len());
+        let bit = rng.gen_range(0u32..8);
+        bytes[byte] ^= 1 << bit;
+    }
+    env.payload = Bytes::from(bytes);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::StallWindow;
+
+    #[test]
+    fn flush_drains_once_the_peer_acks() {
+        let (a, b) = duplex(WanConfig::instant());
+        a.send(1, Bytes::from_static(b"hello"));
+        assert_eq!(b.recv().unwrap().kind, 1);
+        // Receipt triggers the cumulative ack; the buffer must drain.
+        assert!(a.flush(Duration::from_secs(5)));
+        // A dropped peer can never ack: flush times out with `false`.
+        drop(b);
+        a.send(2, Bytes::from_static(b"void"));
+        assert!(!a.flush(Duration::from_millis(50)));
+    }
 
     #[test]
     fn messages_round_trip_in_order() {
@@ -378,11 +731,10 @@ mod tests {
     fn duplicates_are_suppressed() {
         let (a, b) = duplex(WanConfig::instant());
         a.send(0, Bytes::from_static(b"first")); // seq 0
-        a.send_envelope_raw(Envelope { kind: 0, seq: 0, payload: Bytes::from_static(b"dup") });
+        a.send_envelope_raw(Envelope { kind: 0, seq: 0, payload: Bytes::from_static(b"first") });
         a.send(1, Bytes::from_static(b"second")); // seq 1
         assert_eq!(b.recv().unwrap().payload.as_ref(), b"first");
         assert_eq!(b.recv().unwrap().payload.as_ref(), b"second");
-        assert_eq!(b.recv_stats().duplicates_dropped(), 0.max(b.recv_stats().duplicates_dropped()));
         assert!(b.recv_stats().duplicates_dropped() >= 1);
     }
 
@@ -402,7 +754,7 @@ mod tests {
     fn disconnect_surfaces_as_error() {
         let (a, b) = duplex(WanConfig::instant());
         drop(a);
-        // Give the pump a moment to observe the closed sender.
+        // Give the teardown cascade (rel thread → pump → peer) a moment.
         assert_eq!(b.recv_timeout(Duration::from_millis(500)), Err(RecvError::Disconnected));
     }
 
@@ -426,5 +778,125 @@ mod tests {
         // A 512-byte cipher + 64B overhead at 37.5 MB/s ≈ 15.4 µs.
         let t = cfg.serialize_time(512);
         assert!(t > Duration::from_micros(14) && t < Duration::from_micros(17), "{t:?}");
+    }
+
+    // ---- fault injection + reliable delivery ----
+
+    /// Sends `n` tagged messages A→B over a faulty link and checks they
+    /// arrive exactly once, in order, bit-intact.
+    fn assert_reliable_delivery(fault: FaultConfig, n: u64) -> (Endpoint, Endpoint) {
+        let (a, b) =
+            duplex_faulty(WanConfig::instant(), fault, fault, ReliabilityConfig::aggressive());
+        for i in 0..n {
+            a.send((i % 7) as u16, Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        for i in 0..n {
+            let env = b.recv_timeout(Duration::from_secs(20)).unwrap();
+            assert_eq!(env.seq, i);
+            assert_eq!(env.kind, (i % 7) as u16);
+            assert_eq!(env.payload.as_ref(), &i.to_le_bytes());
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn drops_are_masked_by_retransmission() {
+        let fault = FaultConfig { seed: 11, drop_prob: 0.2, ..FaultConfig::none() };
+        let (a, _b) = assert_reliable_delivery(fault, 100);
+        assert!(a.send_stats().faults_dropped() > 0, "plan never fired");
+        assert!(a.send_stats().retransmissions() > 0);
+        assert!(a.send_stats().acks_received() > 0);
+    }
+
+    #[test]
+    fn corruption_is_rejected_and_retransmitted() {
+        let fault = FaultConfig { seed: 12, corrupt_prob: 0.2, ..FaultConfig::none() };
+        let (a, _b) = assert_reliable_delivery(fault, 100);
+        assert!(a.send_stats().faults_corrupted() > 0, "plan never fired");
+        assert!(a.send_stats().corrupt_rejected() > 0);
+        assert!(a.send_stats().retransmissions() > 0);
+    }
+
+    #[test]
+    fn duplicates_and_reordering_are_masked() {
+        let fault = FaultConfig {
+            seed: 13,
+            duplicate_prob: 0.15,
+            reorder_prob: 0.15,
+            reorder_depth: 4,
+            ..FaultConfig::none()
+        };
+        let (a, _b) = assert_reliable_delivery(fault, 200);
+        assert!(a.send_stats().faults_duplicated() > 0, "dup plan never fired");
+        assert!(a.send_stats().faults_reordered() > 0, "reorder plan never fired");
+        assert!(a.send_stats().duplicates_dropped() > 0);
+    }
+
+    #[test]
+    fn combined_faults_still_deliver_everything() {
+        let (a, _b) = assert_reliable_delivery(FaultConfig::lossy(99), 300);
+        assert!(a.send_stats().faults_dropped() > 0);
+    }
+
+    #[test]
+    fn stalled_link_fires_timeout_at_the_deadline() {
+        // The link blacks out immediately for 10 s; a 50 ms recv deadline
+        // must fire as a Timeout at ~50 ms, not hang until the stall ends.
+        let fault = FaultConfig {
+            stall: Some(StallWindow { after: Duration::ZERO, duration: Duration::from_secs(10) }),
+            ..FaultConfig::none()
+        };
+        let (a, b) = duplex_faulty(
+            WanConfig::instant(),
+            fault,
+            FaultConfig::none(),
+            ReliabilityConfig::default(),
+        );
+        a.send(0, Bytes::from_static(b"stuck"));
+        let t0 = Instant::now();
+        assert_eq!(b.recv_timeout(Duration::from_millis(50)), Err(RecvError::Timeout));
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(50), "fired early: {dt:?}");
+        assert!(dt < Duration::from_secs(5), "hung past the deadline: {dt:?}");
+    }
+
+    #[test]
+    fn stall_window_delays_then_delivers() {
+        let fault = FaultConfig {
+            stall: Some(StallWindow { after: Duration::ZERO, duration: Duration::from_millis(80) }),
+            ..FaultConfig::none()
+        };
+        let (a, b) = duplex_faulty(
+            WanConfig::instant(),
+            fault,
+            FaultConfig::none(),
+            ReliabilityConfig::default(),
+        );
+        let t0 = Instant::now();
+        a.send(0, Bytes::from_static(b"delayed"));
+        let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.payload.as_ref(), b"delayed");
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn scripted_disconnect_blackholes_forever() {
+        let fault =
+            FaultConfig { seed: 14, disconnect_after_frames: Some(2), ..FaultConfig::none() };
+        let (a, b) = duplex_faulty(
+            WanConfig::instant(),
+            fault,
+            FaultConfig::none(),
+            ReliabilityConfig::aggressive(),
+        );
+        // The first messages get through (each costs one data frame).
+        a.send(0, Bytes::from_static(b"one"));
+        a.send(1, Bytes::from_static(b"two"));
+        assert!(b.recv_timeout(Duration::from_secs(5)).is_ok());
+        assert!(b.recv_timeout(Duration::from_secs(5)).is_ok());
+        // Everything after the cutoff is blackholed despite retransmission.
+        a.send(2, Bytes::from_static(b"lost"));
+        assert_eq!(b.recv_timeout(Duration::from_millis(300)), Err(RecvError::Timeout));
+        assert!(a.send_stats().faults_dropped() > 0);
     }
 }

@@ -1,6 +1,8 @@
 //! Top-level training configuration.
 
-use vf2_channel::WanConfig;
+use std::time::Duration;
+
+use vf2_channel::{FaultConfig, ReliabilityConfig, WanConfig};
 use vf2_crypto::encoding::EncodingConfig;
 use vf2_gbdt::train::GbdtParams;
 
@@ -31,6 +33,19 @@ pub struct TrainConfig {
     pub encoding: EncodingConfig,
     /// Simulated WAN characteristics of every cross-party link.
     pub wan: WanConfig,
+    /// Fault plan applied to every guest→host link direction. Per-host
+    /// plans reuse the same config with the seed offset by the host index,
+    /// so multi-host runs do not replay identical fault streams.
+    pub fault_guest_to_host: FaultConfig,
+    /// Fault plan applied to every host→guest link direction (seed offset
+    /// per host, as above).
+    pub fault_host_to_guest: FaultConfig,
+    /// Reliable-delivery tuning (retransmission timeouts, ack size).
+    pub reliability: ReliabilityConfig,
+    /// Per-phase peer deadline: the longest any blocking cross-party wait
+    /// may last before the peer is declared lost
+    /// ([`crate::error::TrainError::PeerLost`]).
+    pub peer_timeout: Duration,
     /// Data-parallel workers inside each party (shards per histogram
     /// build; also the rayon pool width per party).
     pub workers: usize,
@@ -47,6 +62,10 @@ impl Default for TrainConfig {
             crypto: CryptoConfig::Paillier { key_bits: 2048 },
             encoding: EncodingConfig::default(),
             wan: WanConfig::paper_public_network(),
+            fault_guest_to_host: FaultConfig::none(),
+            fault_host_to_guest: FaultConfig::none(),
+            reliability: ReliabilityConfig::default(),
+            peer_timeout: Duration::from_secs(60),
             workers: 1,
             seed: 42,
         }
@@ -62,6 +81,8 @@ impl TrainConfig {
             crypto: CryptoConfig::Paillier { key_bits: 256 },
             encoding: EncodingConfig { base: 16, base_exp: 8, jitter: 4 },
             wan: WanConfig::instant(),
+            reliability: ReliabilityConfig::aggressive(),
+            peer_timeout: Duration::from_secs(30),
             ..Default::default()
         }
     }
@@ -78,6 +99,14 @@ mod tests {
         assert_eq!(c.gbdt.max_layers, 7);
         assert!((c.gbdt.learning_rate - 0.1).abs() < 1e-12);
         assert_eq!(c.crypto, CryptoConfig::Paillier { key_bits: 2048 });
+    }
+
+    #[test]
+    fn defaults_are_fault_free() {
+        let c = TrainConfig::default();
+        assert!(!c.fault_guest_to_host.is_active());
+        assert!(!c.fault_host_to_guest.is_active());
+        assert!(c.peer_timeout > Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Error hierarchy for panic-free federated training.
+//!
+//! A federated run crosses enterprise boundaries: the peer may crash, the
+//! gateway may blackhole a direction, a message may be malformed. None of
+//! those conditions are programming errors, so none of them may panic —
+//! they surface as [`TrainError`] values, and a failed
+//! [`crate::train::train_federated`] run additionally hands back whatever
+//! telemetry the surviving parties gathered (see [`TrainFailure`]).
+//!
+//! Layering:
+//!
+//! * [`ProtocolError`] — the peer violated the protocol (undecodable or
+//!   unexpected message, out-of-order blaster batch). With the reliable
+//!   delivery sublayer of `vf2-channel` underneath, these indicate a buggy
+//!   or hostile peer rather than a noisy wire.
+//! * [`TrainError`] — everything that can abort a run: protocol
+//!   violations, crypto failures, invalid caller input, a silent peer
+//!   ([`TrainError::PeerLost`]), or a party thread that panicked.
+
+use std::time::Duration;
+
+use vf2_crypto::CryptoError;
+
+use crate::telemetry::{PartyTelemetry, TrainReport, TreeRecord};
+use crate::wire::WireError;
+
+/// Identifies one party of the federation in error reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartyId {
+    /// The label owner / protocol driver (the paper's Party B).
+    Guest,
+    /// Feature-only host party `p` (the paper's Party A instances).
+    Host(usize),
+}
+
+impl std::fmt::Display for PartyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartyId::Guest => write!(f, "guest"),
+            PartyId::Host(p) => write!(f, "host-{p}"),
+        }
+    }
+}
+
+/// The protocol phase a party was in when it lost its peer. Deadlines are
+/// per *phase wait*: each blocking cross-party receive gets the full
+/// [`crate::config::TrainConfig::peer_timeout`] budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolPhase {
+    /// Waiting for the initial `FeatureMeta` greeting.
+    Hello,
+    /// Waiting for (more) encrypted gradient batches.
+    Gradients,
+    /// Waiting for histograms / placements while growing a tree.
+    TreeBuild,
+}
+
+impl std::fmt::Display for ProtocolPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolPhase::Hello => write!(f, "hello"),
+            ProtocolPhase::Gradients => write!(f, "gradients"),
+            ProtocolPhase::TreeBuild => write!(f, "tree-build"),
+        }
+    }
+}
+
+/// A peer violated the wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// A message failed to decode.
+    Malformed {
+        /// The sending party.
+        from: PartyId,
+        /// The decode failure.
+        error: WireError,
+    },
+    /// A structurally valid message arrived where it makes no sense.
+    UnexpectedMessage {
+        /// The sending party.
+        from: PartyId,
+        /// The message kind tag.
+        kind: u16,
+        /// What the receiver was doing.
+        context: &'static str,
+    },
+    /// A blaster gradient batch arrived out of order.
+    OutOfOrderGradients {
+        /// The row the receiver expected the batch to start at.
+        expected: u32,
+        /// The row the batch actually started at.
+        got: u32,
+    },
+    /// The final gradient batch left rows uncovered.
+    IncompleteGradients {
+        /// Rows the host's dataset holds.
+        expected: usize,
+        /// Rows covered by the received batches.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Malformed { from, error } => {
+                write!(f, "malformed message from {from}: {error}")
+            }
+            ProtocolError::UnexpectedMessage { from, kind, context } => {
+                write!(f, "unexpected message kind {kind} from {from} ({context})")
+            }
+            ProtocolError::OutOfOrderGradients { expected, got } => {
+                write!(f, "gradient batch out of order: expected row {expected}, got {got}")
+            }
+            ProtocolError::IncompleteGradients { expected, got } => {
+                write!(f, "final gradient batch covers {got} of {expected} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Anything that can abort a federated training run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The caller's inputs are unusable (misaligned datasets, missing
+    /// labels, labels on a host).
+    InvalidInput(String),
+    /// A cryptographic operation failed.
+    Crypto {
+        /// The operation that failed.
+        context: &'static str,
+        /// The underlying failure.
+        error: CryptoError,
+    },
+    /// The peer violated the protocol.
+    Protocol(ProtocolError),
+    /// The peer went silent: nothing arrived within the per-phase
+    /// deadline, or its endpoint disconnected without an orderly
+    /// shutdown.
+    PeerLost {
+        /// The party that stopped talking.
+        party: PartyId,
+        /// The phase the receiver was blocked in.
+        phase: ProtocolPhase,
+        /// How long the receiver waited before giving up.
+        waited: Duration,
+    },
+    /// A party thread panicked; the panic was caught at `join()`.
+    PartyPanicked {
+        /// The party whose thread died.
+        party: PartyId,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+    /// A party failed to initialize (e.g. its worker pool).
+    Setup {
+        /// The party that failed to come up.
+        party: PartyId,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::InvalidInput(reason) => write!(f, "invalid input: {reason}"),
+            TrainError::Crypto { context, error } => {
+                write!(f, "crypto failure during {context}: {error:?}")
+            }
+            TrainError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            TrainError::PeerLost { party, phase, waited } => {
+                write!(f, "{party} lost during {phase} (waited {waited:?})")
+            }
+            TrainError::PartyPanicked { party, detail } => {
+                write!(f, "{party} thread panicked: {detail}")
+            }
+            TrainError::Setup { party, detail } => {
+                write!(f, "{party} failed to initialize: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl TrainError {
+    /// `map_err` adapter for crypto results:
+    /// `suite.decrypt(c).map_err(TrainError::crypto("histogram decryption"))`.
+    pub fn crypto(context: &'static str) -> impl Fn(CryptoError) -> TrainError {
+        move |error| TrainError::Crypto { context, error }
+    }
+}
+
+impl From<ProtocolError> for TrainError {
+    fn from(e: ProtocolError) -> TrainError {
+        TrainError::Protocol(e)
+    }
+}
+
+/// A failed guest run: the error plus the telemetry gathered up to the
+/// failure (link fault counters included), so a chaos run still reports
+/// what the wire did.
+#[derive(Debug)]
+pub struct GuestFailure {
+    /// Why the guest aborted.
+    pub error: TrainError,
+    /// Partial guest telemetry.
+    pub telemetry: Box<PartyTelemetry>,
+    /// Trees completed before the failure.
+    pub tree_records: Vec<TreeRecord>,
+}
+
+/// A failed host run: the error plus the host's partial telemetry.
+#[derive(Debug)]
+pub struct HostFailure {
+    /// Why the host aborted.
+    pub error: TrainError,
+    /// Partial host telemetry.
+    pub telemetry: Box<PartyTelemetry>,
+}
+
+/// A failed end-to-end run: the primary error plus a partial
+/// [`TrainReport`] assembled from every party that could still be joined.
+#[derive(Debug)]
+pub struct TrainFailure {
+    /// The first error that brought the run down.
+    pub error: TrainError,
+    /// Telemetry gathered before the failure (phase times, fault
+    /// counters, completed-tree records).
+    pub partial: Box<TrainReport>,
+}
+
+impl std::fmt::Display for TrainFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl std::error::Error for TrainFailure {}
+
+impl From<TrainError> for TrainFailure {
+    fn from(error: TrainError) -> TrainFailure {
+        TrainFailure { error, partial: Box::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = TrainError::PeerLost {
+            party: PartyId::Host(2),
+            phase: ProtocolPhase::TreeBuild,
+            waited: Duration::from_secs(5),
+        };
+        assert_eq!(e.to_string(), "host-2 lost during tree-build (waited 5s)");
+        let p: TrainError = ProtocolError::OutOfOrderGradients { expected: 64, got: 0 }.into();
+        assert!(p.to_string().contains("expected row 64"));
+        assert!(TrainError::PartyPanicked { party: PartyId::Guest, detail: "boom".into() }
+            .to_string()
+            .contains("guest thread panicked: boom"));
+    }
+
+    #[test]
+    fn failure_from_error_has_empty_partial_report() {
+        let f: TrainFailure = TrainError::InvalidInput("no labels".into()).into();
+        assert!(f.partial.hosts.is_empty());
+        assert_eq!(f.to_string(), "invalid input: no labels");
+    }
+}

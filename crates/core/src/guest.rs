@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use vf2_channel::Endpoint;
+use vf2_channel::{Endpoint, Envelope, RecvError};
 use vf2_crypto::suite::Suite;
 use vf2_gbdt::binning::BinnedDataset;
 use vf2_gbdt::data::Dataset;
@@ -32,6 +32,7 @@ use vf2_gbdt::split::{best_of, best_split_from_prefix, find_best_split, SplitCan
 use vf2_gbdt::tree::{layer_of, left_child, right_child, NodeId, NodeSplit};
 
 use crate::config::TrainConfig;
+use crate::error::{GuestFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
 use crate::hist_enc::unpack_feature_hist;
 use crate::messages::{FeatureMeta, HistPayload, Msg};
 use crate::model::{FedNode, FedTree};
@@ -94,18 +95,30 @@ struct TreeCtx {
 /// Adds the mass of implicit zeros (`node_total − Σ stored bins`) into the
 /// feature's zero bin.
 fn fold_zero_mass(bins: &mut [GradPair], meta: FeatureMeta, total: GradPair) {
-    let stored = bins.iter().fold(GradPair::ZERO, |a, &b| a.add(b));
-    bins[meta.zero_bin as usize] += total.sub(stored);
+    let stored = bins.iter().fold(GradPair::ZERO, |a, &b| a + b);
+    bins[meta.zero_bin as usize] += total - stored;
 }
 
 /// Runs the guest to completion and shuts the hosts down.
+///
+/// Never panics on peer misbehaviour: a silent or disconnected host
+/// yields [`TrainError::PeerLost`], a malformed or out-of-place message
+/// yields [`TrainError::Protocol`], and the failure carries the guest's
+/// partial telemetry.
 pub fn run_guest(
     data: Arc<Dataset>,
     cfg: TrainConfig,
     suite: Suite,
     endpoints: Vec<Endpoint>,
-) -> GuestOutput {
-    GuestParty::new(data, cfg, suite, endpoints).run()
+) -> Result<GuestOutput, GuestFailure> {
+    match GuestParty::new(data, cfg, suite, endpoints) {
+        Ok(party) => party.run(),
+        Err(error) => Err(GuestFailure {
+            error,
+            telemetry: Box::new(PartyTelemetry { name: "guest".into(), ..Default::default() }),
+            tree_records: Vec::new(),
+        }),
+    }
 }
 
 struct GuestParty {
@@ -129,17 +142,19 @@ impl GuestParty {
         cfg: TrainConfig,
         suite: Suite,
         endpoints: Vec<Endpoint>,
-    ) -> GuestParty {
-        assert!(data.labels().is_some(), "the guest must own the labels");
+    ) -> Result<GuestParty, TrainError> {
+        if data.labels().is_none() {
+            return Err(TrainError::InvalidInput("the guest must own the labels".into()));
+        }
         let binned = BinnedDataset::bin(&data, &cfg.gbdt.binning);
         let csr = RowMajorBins::from_binned(&binned);
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(cfg.workers.max(1))
             .thread_name(|i| format!("guest-worker{i}"))
             .build()
-            .expect("build guest worker pool");
+            .map_err(|e| TrainError::Setup { party: PartyId::Guest, detail: e.to_string() })?;
         let n = data.num_rows();
-        GuestParty {
+        Ok(GuestParty {
             preds: vec![cfg.gbdt.loss.base_score(); n],
             host_metas: Vec::new(),
             telemetry: PartyTelemetry { name: "guest".into(), ..Default::default() },
@@ -152,27 +167,73 @@ impl GuestParty {
             binned,
             csr,
             pool,
+        })
+    }
+
+    fn run(mut self) -> Result<GuestOutput, GuestFailure> {
+        match self.run_inner() {
+            Ok(trees) => {
+                self.collect_transfer_stats();
+                Ok(GuestOutput {
+                    trees,
+                    telemetry: self.telemetry,
+                    tree_records: self.tree_records,
+                    train_margins: self.preds,
+                })
+            }
+            Err(error) => {
+                // Hand back whatever was measured before the failure.
+                self.collect_transfer_stats();
+                Err(GuestFailure {
+                    error,
+                    telemetry: Box::new(self.telemetry),
+                    tree_records: self.tree_records,
+                })
+            }
         }
     }
 
-    fn run(mut self) -> GuestOutput {
+    fn run_inner(&mut self) -> Result<Vec<FedTree>, TrainError> {
         // Collect each host's feature metadata (bin structure only).
         self.host_metas = vec![Vec::new(); self.endpoints.len()];
         for h in 0..self.endpoints.len() {
             let t0 = Instant::now();
-            let env = self.endpoints[h].recv().expect("host hello");
+            let env = match self.endpoints[h].recv_timeout(self.cfg.peer_timeout) {
+                Ok(env) => env,
+                Err(reason) => return Err(self.peer_lost(h, ProtocolPhase::Hello, t0, reason)),
+            };
             self.telemetry.phases.idle += t0.elapsed();
-            match wire::decode(env.kind, env.payload).expect("decode hello") {
-                Msg::FeatureMeta(m) => self.host_metas[h] = m,
-                other => panic!("expected FeatureMeta, got kind {}", other.kind()),
+            match Self::decode_from(h, env)? {
+                Msg::FeatureMeta(m) => {
+                    // The zero-bin index is used to address histogram bins
+                    // later; reject inconsistent metadata up front.
+                    if m.iter().any(|meta| meta.zero_bin >= meta.num_bins) {
+                        return Err(ProtocolError::UnexpectedMessage {
+                            from: PartyId::Host(h),
+                            kind: 1,
+                            context: "FeatureMeta zero_bin out of range",
+                        }
+                        .into());
+                    }
+                    self.host_metas[h] = m;
+                }
+                other => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Host(h),
+                        kind: other.kind(),
+                        context: "waiting for the FeatureMeta hello",
+                    }
+                    .into())
+                }
             }
         }
 
         self.started = Instant::now();
         let mut trees = Vec::with_capacity(self.cfg.gbdt.num_trees);
         for t in 0..self.cfg.gbdt.num_trees {
-            let tree = self.train_tree(t as u32);
+            let tree = self.train_tree(t as u32)?;
             trees.push(tree);
+            // Labels were checked at construction.
             let labels = self.data.labels().expect("labels");
             self.tree_records.push(TreeRecord {
                 tree: t,
@@ -181,18 +242,46 @@ impl GuestParty {
             });
         }
         self.broadcast(&Msg::Shutdown);
+        // Linger until the hosts ack the goodbye (bounded by the peer
+        // deadline): returning now would drop the endpoints, and a
+        // Shutdown frame the fault plan dropped would die unacked — the
+        // host would see a disconnect instead of an orderly finish.
+        for ep in &self.endpoints {
+            ep.flush(self.cfg.peer_timeout);
+        }
+        Ok(trees)
+    }
 
+    fn collect_transfer_stats(&mut self) {
         self.telemetry.ops = self.suite.counters().snapshot();
-        self.telemetry.bytes_sent =
-            self.endpoints.iter().map(|e| e.send_stats().bytes()).sum();
+        self.telemetry.bytes_sent = self.endpoints.iter().map(|e| e.send_stats().bytes()).sum();
         self.telemetry.messages_sent =
             self.endpoints.iter().map(|e| e.send_stats().messages()).sum();
-        GuestOutput {
-            trees,
-            telemetry: self.telemetry,
-            tree_records: self.tree_records,
-            train_margins: self.preds,
+        let mut link = self.telemetry.link;
+        for ep in &self.endpoints {
+            link.absorb(ep.send_stats());
         }
+        self.telemetry.link = link;
+    }
+
+    /// Declares host `h` lost after a failed wait that began at `t0`.
+    fn peer_lost(
+        &mut self,
+        host: usize,
+        phase: ProtocolPhase,
+        t0: Instant,
+        reason: RecvError,
+    ) -> TrainError {
+        self.telemetry.phases.idle += t0.elapsed();
+        if reason == RecvError::Timeout {
+            self.telemetry.link.recv_timeouts += 1;
+        }
+        TrainError::PeerLost { party: PartyId::Host(host), phase, waited: t0.elapsed() }
+    }
+
+    fn decode_from(host: usize, env: Envelope) -> Result<Msg, TrainError> {
+        wire::decode(env.kind, env.payload)
+            .map_err(|error| ProtocolError::Malformed { from: PartyId::Host(host), error }.into())
     }
 
     fn broadcast(&self, msg: &Msg) {
@@ -207,22 +296,40 @@ impl GuestParty {
     }
 
     /// Blocks until any host message arrives (single-host fast path;
-    /// round-robin polling otherwise). Idle time is accounted.
-    fn recv_any(&mut self) -> (usize, Msg) {
+    /// round-robin polling otherwise), bounded by the per-phase peer
+    /// deadline. Idle time is accounted.
+    fn recv_any(&mut self) -> Result<(usize, Msg), TrainError> {
         let t0 = Instant::now();
+        let phase = ProtocolPhase::TreeBuild;
         if self.endpoints.len() == 1 {
-            let env = self.endpoints[0].recv().expect("host alive");
-            self.telemetry.phases.idle += t0.elapsed();
-            return (0, wire::decode(env.kind, env.payload).expect("decode"));
+            return match self.endpoints[0].recv_timeout(self.cfg.peer_timeout) {
+                Ok(env) => {
+                    self.telemetry.phases.idle += t0.elapsed();
+                    Ok((0, Self::decode_from(0, env)?))
+                }
+                Err(reason) => Err(self.peer_lost(0, phase, t0, reason)),
+            };
         }
         loop {
             for h in 0..self.endpoints.len() {
-                if let Some(env) = self.endpoints[h].try_recv() {
-                    self.telemetry.phases.idle += t0.elapsed();
-                    return (h, wire::decode(env.kind, env.payload).expect("decode"));
+                match self.endpoints[h].recv_timeout(Duration::from_micros(100)) {
+                    Ok(env) => {
+                        self.telemetry.phases.idle += t0.elapsed();
+                        return Ok((h, Self::decode_from(h, env)?));
+                    }
+                    // A vanished peer is reported immediately; mere
+                    // silence is judged by the shared deadline below.
+                    Err(RecvError::Disconnected) => {
+                        return Err(self.peer_lost(h, phase, t0, RecvError::Disconnected))
+                    }
+                    Err(RecvError::Timeout) => {}
                 }
             }
-            std::thread::sleep(Duration::from_micros(100));
+            if t0.elapsed() > self.cfg.peer_timeout {
+                // Every host is silent; attribute the loss to the first
+                // one (the specific index is arbitrary here).
+                return Err(self.peer_lost(0, phase, t0, RecvError::Timeout));
+            }
         }
     }
 
@@ -230,7 +337,8 @@ impl GuestParty {
     // Per-tree driver
     // ------------------------------------------------------------------
 
-    fn train_tree(&mut self, tree: u32) -> FedTree {
+    fn train_tree(&mut self, tree: u32) -> Result<FedTree, TrainError> {
+        // Labels were checked at construction.
         let labels = self.data.labels().expect("labels").to_vec();
         let grads = self.cfg.gbdt.loss.grad_hess_all(&labels, &self.preds);
         let n = self.data.num_rows();
@@ -244,11 +352,11 @@ impl GuestParty {
             pending: 0,
         };
 
-        self.send_gradients(&ctx);
+        self.send_gradients(&ctx)?;
         if self.cfg.protocol.optimistic {
-            self.run_tree_optimistic(&mut ctx);
+            self.run_tree_optimistic(&mut ctx)?;
         } else {
-            self.run_tree_sequential(&mut ctx);
+            self.run_tree_sequential(&mut ctx)?;
         }
         self.broadcast(&Msg::TreeDone { tree });
 
@@ -261,12 +369,12 @@ impl GuestParty {
                 }
             }
         }
-        self.build_fed_tree(&ctx)
+        Ok(self.build_fed_tree(&ctx))
     }
 
     /// Encrypts and ships the gradient statistics — in one bulk message or
     /// in pipelined blaster batches (§4.1).
-    fn send_gradients(&mut self, ctx: &TreeCtx) {
+    fn send_gradients(&mut self, ctx: &TreeCtx) -> Result<(), TrainError> {
         let n = ctx.grads.len();
         let batch = self.cfg.protocol.blaster_batch.unwrap_or(n).max(1);
         let g_vals: Vec<f64> = ctx.grads.iter().map(|p| p.g).collect();
@@ -281,23 +389,21 @@ impl GuestParty {
                 .wrapping_add((ctx.tree as u64) << 32)
                 .wrapping_add(start as u64);
             let t0 = Stopwatch::start(self.cfg.workers <= 1);
-            let (g_cts, h_cts) = if self.cfg.workers <= 1 {
+            let (g_res, h_res) = if self.cfg.workers <= 1 {
                 (
-                    self.suite.encrypt_batch_seq(&g_vals[start..end], seed).expect("encrypt g"),
-                    self.suite
-                        .encrypt_batch_seq(&h_vals[start..end], seed ^ 0xdead_beef)
-                        .expect("encrypt h"),
+                    self.suite.encrypt_batch_seq(&g_vals[start..end], seed),
+                    self.suite.encrypt_batch_seq(&h_vals[start..end], seed ^ 0xdead_beef),
                 )
             } else {
                 self.pool.install(|| {
                     (
-                        self.suite.encrypt_batch(&g_vals[start..end], seed).expect("encrypt g"),
-                        self.suite
-                            .encrypt_batch(&h_vals[start..end], seed ^ 0xdead_beef)
-                            .expect("encrypt h"),
+                        self.suite.encrypt_batch(&g_vals[start..end], seed),
+                        self.suite.encrypt_batch(&h_vals[start..end], seed ^ 0xdead_beef),
                     )
                 })
             };
+            let g_cts = g_res.map_err(TrainError::crypto("gradient encryption"))?;
+            let h_cts = h_res.map_err(TrainError::crypto("hessian encryption"))?;
             self.telemetry.phases.encrypt += t0.elapsed();
             // Hand to the gateway immediately; encryption of the next batch
             // overlaps with the wire and with host-side accumulation.
@@ -310,6 +416,7 @@ impl GuestParty {
             });
             start = end;
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -411,12 +518,8 @@ impl GuestParty {
     fn apply_guest_split(&mut self, ctx: &mut TreeCtx, node: NodeId, best: SplitCandidate) {
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
         let col = self.binned.column(best.feature);
-        let placement: Vec<bool> = ctx
-            .rows
-            .rows(node)
-            .iter()
-            .map(|&r| col.bin_of_row(r as usize) <= best.bin)
-            .collect();
+        let placement: Vec<bool> =
+            ctx.rows.rows(node).iter().map(|&r| col.bin_of_row(r as usize) <= best.bin).collect();
         ctx.rows.apply_placement(node, &placement);
         self.telemetry.phases.split_nodes += t0.elapsed();
         self.broadcast(&Msg::ApplyPlacement { tree: ctx.tree, node: node as u32, placement });
@@ -442,9 +545,23 @@ impl GuestParty {
         payload: &HistPayload,
         total: GradPair,
         count: usize,
-    ) -> Option<SplitCandidate> {
-        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+    ) -> Result<Option<SplitCandidate>, TrainError> {
+        // The payload shape must match the host's announced metadata; a
+        // mismatch is a protocol violation, not a crash.
         let metas = &self.host_metas[host];
+        let features_sent = match payload {
+            HistPayload::Raw(features) => features.len(),
+            HistPayload::Packed(features) => features.len(),
+        };
+        if features_sent != metas.len() {
+            return Err(ProtocolError::UnexpectedMessage {
+                from: PartyId::Host(host),
+                kind: 4,
+                context: "histogram payload feature count differs from FeatureMeta",
+            }
+            .into());
+        }
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
         let bound = self.cfg.gbdt.loss.grad_bound().max(self.cfg.gbdt.loss.hess_bound());
         let suite = &self.suite;
         let split_params = self.cfg.gbdt.split;
@@ -452,57 +569,70 @@ impl GuestParty {
         // FindSplitA amortizes over workers (the paper's Table 5 notes the
         // decryption cost "is also able to be amortized among workers").
         let per_feature_raw = |(f, feat): (usize, &crate::messages::RawFeatureHist)| {
-            let mut bins: Vec<GradPair> = feat
-                .g
-                .iter()
-                .zip(&feat.h)
-                .map(|(cg, ch)| GradPair {
-                    g: suite.decrypt(cg).expect("decrypt g"),
-                    h: suite.decrypt(ch).expect("decrypt h"),
-                })
-                .collect();
+            let mut bins = Vec::with_capacity(feat.g.len());
+            for (cg, ch) in feat.g.iter().zip(&feat.h) {
+                bins.push(GradPair {
+                    g: suite.decrypt(cg).map_err(TrainError::crypto("histogram decryption"))?,
+                    h: suite.decrypt(ch).map_err(TrainError::crypto("histogram decryption"))?,
+                });
+            }
+            if bins.len() != metas[f].num_bins as usize {
+                return Err(ProtocolError::UnexpectedMessage {
+                    from: PartyId::Host(host),
+                    kind: 4,
+                    context: "histogram bin count differs from FeatureMeta",
+                }
+                .into());
+            }
             fold_zero_mass(&mut bins, metas[f], total);
             let hist = vf2_gbdt::histogram::Histogram { bins };
-            find_best_split(f, &hist, total, &split_params)
+            Ok(find_best_split(f, &hist, total, &split_params))
         };
         let per_feature_packed = |(f, feat): (usize, &crate::messages::PackedFeatureHist)| {
-            let mut bins = unpack_feature_hist(suite, feat, count, bound).expect("unpack");
+            let mut bins = unpack_feature_hist(suite, feat, count, bound)
+                .map_err(TrainError::crypto("histogram unpacking"))?;
+            if bins.len() != metas[f].num_bins as usize {
+                return Err(ProtocolError::UnexpectedMessage {
+                    from: PartyId::Host(host),
+                    kind: 4,
+                    context: "histogram bin count differs from FeatureMeta",
+                }
+                .into());
+            }
             fold_zero_mass(&mut bins, metas[f], total);
             let prefix = vf2_gbdt::histogram::Histogram { bins }.prefix_sums();
-            best_split_from_prefix(f, &prefix, total, &split_params)
+            Ok(best_split_from_prefix(f, &prefix, total, &split_params))
         };
-        let best = if self.cfg.workers <= 1 {
+        type FeatureResult = Result<Option<SplitCandidate>, TrainError>;
+        let results: Vec<FeatureResult> = if self.cfg.workers <= 1 {
             match payload {
                 HistPayload::Raw(features) => {
-                    best_of(features.iter().enumerate().filter_map(per_feature_raw))
+                    features.iter().enumerate().map(per_feature_raw).collect()
                 }
                 HistPayload::Packed(features) => {
-                    best_of(features.iter().enumerate().filter_map(per_feature_packed))
+                    features.iter().enumerate().map(per_feature_packed).collect()
                 }
             }
         } else {
             use rayon::prelude::*;
             self.pool.install(|| match payload {
-                HistPayload::Raw(features) => best_of(
-                    features
-                        .par_iter()
-                        .enumerate()
-                        .filter_map(per_feature_raw)
-                        .collect::<Vec<_>>(),
-                ),
-                HistPayload::Packed(features) => best_of(
-                    features
-                        .par_iter()
-                        .enumerate()
-                        .filter_map(per_feature_packed)
-                        .collect::<Vec<_>>(),
-                ),
+                HistPayload::Raw(features) => {
+                    features.par_iter().enumerate().map(per_feature_raw).collect()
+                }
+                HistPayload::Packed(features) => {
+                    features.par_iter().enumerate().map(per_feature_packed).collect()
+                }
             })
         };
+        let mut candidates = Vec::new();
+        for r in results {
+            if let Some(c) = r? {
+                candidates.push(c);
+            }
+        }
         self.telemetry.phases.decrypt_find += t0.elapsed();
-        best
+        Ok(best_of(candidates))
     }
-
 
     /// Picks the winner among the guest's and all hosts' candidates.
     fn winner(state: &NodeState) -> Winner {
@@ -611,10 +741,24 @@ impl GuestParty {
         ctx.rows.clear_descendants(node);
     }
 
-    fn on_placement(&mut self, ctx: &mut TreeCtx, host: usize, node: NodeId, placement: Vec<bool>) {
-        let Some(state) = ctx.states.get_mut(&node) else { return };
+    fn on_placement(
+        &mut self,
+        ctx: &mut TreeCtx,
+        host: usize,
+        node: NodeId,
+        placement: Vec<bool>,
+    ) -> Result<(), TrainError> {
+        let Some(state) = ctx.states.get_mut(&node) else { return Ok(()) };
         if state.awaiting_placement != Some(host) {
-            return; // stale (the node was rolled back meanwhile)
+            return Ok(()); // stale (the node was rolled back meanwhile)
+        }
+        if placement.len() != ctx.rows.rows(node).len() {
+            return Err(ProtocolError::UnexpectedMessage {
+                from: PartyId::Host(host),
+                kind: 7,
+                context: "placement length differs from the node's row count",
+            }
+            .into());
         }
         state.awaiting_placement = None;
         state.resolved = true;
@@ -638,6 +782,7 @@ impl GuestParty {
             }
         }
         self.materialize_children(ctx, node);
+        Ok(())
     }
 
     fn on_node_histograms(
@@ -647,55 +792,67 @@ impl GuestParty {
         node: NodeId,
         epoch: u32,
         payload: HistPayload,
-    ) {
+    ) -> Result<(), TrainError> {
         if ctx.epoch.get(node).copied() != Some(epoch) || !ctx.states.contains_key(&node) {
             self.telemetry.events.stale_histograms += 1;
-            return;
+            return Ok(());
         }
         let (total, count) = {
             let s = &ctx.states[&node];
             if s.host_received[host] || s.resolved {
                 self.telemetry.events.stale_histograms += 1;
-                return;
+                return Ok(());
             }
             (s.total, ctx.rows.rows(node).len())
         };
-        let best = self.host_best_split(host, &payload, total, count);
+        let best = self.host_best_split(host, &payload, total, count)?;
         let state = ctx.states.get_mut(&node).expect("state");
         state.host_best[host] = best;
         state.host_received[host] = true;
         if state.host_received.iter().all(|&b| b) {
             self.resolve(ctx, node);
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Optimistic driver (§4.2)
     // ------------------------------------------------------------------
 
-    fn run_tree_optimistic(&mut self, ctx: &mut TreeCtx) {
+    fn run_tree_optimistic(&mut self, ctx: &mut TreeCtx) -> Result<(), TrainError> {
         self.materialize(ctx, 0);
         while ctx.pending > 0 {
-            let (host, msg) = self.recv_any();
+            let (host, msg) = self.recv_any()?;
             match msg {
-                Msg::NodeHistograms { tree, node, epoch, payload } => {
-                    debug_assert_eq!(tree, ctx.tree);
-                    self.on_node_histograms(ctx, host, node as usize, epoch, payload);
+                Msg::NodeHistograms { tree, node, epoch, payload } if tree == ctx.tree => {
+                    self.on_node_histograms(ctx, host, node as usize, epoch, payload)?;
                 }
-                Msg::Placement { tree, node, placement } => {
-                    debug_assert_eq!(tree, ctx.tree);
-                    self.on_placement(ctx, host, node as usize, placement);
+                Msg::Placement { tree, node, placement } if tree == ctx.tree => {
+                    self.on_placement(ctx, host, node as usize, placement)?;
                 }
-                other => panic!("guest received unexpected message kind {}", other.kind()),
+                // A different tree index on an otherwise-valid reply is a
+                // straggler from a finished tree: stale, not fatal.
+                Msg::NodeHistograms { .. } | Msg::Placement { .. } => {
+                    self.telemetry.events.stale_histograms += 1;
+                }
+                other => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Host(host),
+                        kind: other.kind(),
+                        context: "optimistic tree loop",
+                    }
+                    .into())
+                }
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Sequential driver (the VF-GBDT baseline)
     // ------------------------------------------------------------------
 
-    fn run_tree_sequential(&mut self, ctx: &mut TreeCtx) {
+    fn run_tree_sequential(&mut self, ctx: &mut TreeCtx) -> Result<(), TrainError> {
         self.materialize(ctx, 0);
         let mut active: Vec<NodeId> = ctx.states.keys().copied().collect();
         // Histograms can arrive ahead of their layer (hosts start next-layer
@@ -711,13 +868,24 @@ impl GuestParty {
                 active.iter().any(|&n| (0..num_hosts).any(|h| !buf.contains_key(&(h, n))))
             };
             while needed(&buffered, &active) {
-                let (host, msg) = self.recv_any();
+                let (host, msg) = self.recv_any()?;
                 match msg {
-                    Msg::NodeHistograms { node, epoch, payload, .. } => {
-                        debug_assert_eq!(epoch, ctx.epoch[node as usize]);
+                    Msg::NodeHistograms { node, epoch, payload, .. }
+                        if ctx.epoch.get(node as usize).copied() == Some(epoch) =>
+                    {
                         buffered.insert((host, node as usize), payload);
                     }
-                    other => panic!("unexpected message kind {} in layer wait", other.kind()),
+                    Msg::NodeHistograms { .. } => {
+                        self.telemetry.events.stale_histograms += 1;
+                    }
+                    other => {
+                        return Err(ProtocolError::UnexpectedMessage {
+                            from: PartyId::Host(host),
+                            kind: other.kind(),
+                            context: "sequential layer wait",
+                        }
+                        .into())
+                    }
                 }
             }
             // Phase 2: decrypt and decide every node.
@@ -725,9 +893,8 @@ impl GuestParty {
             for &node in &active {
                 for host in 0..self.endpoints.len() {
                     let payload = buffered.remove(&(host, node)).expect("buffered payload");
-                    let (total, count) =
-                        (ctx.states[&node].total, ctx.rows.rows(node).len());
-                    let best = self.host_best_split(host, &payload, total, count);
+                    let (total, count) = (ctx.states[&node].total, ctx.rows.rows(node).len());
+                    let best = self.host_best_split(host, &payload, total, count)?;
                     let state = ctx.states.get_mut(&node).expect("state");
                     state.host_best[host] = best;
                     state.host_received[host] = true;
@@ -740,26 +907,33 @@ impl GuestParty {
             // Phase 3: collect placements for host-won nodes; histograms
             // for the next layer may interleave and are buffered.
             while awaiting.iter().any(|n| ctx.states[n].awaiting_placement.is_some()) {
-                let (host, msg) = self.recv_any();
+                let (host, msg) = self.recv_any()?;
                 match msg {
                     Msg::Placement { node, placement, .. } => {
-                        self.on_placement(ctx, host, node as usize, placement);
+                        self.on_placement(ctx, host, node as usize, placement)?;
                     }
-                    Msg::NodeHistograms { node, epoch, payload, .. } => {
-                        debug_assert_eq!(epoch, ctx.epoch[node as usize]);
+                    Msg::NodeHistograms { node, epoch, payload, .. }
+                        if ctx.epoch.get(node as usize).copied() == Some(epoch) =>
+                    {
                         buffered.insert((host, node as usize), payload);
                     }
-                    other => panic!("unexpected message kind {} in placement wait", other.kind()),
+                    Msg::NodeHistograms { .. } => {
+                        self.telemetry.events.stale_histograms += 1;
+                    }
+                    other => {
+                        return Err(ProtocolError::UnexpectedMessage {
+                            from: PartyId::Host(host),
+                            kind: other.kind(),
+                            context: "sequential placement wait",
+                        }
+                        .into())
+                    }
                 }
             }
             // Next layer: the children materialized by resolve/on_placement.
-            active = ctx
-                .states
-                .iter()
-                .filter(|(_, s)| !s.resolved)
-                .map(|(&n, _)| n)
-                .collect();
+            active = ctx.states.iter().filter(|(_, s)| !s.resolved).map(|(&n, _)| n).collect();
         }
+        Ok(())
     }
 
     /// Builds the guest-view tree from the final decisions.

@@ -303,7 +303,8 @@ mod tests {
         let enc = encoding();
         let mut rng = StdRng::seed_from_u64(1);
         let values: Vec<f64> = (0..40).map(|i| (i as f64) * 0.01 - 0.2).collect();
-        let cts: Vec<Ciphertext> = values.iter().map(|&v| s.encrypt(v, &mut rng).unwrap()).collect();
+        let cts: Vec<Ciphertext> =
+            values.iter().map(|&v| s.encrypt(v, &mut rng).unwrap()).collect();
 
         let naive_suite = s.clone();
         let mut naive = EncHistBuilder::new(&meta(1), &enc, false);

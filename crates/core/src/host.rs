@@ -15,11 +15,12 @@ use std::time::Instant;
 
 use vf2_channel::{Endpoint, RecvError};
 use vf2_crypto::suite::{Ciphertext, Suite};
-use vf2_gbdt::binning::{BinnedDataset, BinnedColumn};
+use vf2_gbdt::binning::{BinnedColumn, BinnedDataset};
 use vf2_gbdt::data::Dataset;
-use vf2_gbdt::tree::NodeSplit;
+use vf2_gbdt::tree::{right_child, NodeSplit};
 
 use crate::config::TrainConfig;
+use crate::error::{HostFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
 use crate::hist_enc::{max_exponent, pack_feature_hist, EncHistBuilder};
 use crate::messages::{FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist};
 use crate::model::HostSplitTable;
@@ -27,18 +28,35 @@ use crate::rows::{NodeRows, RowMajorBins};
 use crate::telemetry::{PartyTelemetry, Stopwatch};
 use crate::wire;
 
-/// Runs a host party to completion (until the guest sends `Shutdown` or
-/// disconnects). Returns the telemetry and the host's private split table.
+/// Runs a host party to completion (until the guest sends `Shutdown`).
+/// Returns the telemetry and the host's private split table.
+///
+/// Never panics on peer misbehaviour: a guest that disconnects without an
+/// orderly `Shutdown`, or goes silent past the per-phase deadline, yields
+/// [`TrainError::PeerLost`]; malformed or out-of-place messages yield
+/// [`TrainError::Protocol`]. Failures carry the host's partial telemetry.
 pub fn run_host(
     party_index: usize,
     data: Arc<Dataset>,
     cfg: TrainConfig,
     suite: Suite,
     endpoint: Endpoint,
-) -> (PartyTelemetry, HostSplitTable) {
-    let mut host = HostParty::new(party_index, data, cfg, suite, endpoint);
-    host.run();
-    host.finish()
+) -> Result<(PartyTelemetry, HostSplitTable), HostFailure> {
+    let mut host = match HostParty::new(party_index, data, cfg, suite, endpoint) {
+        Ok(host) => host,
+        Err(error) => {
+            let telemetry =
+                PartyTelemetry { name: format!("host-{party_index}"), ..Default::default() };
+            return Err(HostFailure { error, telemetry: Box::new(telemetry) });
+        }
+    };
+    match host.run() {
+        Ok(()) => Ok(host.finish()),
+        Err(error) => {
+            let (telemetry, _) = host.finish();
+            Err(HostFailure { error, telemetry: Box::new(telemetry) })
+        }
+    }
 }
 
 /// Per-tree mutable state.
@@ -68,6 +86,8 @@ struct HostParty {
     splits: HostSplitTable,
     telemetry: PartyTelemetry,
     shutdown: bool,
+    /// What the host is currently waiting for (PeerLost attribution).
+    phase: ProtocolPhase,
 }
 
 impl HostParty {
@@ -77,17 +97,20 @@ impl HostParty {
         cfg: TrainConfig,
         suite: Suite,
         endpoint: Endpoint,
-    ) -> HostParty {
+    ) -> Result<HostParty, TrainError> {
         let binned = BinnedDataset::bin(&data, &cfg.gbdt.binning);
         let csr = RowMajorBins::from_binned(&binned);
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(cfg.workers.max(1))
             .thread_name(move |i| format!("host{party_index}-worker{i}"))
             .build()
-            .expect("build host worker pool");
+            .map_err(|e| TrainError::Setup {
+                party: PartyId::Host(party_index),
+                detail: e.to_string(),
+            })?;
         let telemetry =
             PartyTelemetry { name: format!("host-{party_index}"), ..Default::default() };
-        HostParty {
+        Ok(HostParty {
             cfg,
             suite,
             endpoint,
@@ -100,10 +123,11 @@ impl HostParty {
             splits: HostSplitTable::default(),
             telemetry,
             shutdown: false,
-        }
+            phase: ProtocolPhase::Gradients,
+        })
     }
 
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), TrainError> {
         // Announce histogram structure (bin counts + zero bins only).
         let metas: Vec<FeatureMeta> = self
             .binned
@@ -115,31 +139,53 @@ impl HostParty {
 
         while !self.shutdown {
             let msg = if self.task_queue.is_empty() {
-                // Nothing to do: block (and account the idle time).
+                // Nothing to do: block with the per-phase deadline (and
+                // account the idle time). A guest that vanishes without an
+                // orderly Shutdown — disconnect or silence — is an error.
                 let t0 = Instant::now();
-                let r = self.endpoint.recv();
+                let r = self.endpoint.recv_timeout(self.cfg.peer_timeout);
                 self.telemetry.phases.idle += t0.elapsed();
                 match r {
                     Ok(env) => Some(env),
-                    Err(RecvError::Disconnected | RecvError::Timeout) => break,
+                    Err(reason) => {
+                        if reason == RecvError::Timeout {
+                            self.telemetry.link.recv_timeouts += 1;
+                        }
+                        return Err(TrainError::PeerLost {
+                            party: PartyId::Guest,
+                            phase: self.phase,
+                            waited: t0.elapsed(),
+                        });
+                    }
                 }
             } else {
                 self.endpoint.try_recv()
             };
             match msg {
                 Some(env) => {
-                    let m = wire::decode(env.kind, env.payload).expect("malformed message");
-                    self.handle(m);
+                    let m = wire::decode(env.kind, env.payload).map_err(|error| {
+                        ProtocolError::Malformed { from: PartyId::Guest, error }
+                    })?;
+                    self.handle(m)?;
                 }
-                None => self.run_one_task(),
+                None => self.run_one_task()?,
             }
         }
+        // Linger until the guest acks our final frames (and keep our
+        // reliability thread alive to re-ack any retransmitted Shutdown),
+        // so a fault-dropped frame at the very end doesn't turn the
+        // orderly goodbye into a peer-side disconnect.
+        self.endpoint.flush(self.cfg.peer_timeout);
+        Ok(())
     }
 
     fn finish(mut self) -> (PartyTelemetry, HostSplitTable) {
         self.telemetry.ops = self.suite.counters().snapshot();
         self.telemetry.bytes_sent = self.endpoint.send_stats().bytes();
         self.telemetry.messages_sent = self.endpoint.send_stats().messages();
+        let mut link = self.telemetry.link;
+        link.absorb(self.endpoint.send_stats());
+        self.telemetry.link = link;
         (self.telemetry, self.splits)
     }
 
@@ -148,7 +194,7 @@ impl HostParty {
     }
 
     fn ensure_tree(&mut self, tree: u32) -> &mut TreeState {
-        let stale = self.state.as_ref().map_or(true, |s| s.tree != tree);
+        let stale = self.state.as_ref().is_none_or(|s| s.tree != tree);
         if stale {
             let n = self.csr.num_rows();
             let workers = self.cfg.workers.max(1);
@@ -180,12 +226,21 @@ impl HostParty {
         self.state.as_mut().expect("just ensured")
     }
 
-    fn handle(&mut self, msg: Msg) {
+    /// True if `node` can be split: its row list exists and both children
+    /// fit inside the tree's heap (a last-layer or unknown node cannot).
+    fn splittable(&self, node: u32) -> bool {
+        let heap = (1usize << self.cfg.gbdt.max_layers) - 1;
+        let node = node as usize;
+        self.state.as_ref().is_some_and(|s| s.rows.has(node) && right_child(node) < heap)
+    }
+
+    fn handle(&mut self, msg: Msg) -> Result<(), TrainError> {
         match msg {
             Msg::GradBatch { tree, start_row, g, h, last } => {
-                self.on_grad_batch(tree, start_row, g, h, last);
+                self.on_grad_batch(tree, start_row, g, h, last)?;
             }
             Msg::NodeTask { tree, node, epoch } => {
+                self.phase = ProtocolPhase::TreeBuild;
                 self.ensure_tree(tree);
                 match self.task_epoch.get(&node) {
                     Some(&old) if old >= epoch => {} // duplicate or stale
@@ -206,19 +261,52 @@ impl HostParty {
             }
             Msg::ApplyPlacement { tree, node, placement } => {
                 let t0 = Stopwatch::start(self.cfg.workers <= 1);
-                let state = self.ensure_tree(tree);
+                self.ensure_tree(tree);
+                if !self.splittable(node) {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Guest,
+                        kind: 5,
+                        context: "placement for a node without rows (or past the last layer)",
+                    }
+                    .into());
+                }
+                let state = self.state.as_mut().expect("tree state ensured");
+                if state.rows.rows(node as usize).len() != placement.len() {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Guest,
+                        kind: 5,
+                        context: "placement length differs from the node's row count",
+                    }
+                    .into());
+                }
                 state.rows.apply_placement(node as usize, &placement);
                 self.telemetry.phases.split_nodes += t0.elapsed();
             }
             Msg::HostSplitChosen { tree, node, feature, bin } => {
                 let t0 = Stopwatch::start(self.cfg.workers <= 1);
+                self.ensure_tree(tree);
+                if feature as usize >= self.binned.num_features() || !self.splittable(node) {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Guest,
+                        kind: 6,
+                        context: "split-chosen for an unknown feature or unsplittable node",
+                    }
+                    .into());
+                }
                 let col: &BinnedColumn = self.binned.column(feature as usize);
+                if bin as usize >= col.num_bins() {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Guest,
+                        kind: 6,
+                        context: "split-chosen bin out of range",
+                    }
+                    .into());
+                }
                 let threshold = col.threshold(bin);
-                self.splits.splits.insert(
-                    (tree, node),
-                    NodeSplit { feature: feature as usize, bin, threshold },
-                );
-                let state = self.state.as_mut().expect("tree state exists");
+                self.splits
+                    .splits
+                    .insert((tree, node), NodeSplit { feature: feature as usize, bin, threshold });
+                let state = self.state.as_mut().expect("tree state ensured");
                 let placement: Vec<bool> = state
                     .rows
                     .rows(node as usize)
@@ -235,10 +323,19 @@ impl HostParty {
                 self.state = None;
                 self.task_queue.clear();
                 self.task_epoch.clear();
+                self.phase = ProtocolPhase::Gradients;
             }
             Msg::Shutdown => self.shutdown = true,
-            other => panic!("host received unexpected message {:?}", other.kind()),
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    from: PartyId::Guest,
+                    kind: other.kind(),
+                    context: "host message loop",
+                }
+                .into())
+            }
         }
+        Ok(())
     }
 
     fn on_grad_batch(
@@ -248,12 +345,27 @@ impl HostParty {
         g: Vec<Ciphertext>,
         h: Vec<Ciphertext>,
         last: bool,
-    ) {
+    ) -> Result<(), TrainError> {
         self.ensure_tree(tree);
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
         {
-            let state = self.state.as_mut().expect("tree state exists");
-            assert_eq!(state.enc_g.len(), start_row as usize, "blaster batches must be in order");
+            let num_rows = self.csr.num_rows();
+            let state = self.state.as_mut().expect("tree state ensured");
+            if state.enc_g.len() != start_row as usize {
+                return Err(ProtocolError::OutOfOrderGradients {
+                    expected: state.enc_g.len() as u32,
+                    got: start_row,
+                }
+                .into());
+            }
+            if g.len() != h.len() || state.enc_g.len() + g.len() > num_rows {
+                return Err(ProtocolError::UnexpectedMessage {
+                    from: PartyId::Guest,
+                    kind: 2,
+                    context: "gradient batch with mismatched or overflowing row count",
+                }
+                .into());
+            }
             state.enc_g.extend(g);
             state.enc_h.extend(h);
         }
@@ -261,48 +373,58 @@ impl HostParty {
         // immediately — this is what overlaps BuildHistA with the guest's
         // ongoing encryption (§4.1).
         let (batch_start, batch_end) = {
-            let state = self.state.as_ref().unwrap();
+            let state = self.state.as_ref().expect("tree state ensured");
             (start_row as usize, state.enc_g.len())
         };
-        self.accumulate_rows_into_root(batch_start, batch_end);
+        self.accumulate_rows_into_root(batch_start, batch_end)?;
         self.telemetry.phases.build_hist_enc += t0.elapsed();
 
         if last {
-            let state = self.state.as_ref().unwrap();
-            assert_eq!(state.enc_g.len(), self.csr.num_rows(), "missing gradient rows");
-            let payload = self.merge_and_payload_root();
-            let state = self.state.as_mut().unwrap();
+            let state = self.state.as_ref().expect("tree state ensured");
+            if state.enc_g.len() != self.csr.num_rows() {
+                return Err(ProtocolError::IncompleteGradients {
+                    expected: self.csr.num_rows(),
+                    got: state.enc_g.len(),
+                }
+                .into());
+            }
+            let payload = self.merge_and_payload_root()?;
+            let state = self.state.as_mut().expect("tree state ensured");
             state.root_sent = true;
             let tree = state.tree;
             self.send(&Msg::NodeHistograms { tree, node: 0, epoch: 1, payload });
+            self.phase = ProtocolPhase::TreeBuild;
         }
+        Ok(())
     }
 
     /// Shard-parallel accumulation of rows `[start, end)` into the root
     /// builders.
-    fn accumulate_rows_into_root(&mut self, start: usize, end: usize) {
+    fn accumulate_rows_into_root(&mut self, start: usize, end: usize) -> Result<(), TrainError> {
         let workers = self.cfg.workers.max(1);
-        let state = self.state.as_mut().expect("tree state exists");
+        let state = self.state.as_mut().expect("tree state ensured");
         let csr = &self.csr;
         let suite = &self.suite;
         let enc_g = &state.enc_g;
         let enc_h = &state.enc_h;
         let rows_per = (end - start).div_ceil(workers);
         if rows_per == 0 {
-            return;
+            return Ok(());
         }
+        let crypto = TrainError::crypto("root histogram accumulation");
         if workers <= 1 {
             let (bg, bh) = &mut state.root_builders[0];
             for row in start..end {
                 for &(f, bin) in csr.row(row) {
-                    bg.add(suite, f as usize, bin as usize, &enc_g[row])
-                        .expect("root accumulate g");
-                    bh.add(suite, f as usize, bin as usize, &enc_h[row])
-                        .expect("root accumulate h");
+                    bg.add(suite, f as usize, bin as usize, &enc_g[row]).map_err(&crypto)?;
+                    bh.add(suite, f as usize, bin as usize, &enc_h[row]).map_err(&crypto)?;
                 }
             }
-            return;
+            return Ok(());
         }
+        // Shards cannot early-return out of the scope; the first failure
+        // is parked in a mutex and surfaced afterwards.
+        let first_error = std::sync::Mutex::new(None);
         self.pool.install(|| {
             rayon::scope(|scope| {
                 for (shard, (bg, bh)) in state.root_builders.iter_mut().enumerate() {
@@ -311,30 +433,40 @@ impl HostParty {
                     if lo >= hi {
                         continue;
                     }
+                    let first_error = &first_error;
                     scope.spawn(move |_| {
                         for row in lo..hi {
                             for &(f, bin) in csr.row(row) {
-                                bg.add(suite, f as usize, bin as usize, &enc_g[row])
-                                    .expect("root accumulate g");
-                                bh.add(suite, f as usize, bin as usize, &enc_h[row])
-                                    .expect("root accumulate h");
+                                let r =
+                                    bg.add(suite, f as usize, bin as usize, &enc_g[row]).and_then(
+                                        |()| bh.add(suite, f as usize, bin as usize, &enc_h[row]),
+                                    );
+                                if let Err(e) = r {
+                                    first_error.lock().unwrap().get_or_insert(e);
+                                    return;
+                                }
                             }
                         }
                     });
                 }
             });
         });
+        match first_error.into_inner().unwrap() {
+            Some(e) => Err(crypto(e)),
+            None => Ok(()),
+        }
     }
 
     /// Merges root shards and produces the root histogram payload.
-    fn merge_and_payload_root(&mut self) -> HistPayload {
+    fn merge_and_payload_root(&mut self) -> Result<HistPayload, TrainError> {
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
-        let state = self.state.as_mut().expect("tree state exists");
+        let state = self.state.as_mut().expect("tree state ensured");
         let mut shards = std::mem::take(&mut state.root_builders);
         let (mut g, mut h) = shards.remove(0);
+        let crypto = TrainError::crypto("root histogram merge");
         for (sg, sh) in &shards {
-            g.merge(&self.suite, sg).expect("merge root g");
-            h.merge(&self.suite, sh).expect("merge root h");
+            g.merge(&self.suite, sg).map_err(&crypto)?;
+            h.merge(&self.suite, sh).map_err(&crypto)?;
         }
         self.telemetry.phases.build_hist_enc += t0.elapsed();
         let count = self.csr.num_rows();
@@ -342,89 +474,100 @@ impl HostParty {
     }
 
     /// Executes the oldest queued node task.
-    fn run_one_task(&mut self) {
-        let Some(node) = self.task_queue.pop_front() else { return };
-        let Some(&epoch) = self.task_epoch.get(&node) else { return };
-        let Some(state) = self.state.as_ref() else { return };
+    fn run_one_task(&mut self) -> Result<(), TrainError> {
+        let Some(node) = self.task_queue.pop_front() else { return Ok(()) };
+        let Some(&epoch) = self.task_epoch.get(&node) else { return Ok(()) };
+        let Some(state) = self.state.as_ref() else { return Ok(()) };
         let tree = state.tree;
         if node == 0 {
             // The root histogram is always produced by the blaster path
             // (incremental accumulation while batches arrive); the task is
             // only a uniformity artifact of the guest's materialize step.
-            return;
+            return Ok(());
+        }
+        if !state.rows.has(node as usize) {
+            // A task for rows this host never received: the placement that
+            // would create them was lost with the peer, or the guest is
+            // confused. Either way, skipping is safe — the guest's epoch
+            // bookkeeping discards whatever we would have sent.
+            return Ok(());
         }
         let rows: Vec<u32> = state.rows.rows(node as usize).to_vec();
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
-        let (g, h) = self.build_node_builders(&rows);
+        let (g, h) = self.build_node_builders(&rows)?;
         self.telemetry.phases.build_hist_enc += t0.elapsed();
-        let payload = self.make_payload(&g, &h, rows.len());
+        let payload = self.make_payload(&g, &h, rows.len())?;
         self.send(&Msg::NodeHistograms { tree, node, epoch, payload });
+        Ok(())
     }
 
     /// Worker-sharded histogram build for one node's rows.
-    fn build_node_builders(&self, rows: &[u32]) -> (EncHistBuilder, EncHistBuilder) {
+    fn build_node_builders(
+        &self,
+        rows: &[u32],
+    ) -> Result<(EncHistBuilder, EncHistBuilder), TrainError> {
         let workers = self.cfg.workers.max(1);
-        let state = self.state.as_ref().expect("tree state exists");
+        let state = self.state.as_ref().expect("tree state ensured");
         let csr = &self.csr;
         let suite = &self.suite;
         let enc_g = &state.enc_g;
         let enc_h = &state.enc_h;
         let reordered = self.cfg.protocol.reordered_accumulation;
+        let crypto = TrainError::crypto("node histogram accumulation");
         let mk = || {
             (
                 EncHistBuilder::new(&csr.col_meta, &self.cfg.encoding, reordered),
                 EncHistBuilder::new(&csr.col_meta, &self.cfg.encoding, reordered),
             )
         };
-        if workers <= 1 || rows.len() < 2 * workers {
+        let build_part = |part: &[u32]| -> Result<(EncHistBuilder, EncHistBuilder), TrainError> {
             let (mut g, mut h) = mk();
-            for &row in rows {
+            for &row in part {
                 for &(f, bin) in csr.row(row as usize) {
                     g.add(suite, f as usize, bin as usize, &enc_g[row as usize])
-                        .expect("node accumulate g");
+                        .map_err(&crypto)?;
                     h.add(suite, f as usize, bin as usize, &enc_h[row as usize])
-                        .expect("node accumulate h");
+                        .map_err(&crypto)?;
                 }
             }
-            return (g, h);
+            Ok((g, h))
+        };
+        if workers <= 1 || rows.len() < 2 * workers {
+            return build_part(rows);
         }
         let chunk = rows.len().div_ceil(workers);
-        let shards: Vec<(EncHistBuilder, EncHistBuilder)> = self.pool.install(|| {
-            use rayon::prelude::*;
-            rows.par_chunks(chunk)
-                .map(|part| {
-                    let (mut g, mut h) = mk();
-                    for &row in part {
-                        for &(f, bin) in csr.row(row as usize) {
-                            g.add(suite, f as usize, bin as usize, &enc_g[row as usize])
-                                .expect("node accumulate g");
-                            h.add(suite, f as usize, bin as usize, &enc_h[row as usize])
-                                .expect("node accumulate h");
-                        }
-                    }
-                    (g, h)
-                })
-                .collect()
-        });
+        let shards: Vec<Result<(EncHistBuilder, EncHistBuilder), TrainError>> =
+            self.pool.install(|| {
+                use rayon::prelude::*;
+                rows.par_chunks(chunk).map(build_part).collect()
+            });
+        let merge_err = TrainError::crypto("node histogram merge");
         let mut iter = shards.into_iter();
-        let (mut g, mut h) = iter.next().expect("at least one shard");
-        for (sg, sh) in iter {
-            g.merge(suite, &sg).expect("merge node g");
-            h.merge(suite, &sh).expect("merge node h");
+        let (mut g, mut h) = iter.next().expect("at least one shard")?;
+        for shard in iter {
+            let (sg, sh) = shard?;
+            g.merge(suite, &sg).map_err(&merge_err)?;
+            h.merge(suite, &sh).map_err(&merge_err)?;
         }
-        (g, h)
+        Ok((g, h))
     }
 
     /// Finalizes builders into the configured wire format.
-    fn make_payload(&mut self, g: &EncHistBuilder, h: &EncHistBuilder, count: usize) -> HistPayload {
+    fn make_payload(
+        &mut self,
+        g: &EncHistBuilder,
+        h: &EncHistBuilder,
+        count: usize,
+    ) -> Result<HistPayload, TrainError> {
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
         let suite = &self.suite;
+        let crypto = TrainError::crypto("histogram finalize/pack");
         let payload = if self.cfg.protocol.pack_histograms {
             let target = max_exponent(&self.cfg.encoding);
             let bound = self.cfg.gbdt.loss.grad_bound().max(self.cfg.gbdt.loss.hess_bound());
-            let pack_one = |f: usize| {
-                let bins_g = g.finalize_feature(suite, f, Some(target)).expect("finalize g");
-                let bins_h = h.finalize_feature(suite, f, Some(target)).expect("finalize h");
+            let pack_one = |f: usize| -> Result<PackedFeatureHist, TrainError> {
+                let bins_g = g.finalize_feature(suite, f, Some(target)).map_err(&crypto)?;
+                let bins_h = h.finalize_feature(suite, f, Some(target)).map_err(&crypto)?;
                 pack_feature_hist(
                     suite,
                     &bins_g,
@@ -434,9 +577,9 @@ impl HostParty {
                     self.cfg.protocol.target_slot_bits,
                     &self.cfg.encoding,
                 )
-                .expect("pack feature")
+                .map_err(&crypto)
             };
-            let features: Vec<PackedFeatureHist> = if self.cfg.workers <= 1 {
+            let features: Vec<Result<PackedFeatureHist, TrainError>> = if self.cfg.workers <= 1 {
                 (0..g.num_features()).map(pack_one).collect()
             } else {
                 self.pool.install(|| {
@@ -444,13 +587,15 @@ impl HostParty {
                     (0..g.num_features()).into_par_iter().map(pack_one).collect()
                 })
             };
-            HistPayload::Packed(features)
+            HistPayload::Packed(features.into_iter().collect::<Result<Vec<_>, _>>()?)
         } else {
-            let raw_one = |f: usize| RawFeatureHist {
-                g: g.finalize_feature(suite, f, None).expect("finalize g"),
-                h: h.finalize_feature(suite, f, None).expect("finalize h"),
+            let raw_one = |f: usize| -> Result<RawFeatureHist, TrainError> {
+                Ok(RawFeatureHist {
+                    g: g.finalize_feature(suite, f, None).map_err(&crypto)?,
+                    h: h.finalize_feature(suite, f, None).map_err(&crypto)?,
+                })
             };
-            let features: Vec<RawFeatureHist> = if self.cfg.workers <= 1 {
+            let features: Vec<Result<RawFeatureHist, TrainError>> = if self.cfg.workers <= 1 {
                 (0..g.num_features()).map(raw_one).collect()
             } else {
                 self.pool.install(|| {
@@ -458,10 +603,10 @@ impl HostParty {
                     (0..g.num_features()).into_par_iter().map(raw_one).collect()
                 })
             };
-            HistPayload::Raw(features)
+            HistPayload::Raw(features.into_iter().collect::<Result<Vec<_>, _>>()?)
         };
         self.telemetry.phases.pack += t0.elapsed();
-        payload
+        Ok(payload)
     }
 }
 
@@ -478,11 +623,8 @@ mod tests {
         use vf2_gbdt::data::FeatureColumn;
 
         let (guest_ep, host_ep) = duplex(WanConfig::instant());
-        let data = Arc::new(Dataset::new(
-            4,
-            vec![FeatureColumn::Dense(vec![0.0, 1.0, 2.0, 3.0])],
-            None,
-        ));
+        let data =
+            Arc::new(Dataset::new(4, vec![FeatureColumn::Dense(vec![0.0, 1.0, 2.0, 3.0])], None));
         let cfg = TrainConfig::for_tests();
         let suite = Suite::plain(EncodingConfig::default());
         let handle = std::thread::spawn(move || run_host(3, data, cfg, suite, host_ep));
@@ -491,7 +633,7 @@ mod tests {
         let msg = wire::decode(env.kind, env.payload).unwrap();
         assert!(matches!(msg, Msg::FeatureMeta(ref m) if m.len() == 1));
         guest_ep.send(Msg::Shutdown.kind(), wire::encode(&Msg::Shutdown));
-        let (telemetry, splits) = handle.join().unwrap();
+        let (telemetry, splits) = handle.join().unwrap().expect("host run succeeds");
         assert_eq!(telemetry.name, "host-3");
         assert!(splits.splits.is_empty());
     }

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod guest;
 pub mod hist_enc;
 pub mod host;
@@ -49,8 +50,9 @@ pub mod train;
 pub mod wire;
 
 pub use config::TrainConfig;
-pub use model::{FedNode, FederatedModel, FedTree};
+pub use error::{PartyId, ProtocolError, ProtocolPhase, TrainError, TrainFailure};
+pub use model::{FedNode, FedTree, FederatedModel};
 pub use persist::{decode_model, encode_model, load_model, save_model};
 pub use protocol::ProtocolConfig;
-pub use telemetry::{PartyTelemetry, PhaseTimes, TrainReport};
+pub use telemetry::{LinkFaultEvents, PartyTelemetry, PhaseTimes, TrainReport};
 pub use train::{train_federated, TrainOutput};

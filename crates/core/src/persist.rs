@@ -15,7 +15,7 @@ use vf2_channel::codec::{DecodeError, Decoder, Encoder};
 use vf2_gbdt::loss::LossKind;
 use vf2_gbdt::tree::NodeSplit;
 
-use crate::model::{FedNode, FederatedModel, FedTree, HostSplitTable};
+use crate::model::{FedNode, FedTree, FederatedModel, HostSplitTable};
 
 /// Magic bytes + format version.
 const MAGIC: &[u8; 4] = b"VF2B";
@@ -300,7 +300,7 @@ mod tests {
 
     #[test]
     fn garbage_is_rejected() {
-        assert!(matches!(decode_model(Bytes::from_static(b"\x04nope\x01\x00")), Err(_)));
+        assert!(decode_model(Bytes::from_static(b"\x04nope\x01\x00")).is_err());
         let mut e = Encoder::new();
         e.put_bytes(MAGIC);
         e.put_u16(99);

@@ -100,7 +100,7 @@ impl RowMajorBins {
         for (hist, meta) in hists.iter_mut().zip(&self.col_meta) {
             if !meta.dense {
                 let stored = hist.total();
-                hist.bins[meta.zero_bin as usize] += total.sub(stored);
+                hist.bins[meta.zero_bin as usize] += total - stored;
             }
         }
         hists
@@ -108,7 +108,7 @@ impl RowMajorBins {
 
     /// Sums the gradient pairs of a row list.
     pub fn rows_total(rows: &[u32], grads: &[GradPair]) -> GradPair {
-        rows.iter().fold(GradPair::ZERO, |acc, &r| acc.add(grads[r as usize]))
+        rows.iter().fold(GradPair::ZERO, |acc, &r| acc + grads[r as usize])
     }
 }
 
@@ -220,8 +220,8 @@ mod tests {
         let node_of_row = vec![0i32; 6];
         let totals = vf2_gbdt::histogram::node_totals(&g, &node_of_row, 1);
         let expected = vf2_gbdt::histogram::build_layer_histograms(&b, &g, &node_of_row, &totals);
-        for f in 0..2 {
-            assert_eq!(&hists[f], expected.hist(f, 0), "feature {f}");
+        for (f, h) in hists.iter().enumerate() {
+            assert_eq!(h, expected.hist(f, 0), "feature {f}");
         }
     }
 

@@ -16,6 +16,7 @@
 
 use std::time::Duration;
 
+use vf2_channel::LinkStats;
 use vf2_crypto::counters::OpSnapshot;
 
 /// Current thread's consumed CPU time.
@@ -134,6 +135,57 @@ pub struct ProtocolEvents {
     pub aborted_tasks: u64,
 }
 
+/// Reliable-delivery and fault-injection counters for one party's links.
+///
+/// Each party reports the full statistics of its *send* direction(s): the
+/// retransmissions and acks for its own data, the rejections its data
+/// suffered at the receiver, and the faults the gateway pump injected
+/// into it. Summing every party therefore covers both directions of every
+/// link exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaultEvents {
+    /// Data frames retransmitted after an RTO expiry.
+    pub retransmissions: u64,
+    /// Ack frames received for this party's data.
+    pub acks_received: u64,
+    /// Frames of this party's data rejected at the receiver for checksum
+    /// mismatch (and later retransmitted).
+    pub corrupt_rejected: u64,
+    /// Duplicate frames of this party's data suppressed at the receiver.
+    pub duplicates_dropped: u64,
+    /// Frames the fault plan dropped, corrupted, held back, or duplicated
+    /// on this party's send direction.
+    pub faults_injected: u64,
+    /// Blocking receives on this party that expired their per-phase
+    /// deadline (each one surfaces as a
+    /// [`crate::error::TrainError::PeerLost`]).
+    pub recv_timeouts: u64,
+}
+
+impl LinkFaultEvents {
+    /// Folds one link direction's statistics into these counters.
+    pub fn absorb(&mut self, stats: &LinkStats) {
+        self.retransmissions += stats.retransmissions();
+        self.acks_received += stats.acks_received();
+        self.corrupt_rejected += stats.corrupt_rejected();
+        self.duplicates_dropped += stats.duplicates_dropped();
+        self.faults_injected += stats.faults_dropped()
+            + stats.faults_corrupted()
+            + stats.faults_reordered()
+            + stats.faults_duplicated();
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &LinkFaultEvents) {
+        self.retransmissions += other.retransmissions;
+        self.acks_received += other.acks_received;
+        self.corrupt_rejected += other.corrupt_rejected;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.faults_injected += other.faults_injected;
+        self.recv_timeouts += other.recv_timeouts;
+    }
+}
+
 /// Everything one party measured during a run.
 #[derive(Debug, Clone, Default)]
 pub struct PartyTelemetry {
@@ -149,6 +201,8 @@ pub struct PartyTelemetry {
     pub bytes_sent: u64,
     /// Messages this party sent across the WAN.
     pub messages_sent: u64,
+    /// Reliable-delivery and fault counters for this party's links.
+    pub link: LinkFaultEvents,
 }
 
 /// A whole run's report: per-party telemetry plus wall-clock totals.
@@ -208,6 +262,16 @@ impl TrainReport {
     pub fn modeled_sequential(&self) -> Duration {
         self.guest.phases.busy() + self.hosts.iter().map(|h| h.phases.busy()).sum::<Duration>()
     }
+
+    /// Fault and reliability counters summed over every party (both
+    /// directions of every link).
+    pub fn link_events(&self) -> LinkFaultEvents {
+        let mut total = self.guest.link;
+        for h in &self.hosts {
+            total.merge(&h.link);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +303,21 @@ mod tests {
     #[test]
     fn split_ratio_of_empty_run_is_zero() {
         assert_eq!(TrainReport::default().guest_split_ratio(), 0.0);
+    }
+
+    #[test]
+    fn link_events_sum_over_parties() {
+        let mut r = TrainReport::default();
+        r.guest.link.retransmissions = 2;
+        r.guest.link.recv_timeouts = 1;
+        r.hosts.push(PartyTelemetry {
+            link: LinkFaultEvents { retransmissions: 3, corrupt_rejected: 4, ..Default::default() },
+            ..Default::default()
+        });
+        let t = r.link_events();
+        assert_eq!(t.retransmissions, 5);
+        assert_eq!(t.corrupt_rejected, 4);
+        assert_eq!(t.recv_timeouts, 1);
     }
 
     #[test]

@@ -11,16 +11,17 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use vf2_channel::link::duplex;
+use vf2_channel::{duplex_faulty, FaultConfig};
 use vf2_crypto::paillier::KeyPair;
 use vf2_crypto::suite::Suite;
 use vf2_gbdt::data::Dataset;
 
 use crate::config::{CryptoConfig, TrainConfig};
+use crate::error::{GuestFailure, HostFailure, PartyId, TrainError, TrainFailure};
 use crate::guest::run_guest;
 use crate::host::run_host;
 use crate::model::FederatedModel;
-use crate::telemetry::TrainReport;
+use crate::telemetry::{PartyTelemetry, TrainReport};
 
 /// The result of a federated training run.
 #[derive(Debug, Clone)]
@@ -33,21 +34,58 @@ pub struct TrainOutput {
     pub train_margins: Vec<f64>,
 }
 
+/// Renders a caught panic payload for [`TrainError::PartyPanicked`].
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Offsets a fault plan's seed so host `p`'s link does not replay host
+/// 0's fault stream.
+fn fault_for_host(base: FaultConfig, p: usize) -> FaultConfig {
+    FaultConfig { seed: base.seed.wrapping_add(p as u64), ..base }
+}
+
 /// Trains a federated GBDT over vertically partitioned data.
 ///
 /// `hosts[p]` is host party `p`'s feature slice (no labels); `guest` is
 /// the label owner's slice. All datasets must be instance-aligned (the
 /// paper's PSI preprocessing).
-pub fn train_federated(hosts: &[Dataset], guest: &Dataset, cfg: &TrainConfig) -> TrainOutput {
-    assert!(!hosts.is_empty(), "at least one host party is required");
-    assert!(guest.labels().is_some(), "the guest must own the labels");
+///
+/// The run never panics on bad input, a hostile wire, or a dying peer:
+/// every failure surfaces as a [`TrainFailure`] whose `partial` report
+/// still carries the telemetry (phase times, fault counters,
+/// completed-tree records) of every party that could be joined. Host
+/// threads that panic are caught at `join()` and reported as
+/// [`TrainError::PartyPanicked`].
+pub fn train_federated(
+    hosts: &[Dataset],
+    guest: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainOutput, TrainFailure> {
+    if hosts.is_empty() {
+        return Err(TrainError::InvalidInput("at least one host party is required".into()).into());
+    }
+    if guest.labels().is_none() {
+        return Err(TrainError::InvalidInput("the guest must own the labels".into()).into());
+    }
     for (p, h) in hosts.iter().enumerate() {
-        assert_eq!(
-            h.num_rows(),
-            guest.num_rows(),
-            "host {p} instances are not aligned with the guest"
-        );
-        assert!(h.labels().is_none(), "host {p} must not carry labels");
+        if h.num_rows() != guest.num_rows() {
+            return Err(TrainError::InvalidInput(format!(
+                "host {p} has {} instances but the guest has {} (PSI alignment missing)",
+                h.num_rows(),
+                guest.num_rows()
+            ))
+            .into());
+        }
+        if h.labels().is_some() {
+            return Err(TrainError::InvalidInput(format!("host {p} must not carry labels")).into());
+        }
     }
 
     // Key material: the guest holds the private key, hosts get the public
@@ -55,7 +93,8 @@ pub fn train_federated(hosts: &[Dataset], guest: &Dataset, cfg: &TrainConfig) ->
     // operation counters stay per-party.
     let guest_suite = match cfg.crypto {
         CryptoConfig::Paillier { key_bits } => {
-            let keys = KeyPair::generate_seeded(key_bits, cfg.seed).expect("key generation");
+            let keys = KeyPair::generate_seeded(key_bits, cfg.seed)
+                .map_err(TrainError::crypto("key generation"))?;
             Suite::paillier(keys, cfg.encoding)
         }
         CryptoConfig::Mock => Suite::plain(cfg.encoding),
@@ -65,7 +104,12 @@ pub fn train_federated(hosts: &[Dataset], guest: &Dataset, cfg: &TrainConfig) ->
     let mut host_handles = Vec::with_capacity(hosts.len());
     let mut guest_endpoints = Vec::with_capacity(hosts.len());
     for (p, host_data) in hosts.iter().enumerate() {
-        let (guest_ep, host_ep) = duplex(cfg.wan);
+        let (guest_ep, host_ep) = duplex_faulty(
+            cfg.wan,
+            fault_for_host(cfg.fault_guest_to_host, p),
+            fault_for_host(cfg.fault_host_to_guest, p),
+            cfg.reliability,
+        );
         guest_endpoints.push(guest_ep);
         let data = Arc::new(host_data.clone());
         let host_suite = match cfg.crypto {
@@ -76,35 +120,90 @@ pub fn train_federated(hosts: &[Dataset], guest: &Dataset, cfg: &TrainConfig) ->
         let handle = thread::Builder::new()
             .name(format!("vf2-host-{p}"))
             .spawn(move || run_host(p, data, host_cfg, host_suite, host_ep))
-            .expect("spawn host thread");
+            .map_err(|e| TrainError::Setup {
+                party: PartyId::Host(p),
+                detail: format!("thread spawn failed: {e}"),
+            })?;
         host_handles.push(handle);
     }
 
-    let guest_out = run_guest(Arc::new(guest.clone()), *cfg, guest_suite, guest_endpoints);
+    let guest_result = run_guest(Arc::new(guest.clone()), *cfg, guest_suite, guest_endpoints);
     let wall_time = started.elapsed();
 
+    let (guest_telemetry, tree_records, guest_ok, guest_error) = match guest_result {
+        Ok(out) => (out.telemetry, out.tree_records, Some((out.trees, out.train_margins)), None),
+        Err(GuestFailure { error, telemetry, tree_records }) => {
+            (*telemetry, tree_records, None, Some(error))
+        }
+    };
+
+    // Join every host even after a failure: their partial telemetry still
+    // belongs in the report, and a panicked thread must be caught here
+    // rather than poisoning the caller.
+    let mut first_host_error = None;
     let mut host_telemetry = Vec::with_capacity(host_handles.len());
     let mut host_tables = Vec::with_capacity(host_handles.len());
-    for handle in host_handles {
-        let (telemetry, table) = handle.join().expect("host thread panicked");
-        host_telemetry.push(telemetry);
-        host_tables.push(table);
+    for (p, handle) in host_handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok((telemetry, table))) => {
+                host_telemetry.push(telemetry);
+                host_tables.push(table);
+            }
+            Ok(Err(HostFailure { error, telemetry })) => {
+                host_telemetry.push(*telemetry);
+                first_host_error.get_or_insert(error);
+            }
+            Err(payload) => {
+                host_telemetry
+                    .push(PartyTelemetry { name: format!("host-{p}"), ..Default::default() });
+                first_host_error.get_or_insert(TrainError::PartyPanicked {
+                    party: PartyId::Host(p),
+                    detail: panic_detail(payload),
+                });
+            }
+        }
     }
 
-    let model = FederatedModel {
-        trees: guest_out.trees,
-        learning_rate: cfg.gbdt.learning_rate,
-        base_score: cfg.gbdt.loss.base_score(),
-        loss: cfg.gbdt.loss,
-        host_tables,
+    let report =
+        TrainReport { guest: guest_telemetry, hosts: host_telemetry, wall_time, tree_records };
+
+    // Pick the most informative primary error: a guest that merely lost
+    // its peer is a symptom when that peer panicked or failed for a
+    // concrete reason first (a host PeerLost is equally symptomatic, so
+    // the guest's attribution wins in that case).
+    let primary = match (guest_error, first_host_error) {
+        (None, None) => None,
+        (None, Some(host_error)) => Some(host_error),
+        (Some(guest_error), None) => Some(guest_error),
+        (Some(guest_error), Some(host_error)) => {
+            if matches!(guest_error, TrainError::PeerLost { .. })
+                && !matches!(host_error, TrainError::PeerLost { .. })
+            {
+                Some(host_error)
+            } else {
+                Some(guest_error)
+            }
+        }
     };
-    let report = TrainReport {
-        guest: guest_out.telemetry,
-        hosts: host_telemetry,
-        wall_time,
-        tree_records: guest_out.tree_records,
-    };
-    TrainOutput { model, report, train_margins: guest_out.train_margins }
+    match (primary, guest_ok) {
+        (None, Some((trees, train_margins))) => {
+            let model = FederatedModel {
+                trees,
+                learning_rate: cfg.gbdt.learning_rate,
+                base_score: cfg.gbdt.loss.base_score(),
+                loss: cfg.gbdt.loss,
+                host_tables,
+            };
+            Ok(TrainOutput { model, report, train_margins })
+        }
+        (Some(error), _) => Err(TrainFailure { error, partial: Box::new(report) }),
+        // Unreachable in practice (guest_ok is None only with a guest
+        // error), but keep it total.
+        (None, None) => Err(TrainFailure {
+            error: TrainError::InvalidInput("guest produced no output".into()),
+            partial: Box::new(report),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +215,12 @@ mod tests {
     use vf2_gbdt::metrics::auc;
     use vf2_gbdt::train::{GbdtParams, Trainer};
 
-    fn scenario(rows: usize, features: usize, host_feats: usize, seed: u64) -> vf2_datagen::vertical::VerticalScenario {
+    fn scenario(
+        rows: usize,
+        features: usize,
+        host_feats: usize,
+        seed: u64,
+    ) -> vf2_datagen::vertical::VerticalScenario {
         let data = generate_classification(&SyntheticConfig {
             rows,
             features,
@@ -129,26 +233,26 @@ mod tests {
     }
 
     fn mock_cfg() -> TrainConfig {
-        TrainConfig {
-            crypto: CryptoConfig::Mock,
-            ..TrainConfig::for_tests()
-        }
+        TrainConfig { crypto: CryptoConfig::Mock, ..TrainConfig::for_tests() }
+    }
+
+    /// Scenario guests always carry labels; make that assumption explicit
+    /// instead of sprinkling bare `unwrap`s through the assertions.
+    fn labels(d: &Dataset) -> &[f32] {
+        d.labels().expect("scenario guest carries labels")
     }
 
     #[test]
     fn mock_sequential_trains_and_predicts() {
         let s = scenario(300, 10, 5, 21);
-        let cfg = TrainConfig {
-            protocol: ProtocolConfig::baseline(),
-            ..mock_cfg()
-        };
-        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let cfg = TrainConfig { protocol: ProtocolConfig::baseline(), ..mock_cfg() };
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
         assert_eq!(out.model.trees.len(), cfg.gbdt.num_trees);
         for t in &out.model.trees {
             t.validate().expect("valid federated tree");
         }
         let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
-        let a = auc(s.guest.labels().unwrap(), &margins);
+        let a = auc(labels(&s.guest), &margins);
         assert!(a > 0.8, "train AUC {a}");
     }
 
@@ -160,8 +264,8 @@ mod tests {
             protocol: ProtocolConfig { pack_histograms: false, ..ProtocolConfig::vf2boost() },
             ..mock_cfg()
         };
-        let seq = train_federated(&s.hosts, &s.guest, &seq_cfg);
-        let opt = train_federated(&s.hosts, &s.guest, &opt_cfg);
+        let seq = train_federated(&s.hosts, &s.guest, &seq_cfg).expect("training succeeds");
+        let opt = train_federated(&s.hosts, &s.guest, &opt_cfg).expect("training succeeds");
         // The optimistic protocol must be *lossless*: identical final
         // predictions (mock crypto is exact, so exact equality up to fp
         // noise from summation order).
@@ -186,7 +290,7 @@ mod tests {
         });
         let s = split_vertical(&data, &[4]);
         let cfg = TrainConfig { protocol: ProtocolConfig::baseline(), ..mock_cfg() };
-        let fed = train_federated(&s.hosts, &s.guest, &cfg);
+        let fed = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
         let central_params = GbdtParams {
             num_trees: cfg.gbdt.num_trees,
             max_layers: cfg.gbdt.max_layers,
@@ -208,9 +312,9 @@ mod tests {
             gbdt: GbdtParams { num_trees: 2, max_layers: 3, ..Default::default() },
             ..TrainConfig::for_tests()
         };
-        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
         let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
-        let a = auc(s.guest.labels().unwrap(), &margins);
+        let a = auc(labels(&s.guest), &margins);
         assert!(a > 0.7, "train AUC {a}");
         // Crypto really ran: the guest encrypted 2 stats × rows × trees.
         assert!(out.report.guest.ops.enc >= 2 * 120 * 2);
@@ -227,12 +331,13 @@ mod tests {
             gbdt: GbdtParams { num_trees: 2, max_layers: 3, ..Default::default() },
             ..TrainConfig::for_tests()
         };
-        let paillier = train_federated(&s.hosts, &s.guest, &base);
+        let paillier = train_federated(&s.hosts, &s.guest, &base).expect("training succeeds");
         let mock = train_federated(
             &s.hosts,
             &s.guest,
             &TrainConfig { crypto: CryptoConfig::Mock, ..base },
-        );
+        )
+        .expect("training succeeds");
         let pm = paillier.model.predict_margin(&[&s.hosts[0]], &s.guest);
         let mm = mock.model.predict_margin(&[&s.hosts[0]], &s.guest);
         let mean_diff: f64 =
@@ -252,11 +357,11 @@ mod tests {
         });
         let s = split_vertical(&data, &[3, 3, 3]);
         let cfg = mock_cfg();
-        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
         assert_eq!(out.report.hosts.len(), 3);
         let refs: Vec<&Dataset> = s.hosts.iter().collect();
         let margins = out.model.predict_margin(&refs, &s.guest);
-        let a = auc(s.guest.labels().unwrap(), &margins);
+        let a = auc(labels(&s.guest), &margins);
         assert!(a > 0.75, "train AUC {a}");
     }
 
@@ -267,7 +372,7 @@ mod tests {
             protocol: ProtocolConfig { pack_histograms: false, ..ProtocolConfig::vf2boost() },
             ..mock_cfg()
         };
-        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
         let ev = &out.report.guest.events;
         assert!(ev.optimistic_splits > 0, "optimistic splits must occur");
         // With an even feature split, some nodes must be won by the host
@@ -289,8 +394,8 @@ mod tests {
             protocol: ProtocolConfig { pack_histograms: false, ..cfg.protocol },
             ..cfg
         };
-        let packed = train_federated(&s.hosts, &s.guest, &cfg);
-        let raw = train_federated(&s.hosts, &s.guest, &unpacked_cfg);
+        let packed = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+        let raw = train_federated(&s.hosts, &s.guest, &unpacked_cfg).expect("training succeeds");
         let pm = packed.model.predict_margin(&[&s.hosts[0]], &s.guest);
         let rm = raw.model.predict_margin(&[&s.hosts[0]], &s.guest);
         let mean_diff: f64 =
@@ -312,10 +417,26 @@ mod tests {
             seed: 29,
         });
         let s = split_vertical(&data, &[10]);
-        let out = train_federated(&s.hosts, &s.guest, &mock_cfg());
+        let out = train_federated(&s.hosts, &s.guest, &mock_cfg()).expect("training succeeds");
         let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
-        let a = auc(s.guest.labels().unwrap(), &margins);
+        let a = auc(labels(&s.guest), &margins);
         assert!(a > 0.7, "train AUC {a}");
+    }
+
+    #[test]
+    fn invalid_input_is_an_error_not_a_panic() {
+        use crate::error::TrainError;
+        let s = scenario(50, 4, 2, 31);
+        let no_hosts = train_federated(&[], &s.guest, &mock_cfg()).unwrap_err();
+        assert!(matches!(no_hosts.error, TrainError::InvalidInput(_)));
+        // A host slice in the guest seat has no labels.
+        let unlabeled = train_federated(&s.hosts, &s.hosts[0], &mock_cfg()).unwrap_err();
+        assert!(matches!(unlabeled.error, TrainError::InvalidInput(_)));
+        // Misaligned row counts (PSI violation).
+        let short = scenario(40, 4, 2, 31);
+        let misaligned = train_federated(&short.hosts, &s.guest, &mock_cfg()).unwrap_err();
+        assert!(matches!(misaligned.error, TrainError::InvalidInput(_)));
+        assert!(misaligned.partial.hosts.is_empty());
     }
 
     #[test]
@@ -323,8 +444,8 @@ mod tests {
         let s = scenario(200, 8, 4, 30);
         let one = TrainConfig { workers: 1, ..mock_cfg() };
         let four = TrainConfig { workers: 4, ..mock_cfg() };
-        let m1 = train_federated(&s.hosts, &s.guest, &one);
-        let m4 = train_federated(&s.hosts, &s.guest, &four);
+        let m1 = train_federated(&s.hosts, &s.guest, &one).expect("training succeeds");
+        let m4 = train_federated(&s.hosts, &s.guest, &four).expect("training succeeds");
         let p1 = m1.model.predict_margin(&[&s.hosts[0]], &s.guest);
         let p4 = m4.model.predict_margin(&[&s.hosts[0]], &s.guest);
         for (a, b) in p1.iter().zip(&p4) {

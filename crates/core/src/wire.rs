@@ -20,6 +20,16 @@ pub enum WireError {
     Codec(DecodeError),
     /// An unknown tag was encountered.
     BadTag(&'static str, u64),
+    /// A length prefix announces more elements than the remaining payload
+    /// could possibly hold (allocation-bomb guard).
+    Oversized {
+        /// What was being decoded.
+        what: &'static str,
+        /// The announced element count.
+        len: u64,
+        /// Bytes actually left in the payload.
+        remaining: usize,
+    },
 }
 
 impl From<DecodeError> for WireError {
@@ -33,11 +43,32 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Codec(e) => write!(f, "codec error: {e}"),
             WireError::BadTag(what, v) => write!(f, "bad {what} tag {v}"),
+            WireError::Oversized { what, len, remaining } => {
+                write!(f, "{what} count {len} cannot fit in {remaining} remaining bytes")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Validates a decoded element count against the bytes actually present:
+/// each element of `what` occupies at least `min_elem_bytes` on the wire,
+/// so any announced count larger than `remaining / min_elem_bytes` is a
+/// malformed (or hostile) length prefix. Rejecting it *before* reserving
+/// the `Vec` keeps a garbage length from allocating gigabytes.
+fn bounded_len(
+    d: &Decoder,
+    len: u64,
+    min_elem_bytes: usize,
+    what: &'static str,
+) -> Result<usize, WireError> {
+    let remaining = d.remaining();
+    if (len as u128) * (min_elem_bytes as u128) > remaining as u128 {
+        return Err(WireError::Oversized { what, len, remaining });
+    }
+    Ok(len as usize)
+}
 
 fn put_ciphertext(e: &mut Encoder, c: &Ciphertext) {
     match c {
@@ -116,7 +147,9 @@ fn put_cipher_vec(e: &mut Encoder, v: &[Ciphertext]) {
 }
 
 fn get_cipher_vec(d: &mut Decoder) -> Result<Vec<Ciphertext>, WireError> {
-    let len = d.get_varint()? as usize;
+    // Smallest ciphertext on the wire: tag + exponent + empty byte string.
+    let announced = d.get_varint()?;
+    let len = bounded_len(d, announced, 6, "ciphertext vector")?;
     (0..len).map(|_| get_ciphertext(d)).collect()
 }
 
@@ -128,7 +161,9 @@ fn put_packed_vec(e: &mut Encoder, v: &[PackedCiphertext]) {
 }
 
 fn get_packed_vec(d: &mut Decoder) -> Result<Vec<PackedCiphertext>, WireError> {
-    let len = d.get_varint()? as usize;
+    // Smallest packed ciphertext: tag + empty f64 slice.
+    let announced = d.get_varint()?;
+    let len = bounded_len(d, announced, 2, "packed ciphertext vector")?;
     (0..len).map(|_| get_packed(d)).collect()
 }
 
@@ -213,7 +248,8 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
     let mut d = Decoder::new(payload);
     Ok(match kind {
         1 => {
-            let len = d.get_varint()? as usize;
+            let announced = d.get_varint()?;
+            let len = bounded_len(&d, announced, 4, "feature meta vector")?;
             let mut metas = Vec::with_capacity(len);
             for _ in 0..len {
                 metas.push(FeatureMeta { num_bins: d.get_u16()?, zero_bin: d.get_u16()? });
@@ -235,7 +271,9 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
             let epoch = d.get_u32()?;
             let payload = match d.get_u8()? {
                 0 => {
-                    let len = d.get_varint()? as usize;
+                    // Smallest raw feature: two empty ciphertext vectors.
+                    let announced = d.get_varint()?;
+                    let len = bounded_len(&d, announced, 2, "raw histogram vector")?;
                     let mut features = Vec::with_capacity(len);
                     for _ in 0..len {
                         let g = get_cipher_vec(&mut d)?;
@@ -245,7 +283,9 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
                     HistPayload::Raw(features)
                 }
                 1 => {
-                    let len = d.get_varint()? as usize;
+                    // Smallest packed feature: bin count + two empty vectors.
+                    let announced = d.get_varint()?;
+                    let len = bounded_len(&d, announced, 4, "packed histogram vector")?;
                     let mut features = Vec::with_capacity(len);
                     for _ in 0..len {
                         let bins = d.get_u16()?;
@@ -270,11 +310,7 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
             feature: d.get_u32()?,
             bin: d.get_u16()?,
         },
-        7 => Msg::Placement {
-            tree: d.get_u32()?,
-            node: d.get_u32()?,
-            placement: d.get_bitmap()?,
-        },
+        7 => Msg::Placement { tree: d.get_u32()?, node: d.get_u32()?, placement: d.get_bitmap()? },
         8 => Msg::NodeLeaf { tree: d.get_u32()?, node: d.get_u32()? },
         9 => Msg::TreeDone { tree: d.get_u32()? },
         10 => Msg::Shutdown,
@@ -346,10 +382,8 @@ mod tests {
     #[test]
     fn raw_histograms_round_trip() {
         let c = paillier_ciphers(6);
-        let payload = HistPayload::Raw(vec![RawFeatureHist {
-            g: c[..3].to_vec(),
-            h: c[3..].to_vec(),
-        }]);
+        let payload =
+            HistPayload::Raw(vec![RawFeatureHist { g: c[..3].to_vec(), h: c[3..].to_vec() }]);
         round_trip(Msg::NodeHistograms { tree: 0, node: 1, epoch: 4, payload });
     }
 
@@ -381,5 +415,105 @@ mod tests {
     #[test]
     fn unknown_kind_rejected() {
         assert!(matches!(decode(99, Bytes::new()), Err(WireError::BadTag("message kind", 99))));
+    }
+
+    /// One representative message per kind (1–10), with real ciphertext
+    /// payloads where the kind carries any.
+    fn sample_messages() -> Vec<Msg> {
+        let c = paillier_ciphers(4);
+        vec![
+            Msg::FeatureMeta(vec![
+                FeatureMeta { num_bins: 20, zero_bin: 3 },
+                FeatureMeta { num_bins: 7, zero_bin: 0 },
+            ]),
+            Msg::GradBatch {
+                tree: 1,
+                start_row: 64,
+                g: c[..2].to_vec(),
+                h: c[2..].to_vec(),
+                last: false,
+            },
+            Msg::NodeTask { tree: 3, node: 7, epoch: 2 },
+            Msg::NodeHistograms {
+                tree: 0,
+                node: 1,
+                epoch: 4,
+                payload: HistPayload::Raw(vec![RawFeatureHist {
+                    g: c[..2].to_vec(),
+                    h: c[2..].to_vec(),
+                }]),
+            },
+            Msg::ApplyPlacement { tree: 2, node: 4, placement: vec![true, false, true] },
+            Msg::HostSplitChosen { tree: 0, node: 5, feature: 88, bin: 13 },
+            Msg::Placement { tree: 2, node: 4, placement: vec![false; 17] },
+            Msg::NodeLeaf { tree: 1, node: 12 },
+            Msg::TreeDone { tree: 19 },
+            Msg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_truncated_prefix_errors_without_panicking() {
+        // Every field of every message is mandatory, so chopping any
+        // number of trailing bytes must yield Err — never a panic, never
+        // a silently wrong Ok.
+        for msg in sample_messages() {
+            let kind = msg.kind();
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                let r = decode(kind, bytes.slice(..cut));
+                assert!(r.is_err(), "kind {kind} decoded a {cut}-byte prefix: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_never_panic() {
+        // Deterministic pseudo-random garbage at several lengths, fed to
+        // every kind tag. Decoding may succeed by chance for all-scalar
+        // kinds; the property is the absence of panics and of unbounded
+        // allocation.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [0usize, 1, 3, 7, 16, 64, 257] {
+            for round in 0..16 {
+                let garbage: Vec<u8> = (0..len).map(|_| (next() >> (round % 8)) as u8).collect();
+                for kind in 0..=12u16 {
+                    let _ = decode(kind, Bytes::from(garbage.clone()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_bomb_lengths_are_rejected() {
+        // A huge varint count with a tiny payload must fail fast via the
+        // bounded-length guard instead of reserving gigabytes.
+        let bomb = |kind: u16, prefix: &[u8]| {
+            let mut e = Encoder::new();
+            for &b in prefix {
+                e.put_u8(b);
+            }
+            e.put_varint(u64::MAX >> 2);
+            let r = decode(kind, e.finish());
+            assert!(
+                matches!(r, Err(WireError::Oversized { .. })),
+                "kind {kind} did not reject the bomb: {r:?}"
+            );
+        };
+        bomb(1, &[]); // FeatureMeta count
+        bomb(2, &[0, 0, 0, 0, 0, 0, 0, 0, 1]); // GradBatch g-vector count
+        let hdr = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]; // tree, node, epoch
+        let mut raw = hdr.to_vec();
+        raw.push(0); // HistPayload::Raw tag
+        bomb(4, &raw);
+        let mut packed = hdr.to_vec();
+        packed.push(1); // HistPayload::Packed tag
+        bomb(4, &packed);
     }
 }

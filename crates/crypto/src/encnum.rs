@@ -109,10 +109,7 @@ impl EncryptedNumber {
     pub fn add_same_exp(&self, other: &Self, pk: &PublicKey, counters: &OpCounters) -> Self {
         debug_assert_eq!(self.exponent, other.exponent, "exponents must already match");
         counters.add_hadd(1);
-        EncryptedNumber {
-            cipher: pk.add_raw(&self.cipher, &other.cipher),
-            exponent: self.exponent,
-        }
+        EncryptedNumber { cipher: pk.add_raw(&self.cipher, &other.cipher), exponent: self.exponent }
     }
 
     /// In-place same-exponent addition (avoids one cipher clone on the

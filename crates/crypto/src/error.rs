@@ -46,10 +46,9 @@ impl fmt::Display for CryptoError {
                 write!(f, "decoded plaintext fell in the overflow region of the modulus")
             }
             CryptoError::KeyMismatch => write!(f, "ciphers belong to different public keys"),
-            CryptoError::PackingCapacity { requested, max } => write!(
-                f,
-                "cannot pack {requested} slots: at most {max} fit in the plaintext space"
-            ),
+            CryptoError::PackingCapacity { requested, max } => {
+                write!(f, "cannot pack {requested} slots: at most {max} fit in the plaintext space")
+            }
             CryptoError::PackedValueTooLarge { slot } => {
                 write!(f, "value in packing slot {slot} exceeds the slot width")
             }

@@ -115,14 +115,16 @@ pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
 ///
 /// Given `x ≡ a (mod p)` and `x ≡ b (mod q)` with precomputed
 /// `p_inv_q = p⁻¹ mod q`, returns the unique `x mod (p·q)`.
-pub fn crt_combine(a: &BigUint, b: &BigUint, p: &BigUint, p_inv_q: &BigUint, q: &BigUint) -> BigUint {
+pub fn crt_combine(
+    a: &BigUint,
+    b: &BigUint,
+    p: &BigUint,
+    p_inv_q: &BigUint,
+    q: &BigUint,
+) -> BigUint {
     // x = a + p * ((b - a) * p^{-1} mod q)
     let a_mod_q = a % q;
-    let diff = if b >= &a_mod_q {
-        b - &a_mod_q
-    } else {
-        q - ((&a_mod_q - b) % q)
-    };
+    let diff = if b >= &a_mod_q { b - &a_mod_q } else { q - ((&a_mod_q - b) % q) };
     let t = (diff * p_inv_q) % q;
     a + p * t
 }

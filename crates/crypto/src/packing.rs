@@ -106,7 +106,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (KeyPair, OpCounters, StdRng) {
-        (KeyPair::generate_seeded(512, 42).unwrap(), OpCounters::default(), StdRng::seed_from_u64(3))
+        (
+            KeyPair::generate_seeded(512, 42).unwrap(),
+            OpCounters::default(),
+            StdRng::seed_from_u64(3),
+        )
     }
 
     #[test]
@@ -123,10 +127,8 @@ mod tests {
         let (kp, ctr, mut rng) = setup();
         let plan = PackingPlan::new(&kp.public, 64, 7).unwrap();
         let values: Vec<u64> = vec![0, 1, u64::MAX, 42, 7, 123456789, u64::MAX - 1];
-        let ciphers: Vec<_> = values
-            .iter()
-            .map(|&v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
-            .collect();
+        let ciphers: Vec<_> =
+            values.iter().map(|&v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng)).collect();
         let packed = pack_ciphers(&ciphers, &plan, &kp.public, &ctr).unwrap();
         let plain = kp.private.decrypt_raw(&packed);
         let unpacked = unpack_plaintext(&plain, &plan, values.len());
@@ -140,10 +142,8 @@ mod tests {
         let (kp, ctr, mut rng) = setup();
         let plan = PackingPlan::new(&kp.public, 32, 4).unwrap();
         let values: Vec<u64> = vec![5, 10]; // fewer than plan.slots
-        let ciphers: Vec<_> = values
-            .iter()
-            .map(|&v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
-            .collect();
+        let ciphers: Vec<_> =
+            values.iter().map(|&v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng)).collect();
         let packed = pack_ciphers(&ciphers, &plan, &kp.public, &ctr).unwrap();
         let plain = kp.private.decrypt_raw(&packed);
         let unpacked = unpack_plaintext(&plain, &plan, 2);
@@ -154,9 +154,8 @@ mod tests {
     fn packing_cost_is_t_minus_one_ops() {
         let (kp, ctr, mut rng) = setup();
         let plan = PackingPlan::new(&kp.public, 64, 5).unwrap();
-        let ciphers: Vec<_> = (0..5u64)
-            .map(|v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
-            .collect();
+        let ciphers: Vec<_> =
+            (0..5u64).map(|v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng)).collect();
         pack_ciphers(&ciphers, &plan, &kp.public, &ctr).unwrap();
         let s = ctr.snapshot();
         assert_eq!(s.hadd, 4);
@@ -169,9 +168,8 @@ mod tests {
         let (kp, ctr, mut rng) = setup();
         let plan = PackingPlan::new(&kp.public, 64, 2).unwrap();
         assert!(pack_ciphers(&[], &plan, &kp.public, &ctr).is_err());
-        let ciphers: Vec<_> = (0..3u64)
-            .map(|v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng))
-            .collect();
+        let ciphers: Vec<_> =
+            (0..3u64).map(|v| kp.public.encrypt_raw(&BigUint::from(v), &mut rng)).collect();
         assert!(pack_ciphers(&ciphers, &plan, &kp.public, &ctr).is_err());
     }
 

@@ -351,9 +351,9 @@ impl Suite {
     /// Exponent-aware homomorphic addition (scales if exponents differ).
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
         match (a, b) {
-            (Ciphertext::Paillier(x), Ciphertext::Paillier(y)) => Ok(Ciphertext::Paillier(
-                x.add(y, self.pk(), &self.0.cfg, &self.0.counters),
-            )),
+            (Ciphertext::Paillier(x), Ciphertext::Paillier(y)) => {
+                Ok(Ciphertext::Paillier(x.add(y, self.pk(), &self.0.cfg, &self.0.counters)))
+            }
             (Ciphertext::Plain(x), Ciphertext::Plain(y)) => {
                 if x.exponent != y.exponent {
                     self.0.counters.add_scaling(1);
@@ -410,12 +410,9 @@ impl Suite {
     /// Rescales a cipher to a (larger) exponent.
     pub fn rescale_to(&self, c: &Ciphertext, target: i32) -> Ciphertext {
         match c {
-            Ciphertext::Paillier(e) => Ciphertext::Paillier(e.rescale_to(
-                target,
-                self.pk(),
-                &self.0.cfg,
-                &self.0.counters,
-            )),
+            Ciphertext::Paillier(e) => {
+                Ciphertext::Paillier(e.rescale_to(target, self.pk(), &self.0.cfg, &self.0.counters))
+            }
             Ciphertext::Plain(p) => {
                 if target != p.exponent {
                     self.0.counters.add_scaling(1);
@@ -584,10 +581,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let plan = PackingPlan::new(s.public_key().unwrap(), 64, 3).unwrap();
         // Positive values at a common exponent, as after shift+prefix-sum.
-        let slots: Vec<Ciphertext> = [1.5, 2.25, 100.0]
-            .iter()
-            .map(|&v| s.encrypt_at(v, 10, &mut rng).unwrap())
-            .collect();
+        let slots: Vec<Ciphertext> =
+            [1.5, 2.25, 100.0].iter().map(|&v| s.encrypt_at(v, 10, &mut rng).unwrap()).collect();
         let packed = s.pack(&slots, &plan).unwrap();
         let values = s.unpack_decrypt(&packed).unwrap();
         assert_eq!(values.len(), 3);

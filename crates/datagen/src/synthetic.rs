@@ -98,22 +98,22 @@ fn generate_features_and_margins(cfg: &SyntheticConfig) -> (Vec<FeatureColumn>, 
 
     let mut margins = vec![0.0f64; cfg.rows];
     let mut columns = Vec::with_capacity(cfg.features);
-    for f in 0..cfg.features {
+    for (f, &weight) in weights.iter().enumerate() {
         let col_seed = cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(f as u64);
         let mut col_rng = StdRng::seed_from_u64(col_seed);
         let col = if cfg.density >= 1.0 {
             let values: Vec<f32> = (0..cfg.rows).map(|_| gaussian(&mut col_rng) as f32).collect();
-            if weights[f] != 0.0 {
+            if weight != 0.0 {
                 for (m, &v) in margins.iter_mut().zip(&values) {
-                    *m += weights[f] * v as f64;
+                    *m += weight * v as f64;
                 }
             }
             FeatureColumn::Dense(values)
         } else {
             let (rows, values) = sparse_column(cfg.rows, cfg.density, &mut col_rng);
-            if weights[f] != 0.0 {
+            if weight != 0.0 {
                 for (&r, &v) in rows.iter().zip(&values) {
-                    margins[r as usize] += weights[f] * v as f64;
+                    margins[r as usize] += weight * v as f64;
                 }
             }
             FeatureColumn::Sparse { rows, values }
@@ -190,12 +190,7 @@ mod tests {
 
     #[test]
     fn density_is_respected() {
-        let cfg = SyntheticConfig {
-            rows: 5000,
-            features: 20,
-            density: 0.1,
-            ..Default::default()
-        };
+        let cfg = SyntheticConfig { rows: 5000, features: 20, density: 0.1, ..Default::default() };
         let d = generate_classification(&cfg);
         let density = d.density();
         assert!((density - 0.1).abs() < 0.02, "got density {density}");
@@ -289,8 +284,7 @@ mod tests {
             let feats: Vec<usize> = (half * 10..(half + 1) * 10).collect();
             let part = d.select_features(&feats, true);
             let (train, valid) = part.split_rows(2400);
-            let model = Trainer::new(GbdtParams { num_trees: 8, ..Default::default() })
-                .fit(&train);
+            let model = Trainer::new(GbdtParams { num_trees: 8, ..Default::default() }).fit(&train);
             let a = auc(valid.labels().unwrap(), &model.predict_margin(&valid));
             assert!(a > 0.6, "half {half} AUC {a}");
         }

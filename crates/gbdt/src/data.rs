@@ -33,21 +33,17 @@ impl FeatureColumn {
     pub fn value(&self, row: usize) -> f32 {
         match self {
             FeatureColumn::Dense(v) => v[row],
-            FeatureColumn::Sparse { rows, values } => {
-                match rows.binary_search(&(row as u32)) {
-                    Ok(i) => values[i],
-                    Err(_) => 0.0,
-                }
-            }
+            FeatureColumn::Sparse { rows, values } => match rows.binary_search(&(row as u32)) {
+                Ok(i) => values[i],
+                Err(_) => 0.0,
+            },
         }
     }
 
     /// Iterates `(row, value)` over explicitly stored entries.
     pub fn iter_nonzero(&self) -> Box<dyn Iterator<Item = (u32, f32)> + '_> {
         match self {
-            FeatureColumn::Dense(v) => {
-                Box::new(v.iter().enumerate().map(|(i, &x)| (i as u32, x)))
-            }
+            FeatureColumn::Dense(v) => Box::new(v.iter().enumerate().map(|(i, &x)| (i as u32, x))),
             FeatureColumn::Sparse { rows, values } => {
                 Box::new(rows.iter().copied().zip(values.iter().copied()))
             }

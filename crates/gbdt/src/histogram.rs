@@ -26,14 +26,20 @@ pub struct GradPair {
 impl GradPair {
     /// A zero pair.
     pub const ZERO: GradPair = GradPair { g: 0.0, h: 0.0 };
+}
 
-    /// Component-wise addition.
-    pub fn add(self, o: GradPair) -> GradPair {
+impl std::ops::Add for GradPair {
+    type Output = GradPair;
+
+    fn add(self, o: GradPair) -> GradPair {
         GradPair { g: self.g + o.g, h: self.h + o.h }
     }
+}
 
-    /// Component-wise subtraction.
-    pub fn sub(self, o: GradPair) -> GradPair {
+impl std::ops::Sub for GradPair {
+    type Output = GradPair;
+
+    fn sub(self, o: GradPair) -> GradPair {
         GradPair { g: self.g - o.g, h: self.h - o.h }
     }
 }
@@ -60,7 +66,7 @@ impl Histogram {
 
     /// Sum over all bins.
     pub fn total(&self) -> GradPair {
-        self.bins.iter().fold(GradPair::ZERO, |acc, &b| acc.add(b))
+        self.bins.iter().fold(GradPair::ZERO, |acc, &b| acc + b)
     }
 
     /// The histogram-subtraction trick: a sibling's histogram is the
@@ -68,9 +74,7 @@ impl Histogram {
     /// together in layer-wise growth).
     pub fn subtract_from(&self, parent: &Histogram) -> Histogram {
         debug_assert_eq!(self.bins.len(), parent.bins.len());
-        Histogram {
-            bins: parent.bins.iter().zip(&self.bins).map(|(&p, &c)| p.sub(c)).collect(),
-        }
+        Histogram { bins: parent.bins.iter().zip(&self.bins).map(|(&p, &c)| p - c).collect() }
     }
 
     /// Prefix sums: entry `b` is the sum of bins `0..=b` (the left-child
@@ -140,7 +144,7 @@ pub fn build_layer_histograms(
             if matches!(col.entries, BinnedEntries::Sparse { .. }) {
                 for (slot, hist) in hists.iter_mut().enumerate() {
                     let stored = hist.total();
-                    hist.bins[col.zero_bin as usize] += node_totals[slot].sub(stored);
+                    hist.bins[col.zero_bin as usize] += node_totals[slot] - stored;
                 }
             }
             hists
@@ -173,11 +177,8 @@ mod tests {
 
     #[test]
     fn dense_histogram_accumulates_by_bin() {
-        let d = Dataset::new(
-            6,
-            vec![FeatureColumn::Dense(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0])],
-            None,
-        );
+        let d =
+            Dataset::new(6, vec![FeatureColumn::Dense(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0])], None);
         let binned = BinnedDataset::bin(&d, &BinningConfig { num_bins: 3, max_samples: 1 << 16 });
         let grads = unit_grads(6);
         let node_of_row = vec![0i32; 6];

@@ -82,11 +82,7 @@ pub fn accuracy(labels: &[f32], probs: &[f64]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = labels
-        .iter()
-        .zip(probs)
-        .filter(|(&y, &p)| (p >= 0.5) == (y > 0.5))
-        .count();
+    let correct = labels.iter().zip(probs).filter(|(&y, &p)| (p >= 0.5) == (y > 0.5)).count();
     correct as f64 / labels.len() as f64
 }
 

@@ -46,7 +46,7 @@ impl SplitParams {
 
     /// Gain of a concrete left/total partition.
     pub fn gain(&self, left: GradPair, total: GradPair) -> f64 {
-        let right = total.sub(left);
+        let right = total - left;
         0.5 * (self.impurity(left) + self.impurity(right) - self.impurity(total)) - self.gamma
     }
 }
@@ -90,7 +90,7 @@ pub fn best_split_from_prefix(
     // The last prefix is the whole node: splitting there leaves the right
     // child empty.
     for (b, &left) in prefix.iter().enumerate().take(prefix.len().saturating_sub(1)) {
-        let right = total.sub(left);
+        let right = total - left;
         if left.h < params.min_child_weight || right.h < params.min_child_weight {
             continue;
         }
@@ -98,7 +98,7 @@ pub fn best_split_from_prefix(
         if gain <= params.min_split_gain.max(0.0) {
             continue;
         }
-        if best.map_or(true, |c| gain > c.gain) {
+        if best.is_none_or(|c| gain > c.gain) {
             best = Some(SplitCandidate { feature, bin: b as u16, gain, left, right });
         }
     }
@@ -206,7 +206,7 @@ mod tests {
         let params = SplitParams::default();
         let total = GradPair { g: 2.0, h: 5.0 };
         let left = GradPair { g: -1.0, h: 2.0 };
-        let mirrored_left = total.sub(left);
+        let mirrored_left = total - left;
         assert!((params.gain(left, total) - params.gain(mirrored_left, total)).abs() < 1e-12);
     }
 }

@@ -205,13 +205,7 @@ pub fn grow_tree(
         }
         let node_of_row: Vec<i32> = assign
             .iter()
-            .map(|&id| {
-                if layer_of(id) == layer {
-                    slot_of[id - start_id]
-                } else {
-                    -1
-                }
-            })
+            .map(|&id| if layer_of(id) == layer { slot_of[id - start_id] } else { -1 })
             .collect();
         let totals = node_totals(grads, &node_of_row, num_slots);
 
@@ -235,7 +229,11 @@ pub fn grow_tree(
                     let col = binned.column(c.feature);
                     tree.set_split(
                         id,
-                        NodeSplit { feature: c.feature, bin: c.bin, threshold: col.threshold(c.bin) },
+                        NodeSplit {
+                            feature: c.feature,
+                            bin: c.bin,
+                            threshold: col.threshold(c.bin),
+                        },
                     );
                     split_of[id - start_id] = Some((c.feature, c.bin));
                     next_active.push(left_child(id));
@@ -371,9 +369,9 @@ mod tests {
         let preds = vec![0.0; data.num_rows()];
         let grads = params.loss.grad_hess_all(labels, &preds);
         let (tree, weights) = grow_tree(&binned, &grads, &params);
-        for r in 0..data.num_rows() {
+        for (r, &w) in weights.iter().enumerate() {
             let routed = tree.predict_row(&data.row_dense(r));
-            assert!((routed - weights[r]).abs() < 1e-12, "row {r}");
+            assert!((routed - w).abs() < 1e-12, "row {r}");
         }
     }
 

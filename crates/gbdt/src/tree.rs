@@ -79,16 +79,13 @@ pub fn layer_of(id: NodeId) -> usize {
 impl Tree {
     /// An empty tree with room for `max_layers` layers.
     pub fn new(max_layers: usize) -> Tree {
-        assert!(max_layers >= 1 && max_layers <= 24, "unreasonable layer count");
+        assert!((1..=24).contains(&max_layers), "unreasonable layer count");
         Tree { max_layers, nodes: vec![Node::Absent; (1 << max_layers) - 1] }
     }
 
     /// Records a split at `id`.
     pub fn set_split(&mut self, id: NodeId, split: NodeSplit) {
-        assert!(
-            layer_of(id) + 1 < self.max_layers,
-            "cannot split on the final layer (node {id})"
-        );
+        assert!(layer_of(id) + 1 < self.max_layers, "cannot split on the final layer (node {id})");
         self.nodes[id] = Node::Internal(split);
     }
 
@@ -109,7 +106,11 @@ impl Tree {
             match &self.nodes[id] {
                 Node::Leaf(w) => return *w,
                 Node::Internal(s) => {
-                    id = if row[s.feature] <= s.threshold { left_child(id) } else { right_child(id) };
+                    id = if row[s.feature] <= s.threshold {
+                        left_child(id)
+                    } else {
+                        right_child(id)
+                    };
                 }
                 Node::Absent => {
                     // A structurally impossible state; treat as zero

@@ -1,6 +1,9 @@
-//! Property-based tests over the GBDT engine's core invariants.
+//! Property-style tests over the GBDT engine's core invariants, exercised
+//! over deterministic seeded sweeps of random cases (the offline stand-in
+//! for a proptest strategy).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vf2_gbdt::binning::{BinnedDataset, BinningConfig};
 use vf2_gbdt::data::{Dataset, FeatureColumn};
 use vf2_gbdt::histogram::{build_layer_histograms, node_totals, GradPair, Histogram};
@@ -8,102 +11,122 @@ use vf2_gbdt::metrics::auc;
 use vf2_gbdt::split::{find_best_split, SplitParams};
 use vf2_gbdt::train::{grow_tree, GbdtParams};
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    (-1.0e3f32..1.0e3).prop_map(|v| if v == -0.0 { 0.0 } else { v })
+const CASES: usize = 64;
+
+fn finite_f32(rng: &mut StdRng) -> f32 {
+    let v = rng.gen_range(-1.0e3f32..1.0e3);
+    if v == -0.0 {
+        0.0
+    } else {
+        v
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Binning is monotone: larger values never land in smaller bins, and
-    /// bin codes agree with the recorded cut thresholds.
-    #[test]
-    fn binning_is_monotone(values in prop::collection::vec(finite_f32(), 2..200), bins in 2usize..32) {
-        let n = values.len();
+/// Binning is monotone: larger values never land in smaller bins, and
+/// bin codes agree with the recorded cut thresholds.
+#[test]
+fn binning_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xB14);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..200);
+        let bins = rng.gen_range(2usize..32);
+        let values: Vec<f32> = (0..n).map(|_| finite_f32(&mut rng)).collect();
         let data = Dataset::new(n, vec![FeatureColumn::Dense(values.clone())], None);
-        let binned = BinnedDataset::bin(&data, &BinningConfig { num_bins: bins, max_samples: 1 << 16 });
+        let binned =
+            BinnedDataset::bin(&data, &BinningConfig { num_bins: bins, max_samples: 1 << 16 });
         let col = binned.column(0);
-        prop_assert!(col.num_bins() <= bins);
+        assert!(col.num_bins() <= bins);
         let mut sorted = values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for w in sorted.windows(2) {
-            prop_assert!(col.bin_of_value(w[0]) <= col.bin_of_value(w[1]));
+            assert!(col.bin_of_value(w[0]) <= col.bin_of_value(w[1]));
         }
         // Threshold semantics: v goes left of bin b iff v <= cuts[b].
         for &v in &values {
             let b = col.bin_of_value(v);
             if (b as usize) < col.cuts.len() {
-                prop_assert!(v <= col.threshold(b));
+                assert!(v <= col.threshold(b));
             }
             if b > 0 {
-                prop_assert!(v > col.threshold(b - 1));
+                assert!(v > col.threshold(b - 1));
             }
         }
     }
+}
 
-    /// Histogram mass conservation: the total over all bins equals the sum
-    /// of gradients of the node's rows, for any node partition.
-    #[test]
-    fn histogram_mass_is_conserved(
-        values in prop::collection::vec(finite_f32(), 4..100),
-        assignment_bits in prop::collection::vec(any::<bool>(), 4..100),
-    ) {
-        let n = values.len().min(assignment_bits.len());
-        let data = Dataset::new(n, vec![FeatureColumn::Dense(values[..n].to_vec())], None);
+/// Histogram mass conservation: the total over all bins equals the sum
+/// of gradients of the node's rows, for any node partition.
+#[test]
+fn histogram_mass_is_conserved() {
+    let mut rng = StdRng::seed_from_u64(0x4157);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4usize..100);
+        let values: Vec<f32> = (0..n).map(|_| finite_f32(&mut rng)).collect();
+        let data = Dataset::new(n, vec![FeatureColumn::Dense(values)], None);
         let binned = BinnedDataset::bin(&data, &BinningConfig::default());
         let grads: Vec<GradPair> =
             (0..n).map(|i| GradPair { g: (i as f64 * 0.37).sin(), h: 0.25 }).collect();
-        let node_of_row: Vec<i32> =
-            assignment_bits[..n].iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let node_of_row: Vec<i32> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { 0 }).collect();
         let totals = node_totals(&grads, &node_of_row, 2);
         let hists = build_layer_histograms(&binned, &grads, &node_of_row, &totals);
-        for slot in 0..2 {
+        for (slot, expected) in totals.iter().enumerate() {
             let t = hists.hist(0, slot).total();
-            prop_assert!((t.g - totals[slot].g).abs() < 1e-9);
-            prop_assert!((t.h - totals[slot].h).abs() < 1e-9);
+            assert!((t.g - expected.g).abs() < 1e-9);
+            assert!((t.h - expected.h).abs() < 1e-9);
         }
     }
+}
 
-    /// The reported best split's gain really is maximal over all bins.
-    #[test]
-    fn best_split_gain_is_maximal(gs in prop::collection::vec(-10.0f64..10.0, 2..24)) {
-        let hist = Histogram {
-            bins: gs.iter().map(|&g| GradPair { g, h: 1.0 }).collect(),
-        };
+/// The reported best split's gain really is maximal over all bins.
+#[test]
+fn best_split_gain_is_maximal() {
+    let mut rng = StdRng::seed_from_u64(0x5717);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2usize..24);
+        let gs: Vec<f64> = (0..len).map(|_| rng.gen_range(-10.0f64..10.0)).collect();
+        let hist = Histogram { bins: gs.iter().map(|&g| GradPair { g, h: 1.0 }).collect() };
         let total = hist.total();
         let params = SplitParams::default();
         if let Some(best) = find_best_split(0, &hist, total, &params) {
             let prefix = hist.prefix_sums();
             for (b, &left) in prefix.iter().enumerate().take(prefix.len() - 1) {
                 let gain = params.gain(left, total);
-                prop_assert!(best.gain >= gain - 1e-12, "bin {b} gain {gain} beats best {}", best.gain);
+                assert!(best.gain >= gain - 1e-12, "bin {b} gain {gain} beats best {}", best.gain);
             }
             // Reported children must partition the total.
-            let rebuilt = best.left.add(best.right);
-            prop_assert!((rebuilt.g - total.g).abs() < 1e-9);
-            prop_assert!((rebuilt.h - total.h).abs() < 1e-9);
+            let rebuilt = best.left + best.right;
+            assert!((rebuilt.g - total.g).abs() < 1e-9);
+            assert!((rebuilt.h - total.h).abs() < 1e-9);
         }
     }
+}
 
-    /// Leaf weight minimizes the node objective: any perturbation scores
-    /// worse under `G·w + ½(H+λ)w²`.
-    #[test]
-    fn leaf_weight_is_the_minimizer(g in -100.0f64..100.0, h in 0.01f64..100.0) {
+/// Leaf weight minimizes the node objective: any perturbation scores
+/// worse under `G·w + ½(H+λ)w²`.
+#[test]
+fn leaf_weight_is_the_minimizer() {
+    let mut rng = StdRng::seed_from_u64(0x1EAF);
+    for _ in 0..CASES {
+        let g = rng.gen_range(-100.0f64..100.0);
+        let h = rng.gen_range(0.01f64..100.0);
         let params = SplitParams { lambda: 1.0, ..Default::default() };
         let sum = GradPair { g, h };
         let w = params.leaf_weight(sum);
         let obj = |w: f64| g * w + 0.5 * (h + params.lambda) * w * w;
         for delta in [-0.1, -1e-3, 1e-3, 0.1] {
-            prop_assert!(obj(w) <= obj(w + delta) + 1e-12);
+            assert!(obj(w) <= obj(w + delta) + 1e-12);
         }
     }
+}
 
-    /// Grown trees are structurally valid and their row weights match
-    /// re-routing each row through the tree.
-    #[test]
-    fn grown_trees_are_consistent(seed in any::<u64>(), layers in 2usize..6) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+/// Grown trees are structurally valid and their row weights match
+/// re-routing each row through the tree.
+#[test]
+fn grown_trees_are_consistent() {
+    let mut gen = StdRng::seed_from_u64(0x72EE);
+    for _ in 0..CASES {
+        let seed: u64 = gen.gen();
+        let layers = gen.gen_range(2usize..6);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = 80;
         let x: Vec<f32> = (0..n).map(|_| rng.gen::<f32>()).collect();
@@ -111,38 +134,35 @@ proptest! {
         let data = Dataset::new(n, vec![FeatureColumn::Dense(x)], Some(y));
         let binned = BinnedDataset::bin(&data, &BinningConfig::default());
         let params = GbdtParams { max_layers: layers, ..Default::default() };
-        let grads = params
-            .loss
-            .grad_hess_all(data.labels().unwrap(), &vec![0.0; n]);
+        let grads = params.loss.grad_hess_all(data.labels().unwrap(), &vec![0.0; n]);
         let (tree, weights) = grow_tree(&binned, &grads, &params);
-        prop_assert!(tree.validate().is_ok());
-        for r in 0..n {
+        assert!(tree.validate().is_ok());
+        for (r, &w) in weights.iter().enumerate() {
             let routed = tree.predict_row(&data.row_dense(r));
-            prop_assert!((routed - weights[r]).abs() < 1e-12);
+            assert!((routed - w).abs() < 1e-12);
         }
     }
+}
 
-    /// AUC is invariant under strictly monotone score transforms and
-    /// complements under negation.
-    #[test]
-    fn auc_invariances(
-        scores in prop::collection::vec(-10.0f64..10.0, 4..64),
-        labels_bits in prop::collection::vec(any::<bool>(), 4..64),
-    ) {
-        let n = scores.len().min(labels_bits.len());
-        let scores = &scores[..n];
-        let labels: Vec<f32> =
-            labels_bits[..n].iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-        let a = auc(&labels, scores);
-        prop_assert!((0.0..=1.0).contains(&a));
+/// AUC is invariant under strictly monotone score transforms and
+/// complements under negation.
+#[test]
+fn auc_invariances() {
+    let mut rng = StdRng::seed_from_u64(0xA0C);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4usize..64);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0f64..10.0)).collect();
+        let labels: Vec<f32> = (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { 0.0 }).collect();
+        let a = auc(&labels, &scores);
+        assert!((0.0..=1.0).contains(&a));
         // Monotone transform (x -> e^x) preserves ranking.
         let transformed: Vec<f64> = scores.iter().map(|&s| s.exp()).collect();
-        prop_assert!((auc(&labels, &transformed) - a).abs() < 1e-12);
+        assert!((auc(&labels, &transformed) - a).abs() < 1e-12);
         // Negation complements (when both classes are present).
         let pos = labels.iter().filter(|&&y| y > 0.5).count();
         if pos > 0 && pos < n {
             let negated: Vec<f64> = scores.iter().map(|&s| -s).collect();
-            prop_assert!((auc(&labels, &negated) - (1.0 - a)).abs() < 1e-12);
+            assert!((auc(&labels, &negated) - (1.0 - a)).abs() < 1e-12);
         }
     }
 }

@@ -60,7 +60,8 @@ fn main() {
             wan: vf2boost::channel::WanConfig::instant(),
             ..TrainConfig::for_tests()
         };
-        let out = train_federated(&scenario.hosts, &scenario.guest, &cfg);
+        let out =
+            train_federated(&scenario.hosts, &scenario.guest, &cfg).expect("training succeeds");
         let host_refs: Vec<&Dataset> = valid_scenario.hosts.iter().collect();
         let margins = out.model.predict_margin(&host_refs, &valid_scenario.guest);
         let fed_auc = auc(valid_scenario.guest.labels().unwrap(), &margins);
@@ -82,12 +83,14 @@ fn main() {
         wan: vf2boost::channel::WanConfig::instant(),
         ..TrainConfig::for_tests()
     };
-    let packed = train_federated(&scenario.hosts, &scenario.guest, &base_cfg);
+    let packed =
+        train_federated(&scenario.hosts, &scenario.guest, &base_cfg).expect("training succeeds");
     let raw_cfg = TrainConfig {
         protocol: ProtocolConfig { pack_histograms: false, ..base_cfg.protocol },
         ..base_cfg
     };
-    let raw = train_federated(&scenario.hosts, &scenario.guest, &raw_cfg);
+    let raw =
+        train_federated(&scenario.hosts, &scenario.guest, &raw_cfg).expect("training succeeds");
     let packed_bytes = packed.report.hosts[0].bytes_sent;
     let raw_bytes = raw.report.hosts[0].bytes_sent;
     println!("\nhost→guest histogram traffic per run:");

@@ -8,6 +8,7 @@
 //!   1. bank-only      — the guest trains on its own features,
 //!   2. co-located     — the (im)possible ideal of pooling raw data,
 //!   3. federated      — VF²Boost over Paillier.
+//!
 //! The federated AUC should match the co-located AUC (the lossless
 //! property) while the bank-only model trails both.
 //!
@@ -53,7 +54,7 @@ fn main() {
         wan: vf2boost::channel::WanConfig::instant(),
         ..TrainConfig::for_tests()
     };
-    let out = train_federated(&scenario.hosts, &scenario.guest, &cfg);
+    let out = train_federated(&scenario.hosts, &scenario.guest, &cfg).expect("training succeeds");
     let margins = out.model.predict_margin(&[&valid_scenario.hosts[0]], &valid_scenario.guest);
     let fed_auc = auc(vy, &margins);
     let probs: Vec<f64> = margins.iter().map(|&m| out.model.loss.transform(m)).collect();

@@ -72,9 +72,8 @@ fn main() {
     let pk = suite.public_key().unwrap();
     let plan = PackingPlan::widest(pk, 64).unwrap();
     println!("\npacking (§5.2): a 1024-bit key fits {} 64-bit slots per cipher", plan.slots);
-    let slots: Vec<Ciphertext> = (0..plan.slots)
-        .map(|i| suite.encrypt_at(i as f64 + 0.5, 10, &mut rng).unwrap())
-        .collect();
+    let slots: Vec<Ciphertext> =
+        (0..plan.slots).map(|i| suite.encrypt_at(i as f64 + 0.5, 10, &mut rng).unwrap()).collect();
     let before = suite.counters().snapshot();
     let packed = suite.pack(&slots, &plan).unwrap();
     let unpacked = suite.unpack_decrypt(&packed).unwrap();

@@ -43,7 +43,7 @@ fn main() {
         ..TrainConfig::for_tests()
     };
     println!("training {} trees over Paillier-{:?}...", cfg.gbdt.num_trees, cfg.crypto);
-    let out = train_federated(&scenario.hosts, &scenario.guest, &cfg);
+    let out = train_federated(&scenario.hosts, &scenario.guest, &cfg).expect("training succeeds");
 
     // 4. Joint prediction on held-out data.
     let margins = out.model.predict_margin(&[&valid_scenario.hosts[0]], &valid_scenario.guest);
@@ -52,10 +52,8 @@ fn main() {
     // 5. Baseline: the guest training alone on its own features.
     let solo = Trainer::new(GbdtParams { num_trees: 5, max_layers: 4, ..Default::default() })
         .fit(&scenario.guest);
-    let solo_auc = auc(
-        valid_scenario.guest.labels().unwrap(),
-        &solo.predict_margin(&valid_scenario.guest),
-    );
+    let solo_auc =
+        auc(valid_scenario.guest.labels().unwrap(), &solo.predict_margin(&valid_scenario.guest));
 
     println!("\n== results ==");
     println!("federated validation AUC : {fed_auc:.4}");
@@ -67,10 +65,7 @@ fn main() {
     );
     println!("\n== telemetry ==");
     println!("wall time          : {:.2?}", out.report.wall_time);
-    println!(
-        "guest enc/dec ops  : {} / {}",
-        out.report.guest.ops.enc, out.report.guest.ops.dec
-    );
+    println!("guest enc/dec ops  : {} / {}", out.report.guest.ops.enc, out.report.guest.ops.dec);
     println!("host HAdd ops      : {}", out.report.hosts[0].ops.hadd);
     println!(
         "optimistic / dirty : {} / {}",

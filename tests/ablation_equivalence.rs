@@ -36,7 +36,7 @@ fn all_sixteen_protocol_combinations_agree() {
             protocol,
             ..TrainConfig::for_tests()
         };
-        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
         let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
         // Re-ordered accumulation (bit 2) and packing (bit 3) change the
         // f64 summation order, so those combinations are compared with a
@@ -46,12 +46,9 @@ fn all_sixteen_protocol_combinations_agree() {
         match &reference {
             None => reference = Some(margins),
             Some(reference) => {
-                let mean: f64 = reference
-                    .iter()
-                    .zip(&margins)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum::<f64>()
-                    / margins.len() as f64;
+                let mean: f64 =
+                    reference.iter().zip(&margins).map(|(a, b)| (a - b).abs()).sum::<f64>()
+                        / margins.len() as f64;
                 assert!(mean < tol, "combination {mask:04b} diverged: mean |Δ| = {mean}");
             }
         }
@@ -80,12 +77,14 @@ fn paillier_baseline_and_vf2boost_agree() {
         &s.hosts,
         &s.guest,
         &TrainConfig { protocol: ProtocolConfig::baseline(), ..base },
-    );
+    )
+    .expect("training succeeds");
     let vf2 = train_federated(
         &s.hosts,
         &s.guest,
         &TrainConfig { protocol: ProtocolConfig::vf2boost(), ..base },
-    );
+    )
+    .expect("training succeeds");
     let bm = baseline.model.predict_margin(&[&s.hosts[0]], &s.guest);
     let vm = vf2.model.predict_margin(&[&s.hosts[0]], &s.guest);
     let diff = bm.iter().zip(&vm).map(|(a, b)| (a - b).abs()).sum::<f64>() / bm.len() as f64;

@@ -1,0 +1,162 @@
+//! Chaos tests: federated training on a hostile wire.
+//!
+//! The reliable-delivery sublayer in `vf2-channel` must mask every
+//! injected fault short of a permanent disconnect — drops, duplicates,
+//! reordering, bit corruption — so that training over a faulty WAN
+//! produces a *bitwise-identical* model to the fault-free run. A peer
+//! that genuinely dies must surface as `TrainError::PeerLost` within the
+//! per-phase deadline: an error, never a panic, never a hang.
+
+use std::time::{Duration, Instant};
+
+use vf2boost::channel::{FaultConfig, WanConfig};
+use vf2boost::core::config::CryptoConfig;
+use vf2boost::core::error::{PartyId, TrainError};
+use vf2boost::core::train_federated;
+use vf2boost::core::TrainConfig;
+use vf2boost::datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2boost::datagen::vertical::{split_vertical, VerticalScenario};
+use vf2boost::gbdt::train::GbdtParams;
+
+fn scenario(seed: u64) -> VerticalScenario {
+    let data = generate_classification(&SyntheticConfig {
+        rows: 200,
+        features: 8,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed,
+    });
+    split_vertical(&data, &[4])
+}
+
+fn chaos_cfg() -> TrainConfig {
+    TrainConfig {
+        gbdt: GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() },
+        crypto: CryptoConfig::Mock,
+        wan: WanConfig::instant(),
+        ..TrainConfig::for_tests()
+    }
+}
+
+/// A plan hostile enough that every fault class fires within a short run.
+fn hostile(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        drop_prob: 0.05,
+        duplicate_prob: 0.03,
+        reorder_prob: 0.05,
+        reorder_depth: 3,
+        corrupt_prob: 0.03,
+        stall: None,
+        disconnect_after_frames: None,
+    }
+}
+
+#[test]
+fn faulty_wan_trains_the_identical_model() {
+    let s = scenario(61);
+    let clean_cfg = chaos_cfg();
+    let faulty_cfg = TrainConfig {
+        fault_guest_to_host: hostile(0xC0FFEE),
+        fault_host_to_guest: hostile(0xBEEF),
+        ..clean_cfg
+    };
+
+    let clean = train_federated(&s.hosts, &s.guest, &clean_cfg).expect("clean run succeeds");
+    let faulty = train_federated(&s.hosts, &s.guest, &faulty_cfg)
+        .expect("reliable delivery must mask drops, duplicates, reordering and corruption");
+
+    // Exactly-once in-order delivery per link direction means both runs
+    // exchange the identical message sequence, so (with exact mock
+    // crypto) the models must be bitwise-identical.
+    let cm = clean.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    let fm = faulty.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    assert_eq!(cm.len(), fm.len());
+    for (i, (a, b)) in cm.iter().zip(&fm).enumerate() {
+        assert!(a.to_bits() == b.to_bits(), "margin {i} diverged: {a} vs {b}");
+    }
+
+    // The wire really was hostile: faults fired and the sublayer worked
+    // around them (clean runs report all-zero counters).
+    let clean_events = clean.report.link_events();
+    assert_eq!(clean_events.faults_injected, 0);
+    assert_eq!(clean_events.retransmissions, 0);
+    let events = faulty.report.link_events();
+    assert!(events.faults_injected > 0, "no faults fired: {events:?}");
+    assert!(events.retransmissions > 0, "drops must force retransmissions: {events:?}");
+    assert!(events.acks_received > 0, "acks must flow: {events:?}");
+}
+
+#[test]
+fn lossy_preset_on_both_directions_still_converges() {
+    let s = scenario(62);
+    let cfg = TrainConfig {
+        fault_guest_to_host: FaultConfig::lossy(7),
+        fault_host_to_guest: FaultConfig::lossy(8),
+        ..chaos_cfg()
+    };
+    let out = train_federated(&s.hosts, &s.guest, &cfg).expect("lossy run succeeds");
+    assert_eq!(out.model.trees.len(), cfg.gbdt.num_trees);
+    for t in &out.model.trees {
+        t.validate().expect("valid federated tree");
+    }
+}
+
+#[test]
+fn host_link_disconnect_yields_peer_lost_not_a_hang() {
+    let s = scenario(63);
+    // Kill the host→guest direction early: the guest keeps sending but
+    // nothing (data or acks for the guest's view of host data) comes back.
+    let cfg = TrainConfig {
+        fault_host_to_guest: FaultConfig {
+            disconnect_after_frames: Some(6),
+            ..FaultConfig::none()
+        },
+        peer_timeout: Duration::from_secs(2),
+        ..chaos_cfg()
+    };
+    let t0 = Instant::now();
+    let failure =
+        train_federated(&s.hosts, &s.guest, &cfg).expect_err("a dead peer must abort the run");
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(failure.error, TrainError::PeerLost { .. }),
+        "expected PeerLost, got {}",
+        failure.error
+    );
+    // One deadline for the blocked wait plus generous slack for the rest
+    // of the run — far below a hang.
+    assert!(elapsed < Duration::from_secs(20), "took {elapsed:?}");
+    // The partial report still carries both parties' telemetry, including
+    // the expired deadline.
+    assert_eq!(failure.partial.hosts.len(), 1);
+    assert!(failure.partial.link_events().recv_timeouts > 0);
+}
+
+#[test]
+fn guest_link_disconnect_yields_peer_lost_at_the_host_too() {
+    let s = scenario(64);
+    // Kill the guest→host direction instead: the host starves while the
+    // guest waits for histograms that were never requested successfully.
+    let cfg = TrainConfig {
+        fault_guest_to_host: FaultConfig {
+            disconnect_after_frames: Some(6),
+            ..FaultConfig::none()
+        },
+        peer_timeout: Duration::from_secs(2),
+        ..chaos_cfg()
+    };
+    let t0 = Instant::now();
+    let failure =
+        train_federated(&s.hosts, &s.guest, &cfg).expect_err("a dead peer must abort the run");
+    assert!(
+        matches!(
+            failure.error,
+            TrainError::PeerLost { party: PartyId::Host(0) | PartyId::Guest, .. }
+        ),
+        "expected PeerLost, got {}",
+        failure.error
+    );
+    assert!(t0.elapsed() < Duration::from_secs(20));
+}

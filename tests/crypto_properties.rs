@@ -1,58 +1,67 @@
-//! Property-based tests over the cryptographic substrate, pinned at the
+//! Property-style tests over the cryptographic substrate, pinned at the
 //! cross-crate level: random values flowing through encoding → encryption
 //! → homomorphic arithmetic → packing → decryption must come back intact.
+//!
+//! Each property is exercised over a deterministic, seeded sweep of random
+//! cases (the offline stand-in for a proptest strategy).
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use vf2boost::crypto::encoding::EncodingConfig;
 use vf2boost::crypto::packing::PackingPlan;
 use vf2boost::crypto::suite::{Ciphertext, Suite};
 
+const CASES: usize = 32;
+
 fn suite() -> Suite {
-    // One static key pair for the whole property run: keygen dominates
-    // otherwise.
+    // One key pair per test: keygen dominates otherwise.
     Suite::paillier_seeded(384, 4242, EncodingConfig { base: 16, base_exp: 8, jitter: 4 })
         .expect("keygen")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// encrypt → decrypt round-trips any representable float.
-    #[test]
-    fn encrypt_decrypt_round_trip(v in -1.0e6f64..1.0e6, seed in any::<u64>()) {
-        let s = suite();
-        let mut rng = StdRng::seed_from_u64(seed);
+/// encrypt → decrypt round-trips any representable float.
+#[test]
+fn encrypt_decrypt_round_trip() {
+    let s = suite();
+    let mut gen = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
+        let v = gen.gen_range(-1.0e6f64..1.0e6);
+        let mut rng = StdRng::seed_from_u64(gen.gen());
         let c = s.encrypt(v, &mut rng).unwrap();
         let d = s.decrypt(&c).unwrap();
         // Precision floor is B^-base_exp = 16^-8 ≈ 2.3e-10, relative to
         // magnitude for large values.
-        prop_assert!((d - v).abs() <= 1e-9 * v.abs().max(1.0), "{v} -> {d}");
+        assert!((d - v).abs() <= 1e-9 * v.abs().max(1.0), "{v} -> {d}");
     }
+}
 
-    /// Homomorphic addition equals plaintext addition for arbitrary
-    /// (jittered-exponent) operands.
-    #[test]
-    fn homomorphic_addition_is_exact(
-        a in -1.0e3f64..1.0e3,
-        b in -1.0e3f64..1.0e3,
-        seed in any::<u64>(),
-    ) {
-        let s = suite();
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Homomorphic addition equals plaintext addition for arbitrary
+/// (jittered-exponent) operands.
+#[test]
+fn homomorphic_addition_is_exact() {
+    let s = suite();
+    let mut gen = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..CASES {
+        let a = gen.gen_range(-1.0e3f64..1.0e3);
+        let b = gen.gen_range(-1.0e3f64..1.0e3);
+        let mut rng = StdRng::seed_from_u64(gen.gen());
         let ca = s.encrypt(a, &mut rng).unwrap();
         let cb = s.encrypt(b, &mut rng).unwrap();
         let sum = s.decrypt(&s.add(&ca, &cb).unwrap()).unwrap();
-        prop_assert!((sum - (a + b)).abs() < 1e-6, "{a}+{b} -> {sum}");
+        assert!((sum - (a + b)).abs() < 1e-6, "{a}+{b} -> {sum}");
     }
+}
 
-    /// Sums of many ciphers match plaintext sums regardless of exponent
-    /// mixing (the histogram-accumulation invariant).
-    #[test]
-    fn long_sums_are_exact(values in prop::collection::vec(-10.0f64..10.0, 1..40), seed in any::<u64>()) {
-        let s = suite();
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Sums of many ciphers match plaintext sums regardless of exponent
+/// mixing (the histogram-accumulation invariant).
+#[test]
+fn long_sums_are_exact() {
+    let s = suite();
+    let mut gen = StdRng::seed_from_u64(0xACC);
+    for _ in 0..CASES {
+        let len = gen.gen_range(1usize..40);
+        let values: Vec<f64> = (0..len).map(|_| gen.gen_range(-10.0f64..10.0)).collect();
+        let mut rng = StdRng::seed_from_u64(gen.gen());
         let mut acc: Option<Ciphertext> = None;
         for &v in &values {
             let c = s.encrypt(v, &mut rng).unwrap();
@@ -63,37 +72,43 @@ proptest! {
         }
         let got = s.decrypt(&acc.unwrap()).unwrap();
         let want: f64 = values.iter().sum();
-        prop_assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+        assert!((got - want).abs() < 1e-5, "{got} vs {want}");
     }
+}
 
-    /// Packing any in-range non-negative slot values round-trips through
-    /// a single decryption.
-    #[test]
-    fn packing_round_trips(values in prop::collection::vec(0.0f64..1000.0, 1..5), seed in any::<u64>()) {
-        let s = suite();
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Packing any in-range non-negative slot values round-trips through
+/// a single decryption.
+#[test]
+fn packing_round_trips() {
+    let s = suite();
+    let mut gen = StdRng::seed_from_u64(0x9AC4);
+    for _ in 0..CASES {
+        let len = gen.gen_range(1usize..5);
+        let values: Vec<f64> = (0..len).map(|_| gen.gen_range(0.0f64..1000.0)).collect();
+        let mut rng = StdRng::seed_from_u64(gen.gen());
         let plan = PackingPlan::new(s.public_key().unwrap(), 64, 5).unwrap();
-        let slots: Vec<Ciphertext> = values
-            .iter()
-            .map(|&v| s.encrypt_at(v, 10, &mut rng).unwrap())
-            .collect();
+        let slots: Vec<Ciphertext> =
+            values.iter().map(|&v| s.encrypt_at(v, 10, &mut rng).unwrap()).collect();
         let packed = s.pack(&slots, &plan).unwrap();
         let before = s.counters().snapshot();
         let out = s.unpack_decrypt(&packed).unwrap();
-        prop_assert_eq!(s.counters().snapshot().since(&before).dec, 1);
+        assert_eq!(s.counters().snapshot().since(&before).dec, 1);
         for (got, want) in out.iter().zip(&values) {
-            prop_assert!((got - want).abs() < 1e-6, "{} vs {}", got, want);
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
         }
     }
+}
 
-    /// The mock suite is behaviourally identical for addition chains.
-    #[test]
-    fn mock_suite_matches_paillier_semantics(
-        values in prop::collection::vec(-5.0f64..5.0, 1..20),
-        seed in any::<u64>(),
-    ) {
-        let p = suite();
-        let m = Suite::plain(EncodingConfig { base: 16, base_exp: 8, jitter: 4 });
+/// The mock suite is behaviourally identical for addition chains.
+#[test]
+fn mock_suite_matches_paillier_semantics() {
+    let p = suite();
+    let m = Suite::plain(EncodingConfig { base: 16, base_exp: 8, jitter: 4 });
+    let mut gen = StdRng::seed_from_u64(0x110C);
+    for _ in 0..CASES {
+        let len = gen.gen_range(1usize..20);
+        let values: Vec<f64> = (0..len).map(|_| gen.gen_range(-5.0f64..5.0)).collect();
+        let seed: u64 = gen.gen();
         let mut rng_p = StdRng::seed_from_u64(seed);
         let mut rng_m = StdRng::seed_from_u64(seed);
         let mut acc_p: Option<Ciphertext> = None;
@@ -101,11 +116,17 @@ proptest! {
         for &v in &values {
             let cp = p.encrypt(v, &mut rng_p).unwrap();
             let cm = m.encrypt(v, &mut rng_m).unwrap();
-            acc_p = Some(match acc_p { None => cp, Some(x) => p.add(&x, &cp).unwrap() });
-            acc_m = Some(match acc_m { None => cm, Some(x) => m.add(&x, &cm).unwrap() });
+            acc_p = Some(match acc_p {
+                None => cp,
+                Some(x) => p.add(&x, &cp).unwrap(),
+            });
+            acc_m = Some(match acc_m {
+                None => cm,
+                Some(x) => m.add(&x, &cm).unwrap(),
+            });
         }
         let dp = p.decrypt(&acc_p.unwrap()).unwrap();
         let dm = m.decrypt(&acc_m.unwrap()).unwrap();
-        prop_assert!((dp - dm).abs() < 1e-5, "{} vs {}", dp, dm);
+        assert!((dp - dm).abs() < 1e-5, "{dp} vs {dm}");
     }
 }

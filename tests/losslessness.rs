@@ -37,9 +37,9 @@ fn sequential_mock_is_lossless() {
         protocol: ProtocolConfig::baseline(),
         ..TrainConfig::for_tests()
     };
-    let fed = train_federated(&s.hosts, &s.guest, &cfg);
-    let central = Trainer::new(GbdtParams { num_trees: 3, max_layers: 5, ..Default::default() })
-        .fit(&data);
+    let fed = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+    let central =
+        Trainer::new(GbdtParams { num_trees: 3, max_layers: 5, ..Default::default() }).fit(&data);
     let diff = mean_abs_diff(
         &fed.model.predict_margin(&[&s.hosts[0]], &s.guest),
         &central.predict_margin(&data),
@@ -65,7 +65,7 @@ fn optimistic_mock_is_lossless() {
         },
         ..TrainConfig::for_tests()
     };
-    let fed = train_federated(&s.hosts, &s.guest, &cfg);
+    let fed = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
     assert!(fed.report.guest.events.dirty_nodes > 0, "the test must exercise rollback");
     // Optimistic must be *exactly* equivalent to the sequential protocol:
     // rollback changes scheduling, never decisions.
@@ -73,7 +73,8 @@ fn optimistic_mock_is_lossless() {
         &s.hosts,
         &s.guest,
         &TrainConfig { protocol: ProtocolConfig::baseline(), ..cfg },
-    );
+    )
+    .expect("training succeeds");
     let diff = mean_abs_diff(
         &fed.model.predict_margin(&[&s.hosts[0]], &s.guest),
         &seq.model.predict_margin(&[&s.hosts[0]], &s.guest),
@@ -82,8 +83,8 @@ fn optimistic_mock_is_lossless() {
     // Against centralized training, only tie-breaking between equal-gain
     // splits can differ (the parties enumerate features in a different
     // order than the co-located trainer).
-    let central = Trainer::new(GbdtParams { num_trees: 3, max_layers: 5, ..Default::default() })
-        .fit(&data);
+    let central =
+        Trainer::new(GbdtParams { num_trees: 3, max_layers: 5, ..Default::default() }).fit(&data);
     let cdiff = mean_abs_diff(
         &fed.model.predict_margin(&[&s.hosts[0]], &s.guest),
         &central.predict_margin(&data),
@@ -103,9 +104,9 @@ fn full_mock_vf2boost_is_lossless_within_summation_noise() {
         protocol: ProtocolConfig::vf2boost(),
         ..TrainConfig::for_tests()
     };
-    let fed = train_federated(&s.hosts, &s.guest, &cfg);
-    let central = Trainer::new(GbdtParams { num_trees: 3, max_layers: 5, ..Default::default() })
-        .fit(&data);
+    let fed = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+    let central =
+        Trainer::new(GbdtParams { num_trees: 3, max_layers: 5, ..Default::default() }).fit(&data);
     let diff = mean_abs_diff(
         &fed.model.predict_margin(&[&s.hosts[0]], &s.guest),
         &central.predict_margin(&data),
@@ -126,9 +127,9 @@ fn full_vf2boost_paillier_is_lossless_within_encoding_noise() {
         protocol: ProtocolConfig::vf2boost(),
         ..TrainConfig::for_tests()
     };
-    let fed = train_federated(&s.hosts, &s.guest, &cfg);
-    let central = Trainer::new(GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() })
-        .fit(&data);
+    let fed = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+    let central =
+        Trainer::new(GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() }).fit(&data);
     let diff = mean_abs_diff(
         &fed.model.predict_margin(&[&s.hosts[0]], &s.guest),
         &central.predict_margin(&data),
@@ -154,9 +155,9 @@ fn sparse_paillier_is_lossless_within_encoding_noise() {
         crypto: CryptoConfig::Paillier { key_bits: 512 },
         ..TrainConfig::for_tests()
     };
-    let fed = train_federated(&s.hosts, &s.guest, &cfg);
-    let central = Trainer::new(GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() })
-        .fit(&data);
+    let fed = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+    let central =
+        Trainer::new(GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() }).fit(&data);
     let diff = mean_abs_diff(
         &fed.model.predict_margin(&[&s.hosts[0]], &s.guest),
         &central.predict_margin(&data),

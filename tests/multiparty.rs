@@ -12,7 +12,11 @@ use vf2boost::gbdt::train::GbdtParams;
 
 /// Slices the first `k × per_party` features (Table 6's fixed per-party
 /// feature budget) and splits them evenly over `k` parties.
-fn take_parties(data: &Dataset, k: usize, per_party: usize) -> vf2boost::datagen::vertical::VerticalScenario {
+fn take_parties(
+    data: &Dataset,
+    k: usize,
+    per_party: usize,
+) -> vf2boost::datagen::vertical::VerticalScenario {
     let feats: Vec<usize> = (0..k * per_party).collect();
     split_even(&data.select_features(&feats, true), k)
 }
@@ -37,7 +41,7 @@ fn auc_improves_with_more_parties() {
     for parties in [2usize, 3, 4] {
         let s = take_parties(&train, parties, 12);
         let v = take_parties(&valid, parties, 12);
-        let out = train_federated(&s.hosts, &s.guest, &cfg);
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
         let host_refs: Vec<&Dataset> = v.hosts.iter().collect();
         let margins = out.model.predict_margin(&host_refs, &v.guest);
         let a = auc(v.guest.labels().unwrap(), &margins);
@@ -71,7 +75,7 @@ fn four_party_paillier_smoke() {
         crypto: CryptoConfig::Paillier { key_bits: 384 },
         ..TrainConfig::for_tests()
     };
-    let out = train_federated(&s.hosts, &s.guest, &cfg);
+    let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
     assert_eq!(out.report.hosts.len(), 3);
     for t in &out.model.trees {
         t.validate().expect("valid tree");

@@ -42,8 +42,8 @@ fn constrained_wan_does_not_change_the_model() {
         },
         ..fast
     };
-    let a = train_federated(&s.hosts, &s.guest, &fast);
-    let b = train_federated(&s.hosts, &s.guest, &slow);
+    let a = train_federated(&s.hosts, &s.guest, &fast).expect("training succeeds");
+    let b = train_federated(&s.hosts, &s.guest, &slow).expect("training succeeds");
     let am = a.model.predict_margin(&[&s.hosts[0]], &s.guest);
     let bm = b.model.predict_margin(&[&s.hosts[0]], &s.guest);
     for (x, y) in am.iter().zip(&bm) {
@@ -62,7 +62,7 @@ fn blaster_batches_split_messages_not_bytes() {
         protocol: ProtocolConfig::baseline(),
         ..TrainConfig::for_tests()
     };
-    let bulk = train_federated(&s.hosts, &s.guest, &base);
+    let bulk = train_federated(&s.hosts, &s.guest, &base).expect("training succeeds");
     let blaster = train_federated(
         &s.hosts,
         &s.guest,
@@ -70,7 +70,8 @@ fn blaster_batches_split_messages_not_bytes() {
             protocol: ProtocolConfig { blaster_batch: Some(32), ..ProtocolConfig::baseline() },
             ..base
         },
-    );
+    )
+    .expect("training succeeds");
     assert!(
         blaster.report.guest.messages_sent > bulk.report.guest.messages_sent + 4,
         "batching must produce more gradient messages"
@@ -100,8 +101,9 @@ fn packing_reduces_host_traffic() {
             protocol: ProtocolConfig { pack_histograms: false, ..base.protocol },
             ..base
         },
-    );
-    let packed = train_federated(&s.hosts, &s.guest, &base);
+    )
+    .expect("training succeeds");
+    let packed = train_federated(&s.hosts, &s.guest, &base).expect("training succeeds");
     let ratio = raw.report.hosts[0].bytes_sent as f64 / packed.report.hosts[0].bytes_sent as f64;
     assert!(ratio > 2.0, "packing ratio only {ratio:.2}x");
 }
@@ -117,8 +119,8 @@ fn runs_are_deterministic_given_seed() {
         protocol: ProtocolConfig::baseline(),
         ..TrainConfig::for_tests()
     };
-    let a = train_federated(&s.hosts, &s.guest, &cfg);
-    let b = train_federated(&s.hosts, &s.guest, &cfg);
+    let a = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+    let b = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
     let am = a.model.predict_margin(&[&s.hosts[0]], &s.guest);
     let bm = b.model.predict_margin(&[&s.hosts[0]], &s.guest);
     assert_eq!(am, bm, "sequential protocol must be fully deterministic");

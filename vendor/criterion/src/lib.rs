@@ -1,0 +1,164 @@
+//! Offline vendored shim for `criterion`.
+//!
+//! Runs each registered benchmark a small, fixed number of iterations and
+//! prints mean wall time — no statistics, no reports. Enough for the
+//! workspace's `harness = false` bench targets to build and produce
+//! directional numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Passed to benchmark closures; drives the measured iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over the configured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` with fresh un-timed setup per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        println!("{}/{}: {:>12.3} µs/iter ({} iters)", self.name, id, mean * 1e6, b.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        println!("{}: {:>12.3} µs/iter ({} iters)", id, mean * 1e6, b.iters);
+        self
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        let mut count = 0u64;
+        g.sample_size(5);
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_each_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(4);
+        let mut setups = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline vendored shim for the `libc` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `libc` to this minimal binding. Only the symbols the
+//! workspace actually uses are declared; they link against the system C
+//! library that is always present on the target platform.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long`.
+pub type c_long = i64;
+/// Seconds component of [`timespec`].
+pub type time_t = i64;
+
+/// `struct timespec` as defined by POSIX on 64-bit Linux.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `[0, 1e9)`.
+    pub tv_nsec: c_long,
+}
+
+/// Clock id type for [`clock_gettime`].
+pub type clockid_t = c_int;
+
+/// Per-thread CPU-time clock (Linux value).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    /// POSIX `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_is_readable() {
+        let mut ts = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!(ts.tv_nsec >= 0);
+    }
+}

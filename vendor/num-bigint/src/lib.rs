@@ -1,0 +1,905 @@
+//! Offline vendored shim for `num-bigint`.
+//!
+//! Arbitrary-precision unsigned ([`BigUint`]) and signed ([`BigInt`])
+//! integers over little-endian `u64` limbs, with the exact API surface the
+//! workspace's Paillier implementation uses: schoolbook multiplication,
+//! Knuth Algorithm D division, binary `modpow`, extended Euclid on
+//! [`BigInt`], and the [`RandBigInt`] sampling extension.
+
+use num_integer::{ExtendedGcd, Integer};
+use num_traits::{One, ToPrimitive, Zero};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` is little-endian with no trailing zero limbs; zero is
+/// the empty vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+fn trim(limbs: &mut Vec<u64>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+fn from_limbs(mut limbs: Vec<u64>) -> BigUint {
+    trim(&mut limbs);
+    BigUint { limbs }
+}
+
+// ---- magnitude arithmetic on limb slices -------------------------------
+
+fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: u128 = 0;
+    for (i, &l) in long.iter().enumerate() {
+        let s = l as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
+        out.push(s as u64);
+        carry = s >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+/// `a - b`; panics if `b > a`.
+fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    assert!(a.len() >= b.len(), "BigUint subtraction underflow");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: u64 = 0;
+    for (i, &ai) in a.iter().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, o1) = ai.overflowing_sub(bi);
+        let (d2, o2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (o1 | o2) as u64;
+    }
+    assert!(borrow == 0, "BigUint subtraction underflow");
+    out
+}
+
+fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u128 = 0;
+        for (k, &bk) in b.iter().enumerate() {
+            let t = out[i + k] as u128 + ai as u128 * bk as u128 + carry;
+            out[i + k] = t as u64;
+            carry = t >> 64;
+        }
+        let mut idx = i + b.len();
+        while carry != 0 {
+            let t = out[idx] as u128 + carry;
+            out[idx] = t as u64;
+            carry = t >> 64;
+            idx += 1;
+        }
+    }
+    out
+}
+
+fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+    a.len().cmp(&b.len()).then_with(|| a.iter().rev().cmp(b.iter().rev()))
+}
+
+/// Quotient and remainder; Knuth TAOCP vol. 2 Algorithm D for multi-limb
+/// divisors, a single carry chain for one-limb divisors.
+fn div_rem_mag(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    assert!(!v.limbs.is_empty(), "division by zero BigUint");
+    if cmp_mag(&u.limbs, &v.limbs) == Ordering::Less {
+        return (BigUint::default(), u.clone());
+    }
+    if v.limbs.len() == 1 {
+        let d = v.limbs[0] as u128;
+        let mut q = vec![0u64; u.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..u.limbs.len()).rev() {
+            let cur = (rem << 64) | u.limbs[i] as u128;
+            q[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        return (from_limbs(q), BigUint::from(rem as u64));
+    }
+
+    const BASE: u128 = 1u128 << 64;
+    let shift = v.limbs.last().unwrap().leading_zeros() as u64;
+    let vn = v.shl_bits(shift).limbs;
+    let mut un = u.shl_bits(shift).limbs;
+    un.push(0);
+    let n = vn.len();
+    let m = un.len() - 1 - n;
+    let vtop = vn[n - 1] as u128;
+    let vnext = vn[n - 2] as u128;
+    let mut q = vec![0u64; m + 1];
+
+    for j in (0..=m).rev() {
+        let u2 = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = u2 / vtop;
+        let mut rhat = u2 - qhat * vtop;
+        if qhat >= BASE {
+            qhat = BASE - 1;
+            rhat = u2 - qhat * vtop;
+        }
+        while rhat < BASE && qhat * vnext > ((rhat << 64) | un[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += vtop;
+        }
+
+        // Multiply-subtract qhat * vn from un[j .. j+n+1].
+        let mut carry: u128 = 0;
+        let mut borrow: u64 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let (d1, o1) = un[j + i].overflowing_sub(p as u64);
+            let (d2, o2) = d1.overflowing_sub(borrow);
+            un[j + i] = d2;
+            borrow = (o1 | o2) as u64;
+        }
+        let t = (un[j + n] as i128) - (carry as i128) - (borrow as i128);
+        un[j + n] = t as u64;
+        if t < 0 {
+            // qhat was one too large; add the divisor back.
+            qhat -= 1;
+            let mut c: u128 = 0;
+            for i in 0..n {
+                let s = un[j + i] as u128 + vn[i] as u128 + c;
+                un[j + i] = s as u64;
+                c = s >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(c as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    un.truncate(n);
+    (from_limbs(q), from_limbs(un).shr_bits(shift))
+}
+
+impl BigUint {
+    /// Parses a little-endian byte representation.
+    pub fn from_bytes_le(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(b));
+        }
+        from_limbs(limbs)
+    }
+
+    /// Little-endian byte representation (zero serializes as `[0]`,
+    /// matching upstream num-bigint).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        if self.limbs.is_empty() {
+            return vec![0];
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &l in &self.limbs {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        while out.len() > 1 && out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Bit length (zero has zero bits).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() as u64 * 64 - top.leading_zeros() as u64,
+        }
+    }
+
+    /// Reads one bit.
+    pub fn bit(&self, bit: u64) -> bool {
+        let limb = (bit / 64) as usize;
+        self.limbs.get(limb).is_some_and(|&l| (l >> (bit % 64)) & 1 == 1)
+    }
+
+    /// Sets or clears one bit, growing as needed.
+    pub fn set_bit(&mut self, bit: u64, value: bool) {
+        let limb = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= mask;
+        } else if let Some(l) = self.limbs.get_mut(limb) {
+            *l &= !mask;
+            trim(&mut self.limbs);
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        self.limbs
+            .iter()
+            .position(|&l| l != 0)
+            .map(|i| i as u64 * 64 + self.limbs[i].trailing_zeros() as u64)
+    }
+
+    /// `self^exp` (plain exponentiation).
+    pub fn pow(&self, exp: u32) -> BigUint {
+        let mut result = BigUint::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+
+    /// `self^exponent mod modulus` via square-and-multiply.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::default();
+        }
+        let base = self % modulus;
+        let mut result = BigUint::one();
+        for i in (0..exponent.bits()).rev() {
+            result = (&result * &result) % modulus;
+            if exponent.bit(i) {
+                result = (&result * &base) % modulus;
+            }
+        }
+        result
+    }
+
+    fn shl_bits(&self, n: u64) -> BigUint {
+        if self.limbs.is_empty() || n == 0 {
+            return self.clone();
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = (n % 64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        from_limbs(out)
+    }
+
+    fn shr_bits(&self, n: u64) -> BigUint {
+        let limb_shift = (n / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::default();
+        }
+        let bit_shift = (n % 64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        from_limbs(out)
+    }
+}
+
+impl Zero for BigUint {
+    fn zero() -> BigUint {
+        BigUint::default()
+    }
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+}
+
+impl One for BigUint {
+    fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+    fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+}
+
+impl ToPrimitive for BigUint {
+    fn to_f64(&self) -> Option<f64> {
+        let mut f = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            f = f * 1.8446744073709552e19 + l as f64;
+        }
+        Some(f)
+    }
+    fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+}
+
+impl Integer for BigUint {
+    fn gcd(&self, other: &BigUint) -> BigUint {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = std::mem::replace(&mut b, r);
+        }
+        a
+    }
+    fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|&l| l & 1 == 0)
+    }
+}
+
+macro_rules! impl_from_small {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> BigUint {
+                from_limbs(vec![v as u64])
+            }
+        }
+    )*};
+}
+
+impl_from_small!(u8, u16, u32, u64, usize);
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> BigUint {
+        from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &BigUint) -> Ordering {
+        cmp_mag(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &BigUint) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.limbs.is_empty() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (the largest power of ten in a limb).
+        let chunk = BigUint::from(10_000_000_000_000_000_000u64);
+        let mut rest = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !rest.is_zero() {
+            let (q, r) = div_rem_mag(&rest, &chunk);
+            parts.push(r.to_u64().unwrap_or(0));
+            rest = q;
+        }
+        write!(f, "{}", parts.last().unwrap())?;
+        for p in parts.iter().rev().skip(1) {
+            write!(f, "{p:019}")?;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_binop_uint {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl std::ops::$trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                #[allow(clippy::redundant_closure_call)]
+                ($f)(self, rhs)
+            }
+        }
+        impl std::ops::$trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+        impl std::ops::$trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+        impl std::ops::$trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop_uint!(Add, add, |a: &BigUint, b: &BigUint| from_limbs(add_mag(&a.limbs, &b.limbs)));
+impl_binop_uint!(Sub, sub, |a: &BigUint, b: &BigUint| {
+    assert!(a >= b, "BigUint subtraction underflow");
+    from_limbs(sub_mag(&a.limbs, &b.limbs))
+});
+impl_binop_uint!(Mul, mul, |a: &BigUint, b: &BigUint| from_limbs(mul_mag(&a.limbs, &b.limbs)));
+impl_binop_uint!(Div, div, |a: &BigUint, b: &BigUint| div_rem_mag(a, b).0);
+impl_binop_uint!(Rem, rem, |a: &BigUint, b: &BigUint| div_rem_mag(a, b).1);
+impl_binop_uint!(BitAnd, bitand, |a: &BigUint, b: &BigUint| {
+    let n = a.limbs.len().min(b.limbs.len());
+    from_limbs((0..n).map(|i| a.limbs[i] & b.limbs[i]).collect())
+});
+
+macro_rules! impl_shifts {
+    ($($t:ty),*) => {$(
+        impl std::ops::Shl<$t> for BigUint {
+            type Output = BigUint;
+            fn shl(self, rhs: $t) -> BigUint {
+                self.shl_bits(rhs as u64)
+            }
+        }
+        impl std::ops::Shl<$t> for &BigUint {
+            type Output = BigUint;
+            fn shl(self, rhs: $t) -> BigUint {
+                self.shl_bits(rhs as u64)
+            }
+        }
+        impl std::ops::Shr<$t> for BigUint {
+            type Output = BigUint;
+            fn shr(self, rhs: $t) -> BigUint {
+                self.shr_bits(rhs as u64)
+            }
+        }
+        impl std::ops::Shr<$t> for &BigUint {
+            type Output = BigUint;
+            fn shr(self, rhs: $t) -> BigUint {
+                self.shr_bits(rhs as u64)
+            }
+        }
+        impl std::ops::ShlAssign<$t> for BigUint {
+            fn shl_assign(&mut self, rhs: $t) {
+                *self = self.shl_bits(rhs as u64);
+            }
+        }
+        impl std::ops::ShrAssign<$t> for BigUint {
+            fn shr_assign(&mut self, rhs: $t) {
+                *self = self.shr_bits(rhs as u64);
+            }
+        }
+    )*};
+}
+
+impl_shifts!(u8, u16, u32, u64, usize, i32);
+
+impl std::ops::AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl std::ops::AddAssign<BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: BigUint) {
+        *self = &*self + &rhs;
+    }
+}
+
+// ---- signed integers ----------------------------------------------------
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Negative.
+    Minus,
+    /// Zero.
+    NoSign,
+    /// Positive.
+    Plus,
+}
+
+/// Arbitrary-precision signed integer (sign + magnitude).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Builds from an explicit sign and magnitude (zero magnitude
+    /// normalizes to `NoSign`).
+    pub fn from_biguint(sign: Sign, mag: BigUint) -> BigInt {
+        if mag.is_zero() {
+            BigInt { sign: Sign::NoSign, mag }
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Converts to a [`BigUint`] when non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => Some(self.mag.clone()),
+        }
+    }
+
+    fn neg(&self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+            Sign::NoSign => Sign::NoSign,
+        };
+        BigInt { sign, mag: self.mag.clone() }
+    }
+
+    /// Extended Euclidean algorithm: returns `(gcd, x, y)` with
+    /// `self·x + other·y = gcd` and `gcd ≥ 0`.
+    pub fn extended_gcd(&self, other: &BigInt) -> ExtendedGcd<BigInt> {
+        let (mut old_r, mut r) = (self.clone(), other.clone());
+        let (mut old_s, mut s) = (BigInt::one(), BigInt::zero());
+        let (mut old_t, mut t) = (BigInt::zero(), BigInt::one());
+        while !r.is_zero() {
+            let q = &old_r / &r;
+            let new_r = &old_r - &(&q * &r);
+            old_r = std::mem::replace(&mut r, new_r);
+            let new_s = &old_s - &(&q * &s);
+            old_s = std::mem::replace(&mut s, new_s);
+            let new_t = &old_t - &(&q * &t);
+            old_t = std::mem::replace(&mut t, new_t);
+        }
+        if old_r.sign == Sign::Minus {
+            old_r = old_r.neg();
+            old_s = old_s.neg();
+            old_t = old_t.neg();
+        }
+        ExtendedGcd { gcd: old_r, x: old_s, y: old_t }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> BigInt {
+        BigInt::from_biguint(Sign::Plus, mag)
+    }
+}
+
+impl Zero for BigInt {
+    fn zero() -> BigInt {
+        BigInt { sign: Sign::NoSign, mag: BigUint::default() }
+    }
+    fn is_zero(&self) -> bool {
+        self.sign == Sign::NoSign
+    }
+}
+
+impl One for BigInt {
+    fn one() -> BigInt {
+        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+    }
+    fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag.is_one()
+    }
+}
+
+fn int_add(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::NoSign, _) => b.clone(),
+        (_, Sign::NoSign) => a.clone(),
+        (sa, sb) if sa == sb => BigInt::from_biguint(sa, &a.mag + &b.mag),
+        (sa, _) => match a.mag.cmp(&b.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_biguint(sa, &a.mag - &b.mag),
+            Ordering::Less => BigInt::from_biguint(
+                if sa == Sign::Plus { Sign::Minus } else { Sign::Plus },
+                &b.mag - &a.mag,
+            ),
+        },
+    }
+}
+
+fn sign_mul(a: Sign, b: Sign) -> Sign {
+    match (a, b) {
+        (Sign::NoSign, _) | (_, Sign::NoSign) => Sign::NoSign,
+        (x, y) if x == y => Sign::Plus,
+        _ => Sign::Minus,
+    }
+}
+
+macro_rules! impl_binop_int {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl std::ops::$trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                #[allow(clippy::redundant_closure_call)]
+                ($f)(self, rhs)
+            }
+        }
+        impl std::ops::$trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+        impl std::ops::$trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl std::ops::$trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop_int!(Add, add, int_add);
+impl_binop_int!(Sub, sub, |a: &BigInt, b: &BigInt| int_add(a, &b.neg()));
+impl_binop_int!(Mul, mul, |a: &BigInt, b: &BigInt| BigInt::from_biguint(
+    sign_mul(a.sign, b.sign),
+    &a.mag * &b.mag
+));
+// Truncated division (quotient rounds toward zero, remainder takes the
+// dividend's sign) — matches upstream num-bigint.
+impl_binop_int!(Div, div, |a: &BigInt, b: &BigInt| BigInt::from_biguint(
+    sign_mul(a.sign, b.sign),
+    &a.mag / &b.mag
+));
+impl_binop_int!(Rem, rem, |a: &BigInt, b: &BigInt| BigInt::from_biguint(a.sign, &a.mag % &b.mag));
+
+impl std::ops::AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = int_add(self, rhs);
+    }
+}
+
+impl std::ops::AddAssign<BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = int_add(self, &rhs);
+    }
+}
+
+// ---- random sampling ----------------------------------------------------
+
+/// Extension trait drawing random big integers from any [`rand::RngCore`].
+pub trait RandBigInt {
+    /// Uniform in `[0, 2^bits)`.
+    fn gen_biguint(&mut self, bits: u64) -> BigUint;
+    /// Uniform in `[low, high)`.
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint;
+}
+
+impl<R: rand::RngCore + ?Sized> RandBigInt for R {
+    fn gen_biguint(&mut self, bits: u64) -> BigUint {
+        if bits == 0 {
+            return BigUint::default();
+        }
+        let n_limbs = bits.div_ceil(64) as usize;
+        let mut limbs: Vec<u64> = (0..n_limbs).map(|_| self.next_u64()).collect();
+        let extra = (n_limbs as u64 * 64 - bits) as u32;
+        if extra > 0 {
+            let last = limbs.last_mut().unwrap();
+            *last >>= extra;
+        }
+        from_limbs(limbs)
+    }
+
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint {
+        assert!(low < high, "empty range in gen_biguint_range");
+        let span = high - low;
+        let bits = span.bits();
+        // Rejection sampling: each draw succeeds with probability > 1/2.
+        loop {
+            let candidate = self.gen_biguint(bits);
+            if candidate < span {
+                return low + candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn add_sub_mul_match_u128() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let a = rng.next_u64() as u128;
+            let b = rng.next_u64() as u128;
+            assert_eq!(big(a) + big(b), big(a + b));
+            assert_eq!(big(a) * big(b), big(a * b));
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            assert_eq!(big(hi) - big(lo), big(hi - lo));
+        }
+    }
+
+    #[test]
+    fn div_rem_match_u128() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let a = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+            let b = 1 + rng.next_u64() as u128;
+            assert_eq!(&big(a) / &big(b), big(a / b), "{a} / {b}");
+            assert_eq!(&big(a) % &big(b), big(a % b), "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn multi_limb_division_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = rng.gen_biguint(512);
+            let b = rng.gen_biguint(192) + BigUint::one();
+            let q = &a / &b;
+            let r = &a % &b;
+            assert!(r < b);
+            assert_eq!(q * &b + r, a);
+        }
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        // Cases that stress the qhat estimate (top limbs nearly equal).
+        let a = (BigUint::one() << 192u32) - BigUint::one();
+        let b = (BigUint::one() << 128u32) - BigUint::one();
+        let q = &a / &b;
+        let r = &a % &b;
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+        assert_eq!(&b / &b, BigUint::one());
+        assert_eq!(&b % &b, BigUint::default());
+    }
+
+    #[test]
+    fn modpow_matches_naive() {
+        let m = big(1_000_000_007);
+        let mut naive = BigUint::one();
+        let base = big(123_456_789);
+        for e in 1u64..40 {
+            naive = naive * &base % &m;
+            assert_eq!(base.modpow(&BigUint::from(e), &m), naive, "exp {e}");
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem_holds() {
+        // 2^(p-1) ≡ 1 mod p for prime p, exercised over multi-limb width.
+        let p = big(18_446_744_073_709_551_557); // largest 64-bit prime
+        let a = big(2);
+        assert_eq!(a.modpow(&(&p - BigUint::one()), &p), BigUint::one());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [0u64, 1, 8, 63, 64, 65, 200, 512] {
+            let v = rng.gen_biguint(bits.max(1));
+            assert_eq!(BigUint::from_bytes_le(&v.to_bytes_le()), v);
+        }
+        assert_eq!(BigUint::default().to_bytes_le(), vec![0]);
+    }
+
+    #[test]
+    fn bit_twiddling() {
+        let mut v = BigUint::default();
+        v.set_bit(127, true);
+        assert_eq!(v.bits(), 128);
+        assert_eq!(v.trailing_zeros(), Some(127));
+        assert_eq!(v, BigUint::one() << 127u32);
+        v.set_bit(127, false);
+        assert!(v.is_zero());
+        assert_eq!(v.trailing_zeros(), None);
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let v = big(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+        for s in [0u32, 1, 17, 64, 100] {
+            assert_eq!(&v >> s, big(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210 >> s));
+        }
+        assert_eq!(big(1) << 127u32, big(1u128 << 127));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::default().to_string(), "0");
+        assert_eq!(big(12345).to_string(), "12345");
+        let huge = big(10).pow(25) + big(42);
+        assert_eq!(huge.to_string(), "10000000000000000000000042");
+    }
+
+    #[test]
+    fn gcd_and_parity() {
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+        assert_eq!(big(17).gcd(&big(5)), big(1));
+        assert!(big(4).is_even());
+        assert!(!big(7).is_even());
+        assert!(BigUint::default().is_even());
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let a = BigInt::from(big(240));
+        let b = BigInt::from(big(46));
+        let e = a.extended_gcd(&b);
+        assert_eq!(e.gcd, BigInt::from(big(2)));
+        assert_eq!(&a * &e.x + &b * &e.y, e.gcd);
+    }
+
+    #[test]
+    fn extended_gcd_gives_modular_inverse() {
+        let a = BigInt::from(big(3));
+        let m = BigInt::from(big(1_000_000_007));
+        let e = a.extended_gcd(&m);
+        assert!(e.gcd.is_one());
+        let mut x = e.x % &m;
+        if x.sign() == Sign::Minus {
+            x += &m;
+        }
+        let inv = x.to_biguint().unwrap();
+        assert_eq!(big(3) * inv % big(1_000_000_007), BigUint::one());
+    }
+
+    #[test]
+    fn range_sampling_is_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lo = big(1000);
+        let hi = big(1010);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = rng.gen_biguint_range(&lo, &hi);
+            assert!(v >= lo && v < hi);
+            seen.insert(v.to_u64().unwrap());
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        let v = big(1u128 << 100);
+        let f = v.to_f64().unwrap();
+        assert!((f - (2f64).powi(100)).abs() / f < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline vendored shim for `num-integer`: the [`Integer`] trait methods
+//! this workspace calls on big integers, plus the [`ExtendedGcd`] result
+//! type used by modular inversion.
+
+/// Result of an extended Euclidean algorithm run:
+/// `a·x + b·y = gcd(a, b)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedGcd<T> {
+    /// The (non-negative) greatest common divisor.
+    pub gcd: T,
+    /// Bézout coefficient of the first operand.
+    pub x: T,
+    /// Bézout coefficient of the second operand.
+    pub y: T,
+}
+
+/// Integer-specific operations.
+pub trait Integer: Sized {
+    /// Greatest common divisor.
+    fn gcd(&self, other: &Self) -> Self;
+    /// True when divisible by two.
+    fn is_even(&self) -> bool;
+    /// True when not divisible by two.
+    fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+}

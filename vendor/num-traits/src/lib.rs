@@ -1,0 +1,49 @@
+//! Offline vendored shim for `num-traits`: just the traits this workspace
+//! uses (`Zero`, `One`, `ToPrimitive`), implemented for big integers by the
+//! companion `num-bigint` shim.
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// The value `0`.
+    fn zero() -> Self;
+    /// True when `self == 0`.
+    fn is_zero(&self) -> bool;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// The value `1`.
+    fn one() -> Self;
+    /// True when `self == 1`.
+    fn is_one(&self) -> bool;
+}
+
+/// Lossy conversion toward primitive types.
+pub trait ToPrimitive {
+    /// Approximates the value as an `f64` (never fails for non-negative
+    /// integers; may lose precision or round to infinity).
+    fn to_f64(&self) -> Option<f64>;
+    /// Converts to `u64` when the value fits.
+    fn to_u64(&self) -> Option<u64>;
+}
+
+macro_rules! impl_prim {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> $t { 0 as $t }
+            fn is_zero(&self) -> bool { *self == 0 as $t }
+        }
+        impl One for $t {
+            fn one() -> $t { 1 as $t }
+            fn is_one(&self) -> bool { *self == 1 as $t }
+        }
+        impl ToPrimitive for $t {
+            fn to_f64(&self) -> Option<f64> { Some(*self as f64) }
+            fn to_u64(&self) -> Option<u64> {
+                if (*self as i128) < 0 { None } else { Some(*self as u64) }
+            }
+        }
+    )*};
+}
+
+impl_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

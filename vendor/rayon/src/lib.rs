@@ -1,0 +1,183 @@
+//! Offline vendored shim for `rayon`.
+//!
+//! Executes everything **sequentially on the calling thread** behind
+//! rayon's API shapes. That is semantically sound here: the workspace's
+//! parallelism across *parties* comes from real OS threads, and every
+//! rayon call site is a data-parallel map whose result is order-preserved
+//! (so sequential execution is bit-identical, just single-core).
+
+use std::fmt;
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`]. All configuration is accepted and
+/// recorded, but execution stays on the calling thread.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Requested worker count (recorded only).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Worker thread naming (ignored — no workers are spawned).
+    pub fn thread_name<F>(self, _f: F) -> ThreadPoolBuilder
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.max(1) })
+    }
+}
+
+/// A "pool" that runs closures inline on the caller.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` (inline) and returns its result.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A fork-join scope; spawned tasks run immediately in spawn order.
+pub struct Scope<'scope> {
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` immediately (sequential shim of a scoped task).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Creates a scope for structured task spawning.
+pub fn scope<'scope, F, R>(op: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    op(&Scope { _marker: std::marker::PhantomData })
+}
+
+pub mod prelude {
+    //! The parallel-iterator entry points, shimmed to std iterators.
+
+    /// `.par_iter()` on slices (and, via deref, `Vec`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Iterates by shared reference.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_chunks(n)` on slices.
+    pub trait ParallelSlice<T> {
+        /// Iterates over contiguous chunks.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Converts into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v = [3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn par_chunks_covers_slice() {
+        let v: Vec<usize> = (0..10).collect();
+        let sums: Vec<usize> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn ranges_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let mut out = vec![0u32; 4];
+        super::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        });
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_install_returns_value() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}
