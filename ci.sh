@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo bench --no-run =="
+cargo bench --workspace --no-run
+
 echo "CI OK"

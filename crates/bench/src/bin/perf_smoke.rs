@@ -1,0 +1,197 @@
+//! Release-mode perf smoke for the ciphertext histogram-subtraction path
+//! (PR 2), writing `BENCH_PR2.json` at the repo root so future PRs can
+//! track the trajectory.
+//!
+//! Two measurements, both from the *same* process and key:
+//!
+//! 1. **Per-node micro**: the time to produce a depth-2 node's encrypted
+//!    histograms, direct per-row build vs. `parent ⊖ sibling` derivation,
+//!    on a seeded dataset sized for the regime the optimization targets
+//!    (rows ≫ bins × E).
+//! 2. **End-to-end**: federated training wall time and host histogram
+//!    phase time with subtraction on vs. off, plus the new telemetry
+//!    (subtraction count, cache hit rate, homomorphic adds saved).
+//!
+//! Run with `cargo run --release -p vf2-bench --bin perf_smoke`.
+
+use std::time::Instant;
+
+use vf2_bench::{base_config, key_bits};
+use vf2_crypto::encoding::EncodingConfig;
+use vf2_crypto::suite::Suite;
+use vf2_datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2_datagen::vertical::split_vertical;
+use vf2_gbdt::binning::{BinnedDataset, BinningConfig};
+use vf2_gbdt::train::GbdtParams;
+use vf2boost_core::hist_enc::EncHistBuilder;
+use vf2boost_core::protocol::ProtocolConfig;
+use vf2boost_core::rows::RowMajorBins;
+use vf2boost_core::train::train_federated;
+use vf2boost_core::TrainConfig;
+
+const MICRO_ROWS: usize = 2048;
+const MICRO_BINS: usize = 16;
+const MICRO_FEATURES: usize = 5;
+const E2E_ROWS: usize = 1200;
+
+fn main() {
+    let micro = micro_bench();
+    let e2e = end_to_end();
+    let json = format!(
+        "{{\n  \"bench\": \"PR2 encrypted histogram subtraction\",\n  \"key_bits\": {},\n{}{}}}\n",
+        key_bits(),
+        micro,
+        e2e
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    std::fs::write(path, &json).expect("write BENCH_PR2.json");
+    println!("\nwrote {path}");
+}
+
+/// Times one depth-2 node's histogram production both ways.
+///
+/// The "parent" holds half the dataset (a depth-1 node), split 1:3 into a
+/// small and a large child; the large child is what the host would derive.
+fn micro_bench() -> String {
+    let enc = EncodingConfig { base: 16, base_exp: 8, jitter: 4 };
+    let suite = Suite::paillier_seeded(key_bits(), 42, enc).expect("keygen");
+    let data = generate_classification(&SyntheticConfig {
+        rows: MICRO_ROWS,
+        features: MICRO_FEATURES,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed: 7,
+    });
+    let binned =
+        BinnedDataset::bin(&data, &BinningConfig { num_bins: MICRO_BINS, max_samples: 1 << 16 });
+    let csr = RowMajorBins::from_binned(&binned);
+    let g_vals: Vec<f64> = (0..MICRO_ROWS).map(|i| (i as f64 * 0.37).sin() * 0.5).collect();
+    let h_vals: Vec<f64> = (0..MICRO_ROWS).map(|i| 0.25 - (i as f64 * 0.11).cos() * 0.05).collect();
+    let enc_g = suite.encrypt_batch(&g_vals, 1).expect("encrypt g");
+    let enc_h = suite.encrypt_batch(&h_vals, 2).expect("encrypt h");
+
+    // A depth-1 parent: the first half of the rows, split 1:3.
+    let parent_rows: Vec<usize> = (0..MICRO_ROWS / 2).collect();
+    let split_at = parent_rows.len() / 4;
+    let (small_rows, large_rows) = parent_rows.split_at(split_at);
+
+    let build = |rows: &[usize]| -> (EncHistBuilder, EncHistBuilder) {
+        let mut g = EncHistBuilder::new(&csr.col_meta, &enc, true);
+        let mut h = EncHistBuilder::new(&csr.col_meta, &enc, true);
+        for &row in rows {
+            for &(f, bin) in csr.row(row) {
+                g.add(&suite, f as usize, bin as usize, &enc_g[row]).expect("add g");
+                h.add(&suite, f as usize, bin as usize, &enc_h[row]).expect("add h");
+            }
+        }
+        (g, h)
+    };
+
+    let (parent_g, parent_h) = build(&parent_rows);
+    let (small_g, small_h) = build(small_rows);
+
+    let t0 = Instant::now();
+    let (direct_g, _direct_h) = build(large_rows);
+    let direct = t0.elapsed();
+
+    let t0 = Instant::now();
+    let derived_g = parent_g.subtract(&suite, &small_g).expect("derive g");
+    let _derived_h = parent_h.subtract(&suite, &small_h).expect("derive h");
+    let derive = t0.elapsed();
+
+    // Sanity: the derived histogram decrypts to the direct one.
+    let db = derived_g.finalize_feature(&suite, 0, None).expect("finalize");
+    let xb = direct_g.finalize_feature(&suite, 0, None).expect("finalize");
+    for (d, x) in db.iter().zip(&xb) {
+        let dv = suite.decrypt(d).expect("decrypt");
+        let xv = suite.decrypt(x).expect("decrypt");
+        assert_eq!(dv.to_bits(), xv.to_bits(), "derived {dv} != direct {xv}");
+    }
+
+    let speedup = direct.as_secs_f64() / derive.as_secs_f64().max(1e-9);
+    println!(
+        "micro (depth-2 node, {} rows large child, {MICRO_BINS} bins x {MICRO_FEATURES} feats):",
+        large_rows.len()
+    );
+    println!("  direct build : {:>9.3} ms", direct.as_secs_f64() * 1e3);
+    println!("  subtraction  : {:>9.3} ms  ({speedup:.2}x)", derive.as_secs_f64() * 1e3);
+    format!(
+        "  \"depth2_node_micro\": {{\n    \"rows_parent\": {},\n    \"rows_large_child\": {},\n    \"num_bins\": {MICRO_BINS},\n    \"features\": {MICRO_FEATURES},\n    \"direct_build_ms\": {:.3},\n    \"subtraction_derive_ms\": {:.3},\n    \"speedup\": {:.2}\n  }},\n",
+        parent_rows.len(),
+        large_rows.len(),
+        direct.as_secs_f64() * 1e3,
+        derive.as_secs_f64() * 1e3,
+        speedup
+    )
+}
+
+/// End-to-end federated training, subtraction on vs. off.
+fn end_to_end() -> String {
+    let s = split_vertical(
+        &generate_classification(&SyntheticConfig {
+            rows: E2E_ROWS,
+            features: 10,
+            density: 1.0,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed: 8,
+        }),
+        &[5],
+    );
+    let cfg = TrainConfig {
+        gbdt: GbdtParams {
+            num_trees: 2,
+            max_layers: 5,
+            binning: BinningConfig { num_bins: MICRO_BINS, max_samples: 1 << 16 },
+            ..Default::default()
+        },
+        protocol: ProtocolConfig::vf2boost(),
+        ..base_config()
+    };
+    let run = |sub: bool| {
+        let cfg = TrainConfig {
+            protocol: ProtocolConfig { hist_subtraction: sub, ..cfg.protocol },
+            ..cfg
+        };
+        let t0 = Instant::now();
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+        (t0.elapsed(), out)
+    };
+    let (wall_on, on) = run(true);
+    let (wall_off, off) = run(false);
+    let host_on = &on.report.hosts[0];
+    let host_off = &off.report.hosts[0];
+    let build_on = host_on.phases.build_hist_enc;
+    let build_off = host_off.phases.build_hist_enc;
+    println!("end-to-end ({E2E_ROWS} rows, 2 trees, 5 layers, key_bits={}):", key_bits());
+    println!(
+        "  wall        on {:>8.3} s   off {:>8.3} s",
+        wall_on.as_secs_f64(),
+        wall_off.as_secs_f64()
+    );
+    println!(
+        "  host build  on {:>8.3} s   off {:>8.3} s  ({:.2}x)",
+        build_on.as_secs_f64(),
+        build_off.as_secs_f64(),
+        build_off.as_secs_f64() / build_on.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  subtractions {}  cache hit rate {:.2}  hadds saved {}",
+        host_on.events.hist_subtractions,
+        host_on.events.hist_cache_hit_rate(),
+        host_on.events.hadds_saved
+    );
+    format!(
+        "  \"end_to_end\": {{\n    \"rows\": {E2E_ROWS},\n    \"trees\": 2,\n    \"max_layers\": 5,\n    \"num_bins\": {MICRO_BINS},\n    \"wall_on_s\": {:.3},\n    \"wall_off_s\": {:.3},\n    \"host_build_hist_on_s\": {:.3},\n    \"host_build_hist_off_s\": {:.3},\n    \"host_hadds_on\": {},\n    \"host_hadds_off\": {},\n    \"hist_subtractions\": {},\n    \"cache_hit_rate\": {:.3},\n    \"hadds_saved\": {}\n  }}\n",
+        wall_on.as_secs_f64(),
+        wall_off.as_secs_f64(),
+        build_on.as_secs_f64(),
+        build_off.as_secs_f64(),
+        host_on.ops.hadd,
+        host_off.ops.hadd,
+        host_on.events.hist_subtractions,
+        host_on.events.hist_cache_hit_rate(),
+        host_on.events.hadds_saved
+    )
+}

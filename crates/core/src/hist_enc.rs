@@ -159,6 +159,101 @@ impl EncHistBuilder {
             .collect()
     }
 
+    /// Derives `self ⊖ other` bin-wise: the histogram-subtraction trick in
+    /// the ciphertext domain (`self` = parent, `other` = the directly built
+    /// sibling, result = the larger child).
+    ///
+    /// Costs one negation plus one HAdd per bin *occupied in `other`*,
+    /// instead of one HAdd per (row, feature) entry of the larger child —
+    /// and all the negations of one derivation share a single modular
+    /// inverse ([`Suite::neg_batch`], Montgomery's trick), without which
+    /// the per-bin inverse would dwarf the saved HAdds. In re-ordered
+    /// builders the subtraction runs per exponent workspace: matching
+    /// slots share an exponent by construction, so no scaling is ever
+    /// triggered and the result is again a well-formed re-ordered builder
+    /// (finalize/pack apply downstream unchanged — the packing shift
+    /// depends on row count, so packing must happen *after* derivation).
+    pub fn subtract(&self, suite: &Suite, other: &EncHistBuilder) -> Result<EncHistBuilder> {
+        debug_assert_eq!(self.reordered, other.reordered, "builder strategies must match");
+        debug_assert_eq!(self.features.len(), other.features.len());
+        // Pass 1: gather every cipher occupied in `other`, in walk order,
+        // and negate them as one batch.
+        let mut to_negate: Vec<&Ciphertext> = Vec::new();
+        for theirs in &other.features {
+            for b in theirs {
+                match b {
+                    BinAcc::Naive(y) => to_negate.extend(y.iter()),
+                    BinAcc::Reordered(ys) => to_negate.extend(ys.iter().flatten()),
+                }
+            }
+        }
+        let mut negated = suite.neg_batch(&to_negate)?.into_iter();
+        // Pass 2: re-walk in the same order, folding each negation into
+        // the matching parent bin.
+        let mut next = |p: Option<&Ciphertext>| -> Result<Ciphertext> {
+            let n = negated.next().expect("pass 2 walks the same occupied slots as pass 1");
+            match p {
+                Some(p) => suite.add(p, &n),
+                None => Ok(n),
+            }
+        };
+        let features = self
+            .features
+            .iter()
+            .zip(&other.features)
+            .map(|(mine, theirs)| {
+                debug_assert_eq!(mine.len(), theirs.len());
+                mine.iter()
+                    .zip(theirs)
+                    .map(|(a, b)| {
+                        Ok(match (a, b) {
+                            (BinAcc::Naive(x), BinAcc::Naive(y)) => BinAcc::Naive(match (x, y) {
+                                (p, Some(_)) => Some(next(p.as_ref())?),
+                                (Some(p), None) => Some(p.clone()),
+                                (None, None) => None,
+                            }),
+                            (BinAcc::Reordered(xs), BinAcc::Reordered(ys)) => {
+                                debug_assert_eq!(xs.len(), ys.len());
+                                let slots = xs
+                                    .iter()
+                                    .zip(ys)
+                                    .map(|(x, y)| {
+                                        Ok(match (x, y) {
+                                            (p, Some(_)) => Some(next(p.as_ref())?),
+                                            (Some(p), None) => Some(p.clone()),
+                                            (None, None) => None,
+                                        })
+                                    })
+                                    .collect::<Result<Vec<_>>>()?;
+                                BinAcc::Reordered(slots)
+                            }
+                            _ => unreachable!("builder strategies must match"),
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(EncHistBuilder {
+            features,
+            reordered: self.reordered,
+            base_exp: self.base_exp,
+            jitter: self.jitter,
+        })
+    }
+
+    /// Number of occupied cipher slots across every feature and bin — the
+    /// basis of the node-histogram cache's memory estimate.
+    pub fn cipher_count(&self) -> usize {
+        self.features
+            .iter()
+            .flatten()
+            .map(|acc| match acc {
+                BinAcc::Naive(a) => usize::from(a.is_some()),
+                BinAcc::Reordered(slots) => slots.iter().flatten().count(),
+            })
+            .sum()
+    }
+
     /// Number of features.
     pub fn num_features(&self) -> usize {
         self.features.len()
@@ -421,6 +516,122 @@ mod tests {
         assert!((pairs[0].g + 0.5).abs() < 1e-9);
         assert!((pairs[1].g - 0.5).abs() < 1e-9);
         assert!((pairs[2].g - 0.1).abs() < 1e-9);
+    }
+
+    /// Shared harness: accumulate all rows into a parent and a small-child
+    /// builder, derive the large child as `parent ⊖ small`, and build the
+    /// large child directly for comparison.
+    fn subtraction_fixture(
+        s: &Suite,
+        enc: &EncodingConfig,
+        reordered: bool,
+    ) -> (EncHistBuilder, EncHistBuilder) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = meta(3);
+        let mut parent = EncHistBuilder::new(&m, enc, reordered);
+        let mut small = EncHistBuilder::new(&m, enc, reordered);
+        let mut direct = EncHistBuilder::new(&m, enc, reordered);
+        for i in 0..36 {
+            let bin = i % 3;
+            let v = (i as f64) * 0.01 - 0.17;
+            let c = s.encrypt(v, &mut rng).unwrap();
+            parent.add(s, 0, bin, &c).unwrap();
+            // Rows 0..12 go to the small child, the rest to the large one.
+            if i < 12 {
+                small.add(s, 0, bin, &c).unwrap();
+            } else {
+                direct.add(s, 0, bin, &c).unwrap();
+            }
+        }
+        let derived = parent.subtract(s, &small).unwrap();
+        (derived, direct)
+    }
+
+    #[test]
+    fn subtraction_derived_matches_direct_naive_raw() {
+        let s = suite();
+        let enc = encoding();
+        let (derived, direct) = subtraction_fixture(&s, &enc, false);
+        let db = derived.finalize_feature(&s, 0, None).unwrap();
+        let xb = direct.finalize_feature(&s, 0, None).unwrap();
+        for (d, x) in db.iter().zip(&xb) {
+            let dv = s.decrypt(d).unwrap();
+            let xv = s.decrypt(x).unwrap();
+            assert_eq!(dv.to_bits(), xv.to_bits(), "{dv} vs {xv}");
+        }
+    }
+
+    #[test]
+    fn subtraction_derived_matches_direct_reordered_and_never_scales() {
+        let s = suite();
+        let enc = encoding();
+        let before = s.counters().snapshot();
+        let (derived, direct) = subtraction_fixture(&s, &enc, true);
+        let spent = s.counters().snapshot().since(&before);
+        assert!(spent.negs > 0, "subtraction must negate occupied bins");
+        assert_eq!(spent.scalings, 0, "re-ordered slots share exponents: no scaling");
+        let target = max_exponent(&enc);
+        let db = derived.finalize_feature(&s, 0, Some(target)).unwrap();
+        let xb = direct.finalize_feature(&s, 0, Some(target)).unwrap();
+        for (d, x) in db.iter().zip(&xb) {
+            let dv = s.decrypt(d).unwrap();
+            let xv = s.decrypt(x).unwrap();
+            assert_eq!(dv.to_bits(), xv.to_bits(), "{dv} vs {xv}");
+        }
+    }
+
+    #[test]
+    fn subtraction_derived_matches_direct_through_packed_wire() {
+        let s = suite();
+        let enc = encoding();
+        let (derived, direct) = subtraction_fixture(&s, &enc, true);
+        let target = max_exponent(&enc);
+        // 24 rows landed in the large child; pack with that count.
+        let count = 24;
+        let db = derived.finalize_feature(&s, 0, Some(target)).unwrap();
+        let xb = direct.finalize_feature(&s, 0, Some(target)).unwrap();
+        let dp = pack_feature_hist(&s, &db, &db, count, 1.0, 64, &enc).unwrap();
+        let xp = pack_feature_hist(&s, &xb, &xb, count, 1.0, 64, &enc).unwrap();
+        let dv = unpack_feature_hist(&s, &dp, count, 1.0).unwrap();
+        let xv = unpack_feature_hist(&s, &xp, count, 1.0).unwrap();
+        for (d, x) in dv.iter().zip(&xv) {
+            assert_eq!(d.g.to_bits(), x.g.to_bits(), "{} vs {}", d.g, x.g);
+            assert_eq!(d.h.to_bits(), x.h.to_bits(), "{} vs {}", d.h, x.h);
+        }
+    }
+
+    #[test]
+    fn subtraction_against_empty_negates_and_counts() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut parent = EncHistBuilder::new(&meta(1), &enc, true);
+        let mut other = EncHistBuilder::new(&meta(1), &enc, true);
+        parent.add(&s, 0, 0, &s.encrypt_at(2.5, enc.base_exp, &mut rng).unwrap()).unwrap();
+        other.add(&s, 0, 0, &s.encrypt_at(4.0, enc.base_exp, &mut rng).unwrap()).unwrap();
+        // Parent empty in this bin, other occupied ⇒ result is ⊖other.
+        let empty = EncHistBuilder::new(&meta(1), &enc, true);
+        let neg = empty.subtract(&s, &other).unwrap();
+        let bins = neg.finalize_feature(&s, 0, None).unwrap();
+        assert!((s.decrypt(&bins[0]).unwrap() + 4.0).abs() < 1e-9);
+        // Other empty ⇒ parent passes through untouched (cipher_count 1).
+        let through = parent.subtract(&s, &empty).unwrap();
+        assert_eq!(through.cipher_count(), 1);
+        let bins = through.finalize_feature(&s, 0, None).unwrap();
+        assert!((s.decrypt(&bins[0]).unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cipher_count_counts_occupied_slots() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = EncHistBuilder::new(&meta(4), &enc, true);
+        assert_eq!(b.cipher_count(), 0);
+        b.add(&s, 0, 0, &s.encrypt_at(1.0, enc.base_exp, &mut rng).unwrap()).unwrap();
+        b.add(&s, 0, 0, &s.encrypt_at(1.0, enc.base_exp, &mut rng).unwrap()).unwrap();
+        b.add(&s, 0, 2, &s.encrypt_at(1.0, enc.base_exp + 1, &mut rng).unwrap()).unwrap();
+        assert_eq!(b.cipher_count(), 2);
     }
 
     #[test]

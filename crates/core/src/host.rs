@@ -17,7 +17,7 @@ use vf2_channel::{Endpoint, RecvError};
 use vf2_crypto::suite::{Ciphertext, Suite};
 use vf2_gbdt::binning::{BinnedColumn, BinnedDataset};
 use vf2_gbdt::data::Dataset;
-use vf2_gbdt::tree::{right_child, NodeSplit};
+use vf2_gbdt::tree::{left_child, right_child, NodeSplit};
 
 use crate::config::TrainConfig;
 use crate::error::{HostFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
@@ -70,6 +70,120 @@ struct TreeState {
     root_builders: Vec<(EncHistBuilder, EncHistBuilder)>,
     root_sent: bool,
     rows: NodeRows,
+    /// Per-node encrypted histogram cache powering ciphertext subtraction.
+    cache: NodeHistCache,
+}
+
+/// One cached node's encrypted histogram builders.
+struct CacheEntry {
+    /// The row-list revision the builders were accumulated at; a bumped
+    /// revision (re-split, rollback) makes the entry stale.
+    rev: u32,
+    /// Tree level of the node (root = 0); drives level-scoped eviction.
+    level: u32,
+    /// Estimated resident bytes (occupied cipher slots × wire size).
+    bytes: u64,
+    g: EncHistBuilder,
+    h: EncHistBuilder,
+}
+
+/// The tree level of a heap-indexed node (root = 0).
+fn node_level(node: u32) -> u32 {
+    (node + 1).ilog2()
+}
+
+/// A bounded cache of per-node encrypted histogram builders.
+///
+/// Keyed by heap node id and validated against the node's row-list
+/// revision. Eviction is **level-scoped**: by the time the host executes a
+/// task at level `L`, entries at levels `< L−1` can never serve another
+/// subtraction (every level-`L` node's parent sits at `L−1`), so an insert
+/// at level `L` first drops everything shallower than `L−1`. If the byte
+/// cap still overflows, the *deepest* entries go first — never one
+/// strictly shallower than the incoming entry (shallow parents are the
+/// ones future derivations need) — and if only shallower entries remain,
+/// the incoming entry is simply not cached. All eviction orders are
+/// deterministic functions of the key set: host behavior must stay a pure
+/// function of the received message sequence (the chaos suite asserts
+/// bit-identical models under WAN faults).
+struct NodeHistCache {
+    entries: HashMap<u32, CacheEntry>,
+    total_bytes: u64,
+    cap_bytes: u64,
+}
+
+impl NodeHistCache {
+    fn new(cap_bytes: u64) -> NodeHistCache {
+        NodeHistCache { entries: HashMap::new(), total_bytes: 0, cap_bytes }
+    }
+
+    /// Drops a node's entry (stale after a re-split of its parent).
+    fn invalidate(&mut self, node: u32) {
+        if let Some(e) = self.entries.remove(&node) {
+            self.total_bytes -= e.bytes;
+        }
+    }
+
+    /// Whether a fresh entry for `node` exists at row revision `rev`.
+    fn is_valid(&self, node: u32, rev: u32) -> bool {
+        self.entries.get(&node).is_some_and(|e| e.rev == rev)
+    }
+
+    /// Removes and returns the builders of a fresh entry; a stale entry is
+    /// dropped on the way (it can never become valid again).
+    fn take_valid(&mut self, node: u32, rev: u32) -> Option<(EncHistBuilder, EncHistBuilder)> {
+        match self.entries.get(&node) {
+            Some(e) if e.rev == rev => {
+                let e = self.entries.remove(&node).expect("just observed");
+                self.total_bytes -= e.bytes;
+                Some((e.g, e.h))
+            }
+            Some(_) => {
+                self.invalidate(node);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Borrows the builders of `node`'s entry, fresh or not (callers gate
+    /// on [`NodeHistCache::is_valid`] first).
+    fn peek(&self, node: u32) -> Option<(&EncHistBuilder, &EncHistBuilder)> {
+        self.entries.get(&node).map(|e| (&e.g, &e.h))
+    }
+
+    /// Inserts an entry, applying level-scoped then cap-driven eviction.
+    fn insert(&mut self, node: u32, rev: u32, bytes: u64, g: EncHistBuilder, h: EncHistBuilder) {
+        let level = node_level(node);
+        self.invalidate(node);
+        // Level scope: entries more than one level above the insertion
+        // point can no longer parent any future subtraction.
+        if level >= 2 {
+            let dead: Vec<u32> =
+                self.entries.iter().filter(|(_, e)| e.level + 1 < level).map(|(&n, _)| n).collect();
+            for n in dead {
+                self.invalidate(n);
+            }
+        }
+        // Cap: evict deepest-first (deterministic max over unique keys),
+        // but never an entry strictly shallower than the incoming one.
+        while self.total_bytes + bytes > self.cap_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.level >= level)
+                .max_by_key(|(&n, e)| (e.level, n))
+                .map(|(&n, _)| n);
+            match victim {
+                Some(v) => self.invalidate(v),
+                // Only shallower (more valuable) entries remain: the
+                // incoming entry is the one that does not fit.
+                None => return,
+            }
+        }
+        self.total_bytes += bytes;
+        self.entries.insert(node, CacheEntry { rev, level, bytes, g, h });
+    }
 }
 
 struct HostParty {
@@ -219,6 +333,7 @@ impl HostParty {
                 root_builders: (0..workers).map(|_| mk()).collect(),
                 root_sent: false,
                 rows: NodeRows::new_tree(n, self.cfg.gbdt.max_layers),
+                cache: NodeHistCache::new(self.cfg.protocol.hist_cache_bytes),
             });
             self.task_queue.clear();
             self.task_epoch.clear();
@@ -280,6 +395,8 @@ impl HostParty {
                     .into());
                 }
                 state.rows.apply_placement(node as usize, &placement);
+                state.cache.invalidate(left_child(node as usize) as u32);
+                state.cache.invalidate(right_child(node as usize) as u32);
                 self.telemetry.phases.split_nodes += t0.elapsed();
             }
             Msg::HostSplitChosen { tree, node, feature, bin } => {
@@ -314,6 +431,8 @@ impl HostParty {
                     .map(|&r| col.bin_of_row(r as usize) <= bin)
                     .collect();
                 state.rows.apply_placement(node as usize, &placement);
+                state.cache.invalidate(left_child(node as usize) as u32);
+                state.cache.invalidate(right_child(node as usize) as u32);
                 self.telemetry.events.splits_won += 1;
                 self.telemetry.phases.split_nodes += t0.elapsed();
                 self.send(&Msg::Placement { tree, node, placement });
@@ -470,7 +589,11 @@ impl HostParty {
         }
         self.telemetry.phases.build_hist_enc += t0.elapsed();
         let count = self.csr.num_rows();
-        self.make_payload(&g, &h, count)
+        let payload = self.make_payload(&g, &h, count)?;
+        // Seed the cache with the root histogram (the blaster path is the
+        // only producer of node 0): level-1 children derive from it.
+        self.cache_insert(0, g, h);
+        Ok(payload)
     }
 
     /// Executes the oldest queued node task.
@@ -494,11 +617,119 @@ impl HostParty {
         }
         let rows: Vec<u32> = state.rows.rows(node as usize).to_vec();
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
-        let (g, h) = self.build_node_builders(&rows)?;
+        let (g, h) = self.node_builders_cached(node, &rows)?;
         self.telemetry.phases.build_hist_enc += t0.elapsed();
         let payload = self.make_payload(&g, &h, rows.len())?;
+        // Re-insert so the node's children can derive from it at the next
+        // level (take/re-insert rather than borrow across make_payload).
+        self.cache_insert(node, g, h);
         self.send(&Msg::NodeHistograms { tree, node, epoch, payload });
         Ok(())
+    }
+
+    /// Produces one node's builders, preferring the subtraction path: reuse
+    /// the node's own cached builders if fresh; otherwise, if this node is
+    /// the *larger* child of its parent's split and the parent histogram is
+    /// cached, build (or fetch) the smaller sibling and derive this node as
+    /// `parent ⊖ sibling`. Any miss — stale parent after an optimistic
+    /// rollback, cap-evicted sibling — falls back to the direct per-row
+    /// build. The decision is a pure function of the row lists, so every
+    /// protocol mode (and every fault schedule) takes identical branches.
+    fn node_builders_cached(
+        &mut self,
+        node: u32,
+        rows: &[u32],
+    ) -> Result<(EncHistBuilder, EncHistBuilder), TrainError> {
+        if !self.cfg.protocol.hist_subtraction || node == 0 {
+            return self.build_node_builders(rows);
+        }
+        let rev = {
+            let state = self.state.as_ref().expect("tree state ensured");
+            state.rows.revision(node as usize)
+        };
+        if let Some(hit) = {
+            let state = self.state.as_mut().expect("tree state ensured");
+            state.cache.take_valid(node, rev)
+        } {
+            self.telemetry.events.hist_cache_hits += 1;
+            return Ok(hit);
+        }
+        let sibling = if node % 2 == 1 { node + 1 } else { node - 1 };
+        let parent = (node - 1) / 2;
+        let (sibling_rows, parent_rev, sibling_rev) = {
+            let state = self.state.as_ref().expect("tree state ensured");
+            if !state.rows.has(sibling as usize) {
+                return self.build_node_builders(rows);
+            }
+            (
+                state.rows.rows(sibling as usize).to_vec(),
+                state.rows.revision(parent as usize),
+                state.rows.revision(sibling as usize),
+            )
+        };
+        // Build the smaller child (ties break to the left child, which has
+        // the odd heap id) directly; derive only the larger one.
+        let larger = rows.len() > sibling_rows.len()
+            || (rows.len() == sibling_rows.len() && node.is_multiple_of(2));
+        if !larger {
+            return self.build_node_builders(rows);
+        }
+        let parent_cached = {
+            let state = self.state.as_ref().expect("tree state ensured");
+            state.cache.is_valid(parent, parent_rev)
+        };
+        if !parent_cached {
+            // E.g. the parent task re-ran after a rollback and its fresh
+            // builders were cap-skipped, or the tree state is younger than
+            // the task. Direct build keeps the payload correct.
+            self.telemetry.events.hist_cache_misses += 1;
+            return self.build_node_builders(rows);
+        }
+        let sibling_cached = {
+            let state = self.state.as_ref().expect("tree state ensured");
+            state.cache.is_valid(sibling, sibling_rev)
+        };
+        if !sibling_cached {
+            let (sg, sh) = self.build_node_builders(&sibling_rows)?;
+            self.cache_insert(sibling, sg, sh);
+        }
+        let crypto = TrainError::crypto("ciphertext histogram subtraction");
+        let before = self.suite.counters().snapshot();
+        let derived = {
+            let state = self.state.as_ref().expect("tree state ensured");
+            match (state.cache.peek(parent), state.cache.peek(sibling)) {
+                (Some((pg, ph)), Some((sg, sh))) => Some((
+                    pg.subtract(&self.suite, sg).map_err(&crypto)?,
+                    ph.subtract(&self.suite, sh).map_err(&crypto)?,
+                )),
+                // Cap eviction raced the sibling insert away (tiny caps).
+                _ => None,
+            }
+        };
+        let Some((g, h)) = derived else {
+            self.telemetry.events.hist_cache_misses += 1;
+            return self.build_node_builders(rows);
+        };
+        let spent = self.suite.counters().snapshot().since(&before);
+        let direct_cost: u64 =
+            rows.iter().map(|&r| 2 * self.csr.row(r as usize).len() as u64).sum();
+        self.telemetry.events.hist_cache_hits += 1;
+        self.telemetry.events.hist_subtractions += 1;
+        self.telemetry.events.hadds_saved +=
+            direct_cost.saturating_sub(spent.hadd + spent.negs + spent.scalings);
+        Ok((g, h))
+    }
+
+    /// Caches a node's builders at its current row revision (no-op when
+    /// subtraction is off — nothing would ever read the entry).
+    fn cache_insert(&mut self, node: u32, g: EncHistBuilder, h: EncHistBuilder) {
+        if !self.cfg.protocol.hist_subtraction {
+            return;
+        }
+        let bytes = ((g.cipher_count() + h.cipher_count()) * self.suite.cipher_wire_bytes()) as u64;
+        let state = self.state.as_mut().expect("tree state ensured");
+        let rev = state.rows.revision(node as usize);
+        state.cache.insert(node, rev, bytes, g, h);
     }
 
     /// Worker-sharded histogram build for one node's rows.

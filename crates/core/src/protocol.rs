@@ -30,7 +30,21 @@ pub struct ProtocolConfig {
     /// Target slot width `M` in bits for packing. The effective width is
     /// raised automatically if the value range requires more bits.
     pub target_slot_bits: u32,
+    /// Ciphertext histogram subtraction: build only the smaller child of a
+    /// split from rows and derive the larger sibling as `parent ⊖ child`
+    /// (one negation + HAdd per bin instead of one HAdd per row entry).
+    /// Requires the node-histogram cache; falls back to a direct build on
+    /// cache miss.
+    pub hist_subtraction: bool,
+    /// Memory cap in bytes for the host-side per-node encrypted histogram
+    /// cache that powers `hist_subtraction`. Eviction is level-scoped:
+    /// entries more than one level above the insertion point are dropped
+    /// first, then the deepest entries until the cap holds.
+    pub hist_cache_bytes: u64,
 }
+
+/// Default memory cap for the node-histogram cache (256 MiB).
+pub const DEFAULT_HIST_CACHE_BYTES: u64 = 256 << 20;
 
 impl ProtocolConfig {
     /// The unoptimized SecureBoost-style baseline (the paper's VF-GBDT).
@@ -41,6 +55,8 @@ impl ProtocolConfig {
             reordered_accumulation: false,
             pack_histograms: false,
             target_slot_bits: 64,
+            hist_subtraction: false,
+            hist_cache_bytes: DEFAULT_HIST_CACHE_BYTES,
         }
     }
 
@@ -52,6 +68,8 @@ impl ProtocolConfig {
             reordered_accumulation: true,
             pack_histograms: true,
             target_slot_bits: 64,
+            hist_subtraction: true,
+            hist_cache_bytes: DEFAULT_HIST_CACHE_BYTES,
         }
     }
 }
@@ -71,6 +89,8 @@ mod tests {
         let b = ProtocolConfig::baseline();
         assert!(!b.optimistic && !b.reordered_accumulation && !b.pack_histograms);
         assert!(b.blaster_batch.is_none());
+        assert!(!b.hist_subtraction);
+        assert_eq!(b.hist_cache_bytes, DEFAULT_HIST_CACHE_BYTES);
     }
 
     #[test]
@@ -78,5 +98,7 @@ mod tests {
         let v = ProtocolConfig::vf2boost();
         assert!(v.optimistic && v.reordered_accumulation && v.pack_histograms);
         assert!(v.blaster_batch.is_some());
+        assert!(v.hist_subtraction);
+        assert_eq!(v.hist_cache_bytes, DEFAULT_HIST_CACHE_BYTES);
     }
 }

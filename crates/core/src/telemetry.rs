@@ -133,6 +133,31 @@ pub struct ProtocolEvents {
     /// Host-side node tasks superseded before execution (aborted
     /// sub-tasks).
     pub aborted_tasks: u64,
+    /// Host node histograms derived by ciphertext subtraction
+    /// (`parent ⊖ sibling`) instead of a direct per-row build.
+    pub hist_subtractions: u64,
+    /// Node-histogram cache hits (a cached parent enabled a subtraction, or
+    /// a node's own cached builders were reused).
+    pub hist_cache_hits: u64,
+    /// Node-histogram cache misses: a subtraction was wanted but the parent
+    /// entry was absent or stale (e.g. after an optimistic rollback), so the
+    /// host fell back to a direct build.
+    pub hist_cache_misses: u64,
+    /// Homomorphic additions avoided by subtraction-derived histograms:
+    /// the direct-build cost of each derived child minus what the
+    /// derivation actually spent.
+    pub hadds_saved: u64,
+}
+
+impl ProtocolEvents {
+    /// Hit rate of the node-histogram cache (0 when it was never consulted).
+    pub fn hist_cache_hit_rate(&self) -> f64 {
+        let total = self.hist_cache_hits + self.hist_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hist_cache_hits as f64 / total as f64
+    }
 }
 
 /// Reliable-delivery and fault-injection counters for one party's links.
@@ -318,6 +343,15 @@ mod tests {
         assert_eq!(t.retransmissions, 5);
         assert_eq!(t.corrupt_rejected, 4);
         assert_eq!(t.recv_timeouts, 1);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_empty_and_mixed() {
+        let mut e = ProtocolEvents::default();
+        assert_eq!(e.hist_cache_hit_rate(), 0.0);
+        e.hist_cache_hits = 3;
+        e.hist_cache_misses = 1;
+        assert!((e.hist_cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

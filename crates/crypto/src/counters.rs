@@ -20,6 +20,9 @@ pub struct OpCounters {
     pub hadd: AtomicU64,
     /// Scalar multiplications (`T_SMUL`), excluding scalings.
     pub smul: AtomicU64,
+    /// Homomorphic negations: one modular inverse modulo `n²` each, the
+    /// per-bin cost of ciphertext histogram subtraction.
+    pub negs: AtomicU64,
     /// Cipher scalings: `SMul` by a power of the encoding base performed to
     /// align exponents before an addition. Re-ordered accumulation (§5.1)
     /// exists to minimize this counter.
@@ -55,6 +58,11 @@ impl OpCounters {
         self.smul.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` homomorphic negations.
+    pub fn add_neg(&self, n: u64) {
+        self.negs.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records `n` exponent-alignment scalings.
     pub fn add_scaling(&self, n: u64) {
         self.scalings.fetch_add(n, Ordering::Relaxed);
@@ -72,6 +80,7 @@ impl OpCounters {
             dec: self.dec.load(Ordering::Relaxed),
             hadd: self.hadd.load(Ordering::Relaxed),
             smul: self.smul.load(Ordering::Relaxed),
+            negs: self.negs.load(Ordering::Relaxed),
             scalings: self.scalings.load(Ordering::Relaxed),
             packs: self.packs.load(Ordering::Relaxed),
         }
@@ -83,6 +92,7 @@ impl OpCounters {
         self.dec.store(0, Ordering::Relaxed);
         self.hadd.store(0, Ordering::Relaxed);
         self.smul.store(0, Ordering::Relaxed);
+        self.negs.store(0, Ordering::Relaxed);
         self.scalings.store(0, Ordering::Relaxed);
         self.packs.store(0, Ordering::Relaxed);
     }
@@ -99,6 +109,8 @@ pub struct OpSnapshot {
     pub hadd: u64,
     /// Scalar multiplications.
     pub smul: u64,
+    /// Homomorphic negations.
+    pub negs: u64,
     /// Exponent-alignment scalings.
     pub scalings: u64,
     /// Packing operations.
@@ -113,6 +125,7 @@ impl OpSnapshot {
             dec: self.dec.saturating_sub(earlier.dec),
             hadd: self.hadd.saturating_sub(earlier.hadd),
             smul: self.smul.saturating_sub(earlier.smul),
+            negs: self.negs.saturating_sub(earlier.negs),
             scalings: self.scalings.saturating_sub(earlier.scalings),
             packs: self.packs.saturating_sub(earlier.packs),
         }
@@ -129,11 +142,13 @@ mod tests {
         c.add_enc(3);
         c.add_dec(1);
         c.add_hadd(10);
+        c.add_neg(6);
         c.add_scaling(4);
         let s = c.snapshot();
         assert_eq!(s.enc, 3);
         assert_eq!(s.dec, 1);
         assert_eq!(s.hadd, 10);
+        assert_eq!(s.negs, 6);
         assert_eq!(s.scalings, 4);
     }
 

@@ -148,9 +148,12 @@ impl EncryptedNumber {
     }
 
     /// Homomorphic negation (modular inversion of the cipher).
-    pub fn neg(&self, pk: &PublicKey, counters: &OpCounters) -> Self {
-        counters.add_smul(1);
-        EncryptedNumber { cipher: pk.neg_raw(&self.cipher), exponent: self.exponent }
+    ///
+    /// Errors with [`crate::error::CryptoError::NonInvertibleCipher`] if the
+    /// cipher is not a unit modulo `n²` (only possible for corrupted input).
+    pub fn neg(&self, pk: &PublicKey, counters: &OpCounters) -> Result<Self> {
+        counters.add_neg(1);
+        Ok(EncryptedNumber { cipher: pk.neg_raw(&self.cipher)?, exponent: self.exponent })
     }
 
     /// Decrypts and decodes to a float.
@@ -237,7 +240,8 @@ mod tests {
     fn neg_flips_sign() {
         let (kp, cfg, ctr, mut rng) = setup();
         let a = EncryptedNumber::encrypt_at(3.0, 10, &kp.private, &cfg, &mut rng, &ctr).unwrap();
-        let n = a.neg(&kp.public, &ctr);
+        let n = a.neg(&kp.public, &ctr).unwrap();
+        assert_eq!(ctr.snapshot().negs, 1);
         assert!((n.decrypt(&kp.private, &cfg, &ctr).unwrap() + 3.0).abs() < 1e-9);
     }
 

@@ -28,6 +28,16 @@ pub enum CryptoError {
         /// Index of the offending slot.
         slot: usize,
     },
+    /// A cipher was not invertible modulo `n²`, so it cannot be negated.
+    /// Honest ciphers are always units; this indicates a corrupted or
+    /// foreign cipher (a multiple of `p` or `q` slipped in).
+    NonInvertibleCipher,
+    /// The precomputed randomness pool ran dry with combine mode off (or
+    /// held fewer than two factors with combine mode on).
+    RandomnessExhausted {
+        /// Factors remaining in the pool when the draw failed.
+        remaining: usize,
+    },
     /// An operation requiring the private key was attempted without one.
     MissingPrivateKey,
     /// Key generation failed (e.g. requested size too small).
@@ -51,6 +61,12 @@ impl fmt::Display for CryptoError {
             }
             CryptoError::PackedValueTooLarge { slot } => {
                 write!(f, "value in packing slot {slot} exceeds the slot width")
+            }
+            CryptoError::NonInvertibleCipher => {
+                write!(f, "cipher is not a unit modulo n² and cannot be negated")
+            }
+            CryptoError::RandomnessExhausted { remaining } => {
+                write!(f, "randomness pool exhausted ({remaining} factors left, combine off)")
             }
             CryptoError::MissingPrivateKey => {
                 write!(f, "operation requires a private key but none is available")

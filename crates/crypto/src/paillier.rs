@@ -133,9 +133,58 @@ impl PublicKey {
     /// Homomorphic negation: `⟦V⟧⁻¹ = ⟦n−V⟧ = ⟦−V⟧`.
     ///
     /// Implemented by modular inversion, which is much cheaper than
-    /// exponentiation by `n−1`.
-    pub fn neg_raw(&self, c: &RawCipher) -> RawCipher {
-        mod_inverse(c, &self.0.nn).expect("cipher is a unit modulo n²")
+    /// exponentiation by `n−1`. Every honestly produced cipher is a unit
+    /// modulo `n²`; a non-invertible input (a corrupted cipher sharing a
+    /// factor with `n`) surfaces as
+    /// [`CryptoError::NonInvertibleCipher`] rather than a panic.
+    pub fn neg_raw(&self, c: &RawCipher) -> Result<RawCipher> {
+        mod_inverse(c, &self.0.nn).ok_or(CryptoError::NonInvertibleCipher)
+    }
+
+    /// Batch homomorphic negation via Montgomery's batch-inversion trick:
+    /// one modular inverse plus three multiplications per cipher, instead
+    /// of one inverse each. The inverse (extended Euclid on `n²`) is two
+    /// orders of magnitude more expensive than a mulmod, so batching is
+    /// what makes per-bin ciphertext subtraction cheaper than per-row
+    /// accumulation.
+    ///
+    /// Output order matches input order. A non-invertible cipher anywhere
+    /// in the batch poisons the combined product; the fallback scan
+    /// re-checks each element so the caller sees the same
+    /// [`CryptoError::NonInvertibleCipher`] the scalar path would raise.
+    pub fn neg_batch_raw(&self, cs: &[&RawCipher]) -> Result<Vec<RawCipher>> {
+        let nn = &self.0.nn;
+        if cs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // prefix[i] = c₀·…·cᵢ mod n²
+        let mut prefix = Vec::with_capacity(cs.len());
+        let mut acc = cs[0].clone();
+        prefix.push(acc.clone());
+        for c in &cs[1..] {
+            acc = (&acc * *c) % nn;
+            prefix.push(acc.clone());
+        }
+        let mut inv = match mod_inverse(&acc, nn) {
+            Some(v) => v,
+            None => {
+                for c in cs {
+                    self.neg_raw(c)?;
+                }
+                // Every element inverted individually yet the product did
+                // not: impossible modulo n², but keep the error honest.
+                return Err(CryptoError::NonInvertibleCipher);
+            }
+        };
+        // Walk backwards: inv holds (c₀·…·cᵢ)⁻¹; multiplying by the
+        // previous prefix isolates cᵢ⁻¹, multiplying by cᵢ steps down.
+        let mut out = vec![BigUint::one(); cs.len()];
+        for i in (1..cs.len()).rev() {
+            out[i] = (&inv * &prefix[i - 1]) % nn;
+            inv = (&inv * cs[i]) % nn;
+        }
+        out[0] = inv;
+        Ok(out)
     }
 
     /// The trivial (non-obfuscated) encryption of zero, `⟦0⟧ = 1`.
@@ -335,21 +384,26 @@ impl RandomnessPool {
 
     /// Returns the next obfuscation factor.
     ///
-    /// Panics if the pool is exhausted and combine mode is off.
-    pub fn next_rn(&self) -> BigUint {
+    /// With combine mode off, an exhausted pool yields
+    /// [`CryptoError::RandomnessExhausted`] instead of panicking; with
+    /// combine mode on, the same error is returned if fewer than two
+    /// factors were ever pooled (the recombination needs a pair).
+    pub fn next_rn(&self) -> Result<BigUint> {
         let mut pool = self.pool.lock();
         if !self.combine {
-            return pool.pop().expect("randomness pool exhausted (combine mode is off)");
+            return pool.pop().ok_or(CryptoError::RandomnessExhausted { remaining: 0 });
         }
         let len = pool.len();
-        assert!(len >= 2, "combine mode needs at least two pooled factors");
+        if len < 2 {
+            return Err(CryptoError::RandomnessExhausted { remaining: len });
+        }
         let mut rng = self.rng.lock();
         let i = rng.gen_range(0..len);
         let j = (i + 1 + rng.gen_range(0..len - 1)) % len;
         let combined = (&pool[i] * &pool[j]) % self.public.nn();
         // Refresh the pool in place so repeated draws keep mixing.
         pool[i] = combined.clone();
-        combined
+        Ok(combined)
     }
 
     /// Number of factors currently pooled.
@@ -419,9 +473,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let v = BigUint::from(5u64);
         let c = kp.public.encrypt_raw(&v, &mut rng);
-        let neg = kp.public.neg_raw(&c);
+        let neg = kp.public.neg_raw(&c).unwrap();
         let dec = kp.private.decrypt_raw(&neg);
         assert_eq!(dec, kp.public.n() - BigUint::from(5u64));
+    }
+
+    #[test]
+    fn batch_negation_matches_scalar_negation() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(14);
+        let ciphers: Vec<RawCipher> = (0..7u64)
+            .map(|v| kp.public.encrypt_raw(&BigUint::from(v * 13 + 1), &mut rng))
+            .collect();
+        let refs: Vec<&RawCipher> = ciphers.iter().collect();
+        let batch = kp.public.neg_batch_raw(&refs).unwrap();
+        assert_eq!(batch.len(), ciphers.len());
+        for (c, neg) in ciphers.iter().zip(&batch) {
+            assert_eq!(neg, &kp.public.neg_raw(c).unwrap(), "batch order must match input");
+        }
+        assert!(kp.public.neg_batch_raw(&[]).unwrap().is_empty());
     }
 
     #[test]
@@ -449,11 +519,26 @@ mod tests {
         let kp = keypair();
         let pool = RandomnessPool::new(&kp.private, 4, true, 99);
         for _ in 0..64 {
-            let rn = pool.next_rn();
+            let rn = pool.next_rn().unwrap();
             let c = kp.public.encrypt_raw_with_rn(&BigUint::from(9u64), &rn);
             assert_eq!(kp.private.decrypt_raw(&c), BigUint::from(9u64));
         }
         assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn randomness_pool_exhaustion_is_an_error_not_a_panic() {
+        let kp = keypair();
+        let pool = RandomnessPool::new(&kp.private, 3, false, 17);
+        for _ in 0..3 {
+            assert!(pool.next_rn().is_ok());
+        }
+        assert_eq!(pool.next_rn().unwrap_err(), CryptoError::RandomnessExhausted { remaining: 0 });
+        // The pool stays usable as an object (no poisoned state).
+        assert!(pool.is_empty());
+        // Combine mode with a degenerate single-factor pool also errors.
+        let tiny = RandomnessPool::new(&kp.private, 1, true, 18);
+        assert_eq!(tiny.next_rn().unwrap_err(), CryptoError::RandomnessExhausted { remaining: 1 });
     }
 
     #[test]

@@ -368,6 +368,69 @@ impl Suite {
         }
     }
 
+    /// Homomorphic negation: one modular inverse modulo `n²` in Paillier
+    /// mode, mirrored (counter-identically) in the mock.
+    pub fn neg(&self, c: &Ciphertext) -> Result<Ciphertext> {
+        match c {
+            Ciphertext::Paillier(e) => {
+                Ok(Ciphertext::Paillier(e.neg(self.pk(), &self.0.counters)?))
+            }
+            Ciphertext::Plain(p) => {
+                self.0.counters.add_neg(1);
+                Ok(Ciphertext::Plain(PlainNumber { value: -p.value, exponent: p.exponent }))
+            }
+        }
+    }
+
+    /// Batch homomorphic negation, order-preserving and semantically
+    /// identical (cipher-for-cipher) to calling [`Suite::neg`] on each
+    /// element. In Paillier mode the whole batch shares one modular
+    /// inverse (Montgomery's trick, [`PublicKey::neg_batch_raw`]); the
+    /// mock mirrors the per-element negation count so VF-MOCK stays
+    /// counter-identical.
+    pub fn neg_batch(&self, cs: &[&Ciphertext]) -> Result<Vec<Ciphertext>> {
+        match self.0.kind {
+            SuiteKind::Paillier => {
+                let raws: Result<Vec<&RawCipher>> = cs
+                    .iter()
+                    .map(|c| match c {
+                        Ciphertext::Paillier(e) => Ok(&e.cipher),
+                        Ciphertext::Plain(_) => Err(CryptoError::SuiteMismatch),
+                    })
+                    .collect();
+                let negs = self.pk().neg_batch_raw(&raws?)?;
+                self.0.counters.add_neg(cs.len() as u64);
+                Ok(negs
+                    .into_iter()
+                    .zip(cs)
+                    .map(|(cipher, c)| {
+                        Ciphertext::Paillier(EncryptedNumber { cipher, exponent: c.exponent() })
+                    })
+                    .collect())
+            }
+            SuiteKind::Plain => {
+                self.0.counters.add_neg(cs.len() as u64);
+                cs.iter()
+                    .map(|c| match c {
+                        Ciphertext::Plain(p) => Ok(Ciphertext::Plain(PlainNumber {
+                            value: -p.value,
+                            exponent: p.exponent,
+                        })),
+                        Ciphertext::Paillier(_) => Err(CryptoError::SuiteMismatch),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Exponent-aware homomorphic subtraction `a ⊖ b = a ⊕ (⊖b)`: one
+    /// negation plus one addition (plus a scaling when exponents differ).
+    /// This is the per-bin cost of ciphertext histogram subtraction.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        let nb = self.neg(b)?;
+        self.add(a, &nb)
+    }
+
     /// In-place same-exponent addition (the histogram hot path).
     pub fn add_assign_same_exp(&self, acc: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
         match (acc, b) {
@@ -564,6 +627,62 @@ mod tests {
         // The host performed the addition, and its counters saw it.
         assert_eq!(host.counters().snapshot().hadd, 1);
         assert_eq!(guest.counters().snapshot().hadd, 0);
+    }
+
+    #[test]
+    fn sub_matches_plain_arithmetic_in_both_suites() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = paillier_suite();
+        let a = p.encrypt_at(5.25, 10, &mut rng).unwrap();
+        let b = p.encrypt_at(1.5, 10, &mut rng).unwrap();
+        let d = p.sub(&a, &b).unwrap();
+        assert!((p.decrypt(&d).unwrap() - 3.75).abs() < 1e-9);
+        let snap = p.counters().snapshot();
+        assert_eq!(snap.negs, 1);
+        assert_eq!(snap.hadd, 1);
+        assert_eq!(snap.scalings, 0);
+
+        let m = Suite::plain(EncodingConfig::default());
+        let a = m.encrypt_at(5.25, 10, &mut rng).unwrap();
+        let b = m.encrypt_at(1.5, 12, &mut rng).unwrap();
+        let d = m.sub(&a, &b).unwrap();
+        assert_eq!(m.decrypt(&d).unwrap(), 3.75);
+        let snap = m.counters().snapshot();
+        assert_eq!(snap.negs, 1);
+        assert_eq!(snap.hadd, 1);
+        assert_eq!(snap.scalings, 1); // mixed exponents force one scaling
+    }
+
+    #[test]
+    fn neg_batch_matches_scalar_neg_in_both_suites() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for s in [paillier_suite(), Suite::plain(EncodingConfig::default())] {
+            let cts: Vec<Ciphertext> = [1.5, -0.25, 3.0, 0.0]
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| s.encrypt_at(v, 10 + i as i32 % 2, &mut rng).unwrap())
+                .collect();
+            let refs: Vec<&Ciphertext> = cts.iter().collect();
+            let before = s.counters().snapshot();
+            let batch = s.neg_batch(&refs).unwrap();
+            assert_eq!(s.counters().snapshot().since(&before).negs, 4);
+            for (c, n) in cts.iter().zip(&batch) {
+                assert_eq!(n, &s.neg(c).unwrap(), "batch negation must be bit-identical");
+            }
+            assert!(s.neg_batch(&[]).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn sub_with_mixed_exponents_scales_once() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let p = paillier_suite();
+        let a = p.encrypt_at(2.0, 12, &mut rng).unwrap();
+        let b = p.encrypt_at(0.5, 10, &mut rng).unwrap();
+        let d = p.sub(&a, &b).unwrap();
+        assert_eq!(d.exponent(), 12);
+        assert!((p.decrypt(&d).unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(p.counters().snapshot().scalings, 1);
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn all_sixteen_protocol_combinations_agree() {
             blaster_batch: if mask & 2 != 0 { Some(64) } else { None },
             reordered_accumulation: mask & 4 != 0,
             pack_histograms: mask & 8 != 0,
-            target_slot_bits: 64,
+            // Histogram subtraction stays on (the vf2boost default) for
+            // every mask: the derive-vs-direct decision is a pure function
+            // of the row lists, so cross-mask value identity is preserved.
+            ..ProtocolConfig::vf2boost()
         };
         let cfg = TrainConfig {
             gbdt: GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() },
