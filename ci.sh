@@ -13,6 +13,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+# Kill-and-restart chaos gate: a party is crashed mid-run and the job is
+# resumed from checkpoints; the model must come back bitwise identical
+# across a deterministic 3-seed matrix (61/71/81) covering every
+# sequential/optimistic x raw/reordered/packed mode. The outer timeout
+# guarantees a liveness bug fails the gate instead of hanging it.
+echo "== chaos resume gate (3-seed matrix, 15 min cap) =="
+timeout 900 cargo test -q --test resume
+
 echo "== cargo bench --no-run =="
 cargo bench --workspace --no-run
 

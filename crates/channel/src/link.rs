@@ -231,6 +231,7 @@ pub struct Endpoint {
     send_stats: Arc<LinkStats>,
     recv_stats: Arc<LinkStats>,
     shutdown: Arc<AtomicBool>,
+    last_heard: Arc<Mutex<Instant>>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -327,6 +328,18 @@ impl Endpoint {
         }
     }
 
+    /// Time since this endpoint last heard *anything* intact from the
+    /// peer — a checksum-valid data frame (even a duplicate) or an ack.
+    ///
+    /// This is the liveness signal heartbeat supervision builds on: the
+    /// peer's reliability thread acks incoming data regardless of what
+    /// its application thread is doing, so a peer that is merely busy
+    /// computing still keeps this fresh, while a dead process or a
+    /// blackholed direction lets it grow without bound.
+    pub fn idle_for(&self) -> Duration {
+        self.last_heard.lock().elapsed()
+    }
+
     /// Statistics of the direction this endpoint sends on.
     pub fn send_stats(&self) -> &Arc<LinkStats> {
         &self.send_stats
@@ -400,12 +413,14 @@ fn spawn_endpoint(
     let (delivered_tx, delivered_rx) = unbounded::<Envelope>();
     let retx: Arc<Mutex<RetxBuffer>> = Arc::new(Mutex::new(BTreeMap::new()));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let last_heard = Arc::new(Mutex::new(Instant::now()));
     {
         let raw_tx = raw_tx.clone();
         let retx = retx.clone();
         let send_stats = send_stats.clone();
         let recv_stats = recv_stats.clone();
         let shutdown = shutdown.clone();
+        let last_heard = last_heard.clone();
         thread::Builder::new()
             .name("vf2-link-rel".into())
             .spawn(move || {
@@ -418,6 +433,7 @@ fn spawn_endpoint(
                     send_stats,
                     recv_stats,
                     shutdown,
+                    last_heard,
                     jitter_seed,
                 );
             })
@@ -432,6 +448,7 @@ fn spawn_endpoint(
         send_stats,
         recv_stats,
         shutdown,
+        last_heard,
     }
 }
 
@@ -446,6 +463,7 @@ fn reliability_loop(
     send_stats: Arc<LinkStats>,
     recv_stats: Arc<LinkStats>,
     shutdown: Arc<AtomicBool>,
+    last_heard: Arc<Mutex<Instant>>,
     jitter_seed: u64,
 ) {
     let mut rng = StdRng::seed_from_u64(jitter_seed ^ 0x5EED_AC4E);
@@ -471,11 +489,15 @@ fn reliability_loop(
                     Frame::Data { env, checksum } => {
                         if frame_checksum(env.kind, env.seq, &env.payload) != checksum {
                             // Reject silently; the missing ack makes the
-                            // sender re-send an intact copy.
+                            // sender re-send an intact copy. A corrupt
+                            // frame cannot be authenticated, so it does
+                            // not count as hearing from the peer.
                             recv_stats.corrupt_rejected.fetch_add(1, Ordering::Relaxed);
                         } else if env.seq < expected || parked.contains_key(&env.seq) {
+                            *last_heard.lock() = Instant::now();
                             recv_stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
                         } else {
+                            *last_heard.lock() = Instant::now();
                             parked.insert(env.seq, env);
                             while let Some(next) = parked.remove(&expected) {
                                 if delivered_tx.send(next).is_err() {
@@ -492,6 +514,7 @@ fn reliability_loop(
                         }
                     }
                     Frame::Ack { cum_seq } => {
+                        *last_heard.lock() = Instant::now();
                         send_stats.acks_received.fetch_add(1, Ordering::Relaxed);
                         let mut buffer = retx.lock();
                         let keep = buffer.split_off(&(cum_seq + 1));
@@ -770,6 +793,24 @@ mod tests {
     fn try_recv_returns_none_when_empty() {
         let (_a, b) = duplex(WanConfig::instant());
         assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn idle_for_resets_on_traffic_and_grows_during_silence() {
+        let (a, b) = duplex(WanConfig::instant());
+        thread::sleep(Duration::from_millis(40));
+        assert!(b.idle_for() >= Duration::from_millis(35));
+        a.send(0, Bytes::from_static(b"alive"));
+        b.recv().unwrap();
+        // Receipt of the intact frame resets the receiver's clock, and
+        // the cumulative ack coming back resets the sender's too.
+        assert!(b.idle_for() < Duration::from_millis(35));
+        assert!(a.flush(Duration::from_secs(5)));
+        assert!(a.idle_for() < Duration::from_millis(100));
+        // Renewed silence grows both clocks again.
+        thread::sleep(Duration::from_millis(40));
+        assert!(b.idle_for() >= Duration::from_millis(35));
+        assert!(a.idle_for() >= Duration::from_millis(35));
     }
 
     #[test]

@@ -46,6 +46,28 @@ pub struct TrainConfig {
     /// may last before the peer is declared lost
     /// ([`crate::error::TrainError::PeerLost`]).
     pub peer_timeout: Duration,
+    /// Checkpoint cadence in trees: when a session is attached, each
+    /// party durably snapshots its private state after every
+    /// `checkpoint_every` completed trees. Ignored without a session.
+    pub checkpoint_every: u32,
+    /// How often an idle waiting party beacons a heartbeat at the peer
+    /// (and checks the link's silence clock). Heartbeats carry no
+    /// protocol meaning; their acks prove the peer process alive.
+    pub heartbeat_interval: Duration,
+    /// Liveness deadline: if the link has been completely silent (no
+    /// intact data, no acks — see `Endpoint::idle_for`) for this long,
+    /// the peer is declared dead even though heartbeats keep a busy
+    /// peer's overall `peer_timeout` honest. The effective deadline is
+    /// `min(peer_dead_after, peer_timeout)`.
+    pub peer_dead_after: Duration,
+    /// Cap on each party's in-memory telemetry event log; once full the
+    /// oldest entries are dropped (and counted) so a flapping link
+    /// cannot grow memory without bound.
+    pub event_log_cap: usize,
+    /// Chaos knob: the host panics (simulating a process kill) right
+    /// after completing — and checkpointing — this many trees. `None`
+    /// in production.
+    pub crash_host_after_trees: Option<u32>,
     /// Data-parallel workers inside each party (shards per histogram
     /// build; also the rayon pool width per party).
     pub workers: usize,
@@ -66,6 +88,11 @@ impl Default for TrainConfig {
             fault_host_to_guest: FaultConfig::none(),
             reliability: ReliabilityConfig::default(),
             peer_timeout: Duration::from_secs(60),
+            checkpoint_every: 1,
+            heartbeat_interval: Duration::from_millis(500),
+            peer_dead_after: Duration::from_secs(60),
+            event_log_cap: 256,
+            crash_host_after_trees: None,
             workers: 1,
             seed: 42,
         }
@@ -83,6 +110,7 @@ impl TrainConfig {
             wan: WanConfig::instant(),
             reliability: ReliabilityConfig::aggressive(),
             peer_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(150),
             ..Default::default()
         }
     }
@@ -107,6 +135,17 @@ mod tests {
         assert!(!c.fault_guest_to_host.is_active());
         assert!(!c.fault_host_to_guest.is_active());
         assert!(c.peer_timeout > Duration::ZERO);
+        assert!(c.crash_host_after_trees.is_none());
+    }
+
+    #[test]
+    fn liveness_defaults_are_sane() {
+        let c = TrainConfig::default();
+        // Heartbeats must be much faster than the deadlines they guard.
+        assert!(c.heartbeat_interval < c.peer_dead_after);
+        assert!(c.heartbeat_interval < c.peer_timeout);
+        assert!(c.checkpoint_every >= 1);
+        assert!(c.event_log_cap > 0);
     }
 
     #[test]

@@ -161,6 +161,22 @@ pub enum TrainError {
         /// What went wrong.
         detail: String,
     },
+    /// The resume handshake failed: the parties disagree on the session
+    /// identity, or a checkpoint the handshake promised is missing or
+    /// inconsistent with the run configuration.
+    ResumeMismatch {
+        /// The party reporting the disagreement.
+        party: PartyId,
+        /// What disagreed.
+        detail: String,
+    },
+    /// A durable checkpoint could not be written or read back.
+    Checkpoint {
+        /// The party whose checkpoint failed.
+        party: PartyId,
+        /// The underlying persistence failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TrainError {
@@ -179,6 +195,12 @@ impl std::fmt::Display for TrainError {
             }
             TrainError::Setup { party, detail } => {
                 write!(f, "{party} failed to initialize: {detail}")
+            }
+            TrainError::ResumeMismatch { party, detail } => {
+                write!(f, "{party} resume mismatch: {detail}")
+            }
+            TrainError::Checkpoint { party, detail } => {
+                write!(f, "{party} checkpoint failure: {detail}")
             }
         }
     }
@@ -264,6 +286,14 @@ mod tests {
         assert!(TrainError::PartyPanicked { party: PartyId::Guest, detail: "boom".into() }
             .to_string()
             .contains("guest thread panicked: boom"));
+        assert_eq!(
+            TrainError::ResumeMismatch { party: PartyId::Host(0), detail: "session 1 vs 2".into() }
+                .to_string(),
+            "host-0 resume mismatch: session 1 vs 2"
+        );
+        assert!(TrainError::Checkpoint { party: PartyId::Guest, detail: "io: denied".into() }
+            .to_string()
+            .contains("guest checkpoint failure"));
     }
 
     #[test]

@@ -34,10 +34,11 @@ use vf2_gbdt::tree::{layer_of, left_child, right_child, NodeId, NodeSplit};
 use crate::config::TrainConfig;
 use crate::error::{GuestFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
 use crate::hist_enc::unpack_feature_hist;
-use crate::messages::{FeatureMeta, HistPayload, Msg};
+use crate::messages::{FeatureMeta, HistPayload, Msg, HEARTBEAT_KIND};
 use crate::model::{FedNode, FedTree};
 use crate::rows::{NodeRows, RowMajorBins};
-use crate::telemetry::{PartyTelemetry, Stopwatch, TreeRecord};
+use crate::session::{dead_after, PartySession};
+use crate::telemetry::{EventLog, PartyTelemetry, Stopwatch, TreeRecord};
 use crate::wire;
 
 /// What the guest hands back after training.
@@ -110,8 +111,9 @@ pub fn run_guest(
     cfg: TrainConfig,
     suite: Suite,
     endpoints: Vec<Endpoint>,
+    session: Option<PartySession>,
 ) -> Result<GuestOutput, GuestFailure> {
-    match GuestParty::new(data, cfg, suite, endpoints) {
+    match GuestParty::new(data, cfg, suite, endpoints, session) {
         Ok(party) => party.run(),
         Err(error) => Err(GuestFailure {
             error,
@@ -134,6 +136,11 @@ struct GuestParty {
     telemetry: PartyTelemetry,
     tree_records: Vec<TreeRecord>,
     started: Instant,
+    session: Option<PartySession>,
+    /// When this guest last beaconed a heartbeat at each host.
+    hb_last: Vec<Instant>,
+    /// Monotone heartbeat counter.
+    hb_seq: u64,
 }
 
 impl GuestParty {
@@ -142,6 +149,7 @@ impl GuestParty {
         cfg: TrainConfig,
         suite: Suite,
         endpoints: Vec<Endpoint>,
+        session: Option<PartySession>,
     ) -> Result<GuestParty, TrainError> {
         if data.labels().is_none() {
             return Err(TrainError::InvalidInput("the guest must own the labels".into()));
@@ -157,9 +165,16 @@ impl GuestParty {
         Ok(GuestParty {
             preds: vec![cfg.gbdt.loss.base_score(); n],
             host_metas: Vec::new(),
-            telemetry: PartyTelemetry { name: "guest".into(), ..Default::default() },
+            telemetry: PartyTelemetry {
+                name: "guest".into(),
+                log: EventLog::with_cap(cfg.event_log_cap),
+                ..Default::default()
+            },
             tree_records: Vec::new(),
             started: Instant::now(),
+            session,
+            hb_last: vec![Instant::now(); endpoints.len()],
+            hb_seq: 0,
             cfg,
             suite,
             endpoints,
@@ -194,16 +209,40 @@ impl GuestParty {
     }
 
     fn run_inner(&mut self) -> Result<Vec<FedTree>, TrainError> {
-        // Collect each host's feature metadata (bin structure only).
+        let session = self.session.clone();
+        let my_sid = session.as_ref().map_or(0, |s| s.session_id());
+
+        // Session handshake + feature metadata. Each host first announces
+        // its session view (`SessionHello`), then its histogram structure
+        // (`FeatureMeta`); FIFO delivery guarantees the order.
         self.host_metas = vec![Vec::new(); self.endpoints.len()];
+        let mut host_durable: Vec<Vec<u32>> = Vec::with_capacity(self.endpoints.len());
         for h in 0..self.endpoints.len() {
-            let t0 = Instant::now();
-            let env = match self.endpoints[h].recv_timeout(self.cfg.peer_timeout) {
-                Ok(env) => env,
-                Err(reason) => return Err(self.peer_lost(h, ProtocolPhase::Hello, t0, reason)),
-            };
-            self.telemetry.phases.idle += t0.elapsed();
-            match Self::decode_from(h, env)? {
+            match self.recv_from(h, ProtocolPhase::Hello)? {
+                Msg::SessionHello { session_id, epoch, durable } => {
+                    if session_id != my_sid {
+                        return Err(TrainError::ResumeMismatch {
+                            party: PartyId::Host(h),
+                            detail: format!(
+                                "host announced session {session_id}, guest runs session {my_sid}"
+                            ),
+                        });
+                    }
+                    self.telemetry
+                        .log
+                        .push(format!("host-{h} hello: session {session_id} epoch {epoch}"));
+                    host_durable.push(durable);
+                }
+                other => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Host(h),
+                        kind: other.kind(),
+                        context: "waiting for the SessionHello",
+                    }
+                    .into())
+                }
+            }
+            match self.recv_from(h, ProtocolPhase::Hello)? {
                 Msg::FeatureMeta(m) => {
                     // The zero-bin index is used to address histogram bins
                     // later; reject inconsistent metadata up front.
@@ -228,9 +267,41 @@ impl GuestParty {
             }
         }
 
-        self.started = Instant::now();
+        // Pick the resume point: the largest tree count durable at the
+        // guest AND every host. Anything less than full agreement resumes
+        // from the latest point everyone can actually restore.
+        let mut resume_from: u32 = 0;
+        if let Some(sess) = session.as_ref().filter(|s| s.resume()) {
+            let mut common = sess.durable();
+            for durable in &host_durable {
+                common.retain(|k| durable.contains(k));
+            }
+            resume_from = common.last().copied().unwrap_or(0);
+        }
+        self.broadcast(&Msg::Resume { session_id: my_sid, tree_count: resume_from });
+
         let mut trees = Vec::with_capacity(self.cfg.gbdt.num_trees);
-        for t in 0..self.cfg.gbdt.num_trees {
+        if resume_from > 0 {
+            let sess = session.as_ref().expect("resume implies a session");
+            let ck = sess.load_guest(resume_from)?;
+            if ck.preds.len() != self.preds.len() {
+                return Err(TrainError::ResumeMismatch {
+                    party: PartyId::Guest,
+                    detail: format!(
+                        "checkpoint holds {} prediction rows, dataset has {}",
+                        ck.preds.len(),
+                        self.preds.len()
+                    ),
+                });
+            }
+            trees = ck.trees;
+            self.preds = ck.preds;
+            self.telemetry.events.resumes += 1;
+            self.telemetry.log.push(format!("resumed from checkpoint at {resume_from} trees"));
+        }
+
+        self.started = Instant::now();
+        for t in (resume_from as usize)..self.cfg.gbdt.num_trees {
             let tree = self.train_tree(t as u32)?;
             trees.push(tree);
             // Labels were checked at construction.
@@ -240,6 +311,14 @@ impl GuestParty {
                 completed_at: self.started.elapsed(),
                 train_loss: self.cfg.gbdt.loss.mean_loss(labels, &self.preds),
             });
+            if let Some(sess) = &session {
+                let completed = t as u32 + 1;
+                if sess.should_checkpoint(completed) {
+                    sess.save_guest(completed, trees.clone(), self.preds.clone())?;
+                    self.telemetry.events.checkpoints_written += 1;
+                    self.telemetry.log.push(format!("checkpoint written at {completed} trees"));
+                }
+            }
         }
         self.broadcast(&Msg::Shutdown);
         // Linger until the hosts ack the goodbye (bounded by the peer
@@ -295,24 +374,82 @@ impl GuestParty {
         self.endpoints[host].send(msg.kind(), wire::encode(msg));
     }
 
-    /// Blocks until any host message arrives (single-host fast path;
-    /// round-robin polling otherwise), bounded by the per-phase peer
-    /// deadline. Idle time is accounted.
-    fn recv_any(&mut self) -> Result<(usize, Msg), TrainError> {
+    /// Heartbeat supervision for one blocked wait on `host`. Beacons a
+    /// heartbeat when one is due (its transport ack is what proves a
+    /// busy-but-alive peer) and declares the peer dead once the link has
+    /// been *completely* silent — no data, no acks — for the effective
+    /// liveness deadline. Note the overall wait clock `t0` is never
+    /// reset: a peer that heartbeats but makes no protocol progress
+    /// still trips the per-phase `peer_timeout`.
+    fn supervise(
+        &mut self,
+        host: usize,
+        phase: ProtocolPhase,
+        t0: Instant,
+    ) -> Result<(), TrainError> {
+        let now = Instant::now();
+        if now.duration_since(self.hb_last[host]) >= self.cfg.heartbeat_interval {
+            self.hb_last[host] = now;
+            let seq = self.hb_seq;
+            self.hb_seq += 1;
+            self.send_to(host, &Msg::Heartbeat { seq });
+            self.telemetry.events.heartbeats_sent += 1;
+            if self.endpoints[host].idle_for() >= self.cfg.heartbeat_interval {
+                self.telemetry.events.heartbeats_missed += 1;
+                self.telemetry.log.push(format!(
+                    "host-{host} silent for {:?} at heartbeat {seq}",
+                    self.endpoints[host].idle_for()
+                ));
+            }
+        }
+        let deadline = dead_after(&self.cfg);
+        if self.endpoints[host].idle_for() >= deadline {
+            self.telemetry.log.push(format!("host-{host} declared dead after {deadline:?}"));
+            return Err(self.peer_lost(host, phase, t0, RecvError::Timeout));
+        }
+        Ok(())
+    }
+
+    /// Blocks until a protocol message arrives from `host`, transparently
+    /// consuming heartbeats (they never reach the protocol drivers) and
+    /// running liveness supervision, bounded by the per-phase deadline.
+    fn recv_from(&mut self, host: usize, phase: ProtocolPhase) -> Result<Msg, TrainError> {
         let t0 = Instant::now();
-        let phase = ProtocolPhase::TreeBuild;
-        if self.endpoints.len() == 1 {
-            return match self.endpoints[0].recv_timeout(self.cfg.peer_timeout) {
+        loop {
+            let elapsed = t0.elapsed();
+            if elapsed >= self.cfg.peer_timeout {
+                return Err(self.peer_lost(host, phase, t0, RecvError::Timeout));
+            }
+            let chunk = self.cfg.heartbeat_interval.min(self.cfg.peer_timeout - elapsed);
+            match self.endpoints[host].recv_timeout(chunk) {
+                Ok(env) if env.kind == HEARTBEAT_KIND => continue,
                 Ok(env) => {
                     self.telemetry.phases.idle += t0.elapsed();
-                    Ok((0, Self::decode_from(0, env)?))
+                    return Self::decode_from(host, env);
                 }
-                Err(reason) => Err(self.peer_lost(0, phase, t0, reason)),
-            };
+                Err(RecvError::Disconnected) => {
+                    return Err(self.peer_lost(host, phase, t0, RecvError::Disconnected))
+                }
+                Err(RecvError::Timeout) => self.supervise(host, phase, t0)?,
+            }
         }
+    }
+
+    /// Blocks until any host message arrives (single-host fast path;
+    /// round-robin polling otherwise), bounded by the per-phase peer
+    /// deadline. Heartbeats are consumed below this call. Idle time is
+    /// accounted.
+    fn recv_any(&mut self) -> Result<(usize, Msg), TrainError> {
+        let phase = ProtocolPhase::TreeBuild;
+        if self.endpoints.len() == 1 {
+            return Ok((0, self.recv_from(0, phase)?));
+        }
+        let t0 = Instant::now();
+        let mut last_supervised = Instant::now();
         loop {
             for h in 0..self.endpoints.len() {
                 match self.endpoints[h].recv_timeout(Duration::from_micros(100)) {
+                    Ok(env) if env.kind == HEARTBEAT_KIND => {}
                     Ok(env) => {
                         self.telemetry.phases.idle += t0.elapsed();
                         return Ok((h, Self::decode_from(h, env)?));
@@ -323,6 +460,14 @@ impl GuestParty {
                         return Err(self.peer_lost(h, phase, t0, RecvError::Disconnected))
                     }
                     Err(RecvError::Timeout) => {}
+                }
+            }
+            // Liveness supervision is per poll round, throttled so the
+            // 100 µs polls do not spin through the heartbeat clocks.
+            if last_supervised.elapsed() >= Duration::from_millis(5) {
+                last_supervised = Instant::now();
+                for h in 0..self.endpoints.len() {
+                    self.supervise(h, phase, t0)?;
                 }
             }
             if t0.elapsed() > self.cfg.peer_timeout {

@@ -13,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use vf2_channel::{Endpoint, RecvError};
+use vf2_channel::{Endpoint, Envelope, RecvError};
 use vf2_crypto::suite::{Ciphertext, Suite};
 use vf2_gbdt::binning::{BinnedColumn, BinnedDataset};
 use vf2_gbdt::data::Dataset;
@@ -22,10 +22,13 @@ use vf2_gbdt::tree::{left_child, right_child, NodeSplit};
 use crate::config::TrainConfig;
 use crate::error::{HostFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
 use crate::hist_enc::{max_exponent, pack_feature_hist, EncHistBuilder};
-use crate::messages::{FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist};
+use crate::messages::{
+    FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist, HEARTBEAT_KIND,
+};
 use crate::model::HostSplitTable;
 use crate::rows::{NodeRows, RowMajorBins};
-use crate::telemetry::{PartyTelemetry, Stopwatch};
+use crate::session::{dead_after, PartySession};
+use crate::telemetry::{EventLog, PartyTelemetry, Stopwatch};
 use crate::wire;
 
 /// Runs a host party to completion (until the guest sends `Shutdown`).
@@ -35,14 +38,20 @@ use crate::wire;
 /// orderly `Shutdown`, or goes silent past the per-phase deadline, yields
 /// [`TrainError::PeerLost`]; malformed or out-of-place messages yield
 /// [`TrainError::Protocol`]. Failures carry the host's partial telemetry.
+///
+/// With a [`PartySession`], the host opens the link with a `SessionHello`
+/// advertising its durable checkpoints, honors the guest's `Resume`
+/// decision, and snapshots its split table at every configured tree
+/// boundary.
 pub fn run_host(
     party_index: usize,
     data: Arc<Dataset>,
     cfg: TrainConfig,
     suite: Suite,
     endpoint: Endpoint,
+    session: Option<PartySession>,
 ) -> Result<(PartyTelemetry, HostSplitTable), HostFailure> {
-    let mut host = match HostParty::new(party_index, data, cfg, suite, endpoint) {
+    let mut host = match HostParty::new(party_index, data, cfg, suite, endpoint, session) {
         Ok(host) => host,
         Err(error) => {
             let telemetry =
@@ -202,6 +211,12 @@ struct HostParty {
     shutdown: bool,
     /// What the host is currently waiting for (PeerLost attribution).
     phase: ProtocolPhase,
+    party_index: usize,
+    session: Option<PartySession>,
+    /// When this host last beaconed a heartbeat at the guest.
+    hb_last: Instant,
+    /// Monotone heartbeat counter.
+    hb_seq: u64,
 }
 
 impl HostParty {
@@ -211,6 +226,7 @@ impl HostParty {
         cfg: TrainConfig,
         suite: Suite,
         endpoint: Endpoint,
+        session: Option<PartySession>,
     ) -> Result<HostParty, TrainError> {
         let binned = BinnedDataset::bin(&data, &cfg.gbdt.binning);
         let csr = RowMajorBins::from_binned(&binned);
@@ -222,8 +238,11 @@ impl HostParty {
                 party: PartyId::Host(party_index),
                 detail: e.to_string(),
             })?;
-        let telemetry =
-            PartyTelemetry { name: format!("host-{party_index}"), ..Default::default() };
+        let telemetry = PartyTelemetry {
+            name: format!("host-{party_index}"),
+            log: EventLog::with_cap(cfg.event_log_cap),
+            ..Default::default()
+        };
         Ok(HostParty {
             cfg,
             suite,
@@ -238,11 +257,24 @@ impl HostParty {
             telemetry,
             shutdown: false,
             phase: ProtocolPhase::Gradients,
+            party_index,
+            session,
+            hb_last: Instant::now(),
+            hb_seq: 0,
         })
     }
 
     fn run(&mut self) -> Result<(), TrainError> {
-        // Announce histogram structure (bin counts + zero bins only).
+        // Announce the session view first — the very first frame of every
+        // (re)connect: the guest needs the durable checkpoint list before
+        // it can pick a resume point.
+        let (sid, epoch, durable) = match &self.session {
+            Some(s) => (s.session_id(), s.bump_epoch(), s.durable()),
+            None => (0, 0, Vec::new()),
+        };
+        self.telemetry.log.push(format!("hello: session {sid} epoch {epoch}"));
+        self.send(&Msg::SessionHello { session_id: sid, epoch, durable });
+        // Then announce histogram structure (bin counts + zero bins only).
         let metas: Vec<FeatureMeta> = self
             .binned
             .columns()
@@ -253,25 +285,10 @@ impl HostParty {
 
         while !self.shutdown {
             let msg = if self.task_queue.is_empty() {
-                // Nothing to do: block with the per-phase deadline (and
-                // account the idle time). A guest that vanishes without an
-                // orderly Shutdown — disconnect or silence — is an error.
-                let t0 = Instant::now();
-                let r = self.endpoint.recv_timeout(self.cfg.peer_timeout);
-                self.telemetry.phases.idle += t0.elapsed();
-                match r {
-                    Ok(env) => Some(env),
-                    Err(reason) => {
-                        if reason == RecvError::Timeout {
-                            self.telemetry.link.recv_timeouts += 1;
-                        }
-                        return Err(TrainError::PeerLost {
-                            party: PartyId::Guest,
-                            phase: self.phase,
-                            waited: t0.elapsed(),
-                        });
-                    }
-                }
+                // Nothing to do: block with the per-phase deadline. A
+                // guest that vanishes without an orderly Shutdown —
+                // disconnect or silence — is an error.
+                Some(self.next_envelope()?)
             } else {
                 self.endpoint.try_recv()
             };
@@ -305,6 +322,104 @@ impl HostParty {
 
     fn send(&self, msg: &Msg) {
         self.endpoint.send(msg.kind(), wire::encode(msg));
+    }
+
+    /// Declares the guest lost after a failed wait that began at `t0`.
+    fn guest_lost(&mut self, t0: Instant, reason: RecvError) -> TrainError {
+        self.telemetry.phases.idle += t0.elapsed();
+        if reason == RecvError::Timeout {
+            self.telemetry.link.recv_timeouts += 1;
+        }
+        TrainError::PeerLost { party: PartyId::Guest, phase: self.phase, waited: t0.elapsed() }
+    }
+
+    /// Heartbeat supervision for a blocked wait (mirror of the guest's).
+    /// Beacons a heartbeat when one is due — its transport ack is what
+    /// proves a busy-but-alive guest — and declares the guest dead once
+    /// the link has been *completely* silent (no data, no acks) for the
+    /// effective liveness deadline. The overall wait clock `t0` is never
+    /// reset by heartbeats: a guest that beacons but makes no protocol
+    /// progress still trips the per-phase `peer_timeout`.
+    fn supervise(&mut self, t0: Instant) -> Result<(), TrainError> {
+        let now = Instant::now();
+        if now.duration_since(self.hb_last) >= self.cfg.heartbeat_interval {
+            self.hb_last = now;
+            let seq = self.hb_seq;
+            self.hb_seq += 1;
+            self.send(&Msg::Heartbeat { seq });
+            self.telemetry.events.heartbeats_sent += 1;
+            if self.endpoint.idle_for() >= self.cfg.heartbeat_interval {
+                self.telemetry.events.heartbeats_missed += 1;
+                self.telemetry.log.push(format!(
+                    "guest silent for {:?} at heartbeat {seq}",
+                    self.endpoint.idle_for()
+                ));
+            }
+        }
+        let deadline = dead_after(&self.cfg);
+        if self.endpoint.idle_for() >= deadline {
+            self.telemetry.log.push(format!("guest declared dead after {deadline:?}"));
+            return Err(self.guest_lost(t0, RecvError::Timeout));
+        }
+        Ok(())
+    }
+
+    /// Blocks for the next protocol envelope, transparently consuming
+    /// heartbeats and running liveness supervision, bounded by the
+    /// per-phase deadline. Idle time is accounted.
+    fn next_envelope(&mut self) -> Result<Envelope, TrainError> {
+        let t0 = Instant::now();
+        loop {
+            let elapsed = t0.elapsed();
+            if elapsed >= self.cfg.peer_timeout {
+                return Err(self.guest_lost(t0, RecvError::Timeout));
+            }
+            let chunk = self.cfg.heartbeat_interval.min(self.cfg.peer_timeout - elapsed);
+            match self.endpoint.recv_timeout(chunk) {
+                Ok(env) if env.kind == HEARTBEAT_KIND => continue,
+                Ok(env) => {
+                    self.telemetry.phases.idle += t0.elapsed();
+                    return Ok(env);
+                }
+                Err(RecvError::Disconnected) => {
+                    return Err(self.guest_lost(t0, RecvError::Disconnected))
+                }
+                Err(RecvError::Timeout) => self.supervise(t0)?,
+            }
+        }
+    }
+
+    /// Handles the guest's `Resume` decision: validates the session id
+    /// and, for a non-zero resume point, restores the split table from
+    /// the named checkpoint.
+    fn on_resume(&mut self, session_id: u64, tree_count: u32) -> Result<(), TrainError> {
+        let my_sid = self.session.as_ref().map_or(0, |s| s.session_id());
+        let mismatch =
+            |detail: String| TrainError::ResumeMismatch { party: PartyId::Guest, detail };
+        if session_id != my_sid {
+            return Err(mismatch(format!(
+                "guest announced session {session_id}, host runs session {my_sid}"
+            )));
+        }
+        if tree_count == 0 {
+            return Ok(());
+        }
+        let Some(sess) = self.session.clone() else {
+            return Err(mismatch(format!(
+                "guest asked to resume at {tree_count} trees, host has no session"
+            )));
+        };
+        let ck = sess.load_host(tree_count, self.party_index as u32)?;
+        if ck.party != self.party_index as u32 {
+            return Err(mismatch(format!(
+                "checkpoint belongs to host {}, this is host {}",
+                ck.party, self.party_index
+            )));
+        }
+        self.splits = ck.table;
+        self.telemetry.events.resumes += 1;
+        self.telemetry.log.push(format!("resumed from checkpoint at {tree_count} trees"));
+        Ok(())
     }
 
     fn ensure_tree(&mut self, tree: u32) -> &mut TreeState {
@@ -438,12 +553,34 @@ impl HostParty {
                 self.send(&Msg::Placement { tree, node, placement });
             }
             Msg::NodeLeaf { .. } => {}
-            Msg::TreeDone { .. } => {
+            Msg::TreeDone { tree } => {
                 self.state = None;
                 self.task_queue.clear();
                 self.task_epoch.clear();
                 self.phase = ProtocolPhase::Gradients;
+                let completed = tree.saturating_add(1);
+                if let Some(sess) = self.session.clone() {
+                    if sess.should_checkpoint(completed) {
+                        sess.save_host(completed, self.party_index as u32, self.splits.clone())?;
+                        self.telemetry.events.checkpoints_written += 1;
+                        self.telemetry.log.push(format!("checkpoint written at {completed} trees"));
+                    }
+                }
+                // Deterministic crash injection for the chaos suite: die
+                // only after the checkpoint above is durable, so the
+                // agreed resume point exists on both sides.
+                if self.cfg.crash_host_after_trees == Some(completed) {
+                    panic!(
+                        "injected crash: host {} dying after {completed} trees",
+                        self.party_index
+                    );
+                }
             }
+            Msg::Resume { session_id, tree_count } => {
+                self.on_resume(session_id, tree_count)?;
+            }
+            // Liveness beacon: the transport-level ack already answered it.
+            Msg::Heartbeat { .. } => {}
             Msg::Shutdown => self.shutdown = true,
             other => {
                 return Err(ProtocolError::UnexpectedMessage {
@@ -858,8 +995,14 @@ mod tests {
             Arc::new(Dataset::new(4, vec![FeatureColumn::Dense(vec![0.0, 1.0, 2.0, 3.0])], None));
         let cfg = TrainConfig::for_tests();
         let suite = Suite::plain(EncodingConfig::default());
-        let handle = std::thread::spawn(move || run_host(3, data, cfg, suite, host_ep));
-        // Read the FeatureMeta greeting, then shut the host down.
+        let handle = std::thread::spawn(move || run_host(3, data, cfg, suite, host_ep, None));
+        // Read the SessionHello and FeatureMeta greetings, then shut the
+        // host down. A session-less host announces session 0, epoch 0.
+        let env = guest_ep.recv().unwrap();
+        let msg = wire::decode(env.kind, env.payload).unwrap();
+        assert!(
+            matches!(msg, Msg::SessionHello { session_id: 0, epoch: 0, ref durable } if durable.is_empty())
+        );
         let env = guest_ep.recv().unwrap();
         let msg = wire::decode(env.kind, env.payload).unwrap();
         assert!(matches!(msg, Msg::FeatureMeta(ref m) if m.len() == 1));

@@ -45,6 +45,7 @@ pub mod model;
 pub mod persist;
 pub mod protocol;
 pub mod rows;
+pub mod session;
 pub mod telemetry;
 pub mod train;
 pub mod wire;
@@ -54,5 +55,6 @@ pub use error::{PartyId, ProtocolError, ProtocolPhase, TrainError, TrainFailure}
 pub use model::{FedNode, FedTree, FederatedModel};
 pub use persist::{decode_model, encode_model, load_model, save_model};
 pub use protocol::ProtocolConfig;
+pub use session::SessionConfig;
 pub use telemetry::{LinkFaultEvents, PartyTelemetry, PhaseTimes, TrainReport};
-pub use train::{train_federated, TrainOutput};
+pub use train::{train_federated, train_federated_session, TrainOutput};

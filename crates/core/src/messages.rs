@@ -138,6 +138,35 @@ pub enum Msg {
     },
     /// guest → host: training is over.
     Shutdown,
+    /// host → guest, the very first message of a (re)connect: the host's
+    /// view of the resumable session. `durable` lists the tree counts of
+    /// the host's valid on-disk checkpoints; the guest intersects them
+    /// with its own to pick the resume point.
+    SessionHello {
+        /// Session identifier the host was started with (0 = none).
+        session_id: u64,
+        /// The host's incarnation counter (bumped at every restart).
+        epoch: u32,
+        /// Tree counts of the host's durable checkpoints, ascending.
+        durable: Vec<u32>,
+    },
+    /// guest → host, right after the hello exchange: the agreed resume
+    /// point. `tree_count == 0` means a fresh start; otherwise both
+    /// parties load their checkpoint at exactly `tree_count` trees and
+    /// training continues from tree `tree_count`.
+    Resume {
+        /// Session identifier the guest was started with (0 = none).
+        session_id: u64,
+        /// The last mutually durable tree count.
+        tree_count: u32,
+    },
+    /// either direction: liveness beacon. Carries no protocol meaning —
+    /// receivers drop it without touching any training state, but the
+    /// transport-level ack it elicits proves the peer process alive.
+    Heartbeat {
+        /// Monotone per-sender beacon counter.
+        seq: u64,
+    },
 }
 
 impl Msg {
@@ -154,6 +183,13 @@ impl Msg {
             Msg::NodeLeaf { .. } => 8,
             Msg::TreeDone { .. } => 9,
             Msg::Shutdown => 10,
+            Msg::SessionHello { .. } => 11,
+            Msg::Resume { .. } => 12,
+            Msg::Heartbeat { .. } => 13,
         }
     }
 }
+
+/// The wire kind tag of [`Msg::Heartbeat`], for filtering undecoded
+/// envelopes in receive loops without paying a decode.
+pub const HEARTBEAT_KIND: u16 = 13;

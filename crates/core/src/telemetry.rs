@@ -147,6 +147,17 @@ pub struct ProtocolEvents {
     /// the direct-build cost of each derived child minus what the
     /// derivation actually spent.
     pub hadds_saved: u64,
+    /// Durable checkpoints this party wrote at tree boundaries.
+    pub checkpoints_written: u64,
+    /// Sessions resumed from a checkpoint (0 on a fresh run, 1 after a
+    /// successful resume handshake that skipped completed trees).
+    pub resumes: u64,
+    /// Liveness heartbeats this party sent while blocked on the peer.
+    pub heartbeats_sent: u64,
+    /// Heartbeat supervision ticks where the link had been silent for at
+    /// least a full heartbeat interval (the precursor signal to
+    /// declaring the peer dead at `peer_dead_after`).
+    pub heartbeats_missed: u64,
 }
 
 impl ProtocolEvents {
@@ -211,6 +222,65 @@ impl LinkFaultEvents {
     }
 }
 
+/// A bounded, append-only log of notable robustness events (checkpoint
+/// writes, resumes, missed heartbeats). Once `cap` entries are held the
+/// oldest entry is evicted per push and counted in `dropped`, so a
+/// flapping link logging for hours cannot grow memory without bound.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    cap: usize,
+    dropped: u64,
+    entries: std::collections::VecDeque<String>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_cap(256)
+    }
+}
+
+impl EventLog {
+    /// An empty log bounded to `cap` entries (`cap == 0` keeps nothing
+    /// and counts every push as dropped).
+    pub fn with_cap(cap: usize) -> EventLog {
+        EventLog { cap, dropped: 0, entries: std::collections::VecDeque::new() }
+    }
+
+    /// Appends an entry, evicting the oldest if the log is full.
+    pub fn push(&mut self, entry: impl Into<String>) {
+        self.entries.push_back(entry.into());
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|s| s.as_str())
+    }
+
+    /// Number of entries currently held (never exceeds the cap).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted so far to honor the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
 /// Everything one party measured during a run.
 #[derive(Debug, Clone, Default)]
 pub struct PartyTelemetry {
@@ -228,6 +298,9 @@ pub struct PartyTelemetry {
     pub messages_sent: u64,
     /// Reliable-delivery and fault counters for this party's links.
     pub link: LinkFaultEvents,
+    /// Bounded robustness-event log (cap from
+    /// [`crate::config::TrainConfig::event_log_cap`]).
+    pub log: EventLog,
 }
 
 /// A whole run's report: per-party telemetry plus wall-clock totals.
@@ -352,6 +425,27 @@ mod tests {
         e.hist_cache_hits = 3;
         e.hist_cache_misses = 1;
         assert!((e.hist_cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_log_holds_its_cap_under_flapping_pushes() {
+        let mut log = EventLog::with_cap(3);
+        for i in 0..100 {
+            log.push(format!("event {i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 97);
+        let kept: Vec<&str> = log.entries().collect();
+        assert_eq!(kept, ["event 97", "event 98", "event 99"]);
+        assert_eq!(log.cap(), 3);
+    }
+
+    #[test]
+    fn zero_cap_event_log_keeps_nothing() {
+        let mut log = EventLog::with_cap(0);
+        log.push("gone");
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

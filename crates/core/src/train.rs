@@ -21,6 +21,7 @@ use crate::error::{GuestFailure, HostFailure, PartyId, TrainError, TrainFailure}
 use crate::guest::run_guest;
 use crate::host::run_host;
 use crate::model::FederatedModel;
+use crate::session::{PartySession, SessionConfig};
 use crate::telemetry::{PartyTelemetry, TrainReport};
 
 /// The result of a federated training run.
@@ -68,6 +69,26 @@ pub fn train_federated(
     guest: &Dataset,
     cfg: &TrainConfig,
 ) -> Result<TrainOutput, TrainFailure> {
+    train_federated_session(hosts, guest, cfg, None)
+}
+
+/// [`train_federated`] with a resumable session: every party checkpoints
+/// its private state at the configured tree cadence, and a session
+/// flagged [`SessionConfig::resuming`] restarts from the last *mutually*
+/// durable tree instead of from scratch. The resumed model is bitwise
+/// identical to an uninterrupted run (the chaos suite asserts this).
+pub fn train_federated_session(
+    hosts: &[Dataset],
+    guest: &Dataset,
+    cfg: &TrainConfig,
+    session: Option<&SessionConfig>,
+) -> Result<TrainOutput, TrainFailure> {
+    if let Some(sc) = session {
+        std::fs::create_dir_all(&sc.dir).map_err(|e| TrainError::Checkpoint {
+            party: PartyId::Guest,
+            detail: format!("session directory {}: {e}", sc.dir.display()),
+        })?;
+    }
     if hosts.is_empty() {
         return Err(TrainError::InvalidInput("at least one host party is required".into()).into());
     }
@@ -117,9 +138,10 @@ pub fn train_federated(
             CryptoConfig::Mock => Suite::plain(cfg.encoding),
         };
         let host_cfg = *cfg;
+        let host_session = session.map(|sc| PartySession::host(sc, cfg, p));
         let handle = thread::Builder::new()
             .name(format!("vf2-host-{p}"))
-            .spawn(move || run_host(p, data, host_cfg, host_suite, host_ep))
+            .spawn(move || run_host(p, data, host_cfg, host_suite, host_ep, host_session))
             .map_err(|e| TrainError::Setup {
                 party: PartyId::Host(p),
                 detail: format!("thread spawn failed: {e}"),
@@ -127,7 +149,9 @@ pub fn train_federated(
         host_handles.push(handle);
     }
 
-    let guest_result = run_guest(Arc::new(guest.clone()), *cfg, guest_suite, guest_endpoints);
+    let guest_session = session.map(|sc| PartySession::guest(sc, cfg));
+    let guest_result =
+        run_guest(Arc::new(guest.clone()), *cfg, guest_suite, guest_endpoints, guest_session);
     let wall_time = started.elapsed();
 
     let (guest_telemetry, tree_records, guest_ok, guest_error) = match guest_result {

@@ -239,6 +239,21 @@ pub fn encode(msg: &Msg) -> Bytes {
             e.put_u32(*tree);
         }
         Msg::Shutdown => {}
+        Msg::SessionHello { session_id, epoch, durable } => {
+            e.put_u64(*session_id);
+            e.put_u32(*epoch);
+            e.put_varint(durable.len() as u64);
+            for k in durable {
+                e.put_u32(*k);
+            }
+        }
+        Msg::Resume { session_id, tree_count } => {
+            e.put_u64(*session_id);
+            e.put_u32(*tree_count);
+        }
+        Msg::Heartbeat { seq } => {
+            e.put_u64(*seq);
+        }
     }
     e.finish()
 }
@@ -314,6 +329,19 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
         8 => Msg::NodeLeaf { tree: d.get_u32()?, node: d.get_u32()? },
         9 => Msg::TreeDone { tree: d.get_u32()? },
         10 => Msg::Shutdown,
+        11 => {
+            let session_id = d.get_u64()?;
+            let epoch = d.get_u32()?;
+            let announced = d.get_varint()?;
+            let len = bounded_len(&d, announced, 4, "durable checkpoint vector")?;
+            let mut durable = Vec::with_capacity(len);
+            for _ in 0..len {
+                durable.push(d.get_u32()?);
+            }
+            Msg::SessionHello { session_id, epoch, durable }
+        }
+        12 => Msg::Resume { session_id: d.get_u64()?, tree_count: d.get_u32()? },
+        13 => Msg::Heartbeat { seq: d.get_u64()? },
         t => return Err(WireError::BadTag("message kind", t as u64)),
     })
 }
@@ -417,7 +445,7 @@ mod tests {
         assert!(matches!(decode(99, Bytes::new()), Err(WireError::BadTag("message kind", 99))));
     }
 
-    /// One representative message per kind (1–10), with real ciphertext
+    /// One representative message per kind (1–13), with real ciphertext
     /// payloads where the kind carries any.
     fn sample_messages() -> Vec<Msg> {
         let c = paillier_ciphers(4);
@@ -449,7 +477,18 @@ mod tests {
             Msg::NodeLeaf { tree: 1, node: 12 },
             Msg::TreeDone { tree: 19 },
             Msg::Shutdown,
+            Msg::SessionHello { session_id: 0xFACE, epoch: 3, durable: vec![1, 2, 5] },
+            Msg::Resume { session_id: 0xFACE, tree_count: 5 },
+            Msg::Heartbeat { seq: 17 },
         ]
+    }
+
+    #[test]
+    fn session_messages_round_trip() {
+        round_trip(Msg::SessionHello { session_id: 1, epoch: 1, durable: vec![] });
+        round_trip(Msg::SessionHello { session_id: u64::MAX, epoch: 9, durable: vec![0, 7, 31] });
+        round_trip(Msg::Resume { session_id: 0, tree_count: 0 });
+        round_trip(Msg::Heartbeat { seq: u64::MAX });
     }
 
     #[test]
@@ -483,7 +522,7 @@ mod tests {
         for len in [0usize, 1, 3, 7, 16, 64, 257] {
             for round in 0..16 {
                 let garbage: Vec<u8> = (0..len).map(|_| (next() >> (round % 8)) as u8).collect();
-                for kind in 0..=12u16 {
+                for kind in 0..=15u16 {
                     let _ = decode(kind, Bytes::from(garbage.clone()));
                 }
             }
@@ -515,5 +554,6 @@ mod tests {
         let mut packed = hdr.to_vec();
         packed.push(1); // HistPayload::Packed tag
         bomb(4, &packed);
+        bomb(11, &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]); // SessionHello durable count
     }
 }

@@ -1,0 +1,251 @@
+//! Chaos tests for checkpoint/resume and liveness supervision.
+//!
+//! The core contract: killing a party mid-run and restarting the job
+//! from its durable checkpoints must produce a model *bitwise identical*
+//! to an uninterrupted run — in every protocol mode. And a peer that
+//! silently dies must surface as a typed `PeerLost` within the liveness
+//! deadline (never a hang), while a bounded outage shorter than the
+//! deadline must be ridden out.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vf2boost::channel::{duplex, FaultConfig, StallWindow, WanConfig};
+use vf2boost::core::config::CryptoConfig;
+use vf2boost::core::error::{PartyId, TrainError};
+use vf2boost::core::host::run_host;
+use vf2boost::core::messages::Msg;
+use vf2boost::core::protocol::ProtocolConfig;
+use vf2boost::core::session::PartySession;
+use vf2boost::core::wire;
+use vf2boost::core::{train_federated, train_federated_session, SessionConfig, TrainConfig};
+use vf2boost::crypto::encoding::EncodingConfig;
+use vf2boost::crypto::suite::Suite;
+use vf2boost::datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2boost::datagen::vertical::{split_vertical, VerticalScenario};
+use vf2boost::gbdt::data::{Dataset, FeatureColumn};
+use vf2boost::gbdt::train::GbdtParams;
+
+fn scenario(seed: u64) -> VerticalScenario {
+    let data = generate_classification(&SyntheticConfig {
+        rows: 200,
+        features: 8,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed,
+    });
+    split_vertical(&data, &[4])
+}
+
+fn resume_cfg(seed: u64, protocol: ProtocolConfig) -> TrainConfig {
+    TrainConfig {
+        gbdt: GbdtParams { num_trees: 4, max_layers: 4, ..Default::default() },
+        crypto: CryptoConfig::Mock,
+        wan: WanConfig::instant(),
+        protocol,
+        seed,
+        ..TrainConfig::for_tests()
+    }
+}
+
+/// Every protocol-mode combination the resume contract must hold for:
+/// sequential/optimistic × raw/reordered/packed histograms.
+fn modes() -> [(&'static str, ProtocolConfig); 6] {
+    let seq = ProtocolConfig::baseline();
+    let opt = ProtocolConfig {
+        pack_histograms: false,
+        reordered_accumulation: false,
+        ..ProtocolConfig::vf2boost()
+    };
+    [
+        ("seq-raw", seq),
+        ("seq-reordered", ProtocolConfig { reordered_accumulation: true, ..seq }),
+        ("seq-packed", ProtocolConfig { pack_histograms: true, ..seq }),
+        ("opt-raw", opt),
+        ("opt-reordered", ProtocolConfig { reordered_accumulation: true, ..opt }),
+        (
+            "opt-packed",
+            ProtocolConfig { pack_histograms: true, reordered_accumulation: true, ..opt },
+        ),
+    ]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vf2_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Kill the host after 2 of 4 trees, restart the whole job from its
+/// checkpoints, and demand the final model be bitwise identical to an
+/// uninterrupted run — for every protocol-mode combination.
+fn assert_resume_matrix(seed: u64) {
+    let s = scenario(seed);
+    for (name, protocol) in modes() {
+        let cfg = resume_cfg(seed, protocol);
+
+        // Reference: one uninterrupted, session-less run.
+        let clean = train_federated(&s.hosts, &s.guest, &cfg)
+            .unwrap_or_else(|f| panic!("[{name}] clean run failed: {}", f.error));
+        let clean_margins = clean.model.predict_margin(&[&s.hosts[0]], &s.guest);
+
+        // Incarnation 1: the host is killed right after its second tree
+        // checkpoint becomes durable.
+        let dir = temp_dir(&format!("{seed}_{name}"));
+        let session = SessionConfig::new(seed ^ 0x005e_5510, &dir);
+        let crash_cfg = TrainConfig { crash_host_after_trees: Some(2), ..cfg };
+        let failure = train_federated_session(&s.hosts, &s.guest, &crash_cfg, Some(&session))
+            .expect_err("the injected crash must abort incarnation 1");
+        assert!(
+            matches!(failure.error, TrainError::PartyPanicked { party: PartyId::Host(0), .. }),
+            "[{name}] expected the injected host crash, got {}",
+            failure.error
+        );
+        // The panicked host's telemetry dies with its thread; the guest's
+        // counters and the on-disk checkpoints testify for incarnation 1.
+        assert!(
+            failure.partial.guest.events.checkpoints_written >= 2,
+            "[{name}] guest wrote {} checkpoints before the crash",
+            failure.partial.guest.events.checkpoints_written
+        );
+
+        // Incarnation 2: same session, resume flag set, no crash. Both
+        // parties must agree on tree 2 and finish the remaining trees.
+        let resumed =
+            train_federated_session(&s.hosts, &s.guest, &cfg, Some(&session.clone().resuming()))
+                .unwrap_or_else(|f| panic!("[{name}] resumed run failed: {}", f.error));
+        assert!(
+            resumed.report.guest.events.resumes >= 1,
+            "[{name}] guest never resumed: {:?}",
+            resumed.report.guest.events
+        );
+        assert!(
+            resumed.report.hosts[0].events.resumes >= 1,
+            "[{name}] host never resumed: {:?}",
+            resumed.report.hosts[0].events
+        );
+        assert!(
+            resumed.report.hosts[0].events.checkpoints_written >= 1,
+            "[{name}] resumed host wrote no checkpoints: {:?}",
+            resumed.report.hosts[0].events
+        );
+
+        let resumed_margins = resumed.model.predict_margin(&[&s.hosts[0]], &s.guest);
+        assert_eq!(clean_margins.len(), resumed_margins.len());
+        for (i, (a, b)) in clean_margins.iter().zip(&resumed_margins).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "[{name}] margin {i} diverged after resume: {a} vs {b}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn killed_and_resumed_run_matches_bitwise_seed_61() {
+    assert_resume_matrix(61);
+}
+
+#[test]
+fn killed_and_resumed_run_matches_bitwise_seed_71() {
+    assert_resume_matrix(71);
+}
+
+#[test]
+fn killed_and_resumed_run_matches_bitwise_seed_81() {
+    assert_resume_matrix(81);
+}
+
+#[test]
+fn silent_peer_death_is_a_typed_error_within_the_liveness_deadline() {
+    let s = scenario(65);
+    // The host→guest direction blackholes early while the per-phase
+    // deadline is far away: only heartbeat supervision can notice.
+    let cfg = TrainConfig {
+        fault_host_to_guest: FaultConfig {
+            disconnect_after_frames: Some(6),
+            ..FaultConfig::none()
+        },
+        peer_timeout: Duration::from_secs(30),
+        peer_dead_after: Duration::from_millis(1500),
+        heartbeat_interval: Duration::from_millis(200),
+        ..resume_cfg(65, ProtocolConfig::vf2boost())
+    };
+    let t0 = Instant::now();
+    let failure = train_federated(&s.hosts, &s.guest, &cfg)
+        .expect_err("a silently dead peer must abort the run");
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(failure.error, TrainError::PeerLost { .. }),
+        "expected PeerLost, got {}",
+        failure.error
+    );
+    // Far below the 30 s per-phase deadline: the liveness supervisor
+    // fired, not the timeout of last resort.
+    assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");
+    let ev = failure.partial.guest.events;
+    assert!(ev.heartbeats_sent > 0, "guest never beaconed: {ev:?}");
+    assert!(ev.heartbeats_missed > 0, "silence was never observed: {ev:?}");
+}
+
+#[test]
+fn outage_shorter_than_the_deadline_is_ridden_out() {
+    let s = scenario(66);
+    let base = resume_cfg(66, ProtocolConfig::vf2boost());
+    // A 600 ms blackout from link creation: hellos and histograms are
+    // held, then delivered. Shorter than the 2 s liveness deadline, so
+    // the run must finish — with the identical model.
+    let cfg = TrainConfig {
+        fault_host_to_guest: FaultConfig {
+            stall: Some(StallWindow {
+                after: Duration::ZERO,
+                duration: Duration::from_millis(600),
+            }),
+            ..FaultConfig::none()
+        },
+        peer_dead_after: Duration::from_secs(2),
+        heartbeat_interval: Duration::from_millis(150),
+        ..base
+    };
+    let clean = train_federated(&s.hosts, &s.guest, &base).expect("clean run succeeds");
+    let stalled = train_federated(&s.hosts, &s.guest, &cfg)
+        .expect("an outage shorter than the liveness deadline must be survived");
+    let cm = clean.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    let sm = stalled.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    for (i, (a, b)) in cm.iter().zip(&sm).enumerate() {
+        assert!(a.to_bits() == b.to_bits(), "margin {i} diverged: {a} vs {b}");
+    }
+    // The guest noticed the silence (beacons went unanswered) but did
+    // not overreact.
+    let ev = stalled.report.guest.events;
+    assert!(ev.heartbeats_sent > 0, "guest never beaconed: {ev:?}");
+}
+
+#[test]
+fn a_session_id_mismatch_is_a_typed_resume_error() {
+    let (guest_ep, host_ep) = duplex(WanConfig::instant());
+    let data =
+        Arc::new(Dataset::new(4, vec![FeatureColumn::Dense(vec![0.0, 1.0, 2.0, 3.0])], None));
+    let cfg = TrainConfig { crypto: CryptoConfig::Mock, ..TrainConfig::for_tests() };
+    let dir = temp_dir("sid_mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sess = PartySession::host(&SessionConfig::new(7, &dir), &cfg, 0);
+    let suite = Suite::plain(EncodingConfig::default());
+    let handle = std::thread::spawn(move || run_host(0, data, cfg, suite, host_ep, Some(sess)));
+    // Drain the host's SessionHello and FeatureMeta, then claim a
+    // different session id in the Resume decision.
+    let _ = guest_ep.recv().unwrap();
+    let _ = guest_ep.recv().unwrap();
+    let resume = Msg::Resume { session_id: 8, tree_count: 0 };
+    guest_ep.send(resume.kind(), wire::encode(&resume));
+    let failure = handle.join().unwrap().expect_err("a foreign session id must be rejected");
+    assert!(
+        matches!(failure.error, TrainError::ResumeMismatch { party: PartyId::Guest, .. }),
+        "expected ResumeMismatch, got {}",
+        failure.error
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
