@@ -10,6 +10,12 @@ cargo fmt --check
 echo "== cargo clippy (all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Panic-path gate: non-test code in the protocol and channel crates may
+# not unwrap/expect (crate-level cfg_attr(not(test), deny(...)) lints;
+# --lib builds without cfg(test) so only shipping code is checked).
+echo "== clippy panic-path gate (core + channel, non-test) =="
+cargo clippy -p vf2boost-core -p vf2-channel --lib -- -D warnings
+
 echo "== cargo test =="
 cargo test --workspace -q
 
@@ -23,5 +29,25 @@ timeout 900 cargo test -q --test resume
 
 echo "== cargo bench --no-run =="
 cargo bench --workspace --no-run
+
+# Run-report gate: a small end-to-end training must emit a schema-valid
+# machine-readable report (vf2boost-run-report/v1), and each party's
+# per-phase durations must sum to its busy time and stay within the run's
+# wall clock (generous slack: CI boxes stall).
+echo "== run report schema gate (jq) =="
+REPORT=$(mktemp /tmp/vf2_run_report.XXXXXX.json)
+VF2_KEY_BITS=256 cargo run --release -q -p vf2-bench --bin perf_smoke -- --report "$REPORT"
+jq -e '.schema == "vf2boost-run-report/v1"' "$REPORT" > /dev/null
+jq -e '.wall_time_s > 0 and .total_bytes > 0' "$REPORT" > /dev/null
+jq -e '.parties | length >= 2' "$REPORT" > /dev/null
+jq -e 'all(.parties[]; .phases.busy_s >= 0 and .ops != null and .events != null and .trace.cap > 0)' "$REPORT" > /dev/null
+# busy == sum(phases) per party, and busy <= wall + slack.
+jq -e '
+  .wall_time_s as $wall |
+  all(.parties[]; .phases |
+    (((.encrypt_s + .build_hist_enc_s + .build_hist_plain_s
+       + .pack_s + .decrypt_find_s + .split_nodes_s) - .busy_s) | fabs) < 1e-5
+    and .busy_s <= $wall + 1.0)' "$REPORT" > /dev/null
+rm -f "$REPORT"
 
 echo "CI OK"

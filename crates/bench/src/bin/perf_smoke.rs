@@ -13,6 +13,11 @@
 //!    (subtraction count, cache hit rate, homomorphic adds saved).
 //!
 //! Run with `cargo run --release -p vf2-bench --bin perf_smoke`.
+//!
+//! With `--report <path>` it instead runs one small end-to-end federated
+//! training and writes the machine-readable run report
+//! (`vf2boost-run-report/v1`, see `vf2boost_core::telemetry`) to `path` —
+//! the artifact ci.sh schema-checks with `jq`.
 
 use std::time::Instant;
 
@@ -35,6 +40,15 @@ const MICRO_FEATURES: usize = 5;
 const E2E_ROWS: usize = 1200;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--report") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("usage: perf_smoke --report <path>");
+            std::process::exit(2);
+        });
+        run_report(path);
+        return;
+    }
     let micro = micro_bench();
     let e2e = end_to_end();
     let json = format!(
@@ -46,6 +60,41 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
     std::fs::write(path, &json).expect("write BENCH_PR2.json");
     println!("\nwrote {path}");
+}
+
+/// Runs one small federated training and writes the structured run report
+/// (phase durations, op counts, link fault counters, cache hit rates,
+/// modeled makespans) as `vf2boost-run-report/v1` JSON.
+fn run_report(path: &str) {
+    let s = split_vertical(
+        &generate_classification(&SyntheticConfig {
+            rows: 600,
+            features: 8,
+            density: 1.0,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed: 9,
+        }),
+        &[4],
+    );
+    let cfg = TrainConfig {
+        gbdt: GbdtParams {
+            num_trees: 2,
+            max_layers: 4,
+            binning: BinningConfig { num_bins: MICRO_BINS, max_samples: 1 << 16 },
+            ..Default::default()
+        },
+        protocol: ProtocolConfig::vf2boost(),
+        ..base_config()
+    };
+    let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+    let json = out.report.to_json();
+    std::fs::write(path, &json).expect("write run report");
+    println!(
+        "wrote {path} (wall {:.3} s, {} bytes on the wire)",
+        out.report.wall_time.as_secs_f64(),
+        out.report.total_bytes()
+    );
 }
 
 /// Times one depth-2 node's histogram production both ways.

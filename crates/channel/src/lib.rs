@@ -27,6 +27,11 @@
 //!   by the WAN model.
 
 #![warn(missing_docs)]
+// Panic-free policy: non-test code may not unwrap/expect. Wire faults are
+// expected operating conditions here, so every fallible path returns a
+// typed error; the two thread-spawn `expect`s carry local `#[allow]`s with
+// a justification. Enforced by ci.sh via `cargo clippy --lib -- -D warnings`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codec;
 pub mod fault;

@@ -421,6 +421,10 @@ fn spawn_endpoint(
         let recv_stats = recv_stats.clone();
         let shutdown = shutdown.clone();
         let last_heard = last_heard.clone();
+        // Spawning can only fail on OS thread exhaustion at link setup,
+        // before any federated state exists; aborting there is the only
+        // sane response and nothing needs unwinding.
+        #[allow(clippy::expect_used)]
         thread::Builder::new()
             .name("vf2-link-rel".into())
             .spawn(move || {
@@ -551,6 +555,9 @@ fn spawn_pump(
     wire_tx: Sender<(Instant, Frame)>,
     stats: Arc<LinkStats>,
 ) {
+    // As above: thread spawn only fails on OS resource exhaustion during
+    // link construction, before the protocol starts; abort is correct.
+    #[allow(clippy::expect_used)]
     thread::Builder::new()
         .name("vf2-gateway-pump".into())
         .spawn(move || {

@@ -60,14 +60,23 @@ pub struct TrainConfig {
     /// peer's overall `peer_timeout` honest. The effective deadline is
     /// `min(peer_dead_after, peer_timeout)`.
     pub peer_dead_after: Duration,
-    /// Cap on each party's in-memory telemetry event log; once full the
-    /// oldest entries are dropped (and counted) so a flapping link
-    /// cannot grow memory without bound.
-    pub event_log_cap: usize,
+    /// Cap on each party's in-memory trace ring; once full the oldest
+    /// events are dropped (and counted) so a flapping link cannot grow
+    /// memory without bound.
+    pub trace_events_cap: usize,
+    /// Whether parties record span enter/exit and transfer trace events
+    /// (protocol events such as dirty rollbacks, cache evictions, and
+    /// robustness notes are always recorded). Tracing never influences
+    /// protocol decisions, so models are identical either way.
+    pub trace_spans: bool,
     /// Chaos knob: the host panics (simulating a process kill) right
     /// after completing — and checkpointing — this many trees. `None`
     /// in production.
     pub crash_host_after_trees: Option<u32>,
+    /// Chaos knob: histogram worker shard 0 panics *inside the rayon
+    /// scope* while accumulating this tree's root, exercising the
+    /// worker-panic recovery path. `None` in production.
+    pub crash_hist_worker_on_tree: Option<u32>,
     /// Data-parallel workers inside each party (shards per histogram
     /// build; also the rayon pool width per party).
     pub workers: usize,
@@ -91,8 +100,10 @@ impl Default for TrainConfig {
             checkpoint_every: 1,
             heartbeat_interval: Duration::from_millis(500),
             peer_dead_after: Duration::from_secs(60),
-            event_log_cap: 256,
+            trace_events_cap: 256,
+            trace_spans: true,
             crash_host_after_trees: None,
+            crash_hist_worker_on_tree: None,
             workers: 1,
             seed: 42,
         }
@@ -145,7 +156,9 @@ mod tests {
         assert!(c.heartbeat_interval < c.peer_dead_after);
         assert!(c.heartbeat_interval < c.peer_timeout);
         assert!(c.checkpoint_every >= 1);
-        assert!(c.event_log_cap > 0);
+        assert!(c.trace_events_cap > 0);
+        assert!(c.trace_spans);
+        assert!(c.crash_hist_worker_on_tree.is_none());
     }
 
     #[test]

@@ -98,6 +98,16 @@ pub enum ProtocolError {
         /// Rows covered by the received batches.
         got: usize,
     },
+    /// The peer's message sequence broke a protocol-state invariant the
+    /// receiver relies on (e.g. a node task for a tree whose state was
+    /// never announced). These sites used to be `expect(...)` panics;
+    /// they are peer-triggerable, so they must surface as typed errors.
+    InvariantViolated {
+        /// The party whose messages broke the invariant.
+        party: PartyId,
+        /// The invariant that failed to hold.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -114,6 +124,9 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::IncompleteGradients { expected, got } => {
                 write!(f, "final gradient batch covers {got} of {expected} rows")
+            }
+            ProtocolError::InvariantViolated { party, context } => {
+                write!(f, "message sequence from {party} broke invariant: {context}")
             }
         }
     }
@@ -294,6 +307,16 @@ mod tests {
         assert!(TrainError::Checkpoint { party: PartyId::Guest, detail: "io: denied".into() }
             .to_string()
             .contains("guest checkpoint failure"));
+        let inv: TrainError = ProtocolError::InvariantViolated {
+            party: PartyId::Guest,
+            context: "node task before tree state",
+        }
+        .into();
+        assert_eq!(
+            inv.to_string(),
+            "protocol violation: message sequence from guest broke invariant: \
+             node task before tree state"
+        );
     }
 
     #[test]

@@ -38,7 +38,8 @@ use crate::messages::{FeatureMeta, HistPayload, Msg, HEARTBEAT_KIND};
 use crate::model::{FedNode, FedTree};
 use crate::rows::{NodeRows, RowMajorBins};
 use crate::session::{dead_after, PartySession};
-use crate::telemetry::{EventLog, PartyTelemetry, Stopwatch, TreeRecord};
+use crate::telemetry::{PartyTelemetry, Stopwatch, TreeRecord};
+use crate::trace::{write_flight_record, TracePhase, TraceRing};
 use crate::wire;
 
 /// What the guest hands back after training.
@@ -100,6 +101,13 @@ fn fold_zero_mass(bins: &mut [GradPair], meta: FeatureMeta, total: GradPair) {
     bins[meta.zero_bin as usize] += total - stored;
 }
 
+/// A guest-side protocol-state invariant broke: the driver's node
+/// bookkeeping desynchronized from the observed message sequence. These
+/// sites used to be `expect(...)` panics.
+fn guest_invariant(context: &'static str) -> TrainError {
+    ProtocolError::InvariantViolated { party: PartyId::Guest, context }.into()
+}
+
 /// Runs the guest to completion and shuts the hosts down.
 ///
 /// Never panics on peer misbehaviour: a silent or disconnected host
@@ -128,6 +136,10 @@ struct GuestParty {
     suite: Suite,
     endpoints: Vec<Endpoint>,
     data: Arc<Dataset>,
+    /// The label vector, captured once at construction (presence is a
+    /// constructor invariant — storing it removes every later
+    /// `labels().expect(...)`).
+    labels: Vec<f32>,
     binned: BinnedDataset,
     csr: RowMajorBins,
     host_metas: Vec<Vec<FeatureMeta>>,
@@ -151,9 +163,10 @@ impl GuestParty {
         endpoints: Vec<Endpoint>,
         session: Option<PartySession>,
     ) -> Result<GuestParty, TrainError> {
-        if data.labels().is_none() {
+        let Some(labels) = data.labels() else {
             return Err(TrainError::InvalidInput("the guest must own the labels".into()));
-        }
+        };
+        let labels = labels.to_vec();
         let binned = BinnedDataset::bin(&data, &cfg.gbdt.binning);
         let csr = RowMajorBins::from_binned(&binned);
         let pool = rayon::ThreadPoolBuilder::new()
@@ -167,7 +180,7 @@ impl GuestParty {
             host_metas: Vec::new(),
             telemetry: PartyTelemetry {
                 name: "guest".into(),
-                log: EventLog::with_cap(cfg.event_log_cap),
+                trace: TraceRing::new(cfg.trace_events_cap, cfg.trace_spans),
                 ..Default::default()
             },
             tree_records: Vec::new(),
@@ -179,6 +192,7 @@ impl GuestParty {
             suite,
             endpoints,
             data,
+            labels,
             binned,
             csr,
             pool,
@@ -197,8 +211,19 @@ impl GuestParty {
                 })
             }
             Err(error) => {
-                // Hand back whatever was measured before the failure.
+                // Hand back whatever was measured before the failure, and
+                // dump the flight record first (best-effort: a failing
+                // dump must not mask the original error).
                 self.collect_transfer_stats();
+                if let Some(sess) = &self.session {
+                    let _ = write_flight_record(
+                        &sess.flight_path(),
+                        sess.session_id(),
+                        sess.digest(),
+                        &error.to_string(),
+                        &self.telemetry,
+                    );
+                }
                 Err(GuestFailure {
                     error,
                     telemetry: Box::new(self.telemetry),
@@ -229,8 +254,8 @@ impl GuestParty {
                         });
                     }
                     self.telemetry
-                        .log
-                        .push(format!("host-{h} hello: session {session_id} epoch {epoch}"));
+                        .trace
+                        .note(format!("host-{h} hello: session {session_id} epoch {epoch}"));
                     host_durable.push(durable);
                 }
                 other => {
@@ -282,7 +307,9 @@ impl GuestParty {
 
         let mut trees = Vec::with_capacity(self.cfg.gbdt.num_trees);
         if resume_from > 0 {
-            let sess = session.as_ref().expect("resume implies a session");
+            let Some(sess) = session.as_ref() else {
+                return Err(guest_invariant("resume point chosen without a session"));
+            };
             let ck = sess.load_guest(resume_from)?;
             if ck.preds.len() != self.preds.len() {
                 return Err(TrainError::ResumeMismatch {
@@ -297,26 +324,24 @@ impl GuestParty {
             trees = ck.trees;
             self.preds = ck.preds;
             self.telemetry.events.resumes += 1;
-            self.telemetry.log.push(format!("resumed from checkpoint at {resume_from} trees"));
+            self.telemetry.trace.note(format!("resumed from checkpoint at {resume_from} trees"));
         }
 
         self.started = Instant::now();
         for t in (resume_from as usize)..self.cfg.gbdt.num_trees {
             let tree = self.train_tree(t as u32)?;
             trees.push(tree);
-            // Labels were checked at construction.
-            let labels = self.data.labels().expect("labels");
             self.tree_records.push(TreeRecord {
                 tree: t,
                 completed_at: self.started.elapsed(),
-                train_loss: self.cfg.gbdt.loss.mean_loss(labels, &self.preds),
+                train_loss: self.cfg.gbdt.loss.mean_loss(&self.labels, &self.preds),
             });
             if let Some(sess) = &session {
                 let completed = t as u32 + 1;
                 if sess.should_checkpoint(completed) {
                     sess.save_guest(completed, trees.clone(), self.preds.clone())?;
                     self.telemetry.events.checkpoints_written += 1;
-                    self.telemetry.log.push(format!("checkpoint written at {completed} trees"));
+                    self.telemetry.trace.note(format!("checkpoint written at {completed} trees"));
                 }
             }
         }
@@ -370,6 +395,16 @@ impl GuestParty {
         }
     }
 
+    /// Broadcasts a bulk protocol message, recording one transfer trace
+    /// event with the payload bytes summed over all destination links.
+    fn broadcast_traced(&mut self, msg: &Msg, tree: u32) {
+        let payload = wire::encode(msg);
+        self.telemetry.trace.transfer(Some(tree), (payload.len() * self.endpoints.len()) as u64);
+        for ep in &self.endpoints {
+            ep.send(msg.kind(), payload.clone());
+        }
+    }
+
     fn send_to(&self, host: usize, msg: &Msg) {
         self.endpoints[host].send(msg.kind(), wire::encode(msg));
     }
@@ -396,7 +431,7 @@ impl GuestParty {
             self.telemetry.events.heartbeats_sent += 1;
             if self.endpoints[host].idle_for() >= self.cfg.heartbeat_interval {
                 self.telemetry.events.heartbeats_missed += 1;
-                self.telemetry.log.push(format!(
+                self.telemetry.trace.note(format!(
                     "host-{host} silent for {:?} at heartbeat {seq}",
                     self.endpoints[host].idle_for()
                 ));
@@ -404,7 +439,7 @@ impl GuestParty {
         }
         let deadline = dead_after(&self.cfg);
         if self.endpoints[host].idle_for() >= deadline {
-            self.telemetry.log.push(format!("host-{host} declared dead after {deadline:?}"));
+            self.telemetry.trace.note(format!("host-{host} declared dead after {deadline:?}"));
             return Err(self.peer_lost(host, phase, t0, RecvError::Timeout));
         }
         Ok(())
@@ -483,9 +518,7 @@ impl GuestParty {
     // ------------------------------------------------------------------
 
     fn train_tree(&mut self, tree: u32) -> Result<FedTree, TrainError> {
-        // Labels were checked at construction.
-        let labels = self.data.labels().expect("labels").to_vec();
-        let grads = self.cfg.gbdt.loss.grad_hess_all(&labels, &self.preds);
+        let grads = self.cfg.gbdt.loss.grad_hess_all(&self.labels, &self.preds);
         let n = self.data.num_rows();
         let mut ctx = TreeCtx {
             tree,
@@ -534,6 +567,7 @@ impl GuestParty {
                 .wrapping_add((ctx.tree as u64) << 32)
                 .wrapping_add(start as u64);
             let t0 = Stopwatch::start(self.cfg.workers <= 1);
+            self.telemetry.trace.enter(TracePhase::Encrypt, Some(ctx.tree), None);
             let (g_res, h_res) = if self.cfg.workers <= 1 {
                 (
                     self.suite.encrypt_batch_seq(&g_vals[start..end], seed),
@@ -550,15 +584,19 @@ impl GuestParty {
             let g_cts = g_res.map_err(TrainError::crypto("gradient encryption"))?;
             let h_cts = h_res.map_err(TrainError::crypto("hessian encryption"))?;
             self.telemetry.phases.encrypt += t0.elapsed();
+            self.telemetry.trace.exit(TracePhase::Encrypt, Some(ctx.tree), None);
             // Hand to the gateway immediately; encryption of the next batch
             // overlaps with the wire and with host-side accumulation.
-            self.broadcast(&Msg::GradBatch {
-                tree: ctx.tree,
-                start_row: start as u32,
-                g: g_cts,
-                h: h_cts,
-                last: end == n,
-            });
+            self.broadcast_traced(
+                &Msg::GradBatch {
+                    tree: ctx.tree,
+                    start_row: start as u32,
+                    g: g_cts,
+                    h: h_cts,
+                    last: end == n,
+                },
+                ctx.tree,
+            );
             start = end;
         }
         Ok(())
@@ -583,6 +621,7 @@ impl GuestParty {
 
         // FindSplitB: plaintext histograms over the guest's own features.
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        self.telemetry.trace.enter(TracePhase::PlainHist, Some(ctx.tree), Some(node as u32));
         let hists = self.csr.node_histograms(&rows, &ctx.grads);
         let guest_best = best_of(
             hists
@@ -591,12 +630,24 @@ impl GuestParty {
                 .filter_map(|(f, h)| find_best_split(f, h, total, &self.cfg.gbdt.split)),
         );
         self.telemetry.phases.build_hist_plain += t0.elapsed();
+        self.telemetry.trace.exit(TracePhase::PlainHist, Some(ctx.tree), Some(node as u32));
 
         self.broadcast(&Msg::NodeTask {
             tree: ctx.tree,
             node: node as u32,
             epoch: ctx.epoch[node],
         });
+        // Optimistic node-splitting: act on our own best split before the
+        // hosts weigh in (§4.2). Speculation is bounded to ONE layer
+        // beyond the validated frontier, as in the paper ("only after
+        // FindSplitB of layer l+1 is done will Party B pause"): splitting
+        // deeper would let a dirty node near the root waste a whole
+        // subtree of host work. The flag is decided before the insert so
+        // the state never needs to be re-fetched (and can never be
+        // missing) afterwards.
+        let speculate = self.cfg.protocol.optimistic
+            && guest_best.is_some()
+            && self.parent_validated(ctx, node);
         ctx.states.insert(
             node,
             NodeState {
@@ -604,27 +655,18 @@ impl GuestParty {
                 guest_best,
                 host_best: vec![None; self.endpoints.len()],
                 host_received: vec![false; self.endpoints.len()],
-                already_split: false,
+                already_split: speculate,
                 awaiting_placement: None,
                 resolved: false,
             },
         );
         ctx.pending += 1;
 
-        if self.cfg.protocol.optimistic {
+        if speculate {
             if let Some(best) = guest_best {
-                // Optimistic node-splitting: act on our own best split
-                // before the hosts weigh in (§4.2). Speculation is bounded
-                // to ONE layer beyond the validated frontier, as in the
-                // paper ("only after FindSplitB of layer l+1 is done will
-                // Party B pause"): splitting deeper would let a dirty node
-                // near the root waste a whole subtree of host work.
-                if self.parent_validated(ctx, node) {
-                    self.apply_guest_split(ctx, node, best);
-                    ctx.states.get_mut(&node).expect("just inserted").already_split = true;
-                    self.telemetry.events.optimistic_splits += 1;
-                    self.materialize_children(ctx, node);
-                }
+                self.apply_guest_split(ctx, node, best);
+                self.telemetry.events.optimistic_splits += 1;
+                self.materialize_children(ctx, node);
             }
         }
         true
@@ -646,13 +688,19 @@ impl GuestParty {
             return;
         }
         for child in [left_child(node), right_child(node)] {
-            let Some(st) = ctx.states.get(&child) else { continue };
-            if st.resolved || st.already_split || st.awaiting_placement.is_some() {
-                continue;
-            }
-            let Some(best) = st.guest_best else { continue };
+            // Flip the flag through get_mut so no second (fallible) lookup
+            // is needed after apply_guest_split borrows `ctx` mutably.
+            let best = match ctx.states.get_mut(&child) {
+                Some(st)
+                    if !st.resolved && !st.already_split && st.awaiting_placement.is_none() =>
+                {
+                    let Some(best) = st.guest_best else { continue };
+                    st.already_split = true;
+                    best
+                }
+                _ => continue,
+            };
             self.apply_guest_split(ctx, child, best);
-            ctx.states.get_mut(&child).expect("state").already_split = true;
             self.telemetry.events.optimistic_splits += 1;
             self.materialize_children(ctx, child);
         }
@@ -662,11 +710,13 @@ impl GuestParty {
     /// hosts.
     fn apply_guest_split(&mut self, ctx: &mut TreeCtx, node: NodeId, best: SplitCandidate) {
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        self.telemetry.trace.enter(TracePhase::Placement, Some(ctx.tree), Some(node as u32));
         let col = self.binned.column(best.feature);
         let placement: Vec<bool> =
             ctx.rows.rows(node).iter().map(|&r| col.bin_of_row(r as usize) <= best.bin).collect();
         ctx.rows.apply_placement(node, &placement);
         self.telemetry.phases.split_nodes += t0.elapsed();
+        self.telemetry.trace.exit(TracePhase::Placement, Some(ctx.tree), Some(node as u32));
         self.broadcast(&Msg::ApplyPlacement { tree: ctx.tree, node: node as u32, placement });
     }
 
@@ -801,8 +851,10 @@ impl GuestParty {
     }
 
     /// Resolves a node once every host's histograms have been seen.
-    fn resolve(&mut self, ctx: &mut TreeCtx, node: NodeId) {
-        let state = ctx.states.get(&node).expect("state exists");
+    fn resolve(&mut self, ctx: &mut TreeCtx, node: NodeId) -> Result<(), TrainError> {
+        let Some(state) = ctx.states.get(&node) else {
+            return Err(guest_invariant("resolving a node with no state"));
+        };
         debug_assert!(state.host_received.iter().all(|&b| b));
         match Self::winner(state) {
             Winner::None => {
@@ -810,7 +862,9 @@ impl GuestParty {
                 let total = state.total;
                 debug_assert!(!state.already_split);
                 self.finalize_leaf(ctx, node, total);
-                let state = ctx.states.get_mut(&node).expect("state");
+                let Some(state) = ctx.states.get_mut(&node) else {
+                    return Err(guest_invariant("node state vanished while finalizing a leaf"));
+                };
                 state.resolved = true;
                 ctx.pending -= 1;
             }
@@ -826,7 +880,9 @@ impl GuestParty {
                     }),
                 );
                 self.telemetry.events.splits_won += 1;
-                let state = ctx.states.get_mut(&node).expect("state");
+                let Some(state) = ctx.states.get_mut(&node) else {
+                    return Err(guest_invariant("node state vanished while recording a split"));
+                };
                 state.resolved = true;
                 ctx.pending -= 1;
                 if !was_split {
@@ -846,6 +902,7 @@ impl GuestParty {
                     // Dirty node: our optimistic guest split loses to host
                     // `h`. Roll the subtree back (§4.2, Fig. 6).
                     self.telemetry.events.dirty_nodes += 1;
+                    self.telemetry.trace.dirty_rollback(ctx.tree, node as u32);
                     self.rollback_descendants(ctx, node);
                     ctx.decisions.remove(&node);
                 }
@@ -858,11 +915,14 @@ impl GuestParty {
                         bin: best.bin,
                     },
                 );
-                let state = ctx.states.get_mut(&node).expect("state");
+                let Some(state) = ctx.states.get_mut(&node) else {
+                    return Err(guest_invariant("node state vanished while awaiting placement"));
+                };
                 state.already_split = false;
                 state.awaiting_placement = Some(h);
             }
         }
+        Ok(())
     }
 
     /// Discards every strict descendant's state, decision, and rows;
@@ -911,8 +971,10 @@ impl GuestParty {
         ctx.decisions.insert(node, Decision::HostSplit { party: host as u16 });
 
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        self.telemetry.trace.enter(TracePhase::Placement, Some(ctx.tree), Some(node as u32));
         ctx.rows.apply_placement(node, &placement);
         self.telemetry.phases.split_nodes += t0.elapsed();
+        self.telemetry.trace.exit(TracePhase::Placement, Some(ctx.tree), Some(node as u32));
         // Relay to the other hosts so their row lists stay aligned.
         for other in 0..self.endpoints.len() {
             if other != host {
@@ -950,12 +1012,16 @@ impl GuestParty {
             }
             (s.total, ctx.rows.rows(node).len())
         };
+        self.telemetry.trace.enter(TracePhase::DecryptSplit, Some(ctx.tree), Some(node as u32));
         let best = self.host_best_split(host, &payload, total, count)?;
-        let state = ctx.states.get_mut(&node).expect("state");
+        self.telemetry.trace.exit(TracePhase::DecryptSplit, Some(ctx.tree), Some(node as u32));
+        let Some(state) = ctx.states.get_mut(&node) else {
+            return Err(guest_invariant("node state vanished while decrypting histograms"));
+        };
         state.host_best[host] = best;
         state.host_received[host] = true;
         if state.host_received.iter().all(|&b| b) {
-            self.resolve(ctx, node);
+            self.resolve(ctx, node)?;
         }
         Ok(())
     }
@@ -1037,14 +1103,28 @@ impl GuestParty {
             let mut awaiting: Vec<NodeId> = Vec::new();
             for &node in &active {
                 for host in 0..self.endpoints.len() {
-                    let payload = buffered.remove(&(host, node)).expect("buffered payload");
+                    let Some(payload) = buffered.remove(&(host, node)) else {
+                        return Err(guest_invariant("layer wait ended with a histogram missing"));
+                    };
                     let (total, count) = (ctx.states[&node].total, ctx.rows.rows(node).len());
+                    self.telemetry.trace.enter(
+                        TracePhase::DecryptSplit,
+                        Some(ctx.tree),
+                        Some(node as u32),
+                    );
                     let best = self.host_best_split(host, &payload, total, count)?;
-                    let state = ctx.states.get_mut(&node).expect("state");
+                    self.telemetry.trace.exit(
+                        TracePhase::DecryptSplit,
+                        Some(ctx.tree),
+                        Some(node as u32),
+                    );
+                    let Some(state) = ctx.states.get_mut(&node) else {
+                        return Err(guest_invariant("active node lost its state mid-layer"));
+                    };
                     state.host_best[host] = best;
                     state.host_received[host] = true;
                 }
-                self.resolve(ctx, node);
+                self.resolve(ctx, node)?;
                 if ctx.states[&node].awaiting_placement.is_some() {
                     awaiting.push(node);
                 }

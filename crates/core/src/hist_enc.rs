@@ -191,6 +191,10 @@ impl EncHistBuilder {
         // Pass 2: re-walk in the same order, folding each negation into
         // the matching parent bin.
         let mut next = |p: Option<&Ciphertext>| -> Result<Ciphertext> {
+            // Infallible: pass 2 re-walks `other` in exactly the order pass
+            // 1 used to fill `to_negate`, so the iterator cannot run dry
+            // before the walk ends (and neg_batch preserves length).
+            #[allow(clippy::expect_used)]
             let n = negated.next().expect("pass 2 walks the same occupied slots as pass 1");
             match p {
                 Some(p) => suite.add(p, &n),
@@ -305,6 +309,9 @@ pub fn pack_feature_hist(
     let slot_bits = required_slot_bits(count, grad_bound, encoding, target_slot_bits);
     let plan = match suite.kind() {
         SuiteKind::Paillier => {
+            // Infallible: `public_key()` is `None` only for the plain mock
+            // suite, and this arm is reached only when `kind()` is Paillier.
+            #[allow(clippy::expect_used)]
             let pk = suite.public_key().expect("paillier suite has a public key");
             let max = PackingPlan::max_slots(pk, slot_bits);
             if max == 0 {

@@ -28,7 +28,8 @@ use crate::messages::{
 use crate::model::HostSplitTable;
 use crate::rows::{NodeRows, RowMajorBins};
 use crate::session::{dead_after, PartySession};
-use crate::telemetry::{EventLog, PartyTelemetry, Stopwatch};
+use crate::telemetry::{PartyTelemetry, Stopwatch};
+use crate::trace::{write_flight_record, TracePhase, TraceRing};
 use crate::wire;
 
 /// Runs a host party to completion (until the guest sends `Shutdown`).
@@ -62,10 +63,40 @@ pub fn run_host(
     match host.run() {
         Ok(()) => Ok(host.finish()),
         Err(error) => {
+            // Flight recorder: dump the last trace events + session
+            // identity before surfacing the failure. Best-effort — a
+            // failing dump must not mask the original error.
+            let session = host.session.clone();
             let (telemetry, _) = host.finish();
+            if let Some(sess) = session {
+                let _ = write_flight_record(
+                    &sess.flight_path(),
+                    sess.session_id(),
+                    sess.digest(),
+                    &error.to_string(),
+                    &telemetry,
+                );
+            }
             Err(HostFailure { error, telemetry: Box::new(telemetry) })
         }
     }
+}
+
+/// Renders a caught panic payload for error reports.
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A protocol-state invariant broke: the guest's message sequence asked
+/// for state this host does not hold.
+fn state_invariant(context: &'static str) -> TrainError {
+    ProtocolError::InvariantViolated { party: PartyId::Guest, context }.into()
 }
 
 /// Per-tree mutable state.
@@ -141,17 +172,12 @@ impl NodeHistCache {
     /// Removes and returns the builders of a fresh entry; a stale entry is
     /// dropped on the way (it can never become valid again).
     fn take_valid(&mut self, node: u32, rev: u32) -> Option<(EncHistBuilder, EncHistBuilder)> {
-        match self.entries.get(&node) {
-            Some(e) if e.rev == rev => {
-                let e = self.entries.remove(&node).expect("just observed");
-                self.total_bytes -= e.bytes;
-                Some((e.g, e.h))
-            }
-            Some(_) => {
-                self.invalidate(node);
-                None
-            }
-            None => None,
+        let e = self.entries.remove(&node)?;
+        self.total_bytes -= e.bytes;
+        if e.rev == rev {
+            Some((e.g, e.h))
+        } else {
+            None
         }
     }
 
@@ -162,16 +188,31 @@ impl NodeHistCache {
     }
 
     /// Inserts an entry, applying level-scoped then cap-driven eviction.
-    fn insert(&mut self, node: u32, rev: u32, bytes: u64, g: EncHistBuilder, h: EncHistBuilder) {
+    /// Returns the `(node, bytes)` of every *resident* entry evicted
+    /// (replacing the node's own prior entry does not count) so the host
+    /// can trace and count them.
+    fn insert(
+        &mut self,
+        node: u32,
+        rev: u32,
+        bytes: u64,
+        g: EncHistBuilder,
+        h: EncHistBuilder,
+    ) -> Vec<(u32, u64)> {
+        let mut evicted = Vec::new();
         let level = node_level(node);
         self.invalidate(node);
         // Level scope: entries more than one level above the insertion
         // point can no longer parent any future subtraction.
         if level >= 2 {
-            let dead: Vec<u32> =
+            let mut dead: Vec<u32> =
                 self.entries.iter().filter(|(_, e)| e.level + 1 < level).map(|(&n, _)| n).collect();
+            dead.sort_unstable();
             for n in dead {
-                self.invalidate(n);
+                if let Some(e) = self.entries.remove(&n) {
+                    self.total_bytes -= e.bytes;
+                    evicted.push((n, e.bytes));
+                }
             }
         }
         // Cap: evict deepest-first (deterministic max over unique keys),
@@ -184,14 +225,20 @@ impl NodeHistCache {
                 .max_by_key(|(&n, e)| (e.level, n))
                 .map(|(&n, _)| n);
             match victim {
-                Some(v) => self.invalidate(v),
+                Some(v) => {
+                    if let Some(e) = self.entries.remove(&v) {
+                        self.total_bytes -= e.bytes;
+                        evicted.push((v, e.bytes));
+                    }
+                }
                 // Only shallower (more valuable) entries remain: the
                 // incoming entry is the one that does not fit.
-                None => return,
+                None => return evicted,
             }
         }
         self.total_bytes += bytes;
         self.entries.insert(node, CacheEntry { rev, level, bytes, g, h });
+        evicted
     }
 }
 
@@ -240,7 +287,7 @@ impl HostParty {
             })?;
         let telemetry = PartyTelemetry {
             name: format!("host-{party_index}"),
-            log: EventLog::with_cap(cfg.event_log_cap),
+            trace: TraceRing::new(cfg.trace_events_cap, cfg.trace_spans),
             ..Default::default()
         };
         Ok(HostParty {
@@ -272,7 +319,7 @@ impl HostParty {
             Some(s) => (s.session_id(), s.bump_epoch(), s.durable()),
             None => (0, 0, Vec::new()),
         };
-        self.telemetry.log.push(format!("hello: session {sid} epoch {epoch}"));
+        self.telemetry.trace.note(format!("hello: session {sid} epoch {epoch}"));
         self.send(&Msg::SessionHello { session_id: sid, epoch, durable });
         // Then announce histogram structure (bin counts + zero bins only).
         let metas: Vec<FeatureMeta> = self
@@ -324,6 +371,14 @@ impl HostParty {
         self.endpoint.send(msg.kind(), wire::encode(msg));
     }
 
+    /// Sends a bulk protocol message, recording a transfer trace event
+    /// with its encoded payload size.
+    fn send_traced(&mut self, msg: &Msg, tree: u32) {
+        let payload = wire::encode(msg);
+        self.telemetry.trace.transfer(Some(tree), payload.len() as u64);
+        self.endpoint.send(msg.kind(), payload);
+    }
+
     /// Declares the guest lost after a failed wait that began at `t0`.
     fn guest_lost(&mut self, t0: Instant, reason: RecvError) -> TrainError {
         self.telemetry.phases.idle += t0.elapsed();
@@ -350,7 +405,7 @@ impl HostParty {
             self.telemetry.events.heartbeats_sent += 1;
             if self.endpoint.idle_for() >= self.cfg.heartbeat_interval {
                 self.telemetry.events.heartbeats_missed += 1;
-                self.telemetry.log.push(format!(
+                self.telemetry.trace.note(format!(
                     "guest silent for {:?} at heartbeat {seq}",
                     self.endpoint.idle_for()
                 ));
@@ -358,7 +413,7 @@ impl HostParty {
         }
         let deadline = dead_after(&self.cfg);
         if self.endpoint.idle_for() >= deadline {
-            self.telemetry.log.push(format!("guest declared dead after {deadline:?}"));
+            self.telemetry.trace.note(format!("guest declared dead after {deadline:?}"));
             return Err(self.guest_lost(t0, RecvError::Timeout));
         }
         Ok(())
@@ -418,11 +473,11 @@ impl HostParty {
         }
         self.splits = ck.table;
         self.telemetry.events.resumes += 1;
-        self.telemetry.log.push(format!("resumed from checkpoint at {tree_count} trees"));
+        self.telemetry.trace.note(format!("resumed from checkpoint at {tree_count} trees"));
         Ok(())
     }
 
-    fn ensure_tree(&mut self, tree: u32) -> &mut TreeState {
+    fn ensure_tree(&mut self, tree: u32) {
         let stale = self.state.as_ref().is_none_or(|s| s.tree != tree);
         if stale {
             let n = self.csr.num_rows();
@@ -453,7 +508,6 @@ impl HostParty {
             self.task_queue.clear();
             self.task_epoch.clear();
         }
-        self.state.as_mut().expect("just ensured")
     }
 
     /// True if `node` can be split: its row list exists and both children
@@ -491,6 +545,7 @@ impl HostParty {
             }
             Msg::ApplyPlacement { tree, node, placement } => {
                 let t0 = Stopwatch::start(self.cfg.workers <= 1);
+                self.telemetry.trace.enter(TracePhase::Placement, Some(tree), Some(node));
                 self.ensure_tree(tree);
                 if !self.splittable(node) {
                     return Err(ProtocolError::UnexpectedMessage {
@@ -500,7 +555,9 @@ impl HostParty {
                     }
                     .into());
                 }
-                let state = self.state.as_mut().expect("tree state ensured");
+                let Some(state) = self.state.as_mut() else {
+                    return Err(state_invariant("placement arrived with no tree state"));
+                };
                 if state.rows.rows(node as usize).len() != placement.len() {
                     return Err(ProtocolError::UnexpectedMessage {
                         from: PartyId::Guest,
@@ -513,9 +570,11 @@ impl HostParty {
                 state.cache.invalidate(left_child(node as usize) as u32);
                 state.cache.invalidate(right_child(node as usize) as u32);
                 self.telemetry.phases.split_nodes += t0.elapsed();
+                self.telemetry.trace.exit(TracePhase::Placement, Some(tree), Some(node));
             }
             Msg::HostSplitChosen { tree, node, feature, bin } => {
                 let t0 = Stopwatch::start(self.cfg.workers <= 1);
+                self.telemetry.trace.enter(TracePhase::Placement, Some(tree), Some(node));
                 self.ensure_tree(tree);
                 if feature as usize >= self.binned.num_features() || !self.splittable(node) {
                     return Err(ProtocolError::UnexpectedMessage {
@@ -538,7 +597,9 @@ impl HostParty {
                 self.splits
                     .splits
                     .insert((tree, node), NodeSplit { feature: feature as usize, bin, threshold });
-                let state = self.state.as_mut().expect("tree state ensured");
+                let Some(state) = self.state.as_mut() else {
+                    return Err(state_invariant("split-chosen arrived with no tree state"));
+                };
                 let placement: Vec<bool> = state
                     .rows
                     .rows(node as usize)
@@ -550,7 +611,8 @@ impl HostParty {
                 state.cache.invalidate(right_child(node as usize) as u32);
                 self.telemetry.events.splits_won += 1;
                 self.telemetry.phases.split_nodes += t0.elapsed();
-                self.send(&Msg::Placement { tree, node, placement });
+                self.telemetry.trace.exit(TracePhase::Placement, Some(tree), Some(node));
+                self.send_traced(&Msg::Placement { tree, node, placement }, tree);
             }
             Msg::NodeLeaf { .. } => {}
             Msg::TreeDone { tree } => {
@@ -563,7 +625,9 @@ impl HostParty {
                     if sess.should_checkpoint(completed) {
                         sess.save_host(completed, self.party_index as u32, self.splits.clone())?;
                         self.telemetry.events.checkpoints_written += 1;
-                        self.telemetry.log.push(format!("checkpoint written at {completed} trees"));
+                        self.telemetry
+                            .trace
+                            .note(format!("checkpoint written at {completed} trees"));
                     }
                 }
                 // Deterministic crash injection for the chaos suite: die
@@ -604,9 +668,12 @@ impl HostParty {
     ) -> Result<(), TrainError> {
         self.ensure_tree(tree);
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        self.telemetry.trace.enter(TracePhase::Hadd, Some(tree), Some(0));
         {
             let num_rows = self.csr.num_rows();
-            let state = self.state.as_mut().expect("tree state ensured");
+            let Some(state) = self.state.as_mut() else {
+                return Err(state_invariant("gradient batch arrived with no tree state"));
+            };
             if state.enc_g.len() != start_row as usize {
                 return Err(ProtocolError::OutOfOrderGradients {
                     expected: state.enc_g.len() as u32,
@@ -629,26 +696,36 @@ impl HostParty {
         // immediately — this is what overlaps BuildHistA with the guest's
         // ongoing encryption (§4.1).
         let (batch_start, batch_end) = {
-            let state = self.state.as_ref().expect("tree state ensured");
+            let Some(state) = self.state.as_ref() else {
+                return Err(state_invariant("tree state vanished during gradient batch"));
+            };
             (start_row as usize, state.enc_g.len())
         };
         self.accumulate_rows_into_root(batch_start, batch_end)?;
         self.telemetry.phases.build_hist_enc += t0.elapsed();
+        self.telemetry.trace.exit(TracePhase::Hadd, Some(tree), Some(0));
 
         if last {
-            let state = self.state.as_ref().expect("tree state ensured");
-            if state.enc_g.len() != self.csr.num_rows() {
+            let enc_rows = {
+                let Some(state) = self.state.as_ref() else {
+                    return Err(state_invariant("tree state vanished before the root payload"));
+                };
+                state.enc_g.len()
+            };
+            if enc_rows != self.csr.num_rows() {
                 return Err(ProtocolError::IncompleteGradients {
                     expected: self.csr.num_rows(),
-                    got: state.enc_g.len(),
+                    got: enc_rows,
                 }
                 .into());
             }
             let payload = self.merge_and_payload_root()?;
-            let state = self.state.as_mut().expect("tree state ensured");
+            let Some(state) = self.state.as_mut() else {
+                return Err(state_invariant("tree state vanished after the root payload"));
+            };
             state.root_sent = true;
             let tree = state.tree;
-            self.send(&Msg::NodeHistograms { tree, node: 0, epoch: 1, payload });
+            self.send_traced(&Msg::NodeHistograms { tree, node: 0, epoch: 1, payload }, tree);
             self.phase = ProtocolPhase::TreeBuild;
         }
         Ok(())
@@ -658,7 +735,12 @@ impl HostParty {
     /// builders.
     fn accumulate_rows_into_root(&mut self, start: usize, end: usize) -> Result<(), TrainError> {
         let workers = self.cfg.workers.max(1);
-        let state = self.state.as_mut().expect("tree state ensured");
+        let party_index = self.party_index;
+        let crash_tree = self.cfg.crash_hist_worker_on_tree;
+        let Some(state) = self.state.as_mut() else {
+            return Err(state_invariant("root accumulation with no tree state"));
+        };
+        let tree = state.tree;
         let csr = &self.csr;
         let suite = &self.suite;
         let enc_g = &state.enc_g;
@@ -678,9 +760,16 @@ impl HostParty {
             }
             return Ok(());
         }
-        // Shards cannot early-return out of the scope; the first failure
-        // is parked in a mutex and surfaced afterwards.
-        let first_error = std::sync::Mutex::new(None);
+        // Shards cannot early-return out of the scope; the first failure —
+        // typed error or caught panic — is parked in a mutex and surfaced
+        // afterwards. Each worker body runs under `catch_unwind` so a
+        // panicking shard (a bug, or the chaos knob below) neither poisons
+        // the mutex for its siblings nor unwinds through `rayon::scope`
+        // (which would re-raise on the party thread); it becomes a typed
+        // `PartyPanicked` like any other party-level failure. The lock is
+        // still recovered with `into_inner` on poison as a second line of
+        // defense.
+        let first_error: std::sync::Mutex<Option<TrainError>> = std::sync::Mutex::new(None);
         self.pool.install(|| {
             rayon::scope(|scope| {
                 for (shard, (bg, bh)) in state.root_builders.iter_mut().enumerate() {
@@ -690,25 +779,45 @@ impl HostParty {
                         continue;
                     }
                     let first_error = &first_error;
+                    let crypto = &crypto;
                     scope.spawn(move |_| {
-                        for row in lo..hi {
-                            for &(f, bin) in csr.row(row) {
-                                let r =
-                                    bg.add(suite, f as usize, bin as usize, &enc_g[row]).and_then(
-                                        |()| bh.add(suite, f as usize, bin as usize, &enc_h[row]),
-                                    );
-                                if let Err(e) = r {
-                                    first_error.lock().unwrap().get_or_insert(e);
-                                    return;
+                        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || -> Result<(), TrainError> {
+                                if shard == 0 && crash_tree == Some(tree) {
+                                    panic!("injected crash: histogram worker dying in tree {tree}");
                                 }
-                            }
-                        }
+                                for row in lo..hi {
+                                    for &(f, bin) in csr.row(row) {
+                                        bg.add(suite, f as usize, bin as usize, &enc_g[row])
+                                            .map_err(crypto)?;
+                                        bh.add(suite, f as usize, bin as usize, &enc_h[row])
+                                            .map_err(crypto)?;
+                                    }
+                                }
+                                Ok(())
+                            },
+                        ));
+                        let parked = match work {
+                            Ok(Ok(())) => return,
+                            Ok(Err(e)) => e,
+                            Err(payload) => TrainError::PartyPanicked {
+                                party: PartyId::Host(party_index),
+                                detail: format!(
+                                    "histogram worker shard {shard}: {}",
+                                    panic_text(payload.as_ref())
+                                ),
+                            },
+                        };
+                        first_error
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(parked);
                     });
                 }
             });
         });
-        match first_error.into_inner().unwrap() {
-            Some(e) => Err(crypto(e)),
+        match first_error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+            Some(e) => Err(e),
             None => Ok(()),
         }
     }
@@ -716,8 +825,13 @@ impl HostParty {
     /// Merges root shards and produces the root histogram payload.
     fn merge_and_payload_root(&mut self) -> Result<HistPayload, TrainError> {
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
-        let state = self.state.as_mut().expect("tree state ensured");
+        let Some(state) = self.state.as_mut() else {
+            return Err(state_invariant("root merge with no tree state"));
+        };
         let mut shards = std::mem::take(&mut state.root_builders);
+        if shards.is_empty() {
+            return Err(state_invariant("root merge found no shard builders"));
+        }
         let (mut g, mut h) = shards.remove(0);
         let crypto = TrainError::crypto("root histogram merge");
         for (sg, sh) in &shards {
@@ -754,13 +868,15 @@ impl HostParty {
         }
         let rows: Vec<u32> = state.rows.rows(node as usize).to_vec();
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        self.telemetry.trace.enter(TracePhase::Hadd, Some(tree), Some(node));
         let (g, h) = self.node_builders_cached(node, &rows)?;
         self.telemetry.phases.build_hist_enc += t0.elapsed();
+        self.telemetry.trace.exit(TracePhase::Hadd, Some(tree), Some(node));
         let payload = self.make_payload(&g, &h, rows.len())?;
         // Re-insert so the node's children can derive from it at the next
         // level (take/re-insert rather than borrow across make_payload).
         self.cache_insert(node, g, h);
-        self.send(&Msg::NodeHistograms { tree, node, epoch, payload });
+        self.send_traced(&Msg::NodeHistograms { tree, node, epoch, payload }, tree);
         Ok(())
     }
 
@@ -781,11 +897,15 @@ impl HostParty {
             return self.build_node_builders(rows);
         }
         let rev = {
-            let state = self.state.as_ref().expect("tree state ensured");
+            let Some(state) = self.state.as_ref() else {
+                return Err(state_invariant("node task with no tree state"));
+            };
             state.rows.revision(node as usize)
         };
         if let Some(hit) = {
-            let state = self.state.as_mut().expect("tree state ensured");
+            let Some(state) = self.state.as_mut() else {
+                return Err(state_invariant("node task with no tree state"));
+            };
             state.cache.take_valid(node, rev)
         } {
             self.telemetry.events.hist_cache_hits += 1;
@@ -794,7 +914,9 @@ impl HostParty {
         let sibling = if node % 2 == 1 { node + 1 } else { node - 1 };
         let parent = (node - 1) / 2;
         let (sibling_rows, parent_rev, sibling_rev) = {
-            let state = self.state.as_ref().expect("tree state ensured");
+            let Some(state) = self.state.as_ref() else {
+                return Err(state_invariant("node task with no tree state"));
+            };
             if !state.rows.has(sibling as usize) {
                 return self.build_node_builders(rows);
             }
@@ -812,7 +934,9 @@ impl HostParty {
             return self.build_node_builders(rows);
         }
         let parent_cached = {
-            let state = self.state.as_ref().expect("tree state ensured");
+            let Some(state) = self.state.as_ref() else {
+                return Err(state_invariant("node task with no tree state"));
+            };
             state.cache.is_valid(parent, parent_rev)
         };
         if !parent_cached {
@@ -823,7 +947,9 @@ impl HostParty {
             return self.build_node_builders(rows);
         }
         let sibling_cached = {
-            let state = self.state.as_ref().expect("tree state ensured");
+            let Some(state) = self.state.as_ref() else {
+                return Err(state_invariant("node task with no tree state"));
+            };
             state.cache.is_valid(sibling, sibling_rev)
         };
         if !sibling_cached {
@@ -833,7 +959,9 @@ impl HostParty {
         let crypto = TrainError::crypto("ciphertext histogram subtraction");
         let before = self.suite.counters().snapshot();
         let derived = {
-            let state = self.state.as_ref().expect("tree state ensured");
+            let Some(state) = self.state.as_ref() else {
+                return Err(state_invariant("node task with no tree state"));
+            };
             match (state.cache.peek(parent), state.cache.peek(sibling)) {
                 (Some((pg, ph)), Some((sg, sh))) => Some((
                     pg.subtract(&self.suite, sg).map_err(&crypto)?,
@@ -858,15 +986,23 @@ impl HostParty {
     }
 
     /// Caches a node's builders at its current row revision (no-op when
-    /// subtraction is off — nothing would ever read the entry).
+    /// subtraction is off — nothing would ever read the entry — or when
+    /// the tree state is already gone: caching is an optimization, never
+    /// an obligation).
     fn cache_insert(&mut self, node: u32, g: EncHistBuilder, h: EncHistBuilder) {
         if !self.cfg.protocol.hist_subtraction {
             return;
         }
         let bytes = ((g.cipher_count() + h.cipher_count()) * self.suite.cipher_wire_bytes()) as u64;
-        let state = self.state.as_mut().expect("tree state ensured");
-        let rev = state.rows.revision(node as usize);
-        state.cache.insert(node, rev, bytes, g, h);
+        let (tree, evicted) = {
+            let Some(state) = self.state.as_mut() else { return };
+            let rev = state.rows.revision(node as usize);
+            (state.tree, state.cache.insert(node, rev, bytes, g, h))
+        };
+        for (victim, victim_bytes) in evicted {
+            self.telemetry.events.hist_cache_evictions += 1;
+            self.telemetry.trace.cache_evict(tree, victim, victim_bytes);
+        }
     }
 
     /// Worker-sharded histogram build for one node's rows.
@@ -875,7 +1011,9 @@ impl HostParty {
         rows: &[u32],
     ) -> Result<(EncHistBuilder, EncHistBuilder), TrainError> {
         let workers = self.cfg.workers.max(1);
-        let state = self.state.as_ref().expect("tree state ensured");
+        let Some(state) = self.state.as_ref() else {
+            return Err(state_invariant("node build with no tree state"));
+        };
         let csr = &self.csr;
         let suite = &self.suite;
         let enc_g = &state.enc_g;
@@ -911,7 +1049,10 @@ impl HostParty {
             });
         let merge_err = TrainError::crypto("node histogram merge");
         let mut iter = shards.into_iter();
-        let (mut g, mut h) = iter.next().expect("at least one shard")?;
+        let Some(first) = iter.next() else {
+            return Err(state_invariant("parallel node build produced no shards"));
+        };
+        let (mut g, mut h) = first?;
         for shard in iter {
             let (sg, sh) = shard?;
             g.merge(suite, &sg).map_err(&merge_err)?;
@@ -928,6 +1069,8 @@ impl HostParty {
         count: usize,
     ) -> Result<HistPayload, TrainError> {
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let tree = self.state.as_ref().map(|s| s.tree);
+        self.telemetry.trace.enter(TracePhase::Pack, tree, None);
         let suite = &self.suite;
         let crypto = TrainError::crypto("histogram finalize/pack");
         let payload = if self.cfg.protocol.pack_histograms {
@@ -974,6 +1117,7 @@ impl HostParty {
             HistPayload::Raw(features.into_iter().collect::<Result<Vec<_>, _>>()?)
         };
         self.telemetry.phases.pack += t0.elapsed();
+        self.telemetry.trace.exit(TracePhase::Pack, tree, None);
         Ok(payload)
     }
 }

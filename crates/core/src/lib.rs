@@ -34,12 +34,19 @@
 //! [`model::FederatedModel`] plus per-party [`telemetry`].
 
 #![warn(missing_docs)]
+// Panic-free policy: non-test code may not unwrap/expect. A federated run
+// crosses enterprise boundaries, so every "impossible" state is either a
+// typed error ([`error::ProtocolError::InvariantViolated`]) or a local
+// `#[allow]` carrying a proof of infallibility. Enforced by ci.sh via
+// `cargo clippy --lib -- -D warnings`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod error;
 pub mod guest;
 pub mod hist_enc;
 pub mod host;
+pub mod json;
 pub mod messages;
 pub mod model;
 pub mod persist;
@@ -47,6 +54,7 @@ pub mod protocol;
 pub mod rows;
 pub mod session;
 pub mod telemetry;
+pub mod trace;
 pub mod train;
 pub mod wire;
 
@@ -57,4 +65,5 @@ pub use persist::{decode_model, encode_model, load_model, save_model};
 pub use protocol::ProtocolConfig;
 pub use session::SessionConfig;
 pub use telemetry::{LinkFaultEvents, PartyTelemetry, PhaseTimes, TrainReport};
+pub use trace::{TraceEvent, TraceEventKind, TracePhase, TraceRing};
 pub use train::{train_federated, train_federated_session, TrainOutput};

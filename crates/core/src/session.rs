@@ -123,6 +123,22 @@ impl PartySession {
         self.resume
     }
 
+    /// This party's role name in file paths (`guest`, `host0`, ...).
+    pub fn role(&self) -> &str {
+        &self.role
+    }
+
+    /// The config digest checkpoints (and flight records) are bound to.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Where this party's failure-time flight record is dumped
+    /// (see [`crate::trace::write_flight_record`]).
+    pub fn flight_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.flight.json", self.role))
+    }
+
     /// Whether a checkpoint is due after `completed` trees.
     pub fn should_checkpoint(&self, completed: u32) -> bool {
         completed.is_multiple_of(self.checkpoint_every)
@@ -384,6 +400,21 @@ mod tests {
         assert!(!s.should_checkpoint(2));
         assert!(s.should_checkpoint(3));
         assert!(s.should_checkpoint(6));
+        let _ = std::fs::remove_dir_all(&sc.dir);
+    }
+
+    #[test]
+    fn flight_path_is_per_role_and_digest_is_shared() {
+        let sc = temp_session("flight");
+        let cfg = TrainConfig::for_tests();
+        let g = PartySession::guest(&sc, &cfg);
+        let h = PartySession::host(&sc, &cfg, 1);
+        assert!(g.flight_path().ends_with("guest.flight.json"));
+        assert!(h.flight_path().ends_with("host1.flight.json"));
+        assert_eq!(g.role(), "guest");
+        assert_eq!(h.role(), "host1");
+        assert_eq!(g.digest(), h.digest());
+        assert_eq!(g.digest(), config_digest(&cfg));
         let _ = std::fs::remove_dir_all(&sc.dir);
     }
 

@@ -19,6 +19,12 @@ use std::time::Duration;
 use vf2_channel::LinkStats;
 use vf2_crypto::counters::OpSnapshot;
 
+use crate::json::{render_array, JsonObj};
+use crate::trace::TraceRing;
+
+/// Schema tag stamped into every JSON run report.
+pub const RUN_REPORT_SCHEMA: &str = "vf2boost-run-report/v1";
+
 /// Current thread's consumed CPU time.
 ///
 /// Phase timers use CPU time rather than wall time so that, when several
@@ -143,6 +149,10 @@ pub struct ProtocolEvents {
     /// entry was absent or stale (e.g. after an optimistic rollback), so the
     /// host fell back to a direct build.
     pub hist_cache_misses: u64,
+    /// Node-histogram cache entries evicted to honor the byte cap or the
+    /// level scope (each eviction is also a trace event carrying the
+    /// released byte count).
+    pub hist_cache_evictions: u64,
     /// Homomorphic additions avoided by subtraction-derived histograms:
     /// the direct-build cost of each derived child minus what the
     /// derivation actually spent.
@@ -222,65 +232,6 @@ impl LinkFaultEvents {
     }
 }
 
-/// A bounded, append-only log of notable robustness events (checkpoint
-/// writes, resumes, missed heartbeats). Once `cap` entries are held the
-/// oldest entry is evicted per push and counted in `dropped`, so a
-/// flapping link logging for hours cannot grow memory without bound.
-#[derive(Debug, Clone)]
-pub struct EventLog {
-    cap: usize,
-    dropped: u64,
-    entries: std::collections::VecDeque<String>,
-}
-
-impl Default for EventLog {
-    fn default() -> Self {
-        EventLog::with_cap(256)
-    }
-}
-
-impl EventLog {
-    /// An empty log bounded to `cap` entries (`cap == 0` keeps nothing
-    /// and counts every push as dropped).
-    pub fn with_cap(cap: usize) -> EventLog {
-        EventLog { cap, dropped: 0, entries: std::collections::VecDeque::new() }
-    }
-
-    /// Appends an entry, evicting the oldest if the log is full.
-    pub fn push(&mut self, entry: impl Into<String>) {
-        self.entries.push_back(entry.into());
-        while self.entries.len() > self.cap {
-            self.entries.pop_front();
-            self.dropped += 1;
-        }
-    }
-
-    /// Entries currently held, oldest first.
-    pub fn entries(&self) -> impl Iterator<Item = &str> {
-        self.entries.iter().map(|s| s.as_str())
-    }
-
-    /// Number of entries currently held (never exceeds the cap).
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the log holds no entries.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Entries evicted so far to honor the cap.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// The configured bound.
-    pub fn cap(&self) -> usize {
-        self.cap
-    }
-}
-
 /// Everything one party measured during a run.
 #[derive(Debug, Clone, Default)]
 pub struct PartyTelemetry {
@@ -298,9 +249,10 @@ pub struct PartyTelemetry {
     pub messages_sent: u64,
     /// Reliable-delivery and fault counters for this party's links.
     pub link: LinkFaultEvents,
-    /// Bounded robustness-event log (cap from
-    /// [`crate::config::TrainConfig::event_log_cap`]).
-    pub log: EventLog,
+    /// Bounded structured trace ring (cap from
+    /// [`crate::config::TrainConfig::trace_events_cap`], span gating from
+    /// [`crate::config::TrainConfig::trace_spans`]).
+    pub trace: TraceRing,
 }
 
 /// A whole run's report: per-party telemetry plus wall-clock totals.
@@ -370,6 +322,110 @@ impl TrainReport {
         }
         total
     }
+
+    /// Renders the whole report as machine-readable JSON (schema
+    /// [`RUN_REPORT_SCHEMA`]): run-level wall time, modeled makespans,
+    /// byte totals and merged link counters, then one object per party
+    /// with its phase durations, op counts, protocol events, and trace
+    /// summary. `vf2boost_core::json::parse` round-trips the output; the
+    /// `jq` gate in ci.sh validates the same schema.
+    pub fn to_json(&self) -> String {
+        let link = self.link_events();
+        let mut o = JsonObj::new();
+        o.str("schema", RUN_REPORT_SCHEMA)
+            .f64("wall_time_s", self.wall_time.as_secs_f64())
+            .f64("modeled_concurrent_s", self.modeled_concurrent().as_secs_f64())
+            .f64("modeled_sequential_s", self.modeled_sequential().as_secs_f64())
+            .u64("total_bytes", self.total_bytes())
+            .f64("guest_split_ratio", self.guest_split_ratio())
+            .raw("link", link_to_json(&link, 2));
+        let mut parties = vec![party_to_json(&self.guest, 4)];
+        parties.extend(self.hosts.iter().map(|h| party_to_json(h, 4)));
+        o.raw("parties", render_array(&parties, 2));
+        let trees: Vec<String> = self
+            .tree_records
+            .iter()
+            .map(|t| {
+                let mut rec = JsonObj::new();
+                rec.u64("tree", t.tree as u64)
+                    .f64("completed_at_s", t.completed_at.as_secs_f64())
+                    .f64("train_loss", t.train_loss);
+                rec.render(4)
+            })
+            .collect();
+        o.raw("trees", render_array(&trees, 2));
+        o.render(0) + "\n"
+    }
+}
+
+fn phases_to_json(p: &PhaseTimes, indent: usize) -> String {
+    let mut o = JsonObj::new();
+    o.f64("encrypt_s", p.encrypt.as_secs_f64())
+        .f64("build_hist_enc_s", p.build_hist_enc.as_secs_f64())
+        .f64("build_hist_plain_s", p.build_hist_plain.as_secs_f64())
+        .f64("pack_s", p.pack.as_secs_f64())
+        .f64("decrypt_find_s", p.decrypt_find.as_secs_f64())
+        .f64("split_nodes_s", p.split_nodes.as_secs_f64())
+        .f64("idle_s", p.idle.as_secs_f64())
+        .f64("busy_s", p.busy().as_secs_f64());
+    o.render(indent)
+}
+
+fn link_to_json(l: &LinkFaultEvents, indent: usize) -> String {
+    let mut o = JsonObj::new();
+    o.u64("retransmissions", l.retransmissions)
+        .u64("acks_received", l.acks_received)
+        .u64("corrupt_rejected", l.corrupt_rejected)
+        .u64("duplicates_dropped", l.duplicates_dropped)
+        .u64("faults_injected", l.faults_injected)
+        .u64("recv_timeouts", l.recv_timeouts);
+    o.render(indent)
+}
+
+/// Renders one party's telemetry as a JSON object (shared between the run
+/// report and the flight recorder).
+pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
+    let mut events = JsonObj::new();
+    events
+        .u64("splits_won", p.events.splits_won)
+        .u64("leaves", p.events.leaves)
+        .u64("optimistic_splits", p.events.optimistic_splits)
+        .u64("dirty_nodes", p.events.dirty_nodes)
+        .u64("stale_histograms", p.events.stale_histograms)
+        .u64("aborted_tasks", p.events.aborted_tasks)
+        .u64("hist_subtractions", p.events.hist_subtractions)
+        .u64("hist_cache_hits", p.events.hist_cache_hits)
+        .u64("hist_cache_misses", p.events.hist_cache_misses)
+        .u64("hist_cache_evictions", p.events.hist_cache_evictions)
+        .f64("hist_cache_hit_rate", p.events.hist_cache_hit_rate())
+        .u64("hadds_saved", p.events.hadds_saved)
+        .u64("checkpoints_written", p.events.checkpoints_written)
+        .u64("resumes", p.events.resumes)
+        .u64("heartbeats_sent", p.events.heartbeats_sent)
+        .u64("heartbeats_missed", p.events.heartbeats_missed);
+    let mut ops = JsonObj::new();
+    ops.u64("enc", p.ops.enc)
+        .u64("dec", p.ops.dec)
+        .u64("hadd", p.ops.hadd)
+        .u64("smul", p.ops.smul)
+        .u64("negs", p.ops.negs)
+        .u64("scalings", p.ops.scalings)
+        .u64("packs", p.ops.packs);
+    let mut trace = JsonObj::new();
+    trace
+        .u64("cap", p.trace.cap() as u64)
+        .u64("len", p.trace.len() as u64)
+        .u64("dropped", p.trace.dropped());
+    let mut o = JsonObj::new();
+    o.str("name", &p.name)
+        .raw("phases", phases_to_json(&p.phases, indent + 2))
+        .raw("ops", ops.render(indent + 2))
+        .raw("events", events.render(indent + 2))
+        .raw("link", link_to_json(&p.link, indent + 2))
+        .u64("bytes_sent", p.bytes_sent)
+        .u64("messages_sent", p.messages_sent)
+        .raw("trace", trace.render(indent + 2));
+    o.render(indent)
 }
 
 #[cfg(test)]
@@ -428,24 +484,61 @@ mod tests {
     }
 
     #[test]
-    fn event_log_holds_its_cap_under_flapping_pushes() {
-        let mut log = EventLog::with_cap(3);
-        for i in 0..100 {
-            log.push(format!("event {i}"));
-        }
-        assert_eq!(log.len(), 3);
-        assert_eq!(log.dropped(), 97);
-        let kept: Vec<&str> = log.entries().collect();
-        assert_eq!(kept, ["event 97", "event 98", "event 99"]);
-        assert_eq!(log.cap(), 3);
+    fn report_json_parses_and_carries_the_schema() {
+        use crate::json::{parse, Json};
+        let mut r = TrainReport::default();
+        r.guest.name = "guest".into();
+        r.guest.phases.encrypt = Duration::from_millis(30);
+        r.wall_time = Duration::from_millis(40);
+        r.hosts.push(PartyTelemetry { name: "host-0".into(), ..Default::default() });
+        r.tree_records.push(TreeRecord {
+            tree: 0,
+            completed_at: Duration::from_millis(35),
+            train_loss: 0.5,
+        });
+        let parsed = parse(&r.to_json()).expect("report parses");
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(RUN_REPORT_SCHEMA));
+        let parties = parsed.get("parties").and_then(Json::as_arr).expect("parties");
+        assert_eq!(parties.len(), 2);
+        assert_eq!(parties[0].get("name").and_then(Json::as_str), Some("guest"));
+        let phases = parties[0].get("phases").expect("phases");
+        let encrypt = phases.get("encrypt_s").and_then(Json::as_f64).expect("encrypt_s");
+        assert!((encrypt - 0.030).abs() < 1e-9);
+        let busy = phases.get("busy_s").and_then(Json::as_f64).expect("busy_s");
+        assert!((busy - 0.030).abs() < 1e-9);
+        let trees = parsed.get("trees").and_then(Json::as_arr).expect("trees");
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].get("tree").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]
-    fn zero_cap_event_log_keeps_nothing() {
-        let mut log = EventLog::with_cap(0);
-        log.push("gone");
-        assert!(log.is_empty());
-        assert_eq!(log.dropped(), 1);
+    fn report_json_busy_equals_phase_sum_per_party() {
+        use crate::json::{parse, Json};
+        let mut r = TrainReport::default();
+        r.guest.name = "guest".into();
+        r.guest.phases = PhaseTimes {
+            encrypt: Duration::from_millis(7),
+            build_hist_plain: Duration::from_millis(11),
+            decrypt_find: Duration::from_millis(13),
+            split_nodes: Duration::from_millis(3),
+            idle: Duration::from_millis(500),
+            ..Default::default()
+        };
+        let parsed = parse(&r.to_json()).expect("report parses");
+        let parties = parsed.get("parties").and_then(Json::as_arr).expect("parties");
+        let phases = parties[0].get("phases").expect("phases");
+        let keys = [
+            "encrypt_s",
+            "build_hist_enc_s",
+            "build_hist_plain_s",
+            "pack_s",
+            "decrypt_find_s",
+            "split_nodes_s",
+        ];
+        let sum: f64 =
+            keys.iter().map(|k| phases.get(k).and_then(Json::as_f64).expect("phase key")).sum();
+        let busy = phases.get("busy_s").and_then(Json::as_f64).expect("busy_s");
+        assert!((busy - sum).abs() < 1e-9, "busy_s {busy} != phase sum {sum}");
     }
 
     #[test]

@@ -63,7 +63,10 @@ fn fault_for_host(base: FaultConfig, p: usize) -> FaultConfig {
 /// still carries the telemetry (phase times, fault counters,
 /// completed-tree records) of every party that could be joined. Host
 /// threads that panic are caught at `join()` and reported as
-/// [`TrainError::PartyPanicked`].
+/// [`TrainError::PartyPanicked`]. With a session attached
+/// ([`train_federated_session`]), each failing party additionally dumps
+/// a flight record — its last trace events, config digest and session id
+/// — into the session directory (see [`crate::trace`]).
 pub fn train_federated(
     hosts: &[Dataset],
     guest: &Dataset,

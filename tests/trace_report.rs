@@ -1,0 +1,176 @@
+//! Observability tests: the structured run report, the failure-time
+//! flight recorder, and the worker-panic recovery path.
+//!
+//! Three invariants:
+//!
+//! * A panic inside a scoped histogram worker surfaces as a typed
+//!   `TrainError::PartyPanicked` — with the partial telemetry of every
+//!   joinable party — never as a process abort.
+//! * A failing sessioned run leaves a parseable flight record (last trace
+//!   events + config digest + session id) in the session directory.
+//! * Tracing is observational only: spans on or off, caps big or tiny,
+//!   the trained model is bitwise identical.
+
+use std::time::Duration;
+
+use vf2boost::channel::{FaultConfig, WanConfig};
+use vf2boost::core::config::CryptoConfig;
+use vf2boost::core::error::{PartyId, TrainError};
+use vf2boost::core::json::{parse, Json};
+use vf2boost::core::telemetry::RUN_REPORT_SCHEMA;
+use vf2boost::core::trace::FLIGHT_RECORD_SCHEMA;
+use vf2boost::core::{train_federated, train_federated_session, SessionConfig, TrainConfig};
+use vf2boost::datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2boost::datagen::vertical::{split_vertical, VerticalScenario};
+use vf2boost::gbdt::train::GbdtParams;
+
+fn scenario(seed: u64) -> VerticalScenario {
+    let data = generate_classification(&SyntheticConfig {
+        rows: 200,
+        features: 8,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed,
+    });
+    split_vertical(&data, &[4])
+}
+
+fn mock_cfg() -> TrainConfig {
+    TrainConfig {
+        gbdt: GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() },
+        crypto: CryptoConfig::Mock,
+        wan: WanConfig::instant(),
+        ..TrainConfig::for_tests()
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vf2_trace_{tag}_{}", std::process::id()))
+}
+
+#[test]
+fn hist_worker_panic_is_a_typed_error_with_partial_telemetry() {
+    let s = scenario(91);
+    let cfg = TrainConfig { workers: 4, crash_hist_worker_on_tree: Some(0), ..mock_cfg() };
+    let failure = train_federated(&s.hosts, &s.guest, &cfg)
+        .expect_err("an injected worker panic must abort the run");
+    match &failure.error {
+        TrainError::PartyPanicked { party: PartyId::Host(0), detail } => {
+            assert!(
+                detail.contains("histogram worker shard 0"),
+                "panic attribution missing the shard: {detail}"
+            );
+            assert!(detail.contains("injected crash"), "payload text lost: {detail}");
+        }
+        other => panic!("expected PartyPanicked from host-0, got {other}"),
+    }
+    // The failure still carries every joinable party's telemetry: the
+    // guest got far enough to send gradients before the host died.
+    assert_eq!(failure.partial.hosts.len(), 1);
+    assert!(failure.partial.guest.bytes_sent > 0, "guest telemetry missing");
+}
+
+#[test]
+fn peer_loss_leaves_a_parseable_flight_record() {
+    let s = scenario(92);
+    let dir = temp_dir("flight");
+    std::fs::create_dir_all(&dir).unwrap();
+    // The host→guest direction blackholes early; the guest's liveness
+    // supervisor declares the peer dead and dumps its flight record.
+    let cfg = TrainConfig {
+        fault_host_to_guest: FaultConfig {
+            disconnect_after_frames: Some(6),
+            ..FaultConfig::none()
+        },
+        peer_timeout: Duration::from_secs(30),
+        peer_dead_after: Duration::from_millis(1500),
+        heartbeat_interval: Duration::from_millis(200),
+        ..mock_cfg()
+    };
+    let session = SessionConfig::new(0xF11C, &dir);
+    let failure = train_federated_session(&s.hosts, &s.guest, &cfg, Some(&session))
+        .expect_err("a dead peer must abort the run");
+    assert!(
+        matches!(failure.error, TrainError::PeerLost { .. }),
+        "expected PeerLost, got {}",
+        failure.error
+    );
+
+    let raw = std::fs::read_to_string(dir.join("guest.flight.json"))
+        .expect("the guest must dump a flight record next to its checkpoints");
+    let doc = parse(&raw).expect("flight record must be valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(FLIGHT_RECORD_SCHEMA));
+    assert_eq!(doc.get("party").and_then(Json::as_str), Some("guest"));
+    assert_eq!(doc.get("session_id").and_then(Json::as_f64), Some(0xF11C as f64));
+    let error = doc.get("error").and_then(Json::as_str).expect("error field");
+    assert!(error.contains("lost"), "error text: {error}");
+    let digest = doc.get("config_digest").and_then(Json::as_str).expect("digest field");
+    assert_eq!(digest.len(), 16, "digest must be 16 hex chars: {digest}");
+    // The last trace events made it into the dump; the run got past
+    // hello, so the ring cannot be empty.
+    let events = doc.get("events").and_then(Json::as_arr).expect("events array");
+    assert!(!events.is_empty(), "flight record carries no trace events");
+    for ev in events {
+        assert!(ev.get("at_s").and_then(Json::as_f64).is_some(), "event missing at_s");
+        assert!(ev.get("kind").and_then(Json::as_str).is_some(), "event missing kind");
+    }
+    // The embedded telemetry snapshot parses as part of the same doc.
+    let tel = doc.get("telemetry").expect("telemetry object");
+    assert!(tel.get("phases").is_some() && tel.get("events").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tracing_never_changes_the_model() {
+    let s = scenario(93);
+    let traced = mock_cfg();
+    let untraced = TrainConfig { trace_spans: false, trace_events_cap: 4, ..traced };
+    let a = train_federated(&s.hosts, &s.guest, &traced).expect("traced run succeeds");
+    let b = train_federated(&s.hosts, &s.guest, &untraced).expect("untraced run succeeds");
+    let am = a.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    let bm = b.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    for (i, (x, y)) in am.iter().zip(&bm).enumerate() {
+        assert!(x.to_bits() == y.to_bits(), "margin {i} diverged: {x} vs {y}");
+    }
+    // The traced run actually recorded spans; the untraced one recorded
+    // none (its tiny ring would have overflowed otherwise).
+    assert!(!a.report.guest.trace.is_empty(), "traced run recorded nothing");
+    assert!(!b.report.guest.trace.spans_enabled());
+}
+
+#[test]
+fn run_report_json_is_wellformed_and_phase_sums_bound_wall_time() {
+    let s = scenario(94);
+    let out = train_federated(&s.hosts, &s.guest, &mock_cfg()).expect("training succeeds");
+    let doc = parse(&out.report.to_json()).expect("run report must be valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(RUN_REPORT_SCHEMA));
+    let wall = doc.get("wall_time_s").and_then(Json::as_f64).expect("wall_time_s");
+    assert!(wall > 0.0);
+    let parties = doc.get("parties").and_then(Json::as_arr).expect("parties array");
+    assert_eq!(parties.len(), 2, "guest + one host");
+    for p in parties {
+        let phases = p.get("phases").expect("phases object");
+        let busy = phases.get("busy_s").and_then(Json::as_f64).expect("busy_s");
+        let sum: f64 = [
+            "encrypt_s",
+            "build_hist_enc_s",
+            "build_hist_plain_s",
+            "pack_s",
+            "decrypt_find_s",
+            "split_nodes_s",
+        ]
+        .iter()
+        .map(|k| phases.get(k).and_then(Json::as_f64).expect("phase field"))
+        .sum();
+        // busy is defined as the phase sum (each field rounds to 6
+        // decimals independently, hence the slack), and no party can be
+        // busy longer than the run took end to end.
+        assert!((busy - sum).abs() < 1e-5, "busy_s {busy} != phase sum {sum}");
+        assert!(busy <= wall + 0.25, "party busy {busy}s exceeds wall {wall}s");
+        assert!(p.get("ops").is_some() && p.get("events").is_some());
+        let trace = p.get("trace").expect("trace summary");
+        assert!(trace.get("cap").and_then(Json::as_f64).is_some());
+    }
+    assert!(doc.get("trees").and_then(Json::as_arr).map(<[Json]>::len) == Some(2));
+}
