@@ -27,6 +27,22 @@ cargo test --workspace -q
 echo "== chaos resume gate (3-seed matrix, 15 min cap) =="
 timeout 900 cargo test -q --test resume
 
+# Byzantine conformance gate: scripted protocol deviations (replays,
+# phase skips, inadmissible payloads, truncated frames) must surface as
+# typed errors — never a panic. The outer timeout turns an admission
+# livelock or a hung party into a failure instead of a stuck job.
+echo "== byzantine conformance gate (5 min cap) =="
+timeout 300 cargo test -q --test byzantine
+
+# Peer-facing admission checks must hold in release builds: debug_assert
+# is banned from the wire decoder and the semantic validators.
+echo "== no-debug_assert gate (wire/validate/hist_enc) =="
+if grep -n "debug_assert" \
+    crates/core/src/wire.rs crates/core/src/validate.rs crates/core/src/hist_enc.rs; then
+  echo "debug_assert found in an admission-critical module" >&2
+  exit 1
+fi
+
 echo "== cargo bench --no-run =="
 cargo bench --workspace --no-run
 

@@ -36,7 +36,9 @@
 pub mod codec;
 pub mod fault;
 pub mod link;
+pub mod malfeasant;
 
 pub use codec::{checksum, Checksum, Decoder, Encoder};
 pub use fault::{FaultConfig, ReliabilityConfig, StallWindow};
 pub use link::{duplex, duplex_faulty, Endpoint, Envelope, LinkStats, RecvError, WanConfig};
+pub use malfeasant::{MalfeasantPeer, Misdeed};

@@ -77,6 +77,14 @@ pub struct TrainConfig {
     /// scope* while accumulating this tree's root, exercising the
     /// worker-panic recovery path. `None` in production.
     pub crash_hist_worker_on_tree: Option<u32>,
+    /// Misbehavior tolerance budget per peer: how many protocol
+    /// violations (out-of-phase messages, replays, inadmissible payloads)
+    /// a party tolerates — dropping the offending message and counting it
+    /// — before failing the run with
+    /// [`crate::error::TrainError::PeerMisbehaving`]. `0` fails on the
+    /// first violation. Provably-honest staleness (optimistic-rollback
+    /// stragglers) is never charged against this budget.
+    pub misbehavior_budget: u32,
     /// Data-parallel workers inside each party (shards per histogram
     /// build; also the rayon pool width per party).
     pub workers: usize,
@@ -104,6 +112,7 @@ impl Default for TrainConfig {
             trace_spans: true,
             crash_host_after_trees: None,
             crash_hist_worker_on_tree: None,
+            misbehavior_budget: 0,
             workers: 1,
             seed: 42,
         }
@@ -159,6 +168,8 @@ mod tests {
         assert!(c.trace_events_cap > 0);
         assert!(c.trace_spans);
         assert!(c.crash_hist_worker_on_tree.is_none());
+        // Fail fast on the first protocol violation by default.
+        assert_eq!(c.misbehavior_budget, 0);
     }
 
     #[test]

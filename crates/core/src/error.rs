@@ -108,6 +108,44 @@ pub enum ProtocolError {
         /// The invariant that failed to hold.
         context: &'static str,
     },
+    /// A structurally valid message arrived in a protocol phase whose
+    /// transition set does not admit it (phase-skip, future tree, a
+    /// response to a request that was never issued). Raised by the
+    /// per-peer validating state machine in [`crate::fsm`].
+    OutOfPhase {
+        /// The sending party.
+        from: PartyId,
+        /// The message kind tag.
+        kind: u16,
+        /// The receiver's protocol phase when the message arrived.
+        phase: &'static str,
+        /// Which transition rule rejected it.
+        context: &'static str,
+    },
+    /// The peer re-sent something it already delivered (replayed gradient
+    /// batch, duplicate histogram for the same `(node, epoch)`, repeated
+    /// placement). The reliability sublayer dedups wire-level duplicates,
+    /// so a protocol-level replay indicates a deviating peer.
+    StaleOrReplayed {
+        /// The sending party.
+        from: PartyId,
+        /// The message kind tag.
+        kind: u16,
+        /// Which dedup rule caught it.
+        context: &'static str,
+    },
+    /// The message is in phase but its payload contradicts locally-known
+    /// bounds: histogram lengths vs negotiated bin counts, indices outside
+    /// tree/meta bounds, ciphertexts outside `[0, n²)`, row ranges past
+    /// the declared instance count. Raised by [`crate::validate`].
+    Inadmissible {
+        /// The sending party.
+        from: PartyId,
+        /// The message kind tag.
+        kind: u16,
+        /// Which bound the payload violated.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -127,6 +165,18 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::InvariantViolated { party, context } => {
                 write!(f, "message sequence from {party} broke invariant: {context}")
+            }
+            ProtocolError::OutOfPhase { from, kind, phase, context } => {
+                write!(
+                    f,
+                    "out-of-phase message kind {kind} from {from} in phase {phase}: {context}"
+                )
+            }
+            ProtocolError::StaleOrReplayed { from, kind, context } => {
+                write!(f, "stale or replayed message kind {kind} from {from}: {context}")
+            }
+            ProtocolError::Inadmissible { from, kind, context } => {
+                write!(f, "inadmissible payload in message kind {kind} from {from}: {context}")
             }
         }
     }
@@ -190,6 +240,20 @@ pub enum TrainError {
         /// The underlying persistence failure.
         detail: String,
     },
+    /// The peer exceeded its misbehavior tolerance budget
+    /// ([`crate::config::TrainConfig::misbehavior_budget`]): more protocol
+    /// violations were observed from it than the run tolerates.
+    PeerMisbehaving {
+        /// The deviating party.
+        party: PartyId,
+        /// Violations observed from it (including the final one).
+        violations: u64,
+        /// The configured tolerance budget that was exceeded.
+        budget: u32,
+        /// The violation that tripped the budget (boxed to keep the
+        /// common `Result` path small).
+        last: Box<ProtocolError>,
+    },
 }
 
 impl std::fmt::Display for TrainError {
@@ -214,6 +278,13 @@ impl std::fmt::Display for TrainError {
             }
             TrainError::Checkpoint { party, detail } => {
                 write!(f, "{party} checkpoint failure: {detail}")
+            }
+            TrainError::PeerMisbehaving { party, violations, budget, last } => {
+                write!(
+                    f,
+                    "{party} is misbehaving: {violations} protocol violations \
+                     (budget {budget}); last: {last}"
+                )
             }
         }
     }
@@ -317,6 +388,43 @@ mod tests {
             "protocol violation: message sequence from guest broke invariant: \
              node task before tree state"
         );
+    }
+
+    #[test]
+    fn admission_errors_render_human_readable() {
+        let oop: TrainError = ProtocolError::OutOfPhase {
+            from: PartyId::Guest,
+            kind: 3,
+            phase: "await-resume",
+            context: "node task before resume handshake",
+        }
+        .into();
+        assert_eq!(
+            oop.to_string(),
+            "protocol violation: out-of-phase message kind 3 from guest in phase \
+             await-resume: node task before resume handshake"
+        );
+        let stale = ProtocolError::StaleOrReplayed {
+            from: PartyId::Host(1),
+            kind: 4,
+            context: "duplicate histogram for (node, epoch)",
+        };
+        assert!(stale.to_string().contains("stale or replayed message kind 4 from host-1"));
+        let inad = ProtocolError::Inadmissible {
+            from: PartyId::Host(0),
+            kind: 4,
+            context: "histogram length != negotiated bins",
+        };
+        assert!(inad.to_string().contains("inadmissible payload in message kind 4"));
+        let trip = TrainError::PeerMisbehaving {
+            party: PartyId::Host(0),
+            violations: 3,
+            budget: 2,
+            last: Box::new(stale),
+        };
+        let s = trip.to_string();
+        assert!(s.contains("host-0 is misbehaving: 3 protocol violations (budget 2)"), "{s}");
+        assert!(s.contains("last: stale or replayed"), "{s}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ use vf2_gbdt::tree::{layer_of, left_child, right_child, NodeId, NodeSplit};
 
 use crate::config::TrainConfig;
 use crate::error::{GuestFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
+use crate::fsm::{Admit, GuestFsm, MisbehaviorBudget};
 use crate::hist_enc::unpack_feature_hist;
 use crate::messages::{FeatureMeta, HistPayload, Msg, HEARTBEAT_KIND};
 use crate::model::{FedNode, FedTree};
@@ -40,6 +41,7 @@ use crate::rows::{NodeRows, RowMajorBins};
 use crate::session::{dead_after, PartySession};
 use crate::telemetry::{PartyTelemetry, Stopwatch, TreeRecord};
 use crate::trace::{write_flight_record, TracePhase, TraceRing};
+use crate::validate;
 use crate::wire;
 
 /// What the guest hands back after training.
@@ -153,6 +155,10 @@ struct GuestParty {
     hb_last: Vec<Instant>,
     /// Monotone heartbeat counter.
     hb_seq: u64,
+    /// One validating state machine per host's inbound stream.
+    fsms: Vec<GuestFsm>,
+    /// Protocol-violation tolerance accounting, per host.
+    budgets: Vec<MisbehaviorBudget>,
 }
 
 impl GuestParty {
@@ -188,6 +194,8 @@ impl GuestParty {
             session,
             hb_last: vec![Instant::now(); endpoints.len()],
             hb_seq: 0,
+            fsms: (0..endpoints.len()).map(GuestFsm::new).collect(),
+            budgets: vec![MisbehaviorBudget::new(cfg.misbehavior_budget); endpoints.len()],
             cfg,
             suite,
             endpoints,
@@ -388,6 +396,51 @@ impl GuestParty {
             .map_err(|error| ProtocolError::Malformed { from: PartyId::Host(host), error }.into())
     }
 
+    /// Records a protocol violation against host `host`'s misbehavior
+    /// budget: counted, traced, tolerated while within budget, fatal
+    /// ([`TrainError::PeerMisbehaving`]) once past it.
+    fn misbehaving(&mut self, host: usize, violation: ProtocolError) -> Result<(), TrainError> {
+        self.telemetry.events.misbehavior += 1;
+        self.telemetry.trace.note(format!("protocol violation by host-{host}: {violation}"));
+        self.budgets[host].charge(PartyId::Host(host), violation)
+    }
+
+    /// Counts one provably-honest stale drop (optimistic-protocol
+    /// straggler) with a trace note saying why.
+    fn drop_stale(&mut self, host: usize, kind: u16, reason: &str) {
+        self.telemetry.events.stale_msgs_dropped += 1;
+        self.telemetry.trace.note(format!("dropped stale kind {kind} from host-{host}: {reason}"));
+    }
+
+    /// Runs the admission gates on a message decoded from `host`:
+    /// semantic payload validation first (stateless), then that host's
+    /// protocol state machine (advances on admission). `Ok(Some(msg))`
+    /// delivers to the protocol drivers; `Ok(None)` means the message was
+    /// dropped — an honest straggler or a tolerated violation; an error
+    /// means the host exhausted its misbehavior budget.
+    fn admit_from(&mut self, host: usize, msg: Msg) -> Result<Option<Msg>, TrainError> {
+        let metas = self.host_metas.get(host).filter(|m| !m.is_empty()).map(|m| m.as_slice());
+        let verdict = validate::check_guest_inbound(
+            host,
+            &msg,
+            metas,
+            self.cfg.gbdt.max_layers as u32,
+            &self.suite,
+        )
+        .and_then(|()| self.fsms[host].admit(&msg));
+        match verdict {
+            Ok(Admit::Deliver) => Ok(Some(msg)),
+            Ok(Admit::Stale(reason)) => {
+                self.drop_stale(host, msg.kind(), reason);
+                Ok(None)
+            }
+            Err(violation) => {
+                self.misbehaving(host, violation)?;
+                Ok(None)
+            }
+        }
+    }
+
     fn broadcast(&self, msg: &Msg) {
         let payload = wire::encode(msg);
         for ep in &self.endpoints {
@@ -459,8 +512,11 @@ impl GuestParty {
             match self.endpoints[host].recv_timeout(chunk) {
                 Ok(env) if env.kind == HEARTBEAT_KIND => continue,
                 Ok(env) => {
-                    self.telemetry.phases.idle += t0.elapsed();
-                    return Self::decode_from(host, env);
+                    let msg = Self::decode_from(host, env)?;
+                    if let Some(msg) = self.admit_from(host, msg)? {
+                        self.telemetry.phases.idle += t0.elapsed();
+                        return Ok(msg);
+                    }
                 }
                 Err(RecvError::Disconnected) => {
                     return Err(self.peer_lost(host, phase, t0, RecvError::Disconnected))
@@ -486,8 +542,11 @@ impl GuestParty {
                 match self.endpoints[h].recv_timeout(Duration::from_micros(100)) {
                     Ok(env) if env.kind == HEARTBEAT_KIND => {}
                     Ok(env) => {
-                        self.telemetry.phases.idle += t0.elapsed();
-                        return Ok((h, Self::decode_from(h, env)?));
+                        let msg = Self::decode_from(h, env)?;
+                        if let Some(msg) = self.admit_from(h, msg)? {
+                            self.telemetry.phases.idle += t0.elapsed();
+                            return Ok((h, msg));
+                        }
                     }
                     // A vanished peer is reported immediately; mere
                     // silence is judged by the shared deadline below.
@@ -518,6 +577,11 @@ impl GuestParty {
     // ------------------------------------------------------------------
 
     fn train_tree(&mut self, tree: u32) -> Result<FedTree, TrainError> {
+        // Previous-tree request bookkeeping is void from here on: any
+        // host leftovers classify as stale by their tree index alone.
+        for fsm in &mut self.fsms {
+            fsm.begin_tree(tree);
+        }
         let grads = self.cfg.gbdt.loss.grad_hess_all(&self.labels, &self.preds);
         let n = self.data.num_rows();
         let mut ctx = TreeCtx {
@@ -637,6 +701,11 @@ impl GuestParty {
             node: node as u32,
             epoch: ctx.epoch[node],
         });
+        // Every host now legitimately owes one histogram for this exact
+        // (node, epoch); the admission layer holds them to it.
+        for fsm in &mut self.fsms {
+            fsm.task_sent(node as u32, ctx.epoch[node]);
+        }
         // Optimistic node-splitting: act on our own best split before the
         // hosts weigh in (§4.2). Speculation is bounded to ONE layer
         // beyond the validated frontier, as in the paper ("only after
@@ -915,6 +984,8 @@ impl GuestParty {
                         bin: best.bin,
                     },
                 );
+                // Host `h` now owes exactly one placement for this node.
+                self.fsms[h].expect_placement(node as u32);
                 let Some(state) = ctx.states.get_mut(&node) else {
                     return Err(guest_invariant("node state vanished while awaiting placement"));
                 };
@@ -953,10 +1024,15 @@ impl GuestParty {
         node: NodeId,
         placement: Vec<bool>,
     ) -> Result<(), TrainError> {
-        let Some(state) = ctx.states.get_mut(&node) else { return Ok(()) };
-        if state.awaiting_placement != Some(host) {
-            return Ok(()); // stale (the node was rolled back meanwhile)
+        if ctx.states.get(&node).is_none_or(|s| s.awaiting_placement != Some(host)) {
+            // The node was rolled back (or re-awarded) while the host's
+            // answer was in flight: an honest straggler, not misbehavior.
+            self.drop_stale(host, 7, "placement for a node rolled back meanwhile");
+            return Ok(());
         }
+        let Some(state) = ctx.states.get_mut(&node) else {
+            return Err(guest_invariant("placement state vanished after the staleness check"));
+        };
         if placement.len() != ctx.rows.rows(node).len() {
             return Err(ProtocolError::UnexpectedMessage {
                 from: PartyId::Host(host),
@@ -1042,9 +1118,12 @@ impl GuestParty {
                     self.on_placement(ctx, host, node as usize, placement)?;
                 }
                 // A different tree index on an otherwise-valid reply is a
-                // straggler from a finished tree: stale, not fatal.
-                Msg::NodeHistograms { .. } | Msg::Placement { .. } => {
-                    self.telemetry.events.stale_histograms += 1;
+                // straggler from a finished tree: stale, not fatal. (The
+                // admission layer already filters these; this arm is the
+                // dispatch-level backstop.)
+                ref other @ (Msg::NodeHistograms { .. } | Msg::Placement { .. }) => {
+                    let kind = other.kind();
+                    self.drop_stale(host, kind, "cross-tree straggler in the optimistic loop");
                 }
                 other => {
                     return Err(ProtocolError::UnexpectedMessage {
@@ -1087,7 +1166,7 @@ impl GuestParty {
                         buffered.insert((host, node as usize), payload);
                     }
                     Msg::NodeHistograms { .. } => {
-                        self.telemetry.events.stale_histograms += 1;
+                        self.drop_stale(host, 4, "superseded-epoch histograms in the layer wait");
                     }
                     other => {
                         return Err(ProtocolError::UnexpectedMessage {
@@ -1143,7 +1222,7 @@ impl GuestParty {
                         buffered.insert((host, node as usize), payload);
                     }
                     Msg::NodeHistograms { .. } => {
-                        self.telemetry.events.stale_histograms += 1;
+                        self.drop_stale(host, 4, "superseded-epoch histograms in placement wait");
                     }
                     other => {
                         return Err(ProtocolError::UnexpectedMessage {

@@ -64,8 +64,24 @@ impl EncHistBuilder {
     }
 
     /// Accumulates one cipher into `(feature, bin)`.
+    ///
+    /// The cipher may come off the wire, so its exponent is untrusted: a
+    /// value outside the negotiated jitter window is a typed error, never
+    /// an out-of-bounds slot index.
     pub fn add(&mut self, suite: &Suite, feature: usize, bin: usize, c: &Ciphertext) -> Result<()> {
-        match &mut self.features[feature][bin] {
+        let num_features = self.features.len();
+        let bins = self.features.get_mut(feature).ok_or(CryptoError::ShapeMismatch {
+            context: "EncHistBuilder::add feature index",
+            left: feature,
+            right: num_features,
+        })?;
+        let num_bins = bins.len();
+        let acc = bins.get_mut(bin).ok_or(CryptoError::ShapeMismatch {
+            context: "EncHistBuilder::add bin index",
+            left: bin,
+            right: num_bins,
+        })?;
+        match acc {
             BinAcc::Naive(acc) => {
                 *acc = Some(match acc.take() {
                     None => c.clone(),
@@ -73,12 +89,15 @@ impl EncHistBuilder {
                 });
             }
             BinAcc::Reordered(slots) => {
-                let slot = (c.exponent() - self.base_exp) as usize;
-                debug_assert!(
-                    slot < self.jitter.max(1) as usize,
-                    "exponent {} outside the jitter window",
-                    c.exponent()
-                );
+                let width = slots.len();
+                let delta = i64::from(c.exponent()) - i64::from(self.base_exp);
+                let slot = usize::try_from(delta).ok().filter(|&s| s < width).ok_or(
+                    CryptoError::ShapeMismatch {
+                        context: "cipher exponent outside the jitter window",
+                        left: delta.unsigned_abs() as usize,
+                        right: width,
+                    },
+                )?;
                 match &mut slots[slot] {
                     None => slots[slot] = Some(c.clone()),
                     Some(acc) => suite.add_assign_same_exp(acc, c)?,
@@ -88,11 +107,42 @@ impl EncHistBuilder {
         Ok(())
     }
 
+    /// Rejects operand pairs whose strategy, feature count, or per-feature
+    /// bin counts disagree. Binary builder operations zip the two shapes,
+    /// so a mismatch would otherwise silently truncate — at a trust
+    /// boundary that must be a typed error.
+    fn check_same_shape(&self, other: &EncHistBuilder, context: &'static str) -> Result<()> {
+        if self.reordered != other.reordered {
+            return Err(CryptoError::ShapeMismatch {
+                context,
+                left: usize::from(self.reordered),
+                right: usize::from(other.reordered),
+            });
+        }
+        if self.features.len() != other.features.len() {
+            return Err(CryptoError::ShapeMismatch {
+                context,
+                left: self.features.len(),
+                right: other.features.len(),
+            });
+        }
+        for (mine, theirs) in self.features.iter().zip(&other.features) {
+            if mine.len() != theirs.len() {
+                return Err(CryptoError::ShapeMismatch {
+                    context,
+                    left: mine.len(),
+                    right: theirs.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Merges another builder into this one (worker-shard aggregation).
     /// Counts the HAdds it performs — aggregation is real work the paper's
     /// scalability analysis charges (§6.4).
     pub fn merge(&mut self, suite: &Suite, other: &EncHistBuilder) -> Result<()> {
-        debug_assert_eq!(self.reordered, other.reordered);
+        self.check_same_shape(other, "EncHistBuilder::merge")?;
         for (mine, theirs) in self.features.iter_mut().zip(&other.features) {
             for (a, b) in mine.iter_mut().zip(theirs) {
                 match (a, b) {
@@ -174,8 +224,7 @@ impl EncHistBuilder {
     /// (finalize/pack apply downstream unchanged — the packing shift
     /// depends on row count, so packing must happen *after* derivation).
     pub fn subtract(&self, suite: &Suite, other: &EncHistBuilder) -> Result<EncHistBuilder> {
-        debug_assert_eq!(self.reordered, other.reordered, "builder strategies must match");
-        debug_assert_eq!(self.features.len(), other.features.len());
+        self.check_same_shape(other, "EncHistBuilder::subtract")?;
         // Pass 1: gather every cipher occupied in `other`, in walk order,
         // and negate them as one batch.
         let mut to_negate: Vec<&Ciphertext> = Vec::new();
@@ -206,7 +255,6 @@ impl EncHistBuilder {
             .iter()
             .zip(&other.features)
             .map(|(mine, theirs)| {
-                debug_assert_eq!(mine.len(), theirs.len());
                 mine.iter()
                     .zip(theirs)
                     .map(|(a, b)| {
@@ -217,7 +265,13 @@ impl EncHistBuilder {
                                 (None, None) => None,
                             }),
                             (BinAcc::Reordered(xs), BinAcc::Reordered(ys)) => {
-                                debug_assert_eq!(xs.len(), ys.len());
+                                if xs.len() != ys.len() {
+                                    return Err(CryptoError::ShapeMismatch {
+                                        context: "EncHistBuilder::subtract slot widths",
+                                        left: xs.len(),
+                                        right: ys.len(),
+                                    });
+                                }
                                 let slots = xs
                                     .iter()
                                     .zip(ys)
@@ -231,7 +285,13 @@ impl EncHistBuilder {
                                     .collect::<Result<Vec<_>>>()?;
                                 BinAcc::Reordered(slots)
                             }
-                            _ => unreachable!("builder strategies must match"),
+                            _ => {
+                                return Err(CryptoError::ShapeMismatch {
+                                    context: "EncHistBuilder::subtract bin strategies",
+                                    left: usize::from(self.reordered),
+                                    right: usize::from(other.reordered),
+                                })
+                            }
                         })
                     })
                     .collect::<Result<Vec<_>>>()
@@ -305,7 +365,20 @@ pub fn pack_feature_hist(
     target_slot_bits: u32,
     encoding: &EncodingConfig,
 ) -> Result<PackedFeatureHist> {
-    debug_assert_eq!(bins_g.len(), bins_h.len());
+    if bins_g.len() != bins_h.len() {
+        return Err(CryptoError::ShapeMismatch {
+            context: "pack_feature_hist gradient vs hessian bins",
+            left: bins_g.len(),
+            right: bins_h.len(),
+        });
+    }
+    if bins_g.is_empty() {
+        return Err(CryptoError::ShapeMismatch {
+            context: "pack_feature_hist needs at least one bin",
+            left: 0,
+            right: 1,
+        });
+    }
     let slot_bits = required_slot_bits(count, grad_bound, encoding, target_slot_bits);
     let plan = match suite.kind() {
         SuiteKind::Paillier => {
@@ -367,7 +440,16 @@ pub fn unpack_feature_hist(
     for p in &packed.h {
         prefix_h.extend(suite.unpack_decrypt(p)?);
     }
-    debug_assert_eq!(prefix_g.len(), packed.bins as usize);
+    // `packed.bins` is a peer declaration: the unpacked slot counts must
+    // match it exactly, or the prefix-difference below would silently
+    // truncate against a hostile histogram.
+    if prefix_g.len() != packed.bins as usize || prefix_h.len() != packed.bins as usize {
+        return Err(CryptoError::ShapeMismatch {
+            context: "unpack_feature_hist unpacked slots vs declared bins",
+            left: prefix_g.len().min(prefix_h.len()),
+            right: packed.bins as usize,
+        });
+    }
     let mut out = Vec::with_capacity(packed.bins as usize);
     let (mut prev_g, mut prev_h) = (shift, 0.0);
     for (pg, ph) in prefix_g.iter().zip(&prefix_h) {
@@ -639,6 +721,68 @@ mod tests {
         b.add(&s, 0, 0, &s.encrypt_at(1.0, enc.base_exp, &mut rng).unwrap()).unwrap();
         b.add(&s, 0, 2, &s.encrypt_at(1.0, enc.base_exp + 1, &mut rng).unwrap()).unwrap();
         assert_eq!(b.cipher_count(), 2);
+    }
+
+    #[test]
+    fn hostile_exponent_is_a_typed_error_not_a_slot_panic() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut b = EncHistBuilder::new(&meta(1), &enc, true);
+        // An exponent far past the jitter window: must reject, not index
+        // out of bounds.
+        let c = s.encrypt_at(1.0, enc.base_exp + enc.jitter as i32 + 7, &mut rng).unwrap();
+        let err = b.add(&s, 0, 0, &c).unwrap_err();
+        assert!(matches!(err, CryptoError::ShapeMismatch { .. }), "{err}");
+        // Below the window too (negative delta must not wrap).
+        let c = s.encrypt_at(1.0, enc.base_exp - 3, &mut rng).unwrap();
+        let err = b.add(&s, 0, 0, &c).unwrap_err();
+        assert!(matches!(err, CryptoError::ShapeMismatch { .. }), "{err}");
+        // Out-of-range feature / bin indices are typed errors as well.
+        let c = s.encrypt(1.0, &mut rng).unwrap();
+        assert!(b.add(&s, 9, 0, &c).is_err());
+        assert!(b.add(&s, 0, 9, &c).is_err());
+    }
+
+    #[test]
+    fn mismatched_operands_are_typed_errors_in_release_too() {
+        let s = suite();
+        let enc = encoding();
+        let mut a = EncHistBuilder::new(&meta(2), &enc, true);
+        let b = EncHistBuilder::new(&meta(3), &enc, true);
+        assert!(matches!(a.merge(&s, &b), Err(CryptoError::ShapeMismatch { .. })));
+        assert!(matches!(a.subtract(&s, &b), Err(CryptoError::ShapeMismatch { .. })));
+        let naive = EncHistBuilder::new(&meta(2), &enc, false);
+        assert!(matches!(a.merge(&s, &naive), Err(CryptoError::ShapeMismatch { .. })));
+        assert!(matches!(a.subtract(&s, &naive), Err(CryptoError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn pack_rejects_mismatched_or_empty_bins() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(12);
+        let target = max_exponent(&enc);
+        let bins: Vec<Ciphertext> =
+            (0..3).map(|i| s.encrypt_at(i as f64, target, &mut rng).unwrap()).collect();
+        let err = pack_feature_hist(&s, &bins, &bins[..2], 10, 1.0, 64, &enc).unwrap_err();
+        assert!(matches!(err, CryptoError::ShapeMismatch { left: 3, right: 2, .. }), "{err}");
+        let err = pack_feature_hist(&s, &[], &[], 10, 1.0, 64, &enc).unwrap_err();
+        assert!(matches!(err, CryptoError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn unpack_rejects_bins_declaration_that_disagrees_with_slots() {
+        let s = suite();
+        let enc = encoding();
+        let mut rng = StdRng::seed_from_u64(13);
+        let target = max_exponent(&enc);
+        let bins: Vec<Ciphertext> =
+            (0..4).map(|i| s.encrypt_at(i as f64 * 0.1, target, &mut rng).unwrap()).collect();
+        let mut packed = pack_feature_hist(&s, &bins, &bins, 10, 1.0, 64, &enc).unwrap();
+        packed.bins = 7; // hostile declaration
+        let err = unpack_feature_hist(&s, &packed, 10, 1.0).unwrap_err();
+        assert!(matches!(err, CryptoError::ShapeMismatch { right: 7, .. }), "{err}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use vf2_gbdt::tree::{left_child, right_child, NodeSplit};
 
 use crate::config::TrainConfig;
 use crate::error::{HostFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
+use crate::fsm::{Admit, HostFsm, MisbehaviorBudget};
 use crate::hist_enc::{max_exponent, pack_feature_hist, EncHistBuilder};
 use crate::messages::{
     FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist, HEARTBEAT_KIND,
@@ -30,6 +31,7 @@ use crate::rows::{NodeRows, RowMajorBins};
 use crate::session::{dead_after, PartySession};
 use crate::telemetry::{PartyTelemetry, Stopwatch};
 use crate::trace::{write_flight_record, TracePhase, TraceRing};
+use crate::validate;
 use crate::wire;
 
 /// Runs a host party to completion (until the guest sends `Shutdown`).
@@ -264,6 +266,10 @@ struct HostParty {
     hb_last: Instant,
     /// Monotone heartbeat counter.
     hb_seq: u64,
+    /// Validating state machine over the guest's message stream.
+    fsm: HostFsm,
+    /// Protocol-violation tolerance accounting for the guest.
+    budget: MisbehaviorBudget,
 }
 
 impl HostParty {
@@ -290,6 +296,8 @@ impl HostParty {
             trace: TraceRing::new(cfg.trace_events_cap, cfg.trace_spans),
             ..Default::default()
         };
+        let fsm = HostFsm::new(cfg.gbdt.num_trees as u32, csr.num_rows() as u32);
+        let budget = MisbehaviorBudget::new(cfg.misbehavior_budget);
         Ok(HostParty {
             cfg,
             suite,
@@ -308,6 +316,8 @@ impl HostParty {
             session,
             hb_last: Instant::now(),
             hb_seq: 0,
+            fsm,
+            budget,
         })
     }
 
@@ -344,7 +354,9 @@ impl HostParty {
                     let m = wire::decode(env.kind, env.payload).map_err(|error| {
                         ProtocolError::Malformed { from: PartyId::Guest, error }
                     })?;
-                    self.handle(m)?;
+                    if self.admit(&m)? {
+                        self.handle(m)?;
+                    }
                 }
                 None => self.run_one_task()?,
             }
@@ -518,6 +530,45 @@ impl HostParty {
         self.state.as_ref().is_some_and(|s| s.rows.has(node) && right_child(node) < heap)
     }
 
+    /// Records a protocol violation against the guest's misbehavior
+    /// budget: counted, traced, tolerated while within budget, fatal
+    /// ([`TrainError::PeerMisbehaving`]) once past it.
+    fn misbehaving(&mut self, violation: ProtocolError) -> Result<(), TrainError> {
+        self.telemetry.events.misbehavior += 1;
+        self.telemetry.trace.note(format!("protocol violation by guest: {violation}"));
+        self.budget.charge(PartyId::Guest, violation)
+    }
+
+    /// Runs the admission gates on a decoded message: semantic payload
+    /// validation first (stateless), then the protocol state machine
+    /// (advances on admission). Returns `Ok(true)` to dispatch,
+    /// `Ok(false)` when the message was dropped as a tolerated violation,
+    /// and an error once the misbehavior budget is exhausted.
+    fn admit(&mut self, msg: &Msg) -> Result<bool, TrainError> {
+        let verdict = validate::check_host_inbound(
+            msg,
+            self.csr.num_rows() as u32,
+            self.binned.num_features(),
+            self.cfg.gbdt.max_layers as u32,
+            &self.suite,
+        )
+        .and_then(|()| self.fsm.admit(msg));
+        match verdict {
+            Ok(Admit::Deliver) => Ok(true),
+            Ok(Admit::Stale(reason)) => {
+                self.telemetry.events.stale_msgs_dropped += 1;
+                self.telemetry
+                    .trace
+                    .note(format!("dropped stale message kind {}: {reason}", msg.kind()));
+                Ok(false)
+            }
+            Err(violation) => {
+                self.misbehaving(violation)?;
+                Ok(false)
+            }
+        }
+    }
+
     fn handle(&mut self, msg: Msg) -> Result<(), TrainError> {
         match msg {
             Msg::GradBatch { tree, start_row, g, h, last } => {
@@ -527,7 +578,16 @@ impl HostParty {
                 self.phase = ProtocolPhase::TreeBuild;
                 self.ensure_tree(tree);
                 match self.task_epoch.get(&node) {
-                    Some(&old) if old >= epoch => {} // duplicate or stale
+                    Some(&old) if old >= epoch => {
+                        // The guest bumps the epoch before every task it
+                        // issues, and the link is FIFO: a duplicate or
+                        // regressed epoch cannot be an honest straggler.
+                        self.misbehaving(ProtocolError::StaleOrReplayed {
+                            from: PartyId::Guest,
+                            kind: 3,
+                            context: "node task replayed or epoch-regressed",
+                        })?;
+                    }
                     Some(_) => {
                         // Superseded before execution: the paper's aborted
                         // sub-task.
@@ -1150,6 +1210,10 @@ mod tests {
         let env = guest_ep.recv().unwrap();
         let msg = wire::decode(env.kind, env.payload).unwrap();
         assert!(matches!(msg, Msg::FeatureMeta(ref m) if m.len() == 1));
+        // The host's admission machine expects the resume decision before
+        // anything else, exactly as the real guest behaves.
+        let resume = Msg::Resume { session_id: 0, tree_count: 0 };
+        guest_ep.send(resume.kind(), wire::encode(&resume));
         guest_ep.send(Msg::Shutdown.kind(), wire::encode(&Msg::Shutdown));
         let (telemetry, splits) = handle.join().unwrap().expect("host run succeeds");
         assert_eq!(telemetry.name, "host-3");

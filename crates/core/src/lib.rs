@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fsm;
 pub mod guest;
 pub mod hist_enc;
 pub mod host;
@@ -56,6 +57,7 @@ pub mod session;
 pub mod telemetry;
 pub mod trace;
 pub mod train;
+pub mod validate;
 pub mod wire;
 
 pub use config::TrainConfig;

@@ -162,6 +162,16 @@ pub struct ProtocolEvents {
     /// Sessions resumed from a checkpoint (0 on a fresh run, 1 after a
     /// successful resume handshake that skipped completed trees).
     pub resumes: u64,
+    /// Provably-honest stale messages dropped after admission (optimistic
+    /// rollback stragglers: superseded-epoch histograms, previous-tree
+    /// responses). Not misbehavior — see `misbehavior` for that.
+    pub stale_msgs_dropped: u64,
+    /// Protocol violations observed from peers (out-of-phase messages,
+    /// replays, inadmissible payloads). Each is charged against
+    /// [`crate::config::TrainConfig::misbehavior_budget`]; once the budget
+    /// is exceeded the run fails with
+    /// [`crate::error::TrainError::PeerMisbehaving`].
+    pub misbehavior: u64,
     /// Liveness heartbeats this party sent while blocked on the peer.
     pub heartbeats_sent: u64,
     /// Heartbeat supervision ticks where the link had been silent for at
@@ -399,6 +409,8 @@ pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
         .u64("hist_cache_evictions", p.events.hist_cache_evictions)
         .f64("hist_cache_hit_rate", p.events.hist_cache_hit_rate())
         .u64("hadds_saved", p.events.hadds_saved)
+        .u64("stale_msgs_dropped", p.events.stale_msgs_dropped)
+        .u64("misbehavior", p.events.misbehavior)
         .u64("checkpoints_written", p.events.checkpoints_written)
         .u64("resumes", p.events.resumes)
         .u64("heartbeats_sent", p.events.heartbeats_sent)
@@ -509,6 +521,20 @@ mod tests {
         let trees = parsed.get("trees").and_then(Json::as_arr).expect("trees");
         assert_eq!(trees.len(), 1);
         assert_eq!(trees[0].get("tree").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn report_json_carries_misbehavior_counters() {
+        use crate::json::{parse, Json};
+        let mut r = TrainReport::default();
+        r.guest.name = "guest".into();
+        r.guest.events.misbehavior = 2;
+        r.guest.events.stale_msgs_dropped = 5;
+        let parsed = parse(&r.to_json()).expect("report parses");
+        let parties = parsed.get("parties").and_then(Json::as_arr).expect("parties");
+        let events = parties[0].get("events").expect("events");
+        assert_eq!(events.get("misbehavior").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(events.get("stale_msgs_dropped").and_then(Json::as_f64), Some(5.0));
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! Semantic message admission: payload-level checks on decoded messages.
+//!
+//! The wire layer ([`crate::wire`]) guarantees a message is *well-formed*
+//! (parseable, collection counts within protocol maxima); the state
+//! machine ([`crate::fsm`]) guarantees it is *in phase*. This module adds
+//! the third gate — the payload must *make sense* against the negotiated
+//! run parameters before any of it is dispatched or allocated against:
+//!
+//! * histogram feature counts and per-feature bin counts must match the
+//!   [`FeatureMeta`] the host itself declared at startup;
+//! * node, feature, and bin indices must be in bounds for the configured
+//!   tree shape;
+//! * Paillier ciphers must lie in the ciphertext space `[0, n²)` and
+//!   carry exponents inside the negotiated jitter window; mock plaintext
+//!   values must be finite (a NaN would silently poison every model
+//!   aggregate it touches);
+//! * gradient row ranges must stay within the peer's instance count.
+//!
+//! Everything here is *structural*. A peer lying about histogram *values*
+//! is undetectable in principle — those sums are computed over the host's
+//! private rows — so value-level trust is out of scope by construction.
+//!
+//! All violations are reported as [`ProtocolError::Inadmissible`] and are
+//! charged against the peer's misbehavior budget by the callers.
+
+use vf2_crypto::suite::{Ciphertext, PackedCiphertext, Suite, SuiteKind};
+
+use crate::error::{PartyId, ProtocolError};
+use crate::hist_enc::max_exponent;
+use crate::messages::{FeatureMeta, HistPayload, Msg};
+
+fn inadmissible(from: PartyId, kind: u16, context: &'static str) -> ProtocolError {
+    ProtocolError::Inadmissible { from, kind, context }
+}
+
+/// Checks one scalar cipher against the negotiated suite: the variant
+/// must match the suite kind, Paillier ciphers must lie in `[0, n²)`,
+/// plaintext mocks must be finite, and the exponent must sit inside the
+/// jitter window `[base_exp, max_exponent]`.
+fn check_cipher(
+    c: &Ciphertext,
+    suite: &Suite,
+    from: PartyId,
+    kind: u16,
+) -> Result<(), ProtocolError> {
+    match (suite.kind(), c) {
+        (SuiteKind::Paillier, Ciphertext::Paillier(e)) => {
+            if let Some(pk) = suite.public_key() {
+                if &e.cipher >= pk.nn() {
+                    return Err(inadmissible(from, kind, "ciphertext outside [0, n^2)"));
+                }
+            }
+        }
+        (SuiteKind::Plain, Ciphertext::Plain(p)) => {
+            if !p.value.is_finite() {
+                return Err(inadmissible(from, kind, "non-finite plaintext mock value"));
+            }
+        }
+        _ => {
+            return Err(inadmissible(
+                from,
+                kind,
+                "cipher variant does not match the negotiated suite",
+            ));
+        }
+    }
+    let enc = suite.encoding();
+    let exp = c.exponent();
+    if exp < enc.base_exp || exp > max_exponent(enc) {
+        return Err(inadmissible(from, kind, "cipher exponent outside the jitter window"));
+    }
+    Ok(())
+}
+
+/// Checks one packed cipher (prefix-sum histogram slot run).
+fn check_packed(
+    p: &PackedCiphertext,
+    suite: &Suite,
+    from: PartyId,
+    kind: u16,
+) -> Result<(), ProtocolError> {
+    match (suite.kind(), p) {
+        (
+            SuiteKind::Paillier,
+            PackedCiphertext::Paillier { cipher, exponent, count, slot_bits },
+        ) => {
+            if let Some(pk) = suite.public_key() {
+                if cipher >= pk.nn() {
+                    return Err(inadmissible(from, kind, "packed ciphertext outside [0, n^2)"));
+                }
+            }
+            if *count == 0 || *slot_bits == 0 {
+                return Err(inadmissible(from, kind, "packed cipher declares an empty layout"));
+            }
+            let enc = suite.encoding();
+            if *exponent < enc.base_exp || *exponent > max_exponent(enc) {
+                return Err(inadmissible(from, kind, "packed exponent outside the jitter window"));
+            }
+            Ok(())
+        }
+        (SuiteKind::Plain, PackedCiphertext::Plain(values)) => {
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err(inadmissible(from, kind, "non-finite packed mock value"));
+            }
+            Ok(())
+        }
+        _ => Err(inadmissible(from, kind, "packed variant does not match the negotiated suite")),
+    }
+}
+
+/// Checks an encrypted gradient batch at the host: parallel gradient and
+/// hessian vectors, a row range inside the peer-declared instance count,
+/// and every cipher admissible for the suite.
+pub fn check_grad_batch(
+    from: PartyId,
+    start_row: u32,
+    g: &[Ciphertext],
+    h: &[Ciphertext],
+    num_rows: u32,
+    suite: &Suite,
+) -> Result<(), ProtocolError> {
+    const KIND: u16 = 2;
+    if g.len() != h.len() {
+        return Err(inadmissible(from, KIND, "gradient and hessian counts differ"));
+    }
+    if u64::from(start_row) + g.len() as u64 > u64::from(num_rows) {
+        return Err(inadmissible(from, KIND, "gradient rows past the instance count"));
+    }
+    for c in g.iter().chain(h) {
+        check_cipher(c, suite, from, KIND)?;
+    }
+    Ok(())
+}
+
+/// Checks the feature metadata a host declares at startup: every feature
+/// needs at least one bin and a zero bin inside its bin range.
+pub fn check_feature_meta(from: PartyId, metas: &[FeatureMeta]) -> Result<(), ProtocolError> {
+    const KIND: u16 = 1;
+    for m in metas {
+        if m.num_bins == 0 {
+            return Err(inadmissible(from, KIND, "feature declares zero bins"));
+        }
+        if m.zero_bin >= m.num_bins {
+            return Err(inadmissible(from, KIND, "zero bin outside the feature's bin range"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a histogram payload against the metadata the same host
+/// negotiated at startup: the feature count, every per-feature bin count
+/// (raw bins or packed slot totals), and every cipher.
+pub fn check_hist_payload(
+    from: PartyId,
+    payload: &HistPayload,
+    metas: &[FeatureMeta],
+    suite: &Suite,
+) -> Result<(), ProtocolError> {
+    const KIND: u16 = 4;
+    match payload {
+        HistPayload::Raw(feats) => {
+            if feats.len() != metas.len() {
+                return Err(inadmissible(
+                    from,
+                    KIND,
+                    "histogram feature count disagrees with the negotiated metadata",
+                ));
+            }
+            for (f, m) in feats.iter().zip(metas) {
+                if f.g.len() != usize::from(m.num_bins) || f.h.len() != usize::from(m.num_bins) {
+                    return Err(inadmissible(
+                        from,
+                        KIND,
+                        "histogram bin count disagrees with the negotiated metadata",
+                    ));
+                }
+                for c in f.g.iter().chain(&f.h) {
+                    check_cipher(c, suite, from, KIND)?;
+                }
+            }
+            Ok(())
+        }
+        HistPayload::Packed(feats) => {
+            if feats.len() != metas.len() {
+                return Err(inadmissible(
+                    from,
+                    KIND,
+                    "histogram feature count disagrees with the negotiated metadata",
+                ));
+            }
+            for (f, m) in feats.iter().zip(metas) {
+                if f.bins != m.num_bins {
+                    return Err(inadmissible(
+                        from,
+                        KIND,
+                        "packed bin declaration disagrees with the negotiated metadata",
+                    ));
+                }
+                let slots_g: usize = f.g.iter().map(PackedCiphertext::count).sum();
+                let slots_h: usize = f.h.iter().map(PackedCiphertext::count).sum();
+                if slots_g != usize::from(f.bins) || slots_h != usize::from(f.bins) {
+                    return Err(inadmissible(
+                        from,
+                        KIND,
+                        "packed slot total disagrees with the declared bin count",
+                    ));
+                }
+                for p in f.g.iter().chain(&f.h) {
+                    check_packed(p, suite, from, KIND)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks a heap node index against the configured tree depth.
+fn check_node_index(
+    from: PartyId,
+    kind: u16,
+    node: u32,
+    max_layers: u32,
+) -> Result<(), ProtocolError> {
+    // A tree of `max_layers` layers stores at most 2^max_layers - 1 heap
+    // nodes; anything past that would index memory never allocated.
+    let heap = (1u64 << max_layers.min(63)) - 1;
+    if u64::from(node) >= heap {
+        return Err(inadmissible(from, kind, "node index outside the tree heap"));
+    }
+    Ok(())
+}
+
+/// Semantic admission for every message a host may receive from the
+/// guest. `num_rows` is the host's own instance count, `num_features` its
+/// own feature count, `max_layers` the negotiated tree depth.
+pub fn check_host_inbound(
+    msg: &Msg,
+    num_rows: u32,
+    num_features: usize,
+    max_layers: u32,
+    suite: &Suite,
+) -> Result<(), ProtocolError> {
+    let from = PartyId::Guest;
+    match msg {
+        Msg::GradBatch { start_row, g, h, .. } => {
+            check_grad_batch(from, *start_row, g, h, num_rows, suite)
+        }
+        Msg::NodeTask { node, epoch, .. } => {
+            check_node_index(from, msg.kind(), *node, max_layers)?;
+            if *epoch == 0 {
+                return Err(inadmissible(from, msg.kind(), "materialization epochs start at 1"));
+            }
+            Ok(())
+        }
+        Msg::ApplyPlacement { node, .. } | Msg::NodeLeaf { node, .. } => {
+            check_node_index(from, msg.kind(), *node, max_layers)
+        }
+        Msg::HostSplitChosen { node, feature, .. } => {
+            check_node_index(from, msg.kind(), *node, max_layers)?;
+            if *feature as usize >= num_features {
+                return Err(inadmissible(
+                    from,
+                    msg.kind(),
+                    "split feature index outside this host's feature set",
+                ));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Semantic admission for every message the guest may receive from host
+/// `host`. `metas` is that host's negotiated feature metadata (`None`
+/// until the handshake delivers it).
+pub fn check_guest_inbound(
+    host: usize,
+    msg: &Msg,
+    metas: Option<&[FeatureMeta]>,
+    max_layers: u32,
+    suite: &Suite,
+) -> Result<(), ProtocolError> {
+    let from = PartyId::Host(host);
+    match msg {
+        Msg::FeatureMeta(m) => check_feature_meta(from, m),
+        Msg::NodeHistograms { node, payload, .. } => {
+            check_node_index(from, msg.kind(), *node, max_layers)?;
+            match metas {
+                Some(metas) => check_hist_payload(from, payload, metas, suite),
+                None => Ok(()),
+            }
+        }
+        Msg::Placement { node, .. } => check_node_index(from, msg.kind(), *node, max_layers),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vf2_crypto::encnum::EncryptedNumber;
+    use vf2_crypto::encoding::EncodingConfig;
+    use vf2_crypto::suite::PlainNumber;
+
+    use crate::messages::{PackedFeatureHist, RawFeatureHist};
+
+    fn enc() -> EncodingConfig {
+        EncodingConfig { base: 16, base_exp: 8, jitter: 4 }
+    }
+
+    fn paillier() -> Suite {
+        Suite::paillier_seeded(256, 7, enc()).unwrap()
+    }
+
+    fn cipher(s: &Suite, v: f64) -> Ciphertext {
+        let mut rng = StdRng::seed_from_u64(11);
+        s.encrypt(v, &mut rng).unwrap()
+    }
+
+    fn assert_inadmissible(r: Result<(), ProtocolError>, want: &str) {
+        match r {
+            Err(ProtocolError::Inadmissible { context, .. }) => {
+                assert!(context.contains(want), "context {context:?} lacks {want:?}")
+            }
+            other => panic!("expected inadmissible({want}), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn honest_grad_batch_passes() {
+        let s = paillier();
+        let g = vec![cipher(&s, 0.5), cipher(&s, -0.25)];
+        let h = vec![cipher(&s, 0.25), cipher(&s, 0.25)];
+        check_grad_batch(PartyId::Guest, 3, &g, &h, 5, &s).unwrap();
+    }
+
+    #[test]
+    fn grad_batch_shape_and_range_violations_are_inadmissible() {
+        let s = paillier();
+        let g = vec![cipher(&s, 0.5), cipher(&s, -0.25)];
+        let h = vec![cipher(&s, 0.25)];
+        assert_inadmissible(check_grad_batch(PartyId::Guest, 0, &g, &h, 5, &s), "counts differ");
+        let h = vec![cipher(&s, 0.25), cipher(&s, 0.25)];
+        assert_inadmissible(
+            check_grad_batch(PartyId::Guest, 4, &g, &h, 5, &s),
+            "past the instance count",
+        );
+    }
+
+    #[test]
+    fn out_of_range_cipher_is_inadmissible() {
+        let s = paillier();
+        let nn = s.public_key().unwrap().nn().clone();
+        let hostile = Ciphertext::Paillier(EncryptedNumber { cipher: nn, exponent: 8 });
+        let ok = cipher(&s, 0.0);
+        assert_inadmissible(
+            check_grad_batch(PartyId::Guest, 0, &[hostile], &[ok], 5, &s),
+            "outside [0, n^2)",
+        );
+    }
+
+    #[test]
+    fn exponent_outside_jitter_window_is_inadmissible() {
+        let s = paillier();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Window is [8, 11]; 12 and 7 both fall outside.
+        for exp in [12, 7] {
+            let c = s.encrypt_at(1.0, exp, &mut rng).unwrap();
+            let ok = cipher(&s, 0.0);
+            assert_inadmissible(
+                check_grad_batch(PartyId::Guest, 0, &[c], &[ok], 5, &s),
+                "jitter window",
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_suite_variant_and_nan_are_inadmissible() {
+        let s = paillier();
+        let plain = Ciphertext::Plain(PlainNumber { value: 0.0, exponent: 8 });
+        let ok = cipher(&s, 0.0);
+        assert_inadmissible(
+            check_grad_batch(PartyId::Guest, 0, &[plain], &[ok], 5, &s),
+            "negotiated suite",
+        );
+        let mock = Suite::plain(enc());
+        let nan = Ciphertext::Plain(PlainNumber { value: f64::NAN, exponent: 8 });
+        let ok = cipher(&mock, 0.0);
+        assert_inadmissible(
+            check_grad_batch(PartyId::Guest, 0, &[nan], &[ok], 5, &mock),
+            "non-finite",
+        );
+    }
+
+    #[test]
+    fn feature_meta_bounds_are_checked() {
+        let from = PartyId::Host(0);
+        check_feature_meta(from, &[FeatureMeta { num_bins: 4, zero_bin: 3 }]).unwrap();
+        assert_inadmissible(
+            check_feature_meta(from, &[FeatureMeta { num_bins: 0, zero_bin: 0 }]),
+            "zero bins",
+        );
+        assert_inadmissible(
+            check_feature_meta(from, &[FeatureMeta { num_bins: 4, zero_bin: 4 }]),
+            "zero bin outside",
+        );
+    }
+
+    #[test]
+    fn raw_hist_shape_must_match_negotiated_metas() {
+        let s = paillier();
+        let from = PartyId::Host(0);
+        let metas = vec![FeatureMeta { num_bins: 2, zero_bin: 0 }];
+        let feat = |bins: usize| RawFeatureHist {
+            g: (0..bins).map(|_| cipher(&s, 1.0)).collect(),
+            h: (0..bins).map(|_| cipher(&s, 1.0)).collect(),
+        };
+        check_hist_payload(from, &HistPayload::Raw(vec![feat(2)]), &metas, &s).unwrap();
+        assert_inadmissible(
+            check_hist_payload(from, &HistPayload::Raw(vec![feat(3)]), &metas, &s),
+            "bin count disagrees",
+        );
+        assert_inadmissible(
+            check_hist_payload(from, &HistPayload::Raw(vec![feat(2), feat(2)]), &metas, &s),
+            "feature count disagrees",
+        );
+    }
+
+    #[test]
+    fn packed_hist_slot_totals_must_match_declared_bins() {
+        let s = Suite::plain(enc());
+        let from = PartyId::Host(1);
+        let metas = vec![FeatureMeta { num_bins: 3, zero_bin: 0 }];
+        let packed = |slots: usize, bins: u16| PackedFeatureHist {
+            g: vec![PackedCiphertext::Plain(vec![1.0; slots])],
+            h: vec![PackedCiphertext::Plain(vec![1.0; slots])],
+            bins,
+        };
+        check_hist_payload(from, &HistPayload::Packed(vec![packed(3, 3)]), &metas, &s).unwrap();
+        assert_inadmissible(
+            check_hist_payload(from, &HistPayload::Packed(vec![packed(3, 4)]), &metas, &s),
+            "disagrees with the negotiated metadata",
+        );
+        assert_inadmissible(
+            check_hist_payload(from, &HistPayload::Packed(vec![packed(2, 3)]), &metas, &s),
+            "slot total disagrees",
+        );
+    }
+
+    #[test]
+    fn node_and_feature_indices_are_bounded() {
+        let s = Suite::plain(enc());
+        // 4 layers => heap of 15 nodes (0..=14).
+        check_host_inbound(&Msg::NodeLeaf { tree: 0, node: 14 }, 10, 3, 4, &s).unwrap();
+        assert_inadmissible(
+            check_host_inbound(&Msg::NodeLeaf { tree: 0, node: 15 }, 10, 3, 4, &s),
+            "outside the tree heap",
+        );
+        assert_inadmissible(
+            check_host_inbound(&Msg::NodeTask { tree: 0, node: 1, epoch: 0 }, 10, 3, 4, &s),
+            "epochs start at 1",
+        );
+        assert_inadmissible(
+            check_host_inbound(
+                &Msg::HostSplitChosen { tree: 0, node: 1, feature: 3, bin: 0 },
+                10,
+                3,
+                4,
+                &s,
+            ),
+            "feature index outside",
+        );
+        // Guest-side placement node bound.
+        assert_inadmissible(
+            check_guest_inbound(
+                0,
+                &Msg::Placement { tree: 0, node: 99, placement: vec![] },
+                None,
+                4,
+                &s,
+            ),
+            "outside the tree heap",
+        );
+    }
+}

@@ -13,6 +13,29 @@ use vf2_crypto::suite::{Ciphertext, PackedCiphertext, PlainNumber};
 
 use crate::messages::{FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist};
 
+/// Hard protocol maxima enforced at decode time, before any allocation.
+///
+/// The generic [`bounded_len`] guard already ties announced counts to the
+/// bytes actually present, but a peer can still ship megabytes of payload
+/// to justify a huge count. These ceilings bound every dimension a message
+/// can declare to values far beyond any honest run yet far below anything
+/// that could exhaust the receiver.
+pub mod limits {
+    /// Features one party may announce or send histograms for.
+    pub const MAX_FEATURES: usize = 1 << 16;
+    /// Rows one blaster gradient batch may carry.
+    pub const MAX_BATCH_ROWS: usize = 1 << 22;
+    /// Packed ciphertexts per feature histogram (bins are `u16`, and each
+    /// packed cipher holds at least one bin).
+    pub const MAX_PACKED_PER_FEATURE: usize = u16::MAX as usize;
+    /// Slots one packed ciphertext may declare (bounds the unpack loop).
+    pub const MAX_PACKED_SLOTS: usize = 1 << 12;
+    /// Bits per packing slot (bounds the shift work during unpacking).
+    pub const MAX_SLOT_BITS: u32 = 1 << 16;
+    /// Entries in a session hello's durable-checkpoint list.
+    pub const MAX_DURABLE: usize = 1 << 16;
+}
+
 /// Wire decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -30,6 +53,16 @@ pub enum WireError {
         /// Bytes actually left in the payload.
         remaining: usize,
     },
+    /// A declared count exceeds the protocol maximum for its dimension
+    /// ([`limits`]), regardless of how much payload backs it.
+    OverLimit {
+        /// What was being decoded.
+        what: &'static str,
+        /// The announced count.
+        len: u64,
+        /// The protocol ceiling it exceeded.
+        max: usize,
+    },
 }
 
 impl From<DecodeError> for WireError {
@@ -45,6 +78,9 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(what, v) => write!(f, "bad {what} tag {v}"),
             WireError::Oversized { what, len, remaining } => {
                 write!(f, "{what} count {len} cannot fit in {remaining} remaining bytes")
+            }
+            WireError::OverLimit { what, len, max } => {
+                write!(f, "{what} count {len} exceeds the protocol maximum {max}")
             }
         }
     }
@@ -68,6 +104,14 @@ fn bounded_len(
         return Err(WireError::Oversized { what, len, remaining });
     }
     Ok(len as usize)
+}
+
+/// Rejects a decoded count that exceeds its protocol ceiling ([`limits`]).
+fn capped_len(len: usize, max: usize, what: &'static str) -> Result<usize, WireError> {
+    if len > max {
+        return Err(WireError::OverLimit { what, len: len as u64, max });
+    }
+    Ok(len)
 }
 
 fn put_ciphertext(e: &mut Encoder, c: &Ciphertext) {
@@ -124,8 +168,16 @@ fn get_packed(d: &mut Decoder) -> Result<PackedCiphertext, WireError> {
     match d.get_u8()? {
         0 => {
             let exponent = d.get_i32()?;
-            let count = d.get_u32()? as usize;
+            let count =
+                capped_len(d.get_u32()? as usize, limits::MAX_PACKED_SLOTS, "packed slot count")?;
             let slot_bits = d.get_u32()?;
+            if slot_bits > limits::MAX_SLOT_BITS {
+                return Err(WireError::OverLimit {
+                    what: "packed slot bits",
+                    len: u64::from(slot_bits),
+                    max: limits::MAX_SLOT_BITS as usize,
+                });
+            }
             let bytes = d.get_bytes()?;
             Ok(PackedCiphertext::Paillier {
                 cipher: BigUint::from_bytes_le(&bytes),
@@ -150,6 +202,7 @@ fn get_cipher_vec(d: &mut Decoder) -> Result<Vec<Ciphertext>, WireError> {
     // Smallest ciphertext on the wire: tag + exponent + empty byte string.
     let announced = d.get_varint()?;
     let len = bounded_len(d, announced, 6, "ciphertext vector")?;
+    let len = capped_len(len, limits::MAX_BATCH_ROWS, "ciphertext vector")?;
     (0..len).map(|_| get_ciphertext(d)).collect()
 }
 
@@ -164,6 +217,7 @@ fn get_packed_vec(d: &mut Decoder) -> Result<Vec<PackedCiphertext>, WireError> {
     // Smallest packed ciphertext: tag + empty f64 slice.
     let announced = d.get_varint()?;
     let len = bounded_len(d, announced, 2, "packed ciphertext vector")?;
+    let len = capped_len(len, limits::MAX_PACKED_PER_FEATURE, "packed ciphertext vector")?;
     (0..len).map(|_| get_packed(d)).collect()
 }
 
@@ -265,6 +319,7 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
         1 => {
             let announced = d.get_varint()?;
             let len = bounded_len(&d, announced, 4, "feature meta vector")?;
+            let len = capped_len(len, limits::MAX_FEATURES, "feature meta vector")?;
             let mut metas = Vec::with_capacity(len);
             for _ in 0..len {
                 metas.push(FeatureMeta { num_bins: d.get_u16()?, zero_bin: d.get_u16()? });
@@ -289,6 +344,7 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
                     // Smallest raw feature: two empty ciphertext vectors.
                     let announced = d.get_varint()?;
                     let len = bounded_len(&d, announced, 2, "raw histogram vector")?;
+                    let len = capped_len(len, limits::MAX_FEATURES, "raw histogram vector")?;
                     let mut features = Vec::with_capacity(len);
                     for _ in 0..len {
                         let g = get_cipher_vec(&mut d)?;
@@ -301,6 +357,7 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
                     // Smallest packed feature: bin count + two empty vectors.
                     let announced = d.get_varint()?;
                     let len = bounded_len(&d, announced, 4, "packed histogram vector")?;
+                    let len = capped_len(len, limits::MAX_FEATURES, "packed histogram vector")?;
                     let mut features = Vec::with_capacity(len);
                     for _ in 0..len {
                         let bins = d.get_u16()?;
@@ -334,6 +391,7 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
             let epoch = d.get_u32()?;
             let announced = d.get_varint()?;
             let len = bounded_len(&d, announced, 4, "durable checkpoint vector")?;
+            let len = capped_len(len, limits::MAX_DURABLE, "durable checkpoint vector")?;
             let mut durable = Vec::with_capacity(len);
             for _ in 0..len {
                 durable.push(d.get_u32()?);
@@ -555,5 +613,50 @@ mod tests {
         packed.push(1); // HistPayload::Packed tag
         bomb(4, &packed);
         bomb(11, &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]); // SessionHello durable count
+    }
+
+    #[test]
+    fn counts_past_protocol_maxima_are_rejected_even_with_backing_bytes() {
+        // Enough real payload to satisfy the generic byte-budget guard, but
+        // a count past the protocol ceiling: must hit the OverLimit gate.
+        let mut e = Encoder::new();
+        e.put_varint(limits::MAX_FEATURES as u64 + 1);
+        for _ in 0..=limits::MAX_FEATURES {
+            e.put_u16(4);
+            e.put_u16(0);
+        }
+        let r = decode(1, e.finish());
+        assert!(
+            matches!(r, Err(WireError::OverLimit { what: "feature meta vector", .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn hostile_packed_slot_declarations_are_rejected() {
+        // A packed ciphertext declaring an absurd slot count (forcing the
+        // unpack loop) or slot width must fail at decode.
+        let packed_hist = |count: u32, slot_bits: u32| {
+            let mut e = Encoder::new();
+            for _ in 0..3 {
+                e.put_u32(0); // tree, node, epoch
+            }
+            e.put_u8(1); // HistPayload::Packed
+            e.put_varint(1); // one feature
+            e.put_u16(3); // bins
+            e.put_varint(1); // one packed cipher in g
+            e.put_u8(0); // PackedCiphertext::Paillier
+            e.put_i32(10);
+            e.put_u32(count);
+            e.put_u32(slot_bits);
+            e.put_bytes(&[1, 2, 3, 4]);
+            e.put_varint(0); // empty h
+            decode(4, e.finish())
+        };
+        assert!(packed_hist(3, 64).is_ok());
+        let r = packed_hist(u32::MAX, 64);
+        assert!(matches!(r, Err(WireError::OverLimit { what: "packed slot count", .. })), "{r:?}");
+        let r = packed_hist(3, u32::MAX);
+        assert!(matches!(r, Err(WireError::OverLimit { what: "packed slot bits", .. })), "{r:?}");
     }
 }

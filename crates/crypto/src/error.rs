@@ -38,6 +38,19 @@ pub enum CryptoError {
         /// Factors remaining in the pool when the draw failed.
         remaining: usize,
     },
+    /// Two operands whose shapes must agree (histogram lengths, builder
+    /// strategies, packed bin counts) did not. At a trust boundary this
+    /// means the peer sent data inconsistent with the negotiated layout;
+    /// it must be a typed error, not a `debug_assert!`, so release builds
+    /// reject it too.
+    ShapeMismatch {
+        /// The operation whose operands disagreed.
+        context: &'static str,
+        /// Left operand's shape (length / count / flag as usize).
+        left: usize,
+        /// Right operand's shape.
+        right: usize,
+    },
     /// An operation requiring the private key was attempted without one.
     MissingPrivateKey,
     /// Key generation failed (e.g. requested size too small).
@@ -67,6 +80,9 @@ impl fmt::Display for CryptoError {
             }
             CryptoError::RandomnessExhausted { remaining } => {
                 write!(f, "randomness pool exhausted ({remaining} factors left, combine off)")
+            }
+            CryptoError::ShapeMismatch { context, left, right } => {
+                write!(f, "shape mismatch in {context}: {left} vs {right}")
             }
             CryptoError::MissingPrivateKey => {
                 write!(f, "operation requires a private key but none is available")

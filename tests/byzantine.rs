@@ -1,0 +1,510 @@
+//! Byzantine conformance harness: a scripted misbehaving peer on one end
+//! of a real link, a production party on the other.
+//!
+//! Every deviation — replay, phase skip, future-tree traffic, inadmissible
+//! payloads, lying stream flags, truncated frames — must surface as a
+//! *typed* [`TrainError`] carrying partial telemetry: never a panic, never
+//! a hang, never a silently wrong model. A clean wire must stay bitwise
+//! identical no matter how large the misbehavior budget is.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vf2boost::channel::{duplex, Endpoint, MalfeasantPeer, Misdeed, WanConfig};
+use vf2boost::core::config::{CryptoConfig, TrainConfig};
+use vf2boost::core::error::{PartyId, ProtocolError, TrainError};
+use vf2boost::core::guest::run_guest;
+use vf2boost::core::host::run_host;
+use vf2boost::core::json;
+use vf2boost::core::messages::{FeatureMeta, HistPayload, Msg, RawFeatureHist};
+use vf2boost::core::telemetry::{party_to_json, PartyTelemetry};
+use vf2boost::core::trace::write_flight_record;
+use vf2boost::core::{encode_model, train_federated, wire};
+use vf2boost::crypto::paillier::RawCipher;
+use vf2boost::crypto::suite::{Ciphertext, PackedCiphertext, PlainNumber, Suite};
+use vf2boost::crypto::EncryptedNumber;
+use vf2boost::datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2boost::datagen::vertical::split_vertical;
+use vf2boost::gbdt::data::{Dataset, FeatureColumn};
+use vf2boost::gbdt::train::GbdtParams;
+
+const DRAIN: Duration = Duration::from_secs(10);
+
+/// Mock-suite config shared by every scripted scenario.
+fn byz_cfg(budget: u32) -> TrainConfig {
+    TrainConfig {
+        crypto: CryptoConfig::Mock,
+        misbehavior_budget: budget,
+        ..TrainConfig::for_tests()
+    }
+}
+
+/// A cipher the admission layer accepts under `byz_cfg` (`for_tests`
+/// encodes at base_exp 8, jitter 4 ⇒ exponents 8..=11 are honest).
+fn honest_cipher(v: f64) -> Ciphertext {
+    Ciphertext::Plain(PlainNumber { value: v, exponent: 8 })
+}
+
+fn grad_batch(tree: u32, start_row: u32, rows: usize, last: bool, exponent: i32) -> Msg {
+    let c = Ciphertext::Plain(PlainNumber { value: 0.25, exponent });
+    Msg::GradBatch { tree, start_row, g: vec![c.clone(); rows], h: vec![c; rows], last }
+}
+
+/// Spawns a production host over a real instant link; the test plays the
+/// (possibly byzantine) guest on the other end. The host owns one dense
+/// feature over 4 rows.
+fn spawn_host(
+    cfg: TrainConfig,
+) -> (Endpoint, std::thread::JoinHandle<Result<PartyTelemetry, vf2boost::core::error::HostFailure>>)
+{
+    let (guest_ep, host_ep) = duplex(WanConfig::instant());
+    let data =
+        Arc::new(Dataset::new(4, vec![FeatureColumn::Dense(vec![0.0, 1.0, 2.0, 3.0])], None));
+    let suite = Suite::plain(cfg.encoding);
+    let handle = std::thread::spawn(move || {
+        run_host(0, data, cfg, suite, host_ep, None).map(|(telemetry, _)| telemetry)
+    });
+    (guest_ep, handle)
+}
+
+/// Consumes the host's `SessionHello` + `FeatureMeta` greetings.
+fn eat_greetings(guest_ep: &Endpoint) {
+    for _ in 0..2 {
+        let env = guest_ep.recv_timeout(DRAIN).expect("host greeting");
+        let msg = wire::decode(env.kind, env.payload).expect("greeting decodes");
+        assert!(matches!(msg, Msg::SessionHello { .. } | Msg::FeatureMeta(_)));
+    }
+}
+
+fn send(ep: &Endpoint, msg: &Msg) {
+    ep.send(msg.kind(), wire::encode(msg));
+}
+
+#[test]
+fn host_fails_fast_on_phase_skip_before_resume() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(0));
+    eat_greetings(&guest_ep);
+    // A node task while the host still awaits the resume decision.
+    send(&guest_ep, &Msg::NodeTask { tree: 0, node: 0, epoch: 1 });
+    let failure = handle.join().unwrap().expect_err("phase skip must abort the host");
+    match failure.error {
+        TrainError::PeerMisbehaving { party, violations, budget, last } => {
+            assert_eq!(party, PartyId::Guest);
+            assert_eq!((violations, budget), (1, 0));
+            assert!(matches!(*last, ProtocolError::OutOfPhase { kind: 3, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    // Partial telemetry still reports the deviation.
+    assert_eq!(failure.telemetry.events.misbehavior, 1);
+}
+
+#[test]
+fn host_detects_replayed_gradient_batch() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(0));
+    let mut evil = MalfeasantPeer::new(guest_ep);
+    eat_greetings(evil.endpoint());
+    // Send index 1 (the first gradient batch) is replayed verbatim; the
+    // transport re-sequences it, so only the protocol FSM can object.
+    evil.script(1, Misdeed::ReplayEarlier(1));
+    let resume = Msg::Resume { session_id: 0, tree_count: 0 };
+    evil.send(resume.kind(), wire::encode(&resume));
+    let batch = grad_batch(0, 0, 2, false, 8);
+    evil.send(batch.kind(), wire::encode(&batch));
+    let failure = handle.join().unwrap().expect_err("replay must abort the host");
+    match failure.error {
+        TrainError::PeerMisbehaving { last, .. } => {
+            assert!(matches!(*last, ProtocolError::StaleOrReplayed { kind: 2, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn host_rejects_future_tree_gradients() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(0));
+    eat_greetings(&guest_ep);
+    send(&guest_ep, &Msg::Resume { session_id: 0, tree_count: 0 });
+    send(&guest_ep, &grad_batch(1, 0, 4, false, 8));
+    let failure = handle.join().unwrap().expect_err("future tree must abort the host");
+    match failure.error {
+        TrainError::PeerMisbehaving { last, .. } => {
+            assert!(matches!(*last, ProtocolError::OutOfPhase { kind: 2, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn host_rejects_out_of_window_cipher_exponent() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(0));
+    eat_greetings(&guest_ep);
+    send(&guest_ep, &Msg::Resume { session_id: 0, tree_count: 0 });
+    // Exponent 99 is outside the negotiated jitter window [8, 11]: the
+    // payload is structurally fine but semantically inadmissible.
+    send(&guest_ep, &grad_batch(0, 0, 4, true, 99));
+    let failure = handle.join().unwrap().expect_err("bad exponent must abort the host");
+    match failure.error {
+        TrainError::PeerMisbehaving { last, .. } => {
+            assert!(matches!(*last, ProtocolError::Inadmissible { kind: 2, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn host_rejects_gradient_rows_past_instance_count() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(0));
+    eat_greetings(&guest_ep);
+    send(&guest_ep, &Msg::Resume { session_id: 0, tree_count: 0 });
+    // 6 rows declared against a 4-row dataset: caught before any buffer
+    // is sized from peer-controlled counts.
+    send(&guest_ep, &grad_batch(0, 0, 6, true, 8));
+    let failure = handle.join().unwrap().expect_err("row overflow must abort the host");
+    match failure.error {
+        TrainError::PeerMisbehaving { last, .. } => {
+            assert!(matches!(*last, ProtocolError::Inadmissible { kind: 2, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn host_rejects_lying_last_flag_with_uncovered_rows() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(0));
+    eat_greetings(&guest_ep);
+    send(&guest_ep, &Msg::Resume { session_id: 0, tree_count: 0 });
+    // `last: true` after covering only 2 of 4 rows.
+    send(&guest_ep, &grad_batch(0, 0, 2, true, 8));
+    let failure = handle.join().unwrap().expect_err("lying last flag must abort the host");
+    assert!(
+        matches!(
+            failure.error,
+            TrainError::Protocol(ProtocolError::IncompleteGradients { expected: 4, got: 2 })
+        ),
+        "{}",
+        failure.error
+    );
+}
+
+#[test]
+fn truncated_frame_surfaces_as_malformed_not_a_panic() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(0));
+    let mut evil = MalfeasantPeer::new(guest_ep);
+    eat_greetings(evil.endpoint());
+    // The resume frame arrives transport-valid but chopped to one byte.
+    evil.script(0, Misdeed::Truncate(1));
+    let resume = Msg::Resume { session_id: 0, tree_count: 0 };
+    evil.send(resume.kind(), wire::encode(&resume));
+    let failure = handle.join().unwrap().expect_err("truncated frame must abort the host");
+    assert!(
+        matches!(
+            failure.error,
+            TrainError::Protocol(ProtocolError::Malformed { from: PartyId::Guest, .. })
+        ),
+        "{}",
+        failure.error
+    );
+}
+
+#[test]
+fn budget_tolerates_violations_and_reports_them() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(2));
+    eat_greetings(&guest_ep);
+    // Two phase-skips, both within budget: dropped and counted.
+    send(&guest_ep, &Msg::NodeTask { tree: 0, node: 0, epoch: 1 });
+    send(&guest_ep, &Msg::NodeTask { tree: 0, node: 0, epoch: 1 });
+    // Then an entirely honest (empty) session.
+    send(&guest_ep, &Msg::Resume { session_id: 0, tree_count: 0 });
+    send(&guest_ep, &Msg::Shutdown);
+    let telemetry = handle.join().unwrap().expect("run stays up within budget");
+    assert_eq!(telemetry.events.misbehavior, 2);
+    // The counters reach the run-report JSON.
+    let doc = json::parse(&party_to_json(&telemetry, 0)).expect("telemetry JSON parses");
+    let events = doc.get("events").expect("events object");
+    assert_eq!(events.get("misbehavior").and_then(json::Json::as_f64), Some(2.0));
+    assert!(events.get("stale_msgs_dropped").is_some());
+}
+
+#[test]
+fn budget_exceeded_reports_total_violations() {
+    let (guest_ep, handle) = spawn_host(byz_cfg(1));
+    eat_greetings(&guest_ep);
+    for _ in 0..2 {
+        send(&guest_ep, &Msg::NodeTask { tree: 0, node: 0, epoch: 1 });
+    }
+    let failure = handle.join().unwrap().expect_err("second violation exceeds budget 1");
+    match failure.error {
+        TrainError::PeerMisbehaving { violations, budget, .. } => {
+            assert_eq!((violations, budget), (2, 1));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    assert_eq!(failure.telemetry.events.misbehavior, 2);
+}
+
+/// A labelled dataset for driving `run_guest` against a scripted host.
+fn guest_data() -> Arc<Dataset> {
+    Arc::new(generate_classification(&SyntheticConfig {
+        rows: 48,
+        features: 3,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed: 77,
+    }))
+}
+
+fn spawn_guest(
+    cfg: TrainConfig,
+) -> (Endpoint, std::thread::JoinHandle<Option<vf2boost::core::error::GuestFailure>>) {
+    let (guest_ep, host_ep) = duplex(WanConfig::instant());
+    let data = guest_data();
+    let suite = Suite::plain(cfg.encoding);
+    let handle =
+        std::thread::spawn(move || run_guest(data, cfg, suite, vec![guest_ep], None).err());
+    (host_ep, handle)
+}
+
+/// Pulls frames off the guest→host direction until the guest hangs up,
+/// handing each decoded message to `react`.
+fn drain_guest(host_ep: &Endpoint, mut react: impl FnMut(Msg)) {
+    while let Ok(env) = host_ep.recv_timeout(DRAIN) {
+        if let Ok(msg) = wire::decode(env.kind, env.payload) {
+            react(msg);
+        }
+    }
+}
+
+#[test]
+fn guest_rejects_wrong_kind_during_handshake() {
+    let (host_ep, handle) = spawn_guest(byz_cfg(0));
+    // Feature metadata before the session hello: a handshake-order skip.
+    send(&host_ep, &Msg::FeatureMeta(vec![FeatureMeta { num_bins: 8, zero_bin: 0 }]));
+    drain_guest(&host_ep, |_| {});
+    let failure = handle.join().unwrap().expect("handshake skip must abort the guest");
+    match failure.error {
+        TrainError::PeerMisbehaving { party, last, .. } => {
+            assert_eq!(party, PartyId::Host(0));
+            assert!(matches!(*last, ProtocolError::OutOfPhase { kind: 1, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    assert_eq!(failure.telemetry.events.misbehavior, 1);
+}
+
+#[test]
+fn guest_rejects_unsolicited_placement() {
+    let (host_ep, handle) = spawn_guest(byz_cfg(0));
+    send(&host_ep, &Msg::SessionHello { session_id: 0, epoch: 0, durable: vec![] });
+    send(&host_ep, &Msg::FeatureMeta(vec![FeatureMeta { num_bins: 8, zero_bin: 0 }]));
+    // A placement that answers no outstanding split choice.
+    send(&host_ep, &Msg::Placement { tree: 0, node: 0, placement: vec![true, false] });
+    drain_guest(&host_ep, |_| {});
+    let failure = handle.join().unwrap().expect("unsolicited placement must abort the guest");
+    match failure.error {
+        TrainError::PeerMisbehaving { party, last, .. } => {
+            assert_eq!(party, PartyId::Host(0));
+            assert!(matches!(*last, ProtocolError::StaleOrReplayed { kind: 7, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn guest_rejects_wrong_length_histograms() {
+    let (host_ep, handle) = spawn_guest(byz_cfg(0));
+    send(&host_ep, &Msg::SessionHello { session_id: 0, epoch: 0, durable: vec![] });
+    // Two features negotiated...
+    send(&host_ep, &Msg::FeatureMeta(vec![FeatureMeta { num_bins: 8, zero_bin: 0 }; 2]));
+    // ...but the histogram reply to the first task carries only one.
+    let mut replied = false;
+    drain_guest(&host_ep, |msg| {
+        if let Msg::NodeTask { tree, node, epoch } = msg {
+            if !replied {
+                replied = true;
+                let short = RawFeatureHist {
+                    g: vec![honest_cipher(0.0); 8],
+                    h: vec![honest_cipher(0.0); 8],
+                };
+                send(
+                    &host_ep,
+                    &Msg::NodeHistograms {
+                        tree,
+                        node,
+                        epoch,
+                        payload: HistPayload::Raw(vec![short]),
+                    },
+                );
+            }
+        }
+    });
+    assert!(replied, "the guest never issued a node task");
+    let failure = handle.join().unwrap().expect("wrong-length histograms must abort the guest");
+    match failure.error {
+        TrainError::PeerMisbehaving { party, last, .. } => {
+            assert_eq!(party, PartyId::Host(0));
+            assert!(matches!(*last, ProtocolError::Inadmissible { kind: 4, .. }), "{last}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn clean_wire_runs_identical_under_any_budget() {
+    let data = generate_classification(&SyntheticConfig {
+        rows: 240,
+        features: 12,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed: 91,
+    });
+    let s = split_vertical(&data, &[6]);
+    let run = |budget: u32| {
+        let cfg = TrainConfig {
+            gbdt: GbdtParams { num_trees: 3, max_layers: 4, ..Default::default() },
+            crypto: CryptoConfig::Mock,
+            misbehavior_budget: budget,
+            ..TrainConfig::for_tests()
+        };
+        train_federated(&s.hosts, &s.guest, &cfg).expect("clean run succeeds")
+    };
+    let strict = run(0);
+    let lenient = run(7);
+    // The admission layer is pure overhead on an honest wire: no
+    // misbehavior, and the model is bitwise identical either way.
+    assert_eq!(encode_model(&strict.model), encode_model(&lenient.model));
+    assert_eq!(strict.train_margins, lenient.train_margins);
+    for t in std::iter::once(&strict.report.guest)
+        .chain(&strict.report.hosts)
+        .chain(std::iter::once(&lenient.report.guest))
+        .chain(&lenient.report.hosts)
+    {
+        assert_eq!(t.events.misbehavior, 0, "{} saw phantom misbehavior", t.name);
+    }
+}
+
+/// One representative message per wire kind, with both cipher flavours.
+fn mutation_corpus() -> Vec<Msg> {
+    let plain = honest_cipher(1.5);
+    let paillier =
+        Ciphertext::Paillier(EncryptedNumber { cipher: RawCipher::from(0x1234u32), exponent: 9 });
+    vec![
+        Msg::FeatureMeta(vec![
+            FeatureMeta { num_bins: 16, zero_bin: 2 },
+            FeatureMeta { num_bins: 5, zero_bin: 0 },
+        ]),
+        Msg::GradBatch {
+            tree: 1,
+            start_row: 32,
+            g: vec![plain.clone(), paillier.clone()],
+            h: vec![paillier.clone(), plain.clone()],
+            last: true,
+        },
+        Msg::NodeTask { tree: 2, node: 5, epoch: 3 },
+        Msg::NodeHistograms {
+            tree: 0,
+            node: 1,
+            epoch: 1,
+            payload: HistPayload::Raw(vec![RawFeatureHist {
+                g: vec![plain.clone(); 3],
+                h: vec![paillier; 3],
+            }]),
+        },
+        Msg::NodeHistograms {
+            tree: 0,
+            node: 2,
+            epoch: 1,
+            payload: HistPayload::Packed(vec![vf2boost::core::messages::PackedFeatureHist {
+                g: vec![PackedCiphertext::Paillier {
+                    cipher: RawCipher::from(0xbeefu32),
+                    exponent: 8,
+                    count: 4,
+                    slot_bits: 32,
+                }],
+                h: vec![PackedCiphertext::Plain(vec![0.5, 1.5, 2.5, 3.5])],
+                bins: 4,
+            }]),
+        },
+        Msg::ApplyPlacement { tree: 0, node: 3, placement: vec![true, false, true, true] },
+        Msg::HostSplitChosen { tree: 0, node: 3, feature: 7, bin: 4 },
+        Msg::Placement { tree: 0, node: 3, placement: vec![false; 9] },
+        Msg::NodeLeaf { tree: 0, node: 6 },
+        Msg::TreeDone { tree: 0 },
+        Msg::Shutdown,
+        Msg::SessionHello { session_id: 0xF00D, epoch: 2, durable: vec![1, 3] },
+        Msg::Resume { session_id: 0xF00D, tree_count: 3 },
+        Msg::Heartbeat { seq: 41 },
+    ]
+}
+
+#[test]
+fn decode_survives_single_byte_mutations() {
+    // Property: for every wire kind, every single-byte corruption of a
+    // valid encoding either decodes to *some* message or returns a typed
+    // `WireError` — it never panics and never over-allocates.
+    let mut rejected = 0u64;
+    for msg in mutation_corpus() {
+        let kind = msg.kind();
+        let bytes = wire::encode(&msg);
+        for i in 0..bytes.len() {
+            for mask in [0x01u8, 0x80, 0xff] {
+                let mut mutated = bytes.to_vec();
+                mutated[i] ^= mask;
+                if wire::decode(kind, mutated.into()).is_err() {
+                    rejected += 1;
+                }
+            }
+        }
+        // Valid payloads under arbitrary (including unassigned) kind tags.
+        for tag in 0..=32u16 {
+            let _ = wire::decode(tag, bytes.clone());
+        }
+    }
+    assert!(rejected > 0, "no mutation was ever rejected — the corpus is too small");
+}
+
+#[test]
+fn flight_record_round_trips_violation_errors() {
+    let errors: Vec<TrainError> = vec![
+        TrainError::PeerMisbehaving {
+            party: PartyId::Host(1),
+            violations: 3,
+            budget: 2,
+            last: Box::new(ProtocolError::OutOfPhase {
+                from: PartyId::Host(1),
+                kind: 4,
+                phase: "active",
+                context: "histograms for a task never issued",
+            }),
+        },
+        TrainError::Protocol(ProtocolError::Inadmissible {
+            from: PartyId::Guest,
+            kind: 2,
+            context: "ciphertext outside [0, n^2)",
+        }),
+        TrainError::Protocol(ProtocolError::StaleOrReplayed {
+            from: PartyId::Guest,
+            kind: 2,
+            context: "gradient batch replays rows already received",
+        }),
+    ];
+    let dir = std::env::temp_dir().join(format!("vf2boost-byz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, err) in errors.iter().enumerate() {
+        let mut telemetry = PartyTelemetry { name: "guest".into(), ..Default::default() };
+        telemetry.events.misbehavior = 3;
+        let path = dir.join(format!("flight-{i}.json"));
+        write_flight_record(&path, 7, 0xdead_beef, &err.to_string(), &telemetry)
+            .expect("flight record writes");
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap())
+            .expect("flight record is valid JSON");
+        // The error string survives JSON escaping verbatim, and the
+        // misbehavior counter rides along in the embedded telemetry.
+        assert_eq!(doc.get("error").and_then(json::Json::as_str), Some(err.to_string().as_str()));
+        let events = doc.get("telemetry").and_then(|t| t.get("events")).expect("events");
+        assert_eq!(events.get("misbehavior").and_then(json::Json::as_f64), Some(3.0));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
