@@ -34,6 +34,19 @@ timeout 900 cargo test -q --test resume
 echo "== byzantine conformance gate (5 min cap) =="
 timeout 300 cargo test -q --test byzantine
 
+# Fixed-limb crypto gate: the Montgomery backend's property tests — limb
+# mul/REDC/modpow vs. the num-bigint reference at every dispatch width,
+# including carry-edge and modulus-adjacent vectors — plus the rest of
+# the vf2-crypto suite. A runaway width loop fails instead of hanging.
+echo "== fixed-limb property gate (vf2-crypto, 5 min cap) =="
+timeout 300 cargo test -q -p vf2-crypto
+
+# Backend-equivalence gate: models trained under the fixed-limb core and
+# the num-bigint fallback must be bitwise identical in every protocol
+# mode, and the op counters must fingerprint the backend that really ran.
+echo "== crypto backend equivalence gate (10 min cap) =="
+timeout 600 cargo test -q --test backend_equivalence
+
 # Peer-facing admission checks must hold in release builds: debug_assert
 # is banned from the wire decoder and the semantic validators.
 echo "== no-debug_assert gate (wire/validate/hist_enc) =="
@@ -57,6 +70,11 @@ jq -e '.schema == "vf2boost-run-report/v1"' "$REPORT" > /dev/null
 jq -e '.wall_time_s > 0 and .total_bytes > 0' "$REPORT" > /dev/null
 jq -e '.parties | length >= 2' "$REPORT" > /dev/null
 jq -e 'all(.parties[]; .phases.busy_s >= 0 and .ops != null and .events != null and .trace.cap > 0)' "$REPORT" > /dev/null
+# Backend telemetry: every party names its bignum backend, Montgomery op
+# counts are present, and the default (fixed) backend actually did the
+# guest's modpow work.
+jq -e 'all(.parties[]; (.crypto_backend | length) > 0 and .ops.modmul != null and .ops.redc != null)' "$REPORT" > /dev/null
+jq -e '.parties[0] | (.crypto_backend | startswith("fixed-")) and .ops.modmul > 0 and .ops.redc > .ops.modmul' "$REPORT" > /dev/null
 # busy == sum(phases) per party, and busy <= wall + slack.
 jq -e '
   .wall_time_s as $wall |

@@ -7,18 +7,35 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vf2_bench::key_bits;
 use vf2_crypto::encoding::EncodingConfig;
+use vf2_crypto::montgomery::CryptoBackend;
 use vf2_crypto::packing::PackingPlan;
 use vf2_crypto::suite::{Ciphertext, Suite};
+use vf2_crypto::KeyPair;
 
 fn bench_crypto(c: &mut Criterion) {
+    for backend in [CryptoBackend::Fixed, CryptoBackend::NumBigint] {
+        bench_paillier(c, backend);
+    }
+    bench_packing(c);
+}
+
+/// One group per bignum backend: "paillier-fixed" runs the fixed-limb
+/// Montgomery core, "paillier-numbigint" the vendored fallback. Same key,
+/// same operands — only the arithmetic engine differs.
+fn bench_paillier(c: &mut Criterion, backend: CryptoBackend) {
     let encoding = EncodingConfig { base: 16, base_exp: 8, jitter: 4 };
-    let suite = Suite::paillier_seeded(key_bits(), 42, encoding).expect("keygen");
+    let keys = KeyPair::generate_seeded(key_bits(), 42).expect("keygen");
+    let suite = Suite::paillier_with_backend(keys, encoding, backend);
     let mut rng = StdRng::seed_from_u64(7);
     let a = suite.encrypt_at(0.5, 8, &mut rng).unwrap();
     let b = suite.encrypt_at(-0.25, 8, &mut rng).unwrap();
     let mixed = suite.encrypt_at(0.125, 10, &mut rng).unwrap();
 
-    let mut g = c.benchmark_group("paillier");
+    let group_name = match backend {
+        CryptoBackend::Fixed => "paillier-fixed",
+        CryptoBackend::NumBigint => "paillier-numbigint",
+    };
+    let mut g = c.benchmark_group(group_name);
     g.sample_size(20);
 
     g.bench_function("encrypt", |bench| {
@@ -46,6 +63,12 @@ fn bench_crypto(c: &mut Criterion) {
         bench.iter(|| suite.add_plain(&a, 1000.0).unwrap())
     });
     g.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let encoding = EncodingConfig { base: 16, base_exp: 8, jitter: 4 };
+    let suite = Suite::paillier_seeded(key_bits(), 42, encoding).expect("keygen");
+    let mut rng = StdRng::seed_from_u64(7);
 
     let mut g = c.benchmark_group("packing");
     g.sample_size(20);

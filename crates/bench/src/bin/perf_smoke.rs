@@ -1,16 +1,13 @@
-//! Release-mode perf smoke for the ciphertext histogram-subtraction path
-//! (PR 2), writing `BENCH_PR2.json` at the repo root so future PRs can
-//! track the trajectory.
+//! Release-mode perf smoke, writing trajectory artifacts at the repo root:
 //!
-//! Two measurements, both from the *same* process and key:
-//!
-//! 1. **Per-node micro**: the time to produce a depth-2 node's encrypted
-//!    histograms, direct per-row build vs. `parent ⊖ sibling` derivation,
-//!    on a seeded dataset sized for the regime the optimization targets
-//!    (rows ≫ bins × E).
-//! 2. **End-to-end**: federated training wall time and host histogram
-//!    phase time with subtraction on vs. off, plus the new telemetry
-//!    (subtraction count, cache hit rate, homomorphic adds saved).
+//! * `BENCH_PR2.json` — the ciphertext histogram-subtraction path (PR 2):
+//!   a depth-2 node's direct build vs. `parent ⊖ sibling` derivation, and
+//!   end-to-end training with subtraction on vs. off.
+//! * `BENCH_PR7.json` — the fixed-limb Montgomery crypto core (PR 7):
+//!   Enc/Dec/HAdd micro timings at 1024-bit keys for both bignum backends
+//!   (fixed-limb vs. vendored num-bigint), the per-op speedups, the
+//!   Dec ≫ Enc ≫ HAdd cost ordering on the steady-state (pool-backed)
+//!   encryption path, and end-to-end training makespan per backend.
 //!
 //! Run with `cargo run --release -p vf2-bench --bin perf_smoke`.
 //!
@@ -21,9 +18,12 @@
 
 use std::time::Instant;
 
+use num_bigint::BigUint;
 use vf2_bench::{base_config, key_bits};
 use vf2_crypto::encoding::EncodingConfig;
+use vf2_crypto::montgomery::CryptoBackend;
 use vf2_crypto::suite::Suite;
+use vf2_crypto::{KeyPair, RandomnessPool};
 use vf2_datagen::synthetic::{generate_classification, SyntheticConfig};
 use vf2_datagen::vertical::split_vertical;
 use vf2_gbdt::binning::{BinnedDataset, BinningConfig};
@@ -38,6 +38,8 @@ const MICRO_ROWS: usize = 2048;
 const MICRO_BINS: usize = 16;
 const MICRO_FEATURES: usize = 5;
 const E2E_ROWS: usize = 1200;
+/// Key size for the PR 7 backend micro — the issue's acceptance point.
+const PR7_KEY_BITS: u64 = 1024;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -60,6 +62,153 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
     std::fs::write(path, &json).expect("write BENCH_PR2.json");
     println!("\nwrote {path}");
+
+    let json = pr7_backends();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    std::fs::write(path, &json).expect("write BENCH_PR7.json");
+    println!("\nwrote {path}");
+}
+
+/// Per-backend Paillier primitive timings at [`PR7_KEY_BITS`].
+struct BackendMicro {
+    label: String,
+    /// Fresh encryption: CRT `r^n` obfuscation + `g^m` (the modpow-bound
+    /// primitive the fixed-limb core targets).
+    enc_fresh_ms: f64,
+    /// Steady-state encryption: `g^m` combined with a recombined factor
+    /// from a combine-mode [`RandomnessPool`] — two modular multiplies,
+    /// no modpow. This is the path the protocol's obfuscation pool buys,
+    /// and the one the paper's Dec ≫ Enc ≫ HAdd ordering describes.
+    enc_pooled_us: f64,
+    /// CRT decryption.
+    dec_ms: f64,
+    /// Homomorphic addition (one `mod n²` multiply).
+    hadd_us: f64,
+}
+
+fn backend_micro(keys: &KeyPair, backend: CryptoBackend) -> BackendMicro {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let kp = keys.with_backend(backend);
+    let mut rng = StdRng::seed_from_u64(5);
+    let v = BigUint::from(0x1234_5678_9abcu64);
+    let c = kp.private.encrypt_raw(&v, &mut rng);
+    let c2 = kp.private.encrypt_raw(&v, &mut rng);
+
+    let n_enc = 16;
+    let t0 = Instant::now();
+    for _ in 0..n_enc {
+        let _ = kp.private.encrypt_raw(&v, &mut rng);
+    }
+    let enc_fresh_ms = t0.elapsed().as_secs_f64() * 1e3 / n_enc as f64;
+
+    // Pool built outside the timed window: combine mode recombines pooled
+    // factors pairwise without consuming them, so refills never trigger
+    // and each draw is one multiply.
+    let pool = RandomnessPool::new(&kp.private, 16, true, 99);
+    let n_pooled = 512;
+    let t0 = Instant::now();
+    for _ in 0..n_pooled {
+        let rn = pool.next_rn().expect("combine pool never drains");
+        let _ = kp.public.encrypt_raw_with_rn(&v, &rn);
+    }
+    let enc_pooled_us = t0.elapsed().as_secs_f64() * 1e6 / n_pooled as f64;
+
+    let n_dec = 48;
+    let t0 = Instant::now();
+    for _ in 0..n_dec {
+        let _ = kp.private.decrypt_raw(&c);
+    }
+    let dec_ms = t0.elapsed().as_secs_f64() * 1e3 / n_dec as f64;
+
+    let n_hadd = 4096;
+    let t0 = Instant::now();
+    let mut acc = c.clone();
+    for _ in 0..n_hadd {
+        acc = kp.public.add_raw(&acc, &c2);
+    }
+    let hadd_us = t0.elapsed().as_secs_f64() * 1e6 / n_hadd as f64;
+
+    BackendMicro { label: kp.public.backend_label(), enc_fresh_ms, enc_pooled_us, dec_ms, hadd_us }
+}
+
+/// PR 7: both bignum backends over the same 1024-bit key — micro
+/// primitives, speedups, cost ordering, and end-to-end makespan.
+fn pr7_backends() -> String {
+    println!("\nPR7 crypto backends ({PR7_KEY_BITS}-bit key micro):");
+    let keys = KeyPair::generate_seeded(PR7_KEY_BITS, 42).expect("keygen");
+    let fixed = backend_micro(&keys, CryptoBackend::Fixed);
+    let nb = backend_micro(&keys, CryptoBackend::NumBigint);
+    for m in [&fixed, &nb] {
+        println!(
+            "  {:<14} enc {:>8.3} ms   enc(pool) {:>7.2} us   dec {:>8.3} ms   hadd {:>6.2} us",
+            m.label, m.enc_fresh_ms, m.enc_pooled_us, m.dec_ms, m.hadd_us
+        );
+    }
+    let enc_speedup = nb.enc_fresh_ms / fixed.enc_fresh_ms.max(1e-9);
+    let dec_speedup = nb.dec_ms / fixed.dec_ms.max(1e-9);
+    // The paper's cost ordering, on the steady-state encryption path.
+    let ordering = fixed.dec_ms * 1e3 > fixed.enc_pooled_us && fixed.enc_pooled_us > fixed.hadd_us;
+    println!("  speedup        enc {enc_speedup:.2}x   dec {dec_speedup:.2}x   Dec>Enc(pool)>HAdd: {ordering}");
+
+    // End-to-end makespan per backend at the default experiment key size.
+    let s = split_vertical(
+        &generate_classification(&SyntheticConfig {
+            rows: 600,
+            features: 8,
+            density: 1.0,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed: 9,
+        }),
+        &[4],
+    );
+    let e2e = |backend: CryptoBackend| {
+        let cfg = TrainConfig {
+            gbdt: GbdtParams {
+                num_trees: 2,
+                max_layers: 4,
+                binning: BinningConfig { num_bins: MICRO_BINS, max_samples: 1 << 16 },
+                ..Default::default()
+            },
+            crypto_backend: backend,
+            ..base_config()
+        };
+        let t0 = Instant::now();
+        let out = train_federated(&s.hosts, &s.guest, &cfg).expect("training succeeds");
+        (t0.elapsed().as_secs_f64(), out.report.guest.ops.modmul)
+    };
+    let (wall_fixed, modmul_fixed) = e2e(CryptoBackend::Fixed);
+    let (wall_nb, modmul_nb) = e2e(CryptoBackend::NumBigint);
+    let e2e_speedup = wall_nb / wall_fixed.max(1e-9);
+    println!(
+        "  end-to-end ({} rows, key_bits={}): fixed {wall_fixed:.3} s   num-bigint {wall_nb:.3} s  ({e2e_speedup:.2}x)",
+        600,
+        key_bits()
+    );
+
+    format!(
+        "{{\n  \"bench\": \"PR7 fixed-limb Montgomery crypto core\",\n  \"micro_key_bits\": {PR7_KEY_BITS},\n  \"micro\": {{\n    \"fixed\": {{ \"label\": \"{}\", \"enc_fresh_ms\": {:.3}, \"enc_pooled_us\": {:.2}, \"dec_ms\": {:.3}, \"hadd_us\": {:.2} }},\n    \"num_bigint\": {{ \"label\": \"{}\", \"enc_fresh_ms\": {:.3}, \"enc_pooled_us\": {:.2}, \"dec_ms\": {:.3}, \"hadd_us\": {:.2} }},\n    \"enc_speedup\": {:.2},\n    \"dec_speedup\": {:.2},\n    \"ordering_dec_enc_hadd\": {}\n  }},\n  \"end_to_end\": {{\n    \"rows\": 600,\n    \"trees\": 2,\n    \"key_bits\": {},\n    \"fixed_wall_s\": {:.3},\n    \"num_bigint_wall_s\": {:.3},\n    \"speedup\": {:.2},\n    \"guest_modmuls_fixed\": {},\n    \"guest_modmuls_num_bigint\": {}\n  }}\n}}\n",
+        fixed.label,
+        fixed.enc_fresh_ms,
+        fixed.enc_pooled_us,
+        fixed.dec_ms,
+        fixed.hadd_us,
+        nb.label,
+        nb.enc_fresh_ms,
+        nb.enc_pooled_us,
+        nb.dec_ms,
+        nb.hadd_us,
+        enc_speedup,
+        dec_speedup,
+        ordering,
+        key_bits(),
+        wall_fixed,
+        wall_nb,
+        e2e_speedup,
+        modmul_fixed,
+        modmul_nb
+    )
 }
 
 /// Runs one small federated training and writes the structured run report

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use vf2_channel::{FaultConfig, ReliabilityConfig, WanConfig};
 use vf2_crypto::encoding::EncodingConfig;
+use vf2_crypto::CryptoBackend;
 use vf2_gbdt::train::GbdtParams;
 
 use crate::protocol::ProtocolConfig;
@@ -29,6 +30,14 @@ pub struct TrainConfig {
     pub protocol: ProtocolConfig,
     /// Cipher suite.
     pub crypto: CryptoConfig,
+    /// Bignum backend executing the Paillier hot path. The default,
+    /// [`CryptoBackend::Fixed`], dispatches to a fixed-width limb
+    /// Montgomery core monomorphized at the key's width;
+    /// [`CryptoBackend::NumBigint`] forces the vendored fallback. Models
+    /// are bit-identical across backends (the backend is deliberately
+    /// excluded from the session config digest, so checkpoints resume
+    /// across backends too) — only speed differs.
+    pub crypto_backend: CryptoBackend,
     /// Fixed-point encoding (base, exponent window).
     pub encoding: EncodingConfig,
     /// Simulated WAN characteristics of every cross-party link.
@@ -99,6 +108,7 @@ impl Default for TrainConfig {
             gbdt: GbdtParams::default(),
             protocol: ProtocolConfig::vf2boost(),
             crypto: CryptoConfig::Paillier { key_bits: 2048 },
+            crypto_backend: CryptoBackend::Fixed,
             encoding: EncodingConfig::default(),
             wan: WanConfig::paper_public_network(),
             fault_guest_to_host: FaultConfig::none(),
@@ -147,6 +157,7 @@ mod tests {
         assert_eq!(c.gbdt.max_layers, 7);
         assert!((c.gbdt.learning_rate - 0.1).abs() < 1e-12);
         assert_eq!(c.crypto, CryptoConfig::Paillier { key_bits: 2048 });
+        assert_eq!(c.crypto_backend, CryptoBackend::Fixed);
     }
 
     #[test]

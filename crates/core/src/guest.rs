@@ -366,6 +366,7 @@ impl GuestParty {
 
     fn collect_transfer_stats(&mut self) {
         self.telemetry.ops = self.suite.counters().snapshot();
+        self.telemetry.crypto_backend = self.suite.backend_label();
         self.telemetry.bytes_sent = self.endpoints.iter().map(|e| e.send_stats().bytes()).sum();
         self.telemetry.messages_sent =
             self.endpoints.iter().map(|e| e.send_stats().messages()).sum();

@@ -371,6 +371,7 @@ impl HostParty {
 
     fn finish(mut self) -> (PartyTelemetry, HostSplitTable) {
         self.telemetry.ops = self.suite.counters().snapshot();
+        self.telemetry.crypto_backend = self.suite.backend_label();
         self.telemetry.bytes_sent = self.endpoint.send_stats().bytes();
         self.telemetry.messages_sent = self.endpoint.send_stats().messages();
         let mut link = self.telemetry.link;

@@ -251,6 +251,10 @@ pub struct PartyTelemetry {
     pub phases: PhaseTimes,
     /// Cryptography operation counts.
     pub ops: OpSnapshot,
+    /// Crypto-backend tag this party's suite ran on (`"fixed-<N>x64"`,
+    /// `"num-bigint"`, or `"plain"`), so backend regressions are visible
+    /// in run reports.
+    pub crypto_backend: String,
     /// Protocol events.
     pub events: ProtocolEvents,
     /// Bytes this party sent across the WAN.
@@ -422,7 +426,9 @@ pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
         .u64("smul", p.ops.smul)
         .u64("negs", p.ops.negs)
         .u64("scalings", p.ops.scalings)
-        .u64("packs", p.ops.packs);
+        .u64("packs", p.ops.packs)
+        .u64("modmul", p.ops.modmul)
+        .u64("redc", p.ops.redc);
     let mut trace = JsonObj::new();
     trace
         .u64("cap", p.trace.cap() as u64)
@@ -430,6 +436,7 @@ pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
         .u64("dropped", p.trace.dropped());
     let mut o = JsonObj::new();
     o.str("name", &p.name)
+        .str("crypto_backend", &p.crypto_backend)
         .raw("phases", phases_to_json(&p.phases, indent + 2))
         .raw("ops", ops.render(indent + 2))
         .raw("events", events.render(indent + 2))

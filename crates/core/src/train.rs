@@ -119,7 +119,7 @@ pub fn train_federated_session(
         CryptoConfig::Paillier { key_bits } => {
             let keys = KeyPair::generate_seeded(key_bits, cfg.seed)
                 .map_err(TrainError::crypto("key generation"))?;
-            Suite::paillier(keys, cfg.encoding)
+            Suite::paillier_with_backend(keys, cfg.encoding, cfg.crypto_backend)
         }
         CryptoConfig::Mock => Suite::plain(cfg.encoding),
     };

@@ -30,6 +30,15 @@ pub struct OpCounters {
     /// Cipher packing operations (§5.2): each counts the construction of one
     /// packed cipher from `t` slot ciphers.
     pub packs: AtomicU64,
+    /// Montgomery modular multiplications performed by the fixed-limb
+    /// backend. Zero under the `num-bigint` backend (whose internal
+    /// multiplies are not observable), so this doubles as a backend
+    /// fingerprint in run traces.
+    pub modmul: AtomicU64,
+    /// Limb-level REDC work: each Montgomery multiplication contributes
+    /// its limb width `N`, making totals comparable across the `mod n²`
+    /// and half-size CRT domains.
+    pub redc: AtomicU64,
 }
 
 impl OpCounters {
@@ -73,6 +82,16 @@ impl OpCounters {
         self.packs.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` Montgomery modular multiplications.
+    pub fn add_modmul(&self, n: u64) {
+        self.modmul.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` limbs of REDC work.
+    pub fn add_redc(&self, n: u64) {
+        self.redc.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time snapshot.
     pub fn snapshot(&self) -> OpSnapshot {
         OpSnapshot {
@@ -83,6 +102,8 @@ impl OpCounters {
             negs: self.negs.load(Ordering::Relaxed),
             scalings: self.scalings.load(Ordering::Relaxed),
             packs: self.packs.load(Ordering::Relaxed),
+            modmul: self.modmul.load(Ordering::Relaxed),
+            redc: self.redc.load(Ordering::Relaxed),
         }
     }
 
@@ -95,6 +116,8 @@ impl OpCounters {
         self.negs.store(0, Ordering::Relaxed);
         self.scalings.store(0, Ordering::Relaxed);
         self.packs.store(0, Ordering::Relaxed);
+        self.modmul.store(0, Ordering::Relaxed);
+        self.redc.store(0, Ordering::Relaxed);
     }
 }
 
@@ -115,6 +138,10 @@ pub struct OpSnapshot {
     pub scalings: u64,
     /// Packing operations.
     pub packs: u64,
+    /// Montgomery modular multiplications (fixed backend only).
+    pub modmul: u64,
+    /// Limb-level REDC work (fixed backend only).
+    pub redc: u64,
 }
 
 impl OpSnapshot {
@@ -128,6 +155,8 @@ impl OpSnapshot {
             negs: self.negs.saturating_sub(earlier.negs),
             scalings: self.scalings.saturating_sub(earlier.scalings),
             packs: self.packs.saturating_sub(earlier.packs),
+            modmul: self.modmul.saturating_sub(earlier.modmul),
+            redc: self.redc.saturating_sub(earlier.redc),
         }
     }
 }

@@ -39,7 +39,7 @@ impl EncryptedNumber {
         let encoded = EncodedNumber::encode_jittered(v, cfg, sk.public(), rng)?;
         counters.add_enc(1);
         Ok(EncryptedNumber {
-            cipher: sk.encrypt_raw(&encoded.mantissa, rng),
+            cipher: sk.encrypt_raw_ctr(&encoded.mantissa, rng, counters),
             exponent: encoded.exponent,
         })
     }
@@ -56,7 +56,7 @@ impl EncryptedNumber {
         let encoded = EncodedNumber::encode(v, exponent, cfg, sk.public())?;
         counters.add_enc(1);
         Ok(EncryptedNumber {
-            cipher: sk.encrypt_raw(&encoded.mantissa, rng),
+            cipher: sk.encrypt_raw_ctr(&encoded.mantissa, rng, counters),
             exponent: encoded.exponent,
         })
     }
@@ -138,13 +138,19 @@ impl EncryptedNumber {
         }
         counters.add_scaling(1);
         let factor = cfg.base_pow(target - self.exponent);
-        EncryptedNumber { cipher: pk.mul_raw(&self.cipher, &factor), exponent: target }
+        EncryptedNumber {
+            cipher: pk.mul_raw_ctr(&self.cipher, &factor, counters),
+            exponent: target,
+        }
     }
 
     /// Scalar multiplication by a non-negative integer.
     pub fn smul_uint(&self, k: &BigUint, pk: &PublicKey, counters: &OpCounters) -> Self {
         counters.add_smul(1);
-        EncryptedNumber { cipher: pk.mul_raw(&self.cipher, k), exponent: self.exponent }
+        EncryptedNumber {
+            cipher: pk.mul_raw_ctr(&self.cipher, k, counters),
+            exponent: self.exponent,
+        }
     }
 
     /// Homomorphic negation (modular inversion of the cipher).
@@ -164,7 +170,7 @@ impl EncryptedNumber {
         counters: &OpCounters,
     ) -> Result<f64> {
         counters.add_dec(1);
-        let mantissa = sk.decrypt_raw(&self.cipher);
+        let mantissa = sk.decrypt_raw_ctr(&self.cipher, counters);
         let signed = decode_signed(&mantissa, sk.public())?;
         Ok(signed / cfg.base_pow_f64(self.exponent))
     }

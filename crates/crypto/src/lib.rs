@@ -20,6 +20,8 @@
 //! | module | paper section |
 //! |---|---|
 //! | [`math`] | number-theoretic primitives (primality, CRT) |
+//! | [`fixed`] | fixed-width limb arithmetic (stack-allocated bignums) |
+//! | [`montgomery`] | CIOS Montgomery core + width-dispatched `modpow` |
 //! | [`paillier`] | §2.2 cryptosystem (keygen, encrypt, decrypt, HAdd, SMul) |
 //! | [`encoding`] | §2.2 fixed-point `⟨e, V⟩` encoding |
 //! | [`encnum`] | encrypted floating-point numbers with exponents |
@@ -35,7 +37,9 @@ pub mod counters;
 pub mod encnum;
 pub mod encoding;
 pub mod error;
+pub mod fixed;
 pub mod math;
+pub mod montgomery;
 pub mod packing;
 pub mod paillier;
 pub mod suite;
@@ -44,6 +48,8 @@ pub use counters::OpCounters;
 pub use encnum::EncryptedNumber;
 pub use encoding::{EncodedNumber, EncodingConfig};
 pub use error::{CryptoError, Result};
+pub use fixed::Fixed;
+pub use montgomery::{CryptoBackend, MontCost, MontExp};
 pub use packing::{pack_ciphers, unpack_plaintext, PackingPlan};
 pub use paillier::{KeyPair, PrivateKey, PublicKey, RandomnessPool};
 pub use suite::{Ciphertext, PackedCiphertext, Suite, SuiteKind};

@@ -9,6 +9,8 @@ use num_integer::Integer;
 use num_traits::{One, Zero};
 use rand::Rng;
 
+use crate::montgomery::{recode_window4, MontExp};
+
 /// Small primes used for fast trial division before Miller-Rabin.
 const SMALL_PRIMES: [u32; 46] = [
     3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
@@ -48,6 +50,11 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
 }
 
 /// Miller-Rabin probabilistic primality test with `rounds` random witnesses.
+///
+/// One Montgomery context per candidate amortizes across every witness;
+/// the recoded exponent `d` is shared too. Results and RNG consumption
+/// are identical to the plain `BigUint::modpow` path, which remains the
+/// fallback at widths [`MontExp`] does not support.
 fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
     let one = BigUint::one();
     let two = BigUint::from(2u32);
@@ -57,15 +64,24 @@ fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> boo
     let s = n_minus_one.trailing_zeros().unwrap_or(0);
     let d = &n_minus_one >> s;
 
+    let accel = MontExp::new(n);
+    let d_nibbles = accel.as_ref().map(|_| recode_window4(&d));
+
     'witness: for _ in 0..rounds {
         // Witness in [2, n-2].
         let a = rng.gen_biguint_range(&two, &n_minus_one);
-        let mut x = a.modpow(&d, n);
+        let mut x = match (&accel, &d_nibbles) {
+            (Some(m), Some(nib)) => m.modpow_recoded(&a, nib).0,
+            _ => a.modpow(&d, n),
+        };
         if x == one || x == n_minus_one {
             continue 'witness;
         }
         for _ in 0..s.saturating_sub(1) {
-            x = x.modpow(&two, n);
+            x = match &accel {
+                Some(m) => m.modmul(&x, &x).0,
+                None => x.modpow(&two, n),
+            };
             if x == n_minus_one {
                 continue 'witness;
             }

@@ -1,0 +1,353 @@
+//! Montgomery-domain modular arithmetic over [`Fixed`] limbs.
+//!
+//! The hot Paillier operations are modular exponentiations at a width
+//! fixed per key: `rⁿ mod n²` obfuscation, scalar `SMul`, and the two
+//! half-size CRT exponentiations inside decryption. [`Montgomery<N>`]
+//! implements CIOS (coarsely integrated operand scanning) Montgomery
+//! multiplication and a 4-bit fixed-window exponentiation entirely on
+//! stack-allocated `N`-limb arrays; [`MontExp`] erases the width behind a
+//! trait object so a [`crate::paillier::PublicKey`] can carry one without
+//! being generic itself.
+//!
+//! Domain boundary rule: values *enter* Montgomery form at the start of
+//! one `modpow`/`modmul` call and *leave* it before the call returns —
+//! nothing outside this module ever observes a Montgomery-form residue.
+//! Dispatch rule: [`MontExp::new`] picks the smallest supported limb
+//! count `N` with `64·N ≥ modulus bits`; even moduli and widths beyond
+//! 64 limbs (4096 bits) fall back to `num-bigint` (`None`).
+
+use num_bigint::BigUint;
+use num_integer::Integer;
+use num_traits::One;
+
+use crate::fixed::{mac, Fixed};
+
+/// Which bignum backend executes Paillier modular exponentiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CryptoBackend {
+    /// Fixed-width limb Montgomery core, monomorphized per key width at
+    /// construction time (the default). Falls back to `num-bigint`
+    /// automatically at unsupported widths.
+    #[default]
+    Fixed,
+    /// The vendored `num-bigint` path: heap-allocated, division-based
+    /// reduction. Always available at any width; kept as the reference
+    /// implementation the fixed backend is tested against.
+    NumBigint,
+}
+
+/// Work performed by the fixed-limb backend during one call.
+///
+/// `modmuls` counts Montgomery multiplications (the REDC unit of work);
+/// `redc_limbs` weights each by its limb width `N`, so totals are
+/// comparable across the `mod n²` and `mod p²`/`mod q²` domains.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MontCost {
+    /// Montgomery multiplications (each is one interleaved REDC pass).
+    pub modmuls: u64,
+    /// Limb-level REDC work: Σ over multiplications of the limb width.
+    pub redc_limbs: u64,
+}
+
+impl MontCost {
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: MontCost) {
+        self.modmuls += other.modmuls;
+        self.redc_limbs += other.redc_limbs;
+    }
+}
+
+/// Recodes an exponent into MSB-first 4-bit windows (nibbles) with
+/// leading zeros stripped; a zero exponent recodes to an empty vector.
+///
+/// Precomputing this once per fixed exponent (the CRT decryption
+/// exponents `p−1`/`q−1`, the pool's `n mod p(p−1)` exponents) skips the
+/// per-call recoding scan.
+pub fn recode_window4(exp: &BigUint) -> Vec<u8> {
+    let le = exp.to_bytes_le();
+    let mut nibbles = Vec::with_capacity(le.len() * 2);
+    for &b in le.iter().rev() {
+        nibbles.push(b >> 4);
+        nibbles.push(b & 0xf);
+    }
+    match nibbles.iter().position(|&n| n != 0) {
+        Some(i) => nibbles.split_off(i),
+        None => Vec::new(),
+    }
+}
+
+/// Montgomery context for an odd modulus occupying `N` 64-bit limbs.
+struct Montgomery<const N: usize> {
+    /// The modulus `m`.
+    m: Fixed<N>,
+    /// `−m⁻¹ mod 2⁶⁴` (the REDC quotient multiplier).
+    n0inv: u64,
+    /// `R² mod m` where `R = 2^(64N)`: multiplying by this enters the
+    /// Montgomery domain.
+    rr: Fixed<N>,
+}
+
+impl<const N: usize> Montgomery<N> {
+    /// Builds a context, or `None` if `m` is even, `≤ 1`, or wider than
+    /// `N` limbs.
+    fn new(modulus: &BigUint) -> Option<Montgomery<N>> {
+        if modulus.is_even() || modulus <= &BigUint::one() {
+            return None;
+        }
+        let m = Fixed::<N>::from_biguint(modulus)?;
+        // Newton iteration for m₀⁻¹ mod 2⁶⁴: odd m₀ satisfies
+        // m₀·m₀ ≡ 1 (mod 8), and each step doubles the valid bits.
+        let m0 = m.0[0];
+        let mut inv = m0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let r2 = (BigUint::one() << (128 * N as u64)) % modulus;
+        let rr = Fixed::<N>::from_biguint(&r2)?;
+        Some(Montgomery { m, n0inv: inv.wrapping_neg(), rr })
+    }
+
+    /// CIOS Montgomery multiplication: `a·b·R⁻¹ mod m` for `a, b < m`.
+    fn mont_mul(&self, a: &Fixed<N>, b: &Fixed<N>, cost: &mut MontCost) -> Fixed<N> {
+        cost.modmuls += 1;
+        cost.redc_limbs += N as u64;
+        let m = &self.m.0;
+        let mut t = [0u64; N];
+        let mut t_n: u64 = 0; // limb N of the running accumulator
+        let mut t_n1: u64 = 0; // limb N+1 (at most 1)
+        for i in 0..N {
+            // t += a[i] · b
+            let mut carry = 0u64;
+            for (tj, bj) in t.iter_mut().zip(&b.0) {
+                let (v, c) = mac(*tj, a.0[i], *bj, carry);
+                *tj = v;
+                carry = c;
+            }
+            let (v, c) = t_n.overflowing_add(carry);
+            t_n = v;
+            t_n1 += c as u64;
+            // t += (t[0]·n0inv mod 2⁶⁴) · m, then shift right one limb;
+            // the quotient choice zeroes t[0] exactly.
+            let q = t[0].wrapping_mul(self.n0inv);
+            let (_, mut carry) = mac(t[0], q, m[0], 0);
+            for j in 1..N {
+                let (v, c) = mac(t[j], q, m[j], carry);
+                t[j - 1] = v;
+                carry = c;
+            }
+            let (v, c) = t_n.overflowing_add(carry);
+            t[N - 1] = v;
+            t_n = t_n1 + c as u64;
+            t_n1 = 0;
+        }
+        // Result is < 2m: one conditional subtraction normalizes.
+        let res = Fixed(t);
+        if t_n != 0 || res.cmp_mag(&self.m) != std::cmp::Ordering::Less {
+            res.sbb(&self.m).0
+        } else {
+            res
+        }
+    }
+
+    /// 4-bit fixed-window exponentiation of `base < m` by a
+    /// [`recode_window4`]-recoded exponent. Returns a plain (non-Montgomery)
+    /// residue; an empty nibble slice (exponent 0) yields 1.
+    fn pow_recoded(&self, base: &Fixed<N>, nibbles: &[u8], cost: &mut MontCost) -> Fixed<N> {
+        if nibbles.is_empty() {
+            return Fixed::one();
+        }
+        let base_m = self.mont_mul(base, &self.rr, cost);
+        // table[k] = base^k in Montgomery form, built lazily up to the
+        // largest window actually used (small exponents stay cheap).
+        let max_nib = *nibbles.iter().max().expect("nonempty") as usize;
+        let mut table = [Fixed::<N>::ZERO; 16];
+        table[1] = base_m;
+        for k in 2..=max_nib {
+            table[k] = self.mont_mul(&table[k - 1], &base_m, cost);
+        }
+        let mut acc = table[nibbles[0] as usize];
+        for &nib in &nibbles[1..] {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc, cost);
+            }
+            if nib != 0 {
+                acc = self.mont_mul(&acc, &table[nib as usize], cost);
+            }
+        }
+        // Multiplying by plain 1 performs the final REDC out of the
+        // Montgomery domain.
+        self.mont_mul(&acc, &Fixed::one(), cost)
+    }
+}
+
+/// Width-erased operations; implemented once per monomorphized limb
+/// count. Inputs are already reduced below the modulus by [`MontExp`].
+trait MontOps: Send + Sync {
+    fn pow_recoded(&self, base: &BigUint, nibbles: &[u8], cost: &mut MontCost) -> BigUint;
+    fn mul(&self, a: &BigUint, b: &BigUint, cost: &mut MontCost) -> BigUint;
+    fn limbs(&self) -> usize;
+}
+
+impl<const N: usize> MontOps for Montgomery<N> {
+    fn pow_recoded(&self, base: &BigUint, nibbles: &[u8], cost: &mut MontCost) -> BigUint {
+        let b = Fixed::<N>::from_biguint(base).expect("base reduced below modulus");
+        self.pow_recoded(&b, nibbles, cost).to_biguint()
+    }
+
+    fn mul(&self, a: &BigUint, b: &BigUint, cost: &mut MontCost) -> BigUint {
+        let fa = Fixed::<N>::from_biguint(a).expect("operand reduced below modulus");
+        let fb = Fixed::<N>::from_biguint(b).expect("operand reduced below modulus");
+        // a·b·R⁻¹ followed by ·R²·R⁻¹ recovers plain a·b mod m in two
+        // Montgomery multiplications, no separate domain conversions.
+        let t = self.mont_mul(&fa, &fb, cost);
+        self.mont_mul(&t, &self.rr, cost).to_biguint()
+    }
+
+    fn limbs(&self) -> usize {
+        N
+    }
+}
+
+/// A width-dispatched Montgomery exponentiator for one fixed odd modulus.
+///
+/// Construction picks the smallest supported limb count and monomorphizes
+/// every inner loop at that width; the handle itself is object-safe so
+/// key structs stay non-generic. Results are always identical to
+/// `BigUint::modpow` — the fixed backend is a pure accelerator.
+pub struct MontExp {
+    ops: Box<dyn MontOps>,
+    modulus: BigUint,
+}
+
+impl std::fmt::Debug for MontExp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MontExp").field("limbs", &self.ops.limbs()).finish()
+    }
+}
+
+impl MontExp {
+    /// Builds an exponentiator for `modulus`, or `None` when the modulus
+    /// is even, `≤ 1`, or wider than 64 limbs (4096 bits) — callers fall
+    /// back to `num-bigint` in that case.
+    pub fn new(modulus: &BigUint) -> Option<MontExp> {
+        if modulus.is_even() || modulus <= &BigUint::one() {
+            return None;
+        }
+        let bits = modulus.bits();
+        macro_rules! dispatch {
+            ($($n:literal),*) => {
+                $(
+                    if bits <= 64 * $n {
+                        let ops: Box<dyn MontOps> = Box::new(Montgomery::<$n>::new(modulus)?);
+                        return Some(MontExp { ops, modulus: modulus.clone() });
+                    }
+                )*
+            };
+        }
+        dispatch!(1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64);
+        None
+    }
+
+    /// The limb width `N` this modulus dispatched to.
+    pub fn limbs(&self) -> usize {
+        self.ops.limbs()
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// `base^exp mod m`, semantically identical to `BigUint::modpow`.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> (BigUint, MontCost) {
+        self.modpow_recoded(base, &recode_window4(exp))
+    }
+
+    /// `base^exp mod m` with the exponent already recoded by
+    /// [`recode_window4`] — the fast path for per-key fixed exponents.
+    pub fn modpow_recoded(&self, base: &BigUint, nibbles: &[u8]) -> (BigUint, MontCost) {
+        let mut cost = MontCost::default();
+        let reduced;
+        let base = if base >= &self.modulus {
+            reduced = base % &self.modulus;
+            &reduced
+        } else {
+            base
+        };
+        let v = self.ops.pow_recoded(base, nibbles, &mut cost);
+        (v, cost)
+    }
+
+    /// `a·b mod m` through the Montgomery core (two REDC passes).
+    pub fn modmul(&self, a: &BigUint, b: &BigUint) -> (BigUint, MontCost) {
+        let mut cost = MontCost::default();
+        let (ra, rb);
+        let a = if a >= &self.modulus {
+            ra = a % &self.modulus;
+            &ra
+        } else {
+            a
+        };
+        let b = if b >= &self.modulus {
+            rb = b % &self.modulus;
+            &rb
+        } else {
+            b
+        };
+        let v = self.ops.mul(a, b, &mut cost);
+        (v, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_bigint::RandBigInt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recode_matches_value() {
+        assert!(recode_window4(&BigUint::from(0u32)).is_empty());
+        assert_eq!(recode_window4(&BigUint::from(1u32)), vec![1]);
+        assert_eq!(recode_window4(&BigUint::from(0xA0Fu32)), vec![0xA, 0x0, 0xF]);
+    }
+
+    #[test]
+    fn modpow_matches_biguint_across_widths() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for bits in [48u64, 64, 120, 250, 510, 1030] {
+            let mut m = rng.gen_biguint(bits);
+            m.set_bit(0, true);
+            m.set_bit(bits - 1, true);
+            let me = MontExp::new(&m).expect("odd modulus dispatches");
+            for _ in 0..4 {
+                let base = rng.gen_biguint(bits + 17);
+                let exp = rng.gen_biguint(96);
+                let (got, cost) = me.modpow(&base, &exp);
+                assert_eq!(got, base.modpow(&exp, &m));
+                assert!(cost.modmuls > 0);
+                assert_eq!(cost.redc_limbs, cost.modmuls * me.limbs() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn modmul_and_edge_exponents() {
+        let m = BigUint::from(0xffff_ffff_ffff_ffc5u64); // odd
+        let me = MontExp::new(&m).unwrap();
+        let a = BigUint::from(u64::MAX - 7);
+        let b = BigUint::from(u64::MAX - 99);
+        assert_eq!(me.modmul(&a, &b).0, (&a * &b) % &m);
+        assert_eq!(me.modpow(&a, &BigUint::from(0u32)).0, BigUint::one());
+        assert_eq!(me.modpow(&a, &BigUint::one()).0, &a % &m);
+        assert_eq!(me.modpow(&BigUint::from(0u32), &b).0, BigUint::from(0u32));
+    }
+
+    #[test]
+    fn even_or_trivial_moduli_fall_back() {
+        assert!(MontExp::new(&BigUint::from(10u32)).is_none());
+        assert!(MontExp::new(&BigUint::one()).is_none());
+        assert!(MontExp::new(&(BigUint::one() << 5000u32)).is_none());
+    }
+}

@@ -74,7 +74,7 @@ pub fn pack_ciphers(
     let mut acc = slots.last().expect("non-empty").clone();
     for c in slots.iter().rev().skip(1) {
         counters.add_smul(1);
-        let shifted = pk.mul_raw(&acc, &shift);
+        let shifted = pk.mul_raw_ctr(&acc, &shift, counters);
         counters.add_hadd(1);
         acc = pk.add_raw(c, &shifted);
     }

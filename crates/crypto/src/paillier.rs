@@ -15,6 +15,7 @@
 //! through the CRT when the private key is available (it always is on
 //! Party B, the only encrypting party in the protocol).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use num_bigint::{BigUint, RandBigInt};
@@ -24,11 +25,33 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::counters::OpCounters;
 use crate::error::{CryptoError, Result};
 use crate::math::{crt_combine, gen_prime, l_function, mod_inverse};
+use crate::montgomery::{recode_window4, CryptoBackend, MontCost, MontExp};
 
 /// A raw Paillier ciphertext: an integer modulo `n²`.
 pub type RawCipher = BigUint;
+
+/// Folds one fixed-backend call's work into the per-party counters.
+fn tally(ctr: &OpCounters, cost: MontCost) {
+    ctr.add_modmul(cost.modmuls);
+    ctr.add_redc(cost.redc_limbs);
+}
+
+/// Fixed-limb accelerator for the public `mod n²` cipher domain.
+struct PkAccel {
+    /// Montgomery exponentiator modulo `n²`.
+    nn: MontExp,
+    /// The fixed exponent `n` (for `rⁿ` obfuscation), recoded once.
+    n_nibbles: Vec<u8>,
+}
+
+impl PkAccel {
+    fn build(n: &BigUint, nn: &BigUint) -> Option<PkAccel> {
+        Some(PkAccel { nn: MontExp::new(nn)?, n_nibbles: recode_window4(n) })
+    }
+}
 
 struct PkInner {
     /// The modulus `n = p·q`.
@@ -41,6 +64,9 @@ struct PkInner {
     max_int: BigUint,
     /// Bit length of `n` (the paper's `S`).
     bits: u64,
+    /// Fixed-limb backend, absent under [`CryptoBackend::NumBigint`] or at
+    /// widths [`MontExp`] does not support.
+    accel: Option<PkAccel>,
 }
 
 /// Paillier public key. Cheap to clone (internally reference-counted).
@@ -61,12 +87,35 @@ impl PartialEq for PublicKey {
 impl Eq for PublicKey {}
 
 impl PublicKey {
-    fn from_n(n: BigUint) -> Self {
+    fn from_n(n: BigUint, backend: CryptoBackend) -> Self {
         let nn = &n * &n;
         let half_n = &n >> 1;
         let max_int = &n / BigUint::from(3u32);
         let bits = n.bits();
-        PublicKey(Arc::new(PkInner { n, nn, half_n, max_int, bits }))
+        let accel = match backend {
+            CryptoBackend::Fixed => PkAccel::build(&n, &nn),
+            CryptoBackend::NumBigint => None,
+        };
+        PublicKey(Arc::new(PkInner { n, nn, half_n, max_int, bits, accel }))
+    }
+
+    /// The backend actually in effect: [`CryptoBackend::Fixed`] only when
+    /// the accelerator attached (requested *and* the width is supported).
+    pub fn backend(&self) -> CryptoBackend {
+        if self.0.accel.is_some() {
+            CryptoBackend::Fixed
+        } else {
+            CryptoBackend::NumBigint
+        }
+    }
+
+    /// Human-readable backend tag for telemetry, e.g. `"fixed-16x64"`
+    /// (16 limbs of 64 bits in the `mod n²` domain) or `"num-bigint"`.
+    pub fn backend_label(&self) -> String {
+        match &self.0.accel {
+            Some(a) => format!("fixed-{}x64", a.nn.limbs()),
+            None => "num-bigint".to_string(),
+        }
     }
 
     /// The modulus `n`.
@@ -102,7 +151,17 @@ impl PublicKey {
     /// Encrypts an already-encoded plaintext `v ∈ [0, n)` with fresh
     /// randomness drawn from `rng`.
     pub fn encrypt_raw<R: Rng + ?Sized>(&self, v: &BigUint, rng: &mut R) -> RawCipher {
-        let rn = self.random_rn(rng);
+        self.encrypt_raw_ctr(v, rng, &OpCounters::default())
+    }
+
+    /// [`PublicKey::encrypt_raw`] with backend work tallied into `ctr`.
+    pub fn encrypt_raw_ctr<R: Rng + ?Sized>(
+        &self,
+        v: &BigUint,
+        rng: &mut R,
+        ctr: &OpCounters,
+    ) -> RawCipher {
+        let rn = self.random_rn_ctr(rng, ctr);
         self.encrypt_raw_with_rn(v, &rn)
     }
 
@@ -116,8 +175,23 @@ impl PublicKey {
 
     /// Draws a random `r ∈ [1, n)` and returns `rⁿ mod n²`.
     pub fn random_rn<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        self.random_rn_ctr(rng, &OpCounters::default())
+    }
+
+    /// [`PublicKey::random_rn`] with backend work tallied into `ctr`.
+    ///
+    /// The random draw always happens first and consumes the same RNG
+    /// stream under either backend, so ciphers are backend-independent.
+    pub fn random_rn_ctr<R: Rng + ?Sized>(&self, rng: &mut R, ctr: &OpCounters) -> BigUint {
         let r = rng.gen_biguint_range(&BigUint::one(), &self.0.n);
-        r.modpow(&self.0.n, &self.0.nn)
+        match &self.0.accel {
+            Some(a) => {
+                let (v, cost) = a.nn.modpow_recoded(&r, &a.n_nibbles);
+                tally(ctr, cost);
+                v
+            }
+            None => r.modpow(&self.0.n, &self.0.nn),
+        }
     }
 
     /// Homomorphic addition: `⟦U⟧ ⊕ ⟦V⟧ = ⟦U+V⟧`.
@@ -127,7 +201,19 @@ impl PublicKey {
 
     /// Scalar multiplication: `k ⊗ ⟦V⟧ = ⟦k·V⟧`.
     pub fn mul_raw(&self, c: &RawCipher, k: &BigUint) -> RawCipher {
-        c.modpow(k, &self.0.nn)
+        self.mul_raw_ctr(c, k, &OpCounters::default())
+    }
+
+    /// [`PublicKey::mul_raw`] with backend work tallied into `ctr`.
+    pub fn mul_raw_ctr(&self, c: &RawCipher, k: &BigUint, ctr: &OpCounters) -> RawCipher {
+        match &self.0.accel {
+            Some(a) => {
+                let (v, cost) = a.nn.modpow(c, k);
+                tally(ctr, cost);
+                v
+            }
+            None => c.modpow(k, &self.0.nn),
+        }
     }
 
     /// Homomorphic negation: `⟦V⟧⁻¹ = ⟦n−V⟧ = ⟦−V⟧`.
@@ -196,6 +282,46 @@ impl PublicKey {
     }
 }
 
+/// Fixed-limb accelerator for the private CRT domains `mod p²` / `mod q²`.
+///
+/// Every private-key exponent is fixed per key — `p−1` / `q−1` for
+/// decryption, `n mod p(p−1)` / `n mod q(q−1)` for obfuscation — so each
+/// is recoded into 4-bit windows exactly once at key construction.
+struct SkAccel {
+    /// Montgomery exponentiator modulo `p²`.
+    pp: MontExp,
+    /// Montgomery exponentiator modulo `q²`.
+    qq: MontExp,
+    /// `p − 1`, recoded (decryption exponent mod `p²`).
+    p1_nibbles: Vec<u8>,
+    /// `q − 1`, recoded (decryption exponent mod `q²`).
+    q1_nibbles: Vec<u8>,
+    /// `n mod p(p−1)`, recoded (obfuscation exponent mod `p²`).
+    np_nibbles: Vec<u8>,
+    /// `n mod q(q−1)`, recoded (obfuscation exponent mod `q²`).
+    nq_nibbles: Vec<u8>,
+}
+
+impl SkAccel {
+    fn build(
+        p: &BigUint,
+        q: &BigUint,
+        pp: &BigUint,
+        qq: &BigUint,
+        n_mod_ord_pp: &BigUint,
+        n_mod_ord_qq: &BigUint,
+    ) -> Option<SkAccel> {
+        Some(SkAccel {
+            pp: MontExp::new(pp)?,
+            qq: MontExp::new(qq)?,
+            p1_nibbles: recode_window4(&(p - BigUint::one())),
+            q1_nibbles: recode_window4(&(q - BigUint::one())),
+            np_nibbles: recode_window4(n_mod_ord_pp),
+            nq_nibbles: recode_window4(n_mod_ord_qq),
+        })
+    }
+}
+
 struct SkInner {
     public: PublicKey,
     p: BigUint,
@@ -214,6 +340,9 @@ struct SkInner {
     n_mod_ord_pp: BigUint,
     /// `n mod q·(q-1)`: reduced exponent for `rⁿ mod q²`.
     n_mod_ord_qq: BigUint,
+    /// Fixed-limb backend for the half-size CRT exponentiations; absent
+    /// under [`CryptoBackend::NumBigint`] or at unsupported widths.
+    accel: Option<SkAccel>,
 }
 
 /// Paillier private key. Cheap to clone (internally reference-counted).
@@ -237,11 +366,28 @@ impl PrivateKey {
     /// Uses the CRT split over `p²` / `q²`: two half-size exponentiations
     /// instead of one full-size one.
     pub fn decrypt_raw(&self, c: &RawCipher) -> BigUint {
+        self.decrypt_raw_ctr(c, &OpCounters::default())
+    }
+
+    /// [`PrivateKey::decrypt_raw`] with backend work tallied into `ctr`.
+    pub fn decrypt_raw_ctr(&self, c: &RawCipher, ctr: &OpCounters) -> BigUint {
         let sk = &*self.0;
-        let p_minus_1 = &sk.p - BigUint::one();
-        let q_minus_1 = &sk.q - BigUint::one();
-        let mp = (l_function(&(c % &sk.pp).modpow(&p_minus_1, &sk.pp), &sk.p) * &sk.hp) % &sk.p;
-        let mq = (l_function(&(c % &sk.qq).modpow(&q_minus_1, &sk.qq), &sk.q) * &sk.hq) % &sk.q;
+        let (xp, xq) = match &sk.accel {
+            Some(a) => {
+                let (xp, cp) = a.pp.modpow_recoded(&(c % &sk.pp), &a.p1_nibbles);
+                let (xq, cq) = a.qq.modpow_recoded(&(c % &sk.qq), &a.q1_nibbles);
+                tally(ctr, cp);
+                tally(ctr, cq);
+                (xp, xq)
+            }
+            None => {
+                let p_minus_1 = &sk.p - BigUint::one();
+                let q_minus_1 = &sk.q - BigUint::one();
+                ((c % &sk.pp).modpow(&p_minus_1, &sk.pp), (c % &sk.qq).modpow(&q_minus_1, &sk.qq))
+            }
+        };
+        let mp = (l_function(&xp, &sk.p) * &sk.hp) % &sk.p;
+        let mq = (l_function(&xq, &sk.q) * &sk.hq) % &sk.q;
         crt_combine(&mp, &mq, &sk.p, &sk.p_inv_q, &sk.q) % sk.public.n()
     }
 
@@ -249,16 +395,45 @@ impl PrivateKey {
     /// exponentiations with reduced exponents. Only the private-key holder
     /// can do this — in the protocol that is always Party B.
     pub fn encrypt_raw<R: Rng + ?Sized>(&self, v: &BigUint, rng: &mut R) -> RawCipher {
-        let rn = self.random_rn_crt(rng);
+        self.encrypt_raw_ctr(v, rng, &OpCounters::default())
+    }
+
+    /// [`PrivateKey::encrypt_raw`] with backend work tallied into `ctr`.
+    pub fn encrypt_raw_ctr<R: Rng + ?Sized>(
+        &self,
+        v: &BigUint,
+        rng: &mut R,
+        ctr: &OpCounters,
+    ) -> RawCipher {
+        let rn = self.random_rn_crt_ctr(rng, ctr);
         self.0.public.encrypt_raw_with_rn(v, &rn)
     }
 
     /// Draws `r` and computes `rⁿ mod n²` via the CRT.
     pub fn random_rn_crt<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        self.random_rn_crt_ctr(rng, &OpCounters::default())
+    }
+
+    /// [`PrivateKey::random_rn_crt`] with backend work tallied into `ctr`.
+    ///
+    /// The random draw always happens first and consumes the same RNG
+    /// stream under either backend, so ciphers are backend-independent.
+    pub fn random_rn_crt_ctr<R: Rng + ?Sized>(&self, rng: &mut R, ctr: &OpCounters) -> BigUint {
         let sk = &*self.0;
         let r = rng.gen_biguint_range(&BigUint::one(), sk.public.n());
-        let rp = (&r % &sk.pp).modpow(&sk.n_mod_ord_pp, &sk.pp);
-        let rq = (&r % &sk.qq).modpow(&sk.n_mod_ord_qq, &sk.qq);
+        let (rp, rq) = match &sk.accel {
+            Some(a) => {
+                let (rp, cp) = a.pp.modpow_recoded(&(&r % &sk.pp), &a.np_nibbles);
+                let (rq, cq) = a.qq.modpow_recoded(&(&r % &sk.qq), &a.nq_nibbles);
+                tally(ctr, cp);
+                tally(ctr, cq);
+                (rp, rq)
+            }
+            None => (
+                (&r % &sk.pp).modpow(&sk.n_mod_ord_pp, &sk.pp),
+                (&r % &sk.qq).modpow(&sk.n_mod_ord_qq, &sk.qq),
+            ),
+        };
         crt_combine(&rp, &rq, &sk.pp, &sk.pp_inv_qq, &sk.qq) % sk.public.nn()
     }
 }
@@ -299,7 +474,7 @@ impl KeyPair {
             if !n.gcd(&phi).is_one() {
                 continue;
             }
-            let public = PublicKey::from_n(n.clone());
+            let public = PublicKey::from_n(n.clone(), CryptoBackend::Fixed);
             let pp = &p * &p;
             let qq = &q * &q;
             let p_inv_q = match mod_inverse(&p, &q) {
@@ -322,10 +497,13 @@ impl KeyPair {
             };
             let ord_pp = &p * &p_minus_1;
             let ord_qq = &q * &q_minus_1;
+            let n_mod_ord_pp = &n % ord_pp;
+            let n_mod_ord_qq = &n % ord_qq;
+            let accel = SkAccel::build(&p, &q, &pp, &qq, &n_mod_ord_pp, &n_mod_ord_qq);
             let private = PrivateKey(Arc::new(SkInner {
                 public: public.clone(),
-                n_mod_ord_pp: &n % ord_pp,
-                n_mod_ord_qq: &n % ord_qq,
+                n_mod_ord_pp,
+                n_mod_ord_qq,
                 p,
                 q,
                 pp,
@@ -334,6 +512,7 @@ impl KeyPair {
                 pp_inv_qq,
                 hp,
                 hq,
+                accel,
             }));
             return Ok(KeyPair { public, private });
         }
@@ -345,62 +524,175 @@ impl KeyPair {
         let mut rng = StdRng::seed_from_u64(seed);
         Self::generate_with_rng(bits, &mut rng)
     }
+
+    /// Rebuilds this key pair with the given backend attached (or
+    /// detached). The key material is unchanged — only the accelerator
+    /// state differs — so ciphers and plaintexts are bit-identical across
+    /// backends. Requesting [`CryptoBackend::Fixed`] at an unsupported
+    /// width silently yields the `num-bigint` path (see
+    /// [`PublicKey::backend`] for what actually took effect).
+    pub fn with_backend(&self, backend: CryptoBackend) -> KeyPair {
+        let sk = &*self.private.0;
+        let public = PublicKey::from_n(sk.public.0.n.clone(), backend);
+        let accel = match backend {
+            CryptoBackend::Fixed => {
+                SkAccel::build(&sk.p, &sk.q, &sk.pp, &sk.qq, &sk.n_mod_ord_pp, &sk.n_mod_ord_qq)
+            }
+            CryptoBackend::NumBigint => None,
+        };
+        let private = PrivateKey(Arc::new(SkInner {
+            public: public.clone(),
+            p: sk.p.clone(),
+            q: sk.q.clone(),
+            pp: sk.pp.clone(),
+            qq: sk.qq.clone(),
+            p_inv_q: sk.p_inv_q.clone(),
+            pp_inv_qq: sk.pp_inv_qq.clone(),
+            hp: sk.hp.clone(),
+            hq: sk.hq.clone(),
+            n_mod_ord_pp: sk.n_mod_ord_pp.clone(),
+            n_mod_ord_qq: sk.n_mod_ord_qq.clone(),
+            accel,
+        }));
+        KeyPair { public, private }
+    }
+
+    /// The backend in effect for this key pair.
+    pub fn backend(&self) -> CryptoBackend {
+        self.public.backend()
+    }
 }
 
 /// A pool of precomputed obfuscation factors `rⁿ mod n²`.
 ///
-/// Computing `rⁿ` dominates encryption cost. The pool precomputes a batch up
-/// front (optionally in parallel) and can stretch it further in *combine*
-/// mode: the product of two pooled factors `(r₁·r₂)ⁿ` is itself a valid
-/// obfuscation factor, so fresh randomness costs one modular multiplication
-/// instead of one exponentiation.
+/// Computing `rⁿ` dominates encryption cost. The pool precomputes a batch
+/// up front (in parallel, through the key's backend — fixed-limb when
+/// attached) and can stretch it further in *combine* mode: the product of
+/// two pooled factors `(r₁·r₂)ⁿ` is itself a valid obfuscation factor, so
+/// fresh randomness costs one modular multiplication instead of one
+/// exponentiation.
+///
+/// A drained pool **refills itself** in amortized batches: the factor
+/// seeds continue the same deterministic sequence the initial fill
+/// started, so a pool of size `s` drawn `k` times hands out exactly the
+/// factors a pool of size `≥ k` would have held. The typed
+/// [`CryptoError::RandomnessExhausted`] error remains only for genuinely
+/// impossible requests — a zero-sized non-refilling pool, or a
+/// [`RandomnessPool::strict`] pool that ran dry.
 pub struct RandomnessPool {
-    public: PublicKey,
+    private: PrivateKey,
     pool: Mutex<Vec<BigUint>>,
     combine: bool,
+    /// Factors generated per refill; `0` disables refilling (strict mode).
+    refill_batch: usize,
+    /// Next factor seed in the deterministic sequence.
+    next_seed: Mutex<u64>,
+    refills: AtomicU64,
     rng: Mutex<StdRng>,
 }
 
 impl RandomnessPool {
-    /// Precomputes `size` obfuscation factors. When `combine` is true the
-    /// pool never exhausts: it recombines pooled entries pairwise.
+    /// Precomputes `size` obfuscation factors and refills in `size`-factor
+    /// batches when drained. When `combine` is true draws recombine pooled
+    /// entries pairwise instead of consuming them.
     pub fn new(private: &PrivateKey, size: usize, combine: bool, seed: u64) -> Self {
+        Self::with_refill(private, size, size, combine, seed)
+    }
+
+    /// A legacy fixed-capacity pool that never refills: draws past the
+    /// precomputed batch fail with [`CryptoError::RandomnessExhausted`].
+    pub fn strict(private: &PrivateKey, size: usize, combine: bool, seed: u64) -> Self {
+        Self::with_refill(private, size, 0, combine, seed)
+    }
+
+    /// Sizes the pool from the workload it will serve: `instances` rows,
+    /// each encrypted twice (gradient and hessian) per tree. The initial
+    /// batch and refill batch are the full demand, capped at 4096 factors
+    /// so precompute memory stays bounded; past the cap the amortized
+    /// refill covers the tail.
+    pub fn sized_for_workload(
+        private: &PrivateKey,
+        instances: usize,
+        trees: usize,
+        combine: bool,
+        seed: u64,
+    ) -> Self {
+        let demand = instances.saturating_mul(2).saturating_mul(trees.max(1));
+        let size = demand.clamp(2, 4096);
+        Self::with_refill(private, size, size, combine, seed)
+    }
+
+    fn with_refill(
+        private: &PrivateKey,
+        size: usize,
+        refill_batch: usize,
+        combine: bool,
+        seed: u64,
+    ) -> Self {
+        let pool = Self::generate_batch(private, seed, size);
+        RandomnessPool {
+            private: private.clone(),
+            pool: Mutex::new(pool),
+            combine,
+            refill_batch,
+            next_seed: Mutex::new(seed.wrapping_add(size as u64)),
+            refills: AtomicU64::new(0),
+            rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15)),
+        }
+    }
+
+    /// Generates `count` factors from consecutive seeds starting at `base`.
+    fn generate_batch(private: &PrivateKey, base: u64, count: usize) -> Vec<BigUint> {
         use rayon::prelude::*;
-        let seeds: Vec<u64> = (0..size as u64).map(|i| seed.wrapping_add(i)).collect();
-        let pool: Vec<BigUint> = seeds
+        let seeds: Vec<u64> = (0..count as u64).map(|i| base.wrapping_add(i)).collect();
+        seeds
             .par_iter()
             .map(|&s| {
                 let mut rng = StdRng::seed_from_u64(s);
                 private.random_rn_crt(&mut rng)
             })
-            .collect();
-        RandomnessPool {
-            public: private.public().clone(),
-            pool: Mutex::new(pool),
-            combine,
-            rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15)),
-        }
+            .collect()
     }
 
-    /// Returns the next obfuscation factor.
+    /// Extends the pool by one refill batch, continuing the deterministic
+    /// seed sequence. Errors when refilling is disabled (`refill_batch == 0`).
+    fn refill(&self, pool: &mut Vec<BigUint>) -> Result<()> {
+        if self.refill_batch == 0 {
+            return Err(CryptoError::RandomnessExhausted { remaining: pool.len() });
+        }
+        let base = {
+            let mut s = self.next_seed.lock();
+            let b = *s;
+            *s = s.wrapping_add(self.refill_batch as u64);
+            b
+        };
+        pool.extend(Self::generate_batch(&self.private, base, self.refill_batch));
+        self.refills.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Returns the next obfuscation factor, refilling the pool if needed.
     ///
-    /// With combine mode off, an exhausted pool yields
-    /// [`CryptoError::RandomnessExhausted`] instead of panicking; with
-    /// combine mode on, the same error is returned if fewer than two
-    /// factors were ever pooled (the recombination needs a pair).
+    /// Errors with [`CryptoError::RandomnessExhausted`] only when a draw
+    /// is genuinely impossible: the pool cannot refill (strict mode or a
+    /// zero-sized batch) and is dry — or, with combine mode on, holds
+    /// fewer than the two factors recombination needs.
     pub fn next_rn(&self) -> Result<BigUint> {
         let mut pool = self.pool.lock();
         if !self.combine {
+            if pool.is_empty() {
+                self.refill(&mut pool)?;
+            }
             return pool.pop().ok_or(CryptoError::RandomnessExhausted { remaining: 0 });
         }
-        let len = pool.len();
-        if len < 2 {
-            return Err(CryptoError::RandomnessExhausted { remaining: len });
+        while pool.len() < 2 {
+            self.refill(&mut pool)?;
         }
+        let len = pool.len();
         let mut rng = self.rng.lock();
         let i = rng.gen_range(0..len);
         let j = (i + 1 + rng.gen_range(0..len - 1)) % len;
-        let combined = (&pool[i] * &pool[j]) % self.public.nn();
+        let combined = (&pool[i] * &pool[j]) % self.private.public().nn();
         // Refresh the pool in place so repeated draws keep mixing.
         pool[i] = combined.clone();
         Ok(combined)
@@ -414,6 +706,11 @@ impl RandomnessPool {
     /// True if no factors remain.
     pub fn is_empty(&self) -> bool {
         self.pool.lock().is_empty()
+    }
+
+    /// How many amortized refills the pool has performed.
+    pub fn refills(&self) -> u64 {
+        self.refills.load(Ordering::Relaxed)
     }
 }
 
@@ -527,23 +824,114 @@ mod tests {
     }
 
     #[test]
-    fn randomness_pool_exhaustion_is_an_error_not_a_panic() {
+    fn randomness_pool_refills_when_drained() {
         let kp = keypair();
         let pool = RandomnessPool::new(&kp.private, 3, false, 17);
+        // Ten draws from a three-factor pool: refills are amortized and
+        // every factor is a valid obfuscation factor.
+        for _ in 0..10 {
+            let rn = pool.next_rn().unwrap();
+            let c = kp.public.encrypt_raw_with_rn(&BigUint::from(4u64), &rn);
+            assert_eq!(kp.private.decrypt_raw(&c), BigUint::from(4u64));
+        }
+        assert!(pool.refills() >= 1, "drained pool must have refilled");
+        // Degenerate combine pool refills up to the pair it needs.
+        let tiny = RandomnessPool::new(&kp.private, 1, true, 18);
+        assert!(tiny.next_rn().is_ok());
+    }
+
+    #[test]
+    fn refilled_factors_continue_the_seed_sequence() {
+        let kp = keypair();
+        let small = RandomnessPool::new(&kp.private, 2, false, 31);
+        let big = RandomnessPool::new(&kp.private, 4, false, 31);
+        let mut a: Vec<BigUint> = (0..4).map(|_| small.next_rn().unwrap()).collect();
+        let mut b: Vec<BigUint> = (0..4).map(|_| big.next_rn().unwrap()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "refill must hand out the factors a larger pool would have held");
+    }
+
+    #[test]
+    fn strict_pool_exhaustion_is_an_error_not_a_panic() {
+        let kp = keypair();
+        let pool = RandomnessPool::strict(&kp.private, 3, false, 17);
         for _ in 0..3 {
             assert!(pool.next_rn().is_ok());
         }
         assert_eq!(pool.next_rn().unwrap_err(), CryptoError::RandomnessExhausted { remaining: 0 });
         // The pool stays usable as an object (no poisoned state).
         assert!(pool.is_empty());
-        // Combine mode with a degenerate single-factor pool also errors.
-        let tiny = RandomnessPool::new(&kp.private, 1, true, 18);
+        assert_eq!(pool.refills(), 0);
+        // Strict combine mode with a degenerate single-factor pool errors.
+        let tiny = RandomnessPool::strict(&kp.private, 1, true, 18);
         assert_eq!(tiny.next_rn().unwrap_err(), CryptoError::RandomnessExhausted { remaining: 1 });
+        // A zero-sized non-refilling pool is genuinely impossible to draw from.
+        let none = RandomnessPool::new(&kp.private, 0, false, 19);
+        assert_eq!(none.next_rn().unwrap_err(), CryptoError::RandomnessExhausted { remaining: 0 });
+    }
+
+    #[test]
+    fn sized_for_workload_covers_demand() {
+        let kp = keypair();
+        // 5 instances × 2 stats × 2 trees = 20 factors of demand.
+        let pool = RandomnessPool::sized_for_workload(&kp.private, 5, 2, false, 7);
+        assert_eq!(pool.len(), 20);
+        for _ in 0..25 {
+            assert!(pool.next_rn().is_ok(), "demand overshoot must refill, not fail");
+        }
+        // Tiny workloads are clamped up to the combine-viable minimum.
+        let min = RandomnessPool::sized_for_workload(&kp.private, 0, 0, true, 8);
+        assert_eq!(min.len(), 2);
+        assert!(min.next_rn().is_ok());
     }
 
     #[test]
     fn keygen_rejects_tiny_moduli() {
         assert!(KeyPair::generate_seeded(32, 1).is_err());
+    }
+
+    #[test]
+    fn backends_produce_identical_ciphers_and_plaintexts() {
+        let fixed = keypair();
+        assert_eq!(fixed.backend(), CryptoBackend::Fixed);
+        let nb = fixed.with_backend(CryptoBackend::NumBigint);
+        assert_eq!(nb.backend(), CryptoBackend::NumBigint);
+        let v = BigUint::from(987_654_321u64);
+        // Same seed ⇒ same RNG stream ⇒ bit-identical ciphers.
+        let c_fixed = fixed.private.encrypt_raw(&v, &mut StdRng::seed_from_u64(5));
+        let c_nb = nb.private.encrypt_raw(&v, &mut StdRng::seed_from_u64(5));
+        assert_eq!(c_fixed, c_nb);
+        assert_eq!(fixed.private.decrypt_raw(&c_fixed), v);
+        assert_eq!(nb.private.decrypt_raw(&c_fixed), v);
+        let k = BigUint::from(12345u64);
+        assert_eq!(fixed.public.mul_raw(&c_fixed, &k), nb.public.mul_raw(&c_nb, &k));
+        // Round-tripping back re-attaches the accelerator.
+        assert_eq!(nb.with_backend(CryptoBackend::Fixed).backend(), CryptoBackend::Fixed);
+    }
+
+    #[test]
+    fn backend_work_is_counted_only_on_the_fixed_path() {
+        let fixed = keypair();
+        let nb = fixed.with_backend(CryptoBackend::NumBigint);
+        let v = BigUint::from(55u64);
+        let ctr = OpCounters::default();
+        let c = fixed.private.encrypt_raw_ctr(&v, &mut StdRng::seed_from_u64(3), &ctr);
+        fixed.private.decrypt_raw_ctr(&c, &ctr);
+        let snap = ctr.snapshot();
+        assert!(snap.modmul > 0, "fixed backend must count Montgomery multiplications");
+        assert!(snap.redc >= snap.modmul, "each modmul contributes ≥1 limb of REDC");
+        let ctr2 = OpCounters::default();
+        let c2 = nb.private.encrypt_raw_ctr(&v, &mut StdRng::seed_from_u64(3), &ctr2);
+        nb.private.decrypt_raw_ctr(&c2, &ctr2);
+        assert_eq!(ctr2.snapshot().modmul, 0, "num-bigint backend performs no counted modmuls");
+    }
+
+    #[test]
+    fn backend_labels_name_the_limb_width() {
+        let kp = keypair(); // 256-bit n ⇒ 512-bit n² ⇒ 8 limbs
+        assert_eq!(kp.public.backend_label(), "fixed-8x64");
+        assert_eq!(kp.with_backend(CryptoBackend::NumBigint).public.backend_label(), "num-bigint");
     }
 
     #[test]

@@ -126,6 +126,18 @@ impl Suite {
         }))
     }
 
+    /// A full Paillier suite with an explicit crypto backend: the key
+    /// pair's accelerator state is rebuilt to match `backend` before the
+    /// suite wraps it. Models and ciphers are bit-identical across
+    /// backends; only speed (and the modmul/REDC counters) differ.
+    pub fn paillier_with_backend(
+        keys: KeyPair,
+        cfg: EncodingConfig,
+        backend: crate::montgomery::CryptoBackend,
+    ) -> Suite {
+        Self::paillier(keys.with_backend(backend), cfg)
+    }
+
     /// A plaintext mock suite (the VF-MOCK baseline).
     pub fn plain(cfg: EncodingConfig) -> Suite {
         Suite(Arc::new(SuiteInner {
@@ -161,6 +173,15 @@ impl Suite {
     /// Which backend this suite uses.
     pub fn kind(&self) -> SuiteKind {
         self.0.kind
+    }
+
+    /// Human-readable crypto-backend tag for telemetry: `"fixed-<N>x64"`
+    /// or `"num-bigint"` for Paillier suites, `"plain"` for the mock.
+    pub fn backend_label(&self) -> String {
+        match (&self.0.kind, &self.0.pk) {
+            (SuiteKind::Paillier, Some(pk)) => pk.backend_label(),
+            _ => "plain".to_string(),
+        }
     }
 
     /// The encoding configuration.
@@ -340,7 +361,7 @@ impl Suite {
                 let cipher = cached
                     .get_or_insert_with(|| {
                         let mut rng = StdRng::seed_from_u64(0x5eed_0bf0_5eed_0bf0);
-                        pk.random_rn(&mut rng)
+                        pk.random_rn_ctr(&mut rng, &self.0.counters)
                     })
                     .clone();
                 Ciphertext::Paillier(EncryptedNumber { cipher, exponent })
@@ -539,7 +560,7 @@ impl Suite {
             PackedCiphertext::Paillier { cipher, exponent, count, slot_bits } => {
                 let sk = self.sk()?;
                 self.0.counters.add_dec(1);
-                let plain = sk.decrypt_raw(cipher);
+                let plain = sk.decrypt_raw_ctr(cipher, &self.0.counters);
                 let plan = PackingPlan { slot_bits: *slot_bits, slots: *count };
                 let scale = self.0.cfg.base_pow_f64(*exponent);
                 Ok(unpack_plaintext(&plain, &plan, *count)

@@ -1,0 +1,120 @@
+//! Crypto-backend equivalence: the fixed-limb Montgomery core and the
+//! vendored num-bigint fallback must train **bitwise-identical** models.
+//! The backend only changes how modular arithmetic is computed — never
+//! what is computed — so every protocol mode must produce the same
+//! ciphertexts, the same splits, and the same margins. The op counters
+//! double as a fingerprint that the intended backend actually ran:
+//! Montgomery multiplies are only counted on the fixed path.
+
+use vf2boost::core::config::{CryptoConfig, TrainConfig};
+use vf2boost::core::protocol::ProtocolConfig;
+use vf2boost::core::train_federated;
+use vf2boost::crypto::montgomery::CryptoBackend;
+use vf2boost::datagen::synthetic::{generate_classification, SyntheticConfig};
+use vf2boost::datagen::vertical::split_vertical;
+use vf2boost::gbdt::train::GbdtParams;
+
+fn dataset(rows: usize, seed: u64) -> vf2boost::gbdt::data::Dataset {
+    generate_classification(&SyntheticConfig {
+        rows,
+        features: 10,
+        density: 1.0,
+        informative_frac: 0.5,
+        label_noise: 0.0,
+        seed,
+    })
+}
+
+fn assert_bitwise_equal(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: margin {i} differs: {x} vs {y}");
+    }
+}
+
+/// Every protocol mode — sequential/optimistic × raw/reordered/packed —
+/// trains the bit-identical model under the fixed-limb backend and the
+/// num-bigint fallback, from the same seed.
+#[test]
+fn backends_train_bitwise_identical_models_across_all_modes() {
+    let data = dataset(200, 31);
+    let s = split_vertical(&data, &[5]);
+    for optimistic in [false, true] {
+        for (reordered, packed) in [(false, false), (true, false), (true, true)] {
+            let cfg = TrainConfig {
+                gbdt: GbdtParams { num_trees: 2, max_layers: 4, ..Default::default() },
+                crypto: CryptoConfig::Paillier { key_bits: 256 },
+                crypto_backend: CryptoBackend::Fixed,
+                protocol: ProtocolConfig {
+                    optimistic,
+                    reordered_accumulation: reordered,
+                    pack_histograms: packed,
+                    ..ProtocolConfig::vf2boost()
+                },
+                ..TrainConfig::for_tests()
+            };
+            let context = format!("optimistic={optimistic} reordered={reordered} packed={packed}");
+            let fixed = train_federated(&s.hosts, &s.guest, &cfg).expect("fixed backend trains");
+            let nb = train_federated(
+                &s.hosts,
+                &s.guest,
+                &TrainConfig { crypto_backend: CryptoBackend::NumBigint, ..cfg },
+            )
+            .expect("num-bigint backend trains");
+
+            assert_bitwise_equal(
+                &fixed.model.predict_margin(&[&s.hosts[0]], &s.guest),
+                &nb.model.predict_margin(&[&s.hosts[0]], &s.guest),
+                &context,
+            );
+
+            // Fingerprint: the fixed path counts Montgomery work, the
+            // fallback never does — zero there is the honest value.
+            assert!(
+                fixed.report.guest.ops.modmul > 0,
+                "{context}: fixed backend must count Montgomery multiplies"
+            );
+            assert!(
+                fixed.report.guest.ops.redc > fixed.report.guest.ops.modmul,
+                "{context}: REDC limb-passes must outnumber modmuls"
+            );
+            assert_eq!(
+                nb.report.guest.ops.modmul, 0,
+                "{context}: num-bigint backend must not count Montgomery work"
+            );
+            assert_eq!(nb.report.guest.ops.redc, 0, "{context}");
+
+            // Telemetry names the backend that actually ran.
+            assert!(
+                fixed.report.guest.crypto_backend.starts_with("fixed-"),
+                "{context}: guest label was {:?}",
+                fixed.report.guest.crypto_backend
+            );
+            assert_eq!(nb.report.guest.crypto_backend, "num-bigint", "{context}");
+            // Hosts share the guest's public key, so they inherit its
+            // backend.
+            assert!(
+                fixed.report.hosts[0].crypto_backend.starts_with("fixed-"),
+                "{context}: host label was {:?}",
+                fixed.report.hosts[0].crypto_backend
+            );
+        }
+    }
+}
+
+/// The mock suite ignores the backend knob entirely: flipping it is a
+/// no-op and the telemetry says "plain".
+#[test]
+fn mock_suite_is_backend_agnostic() {
+    let data = dataset(120, 32);
+    let s = split_vertical(&data, &[5]);
+    let cfg = TrainConfig {
+        gbdt: GbdtParams { num_trees: 2, max_layers: 3, ..Default::default() },
+        crypto: CryptoConfig::Mock,
+        crypto_backend: CryptoBackend::NumBigint,
+        ..TrainConfig::for_tests()
+    };
+    let out = train_federated(&s.hosts, &s.guest, &cfg).expect("mock trains");
+    assert_eq!(out.report.guest.crypto_backend, "plain");
+    assert_eq!(out.report.guest.ops.modmul, 0);
+}
