@@ -94,6 +94,15 @@ pub struct TrainConfig {
     /// first violation. Provably-honest staleness (optimistic-rollback
     /// stragglers) is never charged against this budget.
     pub misbehavior_budget: u32,
+    /// Forward-path GH-pair packing: the guest packs each row's `(g, h)`
+    /// pair into one Paillier plaintext before encryption, halving
+    /// forward-path encryptions and guest→host ciphers. Host histogram
+    /// bins then accumulate both statistics per HAdd and ship back one
+    /// cipher per bin. Only active under a Paillier suite (the mock keeps
+    /// separate streams); split decisions are identical either way, so the
+    /// flag — like `crypto_backend` — is deliberately excluded from the
+    /// session config digest by living outside the digested sub-configs.
+    pub gh_packing: bool,
     /// Data-parallel workers inside each party (shards per histogram
     /// build; also the rayon pool width per party).
     pub workers: usize,
@@ -123,6 +132,7 @@ impl Default for TrainConfig {
             crash_host_after_trees: None,
             crash_hist_worker_on_tree: None,
             misbehavior_budget: 0,
+            gh_packing: false,
             workers: 1,
             seed: 42,
         }
@@ -181,6 +191,8 @@ mod tests {
         assert!(c.crash_hist_worker_on_tree.is_none());
         // Fail fast on the first protocol violation by default.
         assert_eq!(c.misbehavior_budget, 0);
+        // GH packing is opt-in so defaults stay bitwise-compatible.
+        assert!(!c.gh_packing);
     }
 
     #[test]

@@ -162,7 +162,11 @@ impl HostFsm {
                 _ => Err(self.reject(msg.kind(), "only the resume decision may open a session")),
             },
             HostPhase::Gradients => match msg {
-                Msg::GradBatch { tree, start_row, g, .. } => {
+                // Raw and GH-packed batches share the row-stream contract:
+                // strictly sequential rows of the current tree. Only the
+                // per-row payload shape differs (two ciphers vs one).
+                Msg::GradBatch { tree, start_row, g: rows, last, .. }
+                | Msg::PackedGradBatch { tree, start_row, gh: rows, last } => {
                     if *tree < self.tree {
                         return Err(ProtocolError::StaleOrReplayed {
                             from: PartyId::Guest,
@@ -185,8 +189,8 @@ impl HostFsm {
                             self.reject(msg.kind(), "gradient batch leaves a gap in the rows")
                         );
                     }
-                    self.next_row = self.next_row.saturating_add(g.len() as u32);
-                    if matches!(msg, Msg::GradBatch { last: true, .. }) {
+                    self.next_row = self.next_row.saturating_add(rows.len() as u32);
+                    if *last {
                         self.phase = HostPhase::NodeLoop;
                     }
                     Ok(Admit::Deliver)
@@ -225,7 +229,7 @@ impl HostFsm {
                     self.phase = HostPhase::Gradients;
                     Ok(Admit::Deliver)
                 }
-                Msg::GradBatch { .. } => {
+                Msg::GradBatch { .. } | Msg::PackedGradBatch { .. } => {
                     Err(self.reject(msg.kind(), "gradients before the current tree finished"))
                 }
                 _ => Err(self.reject(msg.kind(), "message inadmissible inside the node loop")),
@@ -346,6 +350,7 @@ impl GuestFsm {
         if matches!(
             msg,
             Msg::GradBatch { .. }
+                | Msg::PackedGradBatch { .. }
                 | Msg::NodeTask { .. }
                 | Msg::ApplyPlacement { .. }
                 | Msg::HostSplitChosen { .. }
@@ -494,6 +499,38 @@ mod tests {
         // Host-bound kinds are rejected outright.
         let err = fsm.admit(&hist(0, 0, 1)).unwrap_err();
         assert!(matches!(err, ProtocolError::OutOfPhase { kind: 4, .. }), "{err}");
+    }
+
+    // A PackedGradBatch with `rows` GH-pair ciphers.
+    fn packed_grad(tree: u32, start_row: u32, rows: usize, last: bool) -> Msg {
+        let c = vf2_crypto::suite::Ciphertext::Plain(vf2_crypto::suite::PlainNumber {
+            value: 0.0,
+            exponent: 0,
+        });
+        Msg::PackedGradBatch { tree, start_row, gh: vec![c; rows], last }
+    }
+
+    #[test]
+    fn packed_batches_drive_the_same_row_stream_contract() {
+        let mut fsm = HostFsm::new(2, 8);
+        fsm.admit(&Msg::Resume { session_id: 0, tree_count: 0 }).unwrap();
+        // GH-packed batches advance the row cursor by one row per cipher.
+        assert_eq!(fsm.admit(&packed_grad(0, 0, 4, false)), Ok(Admit::Deliver));
+        assert_eq!(fsm.rows_admitted(), 4);
+        // Replays and gaps are caught exactly like raw batches.
+        let err = fsm.admit(&packed_grad(0, 0, 4, false)).unwrap_err();
+        assert!(matches!(err, ProtocolError::StaleOrReplayed { .. }), "{err}");
+        let err = fsm.admit(&packed_grad(0, 6, 2, true)).unwrap_err();
+        assert!(matches!(err, ProtocolError::OutOfPhase { .. }), "{err}");
+        // `last` closes the stream; further packed batches are out of phase.
+        assert_eq!(fsm.admit(&packed_grad(0, 4, 4, true)), Ok(Admit::Deliver));
+        assert_eq!(fsm.phase_name(), "node-loop");
+        let err = fsm.admit(&packed_grad(0, 8, 1, true)).unwrap_err();
+        assert!(matches!(err, ProtocolError::OutOfPhase { kind: 14, .. }), "{err}");
+        // The guest never accepts packed batches at all.
+        let mut guest = active_guest();
+        let err = guest.admit(&packed_grad(3, 0, 1, false)).unwrap_err();
+        assert!(matches!(err, ProtocolError::OutOfPhase { kind: 14, .. }), "{err}");
     }
 
     #[test]

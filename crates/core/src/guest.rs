@@ -24,7 +24,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vf2_channel::{Endpoint, Envelope, RecvError};
-use vf2_crypto::suite::Suite;
+use vf2_crypto::packing::GhPlan;
+use vf2_crypto::split_seed;
+use vf2_crypto::suite::{Suite, SuiteKind};
 use vf2_gbdt::binning::BinnedDataset;
 use vf2_gbdt::data::Dataset;
 use vf2_gbdt::histogram::GradPair;
@@ -34,7 +36,7 @@ use vf2_gbdt::tree::{layer_of, left_child, right_child, NodeId, NodeSplit};
 use crate::config::TrainConfig;
 use crate::error::{GuestFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
 use crate::fsm::{Admit, GuestFsm, MisbehaviorBudget};
-use crate::hist_enc::unpack_feature_hist;
+use crate::hist_enc::{unpack_feature_hist, unpack_gh_feature_hist};
 use crate::messages::{FeatureMeta, HistPayload, Msg, HEARTBEAT_KIND};
 use crate::model::{FedNode, FedTree};
 use crate::rows::{NodeRows, RowMajorBins};
@@ -224,13 +226,19 @@ impl GuestParty {
                 // dump must not mask the original error).
                 self.collect_transfer_stats();
                 if let Some(sess) = &self.session {
-                    let _ = write_flight_record(
+                    if let Err(why) = write_flight_record(
                         &sess.flight_path(),
                         sess.session_id(),
                         sess.digest(),
                         &error.to_string(),
                         &self.telemetry,
-                    );
+                    ) {
+                        // A failing dump must not mask the original error,
+                        // but it must not vanish either: count it and leave
+                        // a trace note for the post-mortem.
+                        self.telemetry.events.flight_record_failed += 1;
+                        self.telemetry.trace.note(format!("flight record dump failed: {why}"));
+                    }
                 }
                 Err(GuestFailure {
                     error,
@@ -311,7 +319,7 @@ impl GuestParty {
             }
             resume_from = common.last().copied().unwrap_or(0);
         }
-        self.broadcast(&Msg::Resume { session_id: my_sid, tree_count: resume_from });
+        self.broadcast(&Msg::Resume { session_id: my_sid, tree_count: resume_from })?;
 
         let mut trees = Vec::with_capacity(self.cfg.gbdt.num_trees);
         if resume_from > 0 {
@@ -353,7 +361,7 @@ impl GuestParty {
                 }
             }
         }
-        self.broadcast(&Msg::Shutdown);
+        self.broadcast(&Msg::Shutdown)?;
         // Linger until the hosts ack the goodbye (bounded by the peer
         // deadline): returning now would drop the endpoints, and a
         // Shutdown frame the fault plan dropped would die unacked — the
@@ -427,6 +435,7 @@ impl GuestParty {
             metas,
             self.cfg.gbdt.max_layers as u32,
             &self.suite,
+            self.gh_active(),
         )
         .and_then(|()| self.fsms[host].admit(&msg));
         match verdict {
@@ -442,25 +451,56 @@ impl GuestParty {
         }
     }
 
-    fn broadcast(&self, msg: &Msg) {
-        let payload = wire::encode(msg);
+    /// True when the run's forward path ships GH-packed pairs: the flag is
+    /// on AND the suite is Paillier (the plaintext mock keeps separate g/h
+    /// streams — packing would save it nothing and its "ciphers" have no
+    /// shared plaintext space to pack into).
+    fn gh_active(&self) -> bool {
+        self.cfg.gh_packing && self.suite.kind() == SuiteKind::Paillier
+    }
+
+    /// The GH-pair plan both parties derive from shared knowledge (the
+    /// loss's bounds, the instance count, the negotiated encoding) — no
+    /// wire negotiation is needed for the plans to agree.
+    fn gh_plan(&self) -> Result<GhPlan, TrainError> {
+        GhPlan::new(
+            self.cfg.gbdt.loss.grad_bound(),
+            self.cfg.gbdt.loss.hess_bound(),
+            self.data.num_rows() as u64,
+            &self.cfg.encoding,
+        )
+        .map_err(TrainError::crypto("gh plan derivation"))
+    }
+
+    /// Maps a local encode failure (a count too large for its wire field)
+    /// onto the malformed-message error, attributed to the guest itself.
+    fn encode_failed(error: wire::WireError) -> TrainError {
+        ProtocolError::Malformed { from: PartyId::Guest, error }.into()
+    }
+
+    fn broadcast(&self, msg: &Msg) -> Result<(), TrainError> {
+        let payload = wire::encode(msg).map_err(Self::encode_failed)?;
         for ep in &self.endpoints {
             ep.send(msg.kind(), payload.clone());
         }
+        Ok(())
     }
 
     /// Broadcasts a bulk protocol message, recording one transfer trace
     /// event with the payload bytes summed over all destination links.
-    fn broadcast_traced(&mut self, msg: &Msg, tree: u32) {
-        let payload = wire::encode(msg);
+    fn broadcast_traced(&mut self, msg: &Msg, tree: u32) -> Result<(), TrainError> {
+        let payload = wire::encode(msg).map_err(Self::encode_failed)?;
         self.telemetry.trace.transfer(Some(tree), (payload.len() * self.endpoints.len()) as u64);
         for ep in &self.endpoints {
             ep.send(msg.kind(), payload.clone());
         }
+        Ok(())
     }
 
-    fn send_to(&self, host: usize, msg: &Msg) {
-        self.endpoints[host].send(msg.kind(), wire::encode(msg));
+    fn send_to(&self, host: usize, msg: &Msg) -> Result<(), TrainError> {
+        let payload = wire::encode(msg).map_err(Self::encode_failed)?;
+        self.endpoints[host].send(msg.kind(), payload);
+        Ok(())
     }
 
     /// Heartbeat supervision for one blocked wait on `host`. Beacons a
@@ -481,7 +521,7 @@ impl GuestParty {
             self.hb_last[host] = now;
             let seq = self.hb_seq;
             self.hb_seq += 1;
-            self.send_to(host, &Msg::Heartbeat { seq });
+            self.send_to(host, &Msg::Heartbeat { seq })?;
             self.telemetry.events.heartbeats_sent += 1;
             if self.endpoints[host].idle_for() >= self.cfg.heartbeat_interval {
                 self.telemetry.events.heartbeats_missed += 1;
@@ -601,7 +641,7 @@ impl GuestParty {
         } else {
             self.run_tree_sequential(&mut ctx)?;
         }
-        self.broadcast(&Msg::TreeDone { tree });
+        self.broadcast(&Msg::TreeDone { tree })?;
 
         // Fold leaf weights into the training predictions.
         let lr = self.cfg.gbdt.learning_rate;
@@ -615,9 +655,24 @@ impl GuestParty {
         Ok(self.build_fed_tree(&ctx))
     }
 
+    /// The per-batch base seed for gradient encryption randomness. Stream
+    /// seeds are derived from it via [`split_seed`], never by ad-hoc
+    /// xor-masking (two masked streams can collide after the per-element
+    /// `wrapping_add(i)` walk).
+    fn batch_seed(&self, tree: u32, start: usize) -> u64 {
+        self.cfg
+            .seed
+            .wrapping_mul(0x517c_c1b7_2722_0a95)
+            .wrapping_add((tree as u64) << 32)
+            .wrapping_add(start as u64)
+    }
+
     /// Encrypts and ships the gradient statistics — in one bulk message or
     /// in pipelined blaster batches (§4.1).
     fn send_gradients(&mut self, ctx: &TreeCtx) -> Result<(), TrainError> {
+        if self.gh_active() {
+            return self.send_gradients_gh(ctx);
+        }
         let n = ctx.grads.len();
         let batch = self.cfg.protocol.blaster_batch.unwrap_or(n).max(1);
         let g_vals: Vec<f64> = ctx.grads.iter().map(|p| p.g).collect();
@@ -625,24 +680,20 @@ impl GuestParty {
         let mut start = 0usize;
         while start < n {
             let end = (start + batch).min(n);
-            let seed = self
-                .cfg
-                .seed
-                .wrapping_mul(0x517c_c1b7_2722_0a95)
-                .wrapping_add((ctx.tree as u64) << 32)
-                .wrapping_add(start as u64);
+            let seed = self.batch_seed(ctx.tree, start);
+            let (g_seed, h_seed) = (split_seed(seed, 0), split_seed(seed, 1));
             let t0 = Stopwatch::start(self.cfg.workers <= 1);
             self.telemetry.trace.enter(TracePhase::Encrypt, Some(ctx.tree), None);
             let (g_res, h_res) = if self.cfg.workers <= 1 {
                 (
-                    self.suite.encrypt_batch_seq(&g_vals[start..end], seed),
-                    self.suite.encrypt_batch_seq(&h_vals[start..end], seed ^ 0xdead_beef),
+                    self.suite.encrypt_batch_seq(&g_vals[start..end], g_seed),
+                    self.suite.encrypt_batch_seq(&h_vals[start..end], h_seed),
                 )
             } else {
                 self.pool.install(|| {
                     (
-                        self.suite.encrypt_batch(&g_vals[start..end], seed),
-                        self.suite.encrypt_batch(&h_vals[start..end], seed ^ 0xdead_beef),
+                        self.suite.encrypt_batch(&g_vals[start..end], g_seed),
+                        self.suite.encrypt_batch(&h_vals[start..end], h_seed),
                     )
                 })
             };
@@ -661,7 +712,60 @@ impl GuestParty {
                     last: end == n,
                 },
                 ctx.tree,
-            );
+            )?;
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// The packed forward path (§3.11): each instance's (g, h) pair rides
+    /// in one ciphertext, halving the number of encryptions and the bytes
+    /// on the wire. The plan is derived from shared knowledge (loss bounds,
+    /// instance count, encoding), so hosts reconstruct it without any
+    /// negotiation message.
+    fn send_gradients_gh(&mut self, ctx: &TreeCtx) -> Result<(), TrainError> {
+        let plan = self.gh_plan()?;
+        let n = ctx.grads.len();
+        let batch = self.cfg.protocol.blaster_batch.unwrap_or(n).max(1);
+        let g_vals: Vec<f64> = ctx.grads.iter().map(|p| p.g).collect();
+        let h_vals: Vec<f64> = ctx.grads.iter().map(|p| p.h).collect();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch).min(n);
+            // Stream 2: disjoint from the raw path's g/h streams (0 and 1),
+            // so toggling gh_packing never reuses jitter or noise draws.
+            let seed = split_seed(self.batch_seed(ctx.tree, start), 2);
+            let t0 = Stopwatch::start(self.cfg.workers <= 1);
+            self.telemetry.trace.enter(TracePhase::Encrypt, Some(ctx.tree), None);
+            let res = if self.cfg.workers <= 1 {
+                self.suite.encrypt_gh_batch_seq(
+                    &g_vals[start..end],
+                    &h_vals[start..end],
+                    &plan,
+                    seed,
+                )
+            } else {
+                self.pool.install(|| {
+                    self.suite.encrypt_gh_batch(
+                        &g_vals[start..end],
+                        &h_vals[start..end],
+                        &plan,
+                        seed,
+                    )
+                })
+            };
+            let gh = res.map_err(TrainError::crypto("gh-pair encryption"))?;
+            self.telemetry.phases.encrypt += t0.elapsed();
+            self.telemetry.trace.exit(TracePhase::Encrypt, Some(ctx.tree), None);
+            self.broadcast_traced(
+                &Msg::PackedGradBatch {
+                    tree: ctx.tree,
+                    start_row: start as u32,
+                    gh,
+                    last: end == n,
+                },
+                ctx.tree,
+            )?;
             start = end;
         }
         Ok(())
@@ -673,15 +777,15 @@ impl GuestParty {
 
     /// Materializes a node whose row list just became available. Returns
     /// true if the node awaits validation (i.e. was not finalized a leaf).
-    fn materialize(&mut self, ctx: &mut TreeCtx, node: NodeId) -> bool {
+    fn materialize(&mut self, ctx: &mut TreeCtx, node: NodeId) -> Result<bool, TrainError> {
         ctx.epoch[node] += 1;
         let last_layer = layer_of(node) + 1 == self.cfg.gbdt.max_layers;
         let rows: Vec<u32> = ctx.rows.rows(node).to_vec();
         let total = RowMajorBins::rows_total(&rows, &ctx.grads);
 
         if last_layer {
-            self.finalize_leaf(ctx, node, total);
-            return false;
+            self.finalize_leaf(ctx, node, total)?;
+            return Ok(false);
         }
 
         // FindSplitB: plaintext histograms over the guest's own features.
@@ -701,7 +805,7 @@ impl GuestParty {
             tree: ctx.tree,
             node: node as u32,
             epoch: ctx.epoch[node],
-        });
+        })?;
         // Every host now legitimately owes one histogram for this exact
         // (node, epoch); the admission layer holds them to it.
         for fsm in &mut self.fsms {
@@ -734,12 +838,12 @@ impl GuestParty {
 
         if speculate {
             if let Some(best) = guest_best {
-                self.apply_guest_split(ctx, node, best);
+                self.apply_guest_split(ctx, node, best)?;
                 self.telemetry.events.optimistic_splits += 1;
-                self.materialize_children(ctx, node);
+                self.materialize_children(ctx, node)?;
             }
         }
-        true
+        Ok(true)
     }
 
     /// True when the node's parent decision has been validated (the root
@@ -753,9 +857,9 @@ impl GuestParty {
 
     /// Once `node` is validated, children whose optimistic split was
     /// deferred by the one-layer speculation bound get split now.
-    fn speculate_children(&mut self, ctx: &mut TreeCtx, node: NodeId) {
+    fn speculate_children(&mut self, ctx: &mut TreeCtx, node: NodeId) -> Result<(), TrainError> {
         if !self.cfg.protocol.optimistic {
-            return;
+            return Ok(());
         }
         for child in [left_child(node), right_child(node)] {
             // Flip the flag through get_mut so no second (fallible) lookup
@@ -770,15 +874,21 @@ impl GuestParty {
                 }
                 _ => continue,
             };
-            self.apply_guest_split(ctx, child, best);
+            self.apply_guest_split(ctx, child, best)?;
             self.telemetry.events.optimistic_splits += 1;
-            self.materialize_children(ctx, child);
+            self.materialize_children(ctx, child)?;
         }
+        Ok(())
     }
 
     /// Computes and applies a guest-owned split's placement, informing all
     /// hosts.
-    fn apply_guest_split(&mut self, ctx: &mut TreeCtx, node: NodeId, best: SplitCandidate) {
+    fn apply_guest_split(
+        &mut self,
+        ctx: &mut TreeCtx,
+        node: NodeId,
+        best: SplitCandidate,
+    ) -> Result<(), TrainError> {
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
         self.telemetry.trace.enter(TracePhase::Placement, Some(ctx.tree), Some(node as u32));
         let col = self.binned.column(best.feature);
@@ -787,19 +897,25 @@ impl GuestParty {
         ctx.rows.apply_placement(node, &placement);
         self.telemetry.phases.split_nodes += t0.elapsed();
         self.telemetry.trace.exit(TracePhase::Placement, Some(ctx.tree), Some(node as u32));
-        self.broadcast(&Msg::ApplyPlacement { tree: ctx.tree, node: node as u32, placement });
+        self.broadcast(&Msg::ApplyPlacement { tree: ctx.tree, node: node as u32, placement })
     }
 
-    fn materialize_children(&mut self, ctx: &mut TreeCtx, node: NodeId) {
-        self.materialize(ctx, left_child(node));
-        self.materialize(ctx, right_child(node));
+    fn materialize_children(&mut self, ctx: &mut TreeCtx, node: NodeId) -> Result<(), TrainError> {
+        self.materialize(ctx, left_child(node))?;
+        self.materialize(ctx, right_child(node))?;
+        Ok(())
     }
 
-    fn finalize_leaf(&mut self, ctx: &mut TreeCtx, node: NodeId, total: GradPair) {
+    fn finalize_leaf(
+        &mut self,
+        ctx: &mut TreeCtx,
+        node: NodeId,
+        total: GradPair,
+    ) -> Result<(), TrainError> {
         let w = self.cfg.gbdt.split.leaf_weight(total);
         ctx.decisions.insert(node, Decision::Leaf(w));
         self.telemetry.events.leaves += 1;
-        self.broadcast(&Msg::NodeLeaf { tree: ctx.tree, node: node as u32 });
+        self.broadcast(&Msg::NodeLeaf { tree: ctx.tree, node: node as u32 })
     }
 
     /// Decodes one host's histogram payload into that host's best split
@@ -817,6 +933,8 @@ impl GuestParty {
         let features_sent = match payload {
             HistPayload::Raw(features) => features.len(),
             HistPayload::Packed(features) => features.len(),
+            HistPayload::GhRaw(features) => features.len(),
+            HistPayload::GhPacked(features) => features.len(),
         };
         if features_sent != metas.len() {
             return Err(ProtocolError::UnexpectedMessage {
@@ -826,8 +944,15 @@ impl GuestParty {
             }
             .into());
         }
+        // GH payloads decode against the shared pair plan; admission has
+        // already rejected them unless gh packing was negotiated.
+        let gh_plan = match payload {
+            HistPayload::GhRaw(_) | HistPayload::GhPacked(_) => Some(self.gh_plan()?),
+            _ => None,
+        };
         let t0 = Stopwatch::start(self.cfg.workers <= 1);
-        let bound = self.cfg.gbdt.loss.grad_bound().max(self.cfg.gbdt.loss.hess_bound());
+        let grad_bound = self.cfg.gbdt.loss.grad_bound();
+        let hess_bound = self.cfg.gbdt.loss.hess_bound();
         let suite = &self.suite;
         let split_params = self.cfg.gbdt.split;
         // One closure per feature: decrypt its histogram and search it.
@@ -854,7 +979,7 @@ impl GuestParty {
             Ok(find_best_split(f, &hist, total, &split_params))
         };
         let per_feature_packed = |(f, feat): (usize, &crate::messages::PackedFeatureHist)| {
-            let mut bins = unpack_feature_hist(suite, feat, count, bound)
+            let mut bins = unpack_feature_hist(suite, feat, count, grad_bound, hess_bound)
                 .map_err(TrainError::crypto("histogram unpacking"))?;
             if bins.len() != metas[f].num_bins as usize {
                 return Err(ProtocolError::UnexpectedMessage {
@@ -868,6 +993,45 @@ impl GuestParty {
             let prefix = vf2_gbdt::histogram::Histogram { bins }.prefix_sums();
             Ok(best_split_from_prefix(f, &prefix, total, &split_params))
         };
+        let per_feature_gh_raw = |(f, feat): (usize, &crate::messages::GhFeatureHist)| {
+            let plan =
+                gh_plan.as_ref().ok_or_else(|| guest_invariant("gh payload without a gh plan"))?;
+            let mut bins = Vec::with_capacity(feat.bins.len());
+            for c in &feat.bins {
+                let (g, h) = suite
+                    .decrypt_gh(c, plan)
+                    .map_err(TrainError::crypto("gh histogram decryption"))?;
+                bins.push(GradPair { g, h });
+            }
+            if bins.len() != metas[f].num_bins as usize {
+                return Err(ProtocolError::UnexpectedMessage {
+                    from: PartyId::Host(host),
+                    kind: 4,
+                    context: "histogram bin count differs from FeatureMeta",
+                }
+                .into());
+            }
+            fold_zero_mass(&mut bins, metas[f], total);
+            let hist = vf2_gbdt::histogram::Histogram { bins };
+            Ok(find_best_split(f, &hist, total, &split_params))
+        };
+        let per_feature_gh_packed = |(f, feat): (usize, &crate::messages::GhPackedFeatureHist)| {
+            let plan =
+                gh_plan.as_ref().ok_or_else(|| guest_invariant("gh payload without a gh plan"))?;
+            let mut bins = unpack_gh_feature_hist(suite, feat, plan)
+                .map_err(TrainError::crypto("gh histogram unpacking"))?;
+            if bins.len() != metas[f].num_bins as usize {
+                return Err(ProtocolError::UnexpectedMessage {
+                    from: PartyId::Host(host),
+                    kind: 4,
+                    context: "histogram bin count differs from FeatureMeta",
+                }
+                .into());
+            }
+            fold_zero_mass(&mut bins, metas[f], total);
+            let hist = vf2_gbdt::histogram::Histogram { bins };
+            Ok(find_best_split(f, &hist, total, &split_params))
+        };
         type FeatureResult = Result<Option<SplitCandidate>, TrainError>;
         let results: Vec<FeatureResult> = if self.cfg.workers <= 1 {
             match payload {
@@ -876,6 +1040,12 @@ impl GuestParty {
                 }
                 HistPayload::Packed(features) => {
                     features.iter().enumerate().map(per_feature_packed).collect()
+                }
+                HistPayload::GhRaw(features) => {
+                    features.iter().enumerate().map(per_feature_gh_raw).collect()
+                }
+                HistPayload::GhPacked(features) => {
+                    features.iter().enumerate().map(per_feature_gh_packed).collect()
                 }
             }
         } else {
@@ -886,6 +1056,12 @@ impl GuestParty {
                 }
                 HistPayload::Packed(features) => {
                     features.par_iter().enumerate().map(per_feature_packed).collect()
+                }
+                HistPayload::GhRaw(features) => {
+                    features.par_iter().enumerate().map(per_feature_gh_raw).collect()
+                }
+                HistPayload::GhPacked(features) => {
+                    features.par_iter().enumerate().map(per_feature_gh_packed).collect()
                 }
             })
         };
@@ -931,7 +1107,7 @@ impl GuestParty {
                 // No split anywhere: the tentative leaf becomes real.
                 let total = state.total;
                 debug_assert!(!state.already_split);
-                self.finalize_leaf(ctx, node, total);
+                self.finalize_leaf(ctx, node, total)?;
                 let Some(state) = ctx.states.get_mut(&node) else {
                     return Err(guest_invariant("node state vanished while finalizing a leaf"));
                 };
@@ -958,13 +1134,13 @@ impl GuestParty {
                 if !was_split {
                     // Sequential mode, or an optimistic node whose own
                     // speculation was deferred by the one-layer bound.
-                    self.apply_guest_split(ctx, node, best);
-                    self.materialize_children(ctx, node);
+                    self.apply_guest_split(ctx, node, best)?;
+                    self.materialize_children(ctx, node)?;
                 } else {
                     // Optimistic + already split: validation succeeded; the
                     // children whose speculation waited on this validation
                     // may now charge ahead one more layer.
-                    self.speculate_children(ctx, node);
+                    self.speculate_children(ctx, node)?;
                 }
             }
             Winner::Host(h, best) => {
@@ -984,7 +1160,7 @@ impl GuestParty {
                         feature: best.feature as u32,
                         bin: best.bin,
                     },
-                );
+                )?;
                 // Host `h` now owes exactly one placement for this node.
                 self.fsms[h].expect_placement(node as u32);
                 let Some(state) = ctx.states.get_mut(&node) else {
@@ -1062,10 +1238,10 @@ impl GuestParty {
                         node: node as u32,
                         placement: placement.clone(),
                     },
-                );
+                )?;
             }
         }
-        self.materialize_children(ctx, node);
+        self.materialize_children(ctx, node)?;
         Ok(())
     }
 
@@ -1108,7 +1284,7 @@ impl GuestParty {
     // ------------------------------------------------------------------
 
     fn run_tree_optimistic(&mut self, ctx: &mut TreeCtx) -> Result<(), TrainError> {
-        self.materialize(ctx, 0);
+        self.materialize(ctx, 0)?;
         while ctx.pending > 0 {
             let (host, msg) = self.recv_any()?;
             match msg {
@@ -1144,7 +1320,7 @@ impl GuestParty {
     // ------------------------------------------------------------------
 
     fn run_tree_sequential(&mut self, ctx: &mut TreeCtx) -> Result<(), TrainError> {
-        self.materialize(ctx, 0);
+        self.materialize(ctx, 0)?;
         let mut active: Vec<NodeId> = ctx.states.keys().copied().collect();
         // Histograms can arrive ahead of their layer (hosts start next-layer
         // tasks as soon as placements land), so the buffer persists across

@@ -17,10 +17,10 @@
 
 use vf2_crypto::encoding::EncodingConfig;
 use vf2_crypto::error::{CryptoError, Result};
-use vf2_crypto::packing::PackingPlan;
+use vf2_crypto::packing::{GhPlan, PackingPlan};
 use vf2_crypto::suite::{Ciphertext, Suite, SuiteKind};
 
-use crate::messages::PackedFeatureHist;
+use crate::messages::{GhPackedFeatureHist, PackedFeatureHist};
 use crate::rows::ColMeta;
 
 /// One bin's accumulator.
@@ -326,20 +326,27 @@ impl EncHistBuilder {
 
 /// The packing shift applied to the first gradient bin: guarantees every
 /// prefix sum is positive since `Σg ≥ −count × bound` (§5.2). Both sides
-/// compute it from shared knowledge (node size and the loss's bound).
-pub fn packing_shift(count: usize, grad_bound: f64) -> f64 {
-    count as f64 * grad_bound + 1.0
+/// compute it from shared knowledge (node size and the loss's bounds).
+///
+/// Takes both bounds explicitly — the shift and the slot sizing must agree
+/// on `max(grad_bound, hess_bound)`, and a single-bound signature invited
+/// callers to pass the gradient bound alone, undersizing hessian slots.
+pub fn packing_shift(count: usize, grad_bound: f64, hess_bound: f64) -> f64 {
+    count as f64 * grad_bound.max(hess_bound) + 1.0
 }
 
 /// The slot width in bits needed to hold any shifted prefix value at the
 /// common exponent, rounded up to a byte multiple and at least
-/// `target_bits`.
+/// `target_bits`. Sized from `max(grad_bound, hess_bound)` — hessian
+/// prefixes share the slots, so both bounds are taken explicitly.
 pub fn required_slot_bits(
     count: usize,
-    bound: f64,
+    grad_bound: f64,
+    hess_bound: f64,
     encoding: &EncodingConfig,
     target_bits: u32,
 ) -> u32 {
+    let bound = grad_bound.max(hess_bound);
     let emax = max_exponent(encoding);
     let max_value = (2.0 * count as f64 * bound + 2.0) * encoding.base_pow_f64(emax);
     let bits = max_value.log2().ceil() as u32 + 1;
@@ -356,12 +363,14 @@ pub fn max_exponent(encoding: &EncodingConfig) -> i32 {
 ///
 /// `bins_g` / `bins_h` must already share the exponent `max_exponent`.
 /// Returns the wire-ready packed feature histogram.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_feature_hist(
     suite: &Suite,
     bins_g: &[Ciphertext],
     bins_h: &[Ciphertext],
     count: usize,
     grad_bound: f64,
+    hess_bound: f64,
     target_slot_bits: u32,
     encoding: &EncodingConfig,
 ) -> Result<PackedFeatureHist> {
@@ -379,7 +388,7 @@ pub fn pack_feature_hist(
             right: 1,
         });
     }
-    let slot_bits = required_slot_bits(count, grad_bound, encoding, target_slot_bits);
+    let slot_bits = required_slot_bits(count, grad_bound, hess_bound, encoding, target_slot_bits);
     let plan = match suite.kind() {
         SuiteKind::Paillier => {
             // Infallible: `public_key()` is `None` only for the plain mock
@@ -397,7 +406,7 @@ pub fn pack_feature_hist(
 
     // Shift the first gradient bin so every prefix is non-negative; one
     // cheap plaintext addition per feature (O(D·T_HADD) per node overall).
-    let shift = packing_shift(count, grad_bound);
+    let shift = packing_shift(count, grad_bound, hess_bound);
     let mut prefix_g = Vec::with_capacity(bins_g.len());
     let mut acc_g = suite.add_plain(&bins_g[0], shift)?;
     prefix_g.push(acc_g.clone());
@@ -430,8 +439,9 @@ pub fn unpack_feature_hist(
     packed: &PackedFeatureHist,
     count: usize,
     grad_bound: f64,
+    hess_bound: f64,
 ) -> Result<Vec<vf2_gbdt::histogram::GradPair>> {
-    let shift = packing_shift(count, grad_bound);
+    let shift = packing_shift(count, grad_bound, hess_bound);
     let mut prefix_g = Vec::with_capacity(packed.bins as usize);
     for p in &packed.g {
         prefix_g.extend(suite.unpack_decrypt(p)?);
@@ -456,6 +466,76 @@ pub fn unpack_feature_hist(
         out.push(vf2_gbdt::histogram::GradPair { g: pg - prev_g, h: ph - prev_h });
         prev_g = *pg;
         prev_h = *ph;
+    }
+    Ok(out)
+}
+
+/// Packs one feature's finalized GH-pair bins for the return path.
+///
+/// Unlike [`pack_feature_hist`] there is no shift and no prefix sum: each
+/// bin's plaintext is already a non-negative stride-wide GH representative
+/// (the accumulated two's-complement pair), so bins pack directly into
+/// slots of `max(stride, target_slot_bits)` bits, rounded up to a byte
+/// multiple. `bins` must share the plan's exponent (the normalization
+/// target of [`max_exponent`]). GH packing only exists under Paillier —
+/// the mock suite keeps separate plaintext streams.
+pub fn pack_gh_feature_hist(
+    suite: &Suite,
+    bins: &[Ciphertext],
+    gh: &GhPlan,
+    target_slot_bits: u32,
+) -> Result<GhPackedFeatureHist> {
+    if bins.is_empty() {
+        return Err(CryptoError::ShapeMismatch {
+            context: "pack_gh_feature_hist needs at least one bin",
+            left: 0,
+            right: 1,
+        });
+    }
+    if suite.kind() != SuiteKind::Paillier {
+        return Err(CryptoError::SuiteMismatch);
+    }
+    let slot_bits = gh.stride().max(target_slot_bits).div_ceil(8) * 8;
+    // Infallible: `public_key()` is `None` only for the plain mock suite,
+    // which was rejected above.
+    #[allow(clippy::expect_used)]
+    let pk = suite.public_key().expect("paillier suite has a public key");
+    let max = PackingPlan::max_slots(pk, slot_bits);
+    if max == 0 {
+        return Err(CryptoError::PackingCapacity { requested: 1, max: 0 });
+    }
+    let plan = PackingPlan::new(pk, slot_bits, max.min(bins.len()))?;
+    let packed: Vec<_> =
+        bins.chunks(plan.slots).map(|chunk| suite.pack(chunk, &plan)).collect::<Result<_>>()?;
+    Ok(GhPackedFeatureHist { packed, bins: bins.len() as u16 })
+}
+
+/// Decrypts a return-path-packed GH feature histogram back into per-bin
+/// gradient pairs (guest side): one decryption per packed cipher, then a
+/// GH-pair decode per slot.
+pub fn unpack_gh_feature_hist(
+    suite: &Suite,
+    packed: &GhPackedFeatureHist,
+    gh: &GhPlan,
+) -> Result<Vec<vf2_gbdt::histogram::GradPair>> {
+    let mut out = Vec::with_capacity(usize::from(packed.bins));
+    for p in &packed.packed {
+        out.extend(
+            suite
+                .unpack_decrypt_gh(p, gh)?
+                .into_iter()
+                .map(|(g, h)| vf2_gbdt::histogram::GradPair { g, h }),
+        );
+    }
+    // `packed.bins` is a peer declaration: the unpacked slot total must
+    // match it exactly (the wire-admission layer enforces the same, but
+    // this path is also reachable without it).
+    if out.len() != usize::from(packed.bins) {
+        return Err(CryptoError::ShapeMismatch {
+            context: "unpack_gh_feature_hist unpacked slots vs declared bins",
+            left: out.len(),
+            right: usize::from(packed.bins),
+        });
     }
     Ok(out)
 }
@@ -557,8 +637,8 @@ mod tests {
             g_values.iter().map(|&v| s.encrypt_at(v, target, &mut rng).unwrap()).collect();
         let bins_h: Vec<Ciphertext> =
             h_values.iter().map(|&v| s.encrypt_at(v, target, &mut rng).unwrap()).collect();
-        let packed = pack_feature_hist(&s, &bins_g, &bins_h, count, 1.0, 64, &enc).unwrap();
-        let pairs = unpack_feature_hist(&s, &packed, count, 1.0).unwrap();
+        let packed = pack_feature_hist(&s, &bins_g, &bins_h, count, 1.0, 1.0, 64, &enc).unwrap();
+        let pairs = unpack_feature_hist(&s, &packed, count, 1.0, 1.0).unwrap();
         assert_eq!(pairs.len(), 5);
         for (got, (wg, wh)) in pairs.iter().zip(g_values.iter().zip(&h_values)) {
             assert!((got.g - wg).abs() < 1e-4, "g {} vs {wg}", got.g);
@@ -575,8 +655,8 @@ mod tests {
         let bins: Vec<Ciphertext> =
             (0..6).map(|i| s.encrypt_at(i as f64 * 0.01, target, &mut rng).unwrap()).collect();
         let before = s.counters().snapshot();
-        let packed = pack_feature_hist(&s, &bins, &bins, 50, 1.0, 64, &enc).unwrap();
-        unpack_feature_hist(&s, &packed, 50, 1.0).unwrap();
+        let packed = pack_feature_hist(&s, &bins, &bins, 50, 1.0, 1.0, 64, &enc).unwrap();
+        unpack_feature_hist(&s, &packed, 50, 1.0, 1.0).unwrap();
         let delta = s.counters().snapshot().since(&before);
         // 12 raw bins would need 12 decryptions; packed needs ≤ 4 here
         // (384-bit key, 64-bit slots ⇒ up to 5 slots per cipher).
@@ -587,10 +667,96 @@ mod tests {
     #[test]
     fn required_slot_bits_grows_with_count() {
         let enc = encoding();
-        let small = required_slot_bits(100, 1.0, &enc, 32);
-        let big = required_slot_bits(10_000_000, 1.0, &enc, 32);
+        let small = required_slot_bits(100, 1.0, 1.0, &enc, 32);
+        let big = required_slot_bits(10_000_000, 1.0, 1.0, &enc, 32);
         assert!(big > small);
         assert_eq!(small % 8, 0);
+    }
+
+    #[test]
+    fn slot_sizing_and_shift_account_for_the_hessian_bound() {
+        let enc = encoding();
+        // A hessian bound dominating the gradient bound must widen the
+        // slots exactly as if the bounds were swapped — the old
+        // single-bound signature silently ignored it.
+        let sym = required_slot_bits(1000, 4.0, 4.0, &enc, 32);
+        assert_eq!(required_slot_bits(1000, 0.25, 4.0, &enc, 32), sym);
+        assert_eq!(required_slot_bits(1000, 4.0, 0.25, &enc, 32), sym);
+        assert!(
+            required_slot_bits(1000, 0.25, 4.0, &enc, 32)
+                > required_slot_bits(1000, 0.25, 0.25, &enc, 32)
+        );
+        assert_eq!(packing_shift(10, 0.25, 4.0), packing_shift(10, 4.0, 0.25));
+        assert_eq!(packing_shift(10, 0.25, 4.0), 41.0);
+    }
+
+    #[test]
+    fn gh_bins_accumulate_and_round_trip_both_return_paths() {
+        // Forward-path GH packing end to end through the histogram layer:
+        // encrypt packed (g, h) pairs, accumulate them into a single
+        // builder per bin (one HAdd covers both statistics), then read the
+        // bins back raw (decrypt_gh) and return-path packed
+        // (pack_gh_feature_hist / unpack_gh_feature_hist).
+        let s = suite();
+        let enc = encoding();
+        let plan = GhPlan::new(1.0, 1.0, 30, &enc).unwrap();
+        let mut plain = vec![GradPair::ZERO; 3];
+        let (mut gs, mut hs, mut bins_of) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..30 {
+            let bin = i % 3;
+            let g = (i as f64) * 0.01 - 0.15;
+            let h = 0.1;
+            plain[bin].g += g;
+            plain[bin].h += h;
+            gs.push(g);
+            hs.push(h);
+            bins_of.push(bin);
+        }
+        let ciphers = s.encrypt_gh_batch_seq(&gs, &hs, &plan, 99).unwrap();
+        let mut builder = EncHistBuilder::new(&meta(3), &enc, true);
+        for (c, &bin) in ciphers.iter().zip(&bins_of) {
+            builder.add(&s, 0, bin, c).unwrap();
+        }
+        let target = max_exponent(&enc);
+        assert_eq!(target, plan.exponent, "GH ciphers live at the normalization target");
+        let bins = builder.finalize_feature(&s, 0, Some(target)).unwrap();
+        for (bin, want) in bins.iter().zip(&plain) {
+            let (g, h) = s.decrypt_gh(bin, &plan).unwrap();
+            assert!((g - want.g).abs() < 1e-5, "{g} vs {}", want.g);
+            assert!((h - want.h).abs() < 1e-5, "{h} vs {}", want.h);
+        }
+        let packed = pack_gh_feature_hist(&s, &bins, &plan, 64).unwrap();
+        assert_eq!(usize::from(packed.bins), 3);
+        let pairs = unpack_gh_feature_hist(&s, &packed, &plan).unwrap();
+        assert_eq!(pairs.len(), 3);
+        for (got, want) in pairs.iter().zip(&plain) {
+            assert!((got.g - want.g).abs() < 1e-5, "{} vs {}", got.g, want.g);
+            assert!((got.h - want.h).abs() < 1e-5, "{} vs {}", got.h, want.h);
+        }
+    }
+
+    #[test]
+    fn gh_pack_rejects_empty_bins_mock_suites_and_hostile_declarations() {
+        let s = suite();
+        let enc = encoding();
+        let plan = GhPlan::new(1.0, 1.0, 10, &enc).unwrap();
+        assert!(matches!(
+            pack_gh_feature_hist(&s, &[], &plan, 64),
+            Err(CryptoError::ShapeMismatch { .. })
+        ));
+        let mock = Suite::plain(enc);
+        let mut rng = StdRng::seed_from_u64(21);
+        let c = mock.encrypt(0.5, &mut rng).unwrap();
+        assert!(matches!(
+            pack_gh_feature_hist(&mock, &[c], &plan, 64),
+            Err(CryptoError::SuiteMismatch)
+        ));
+        // A bins declaration that disagrees with the packed slot total.
+        let ciphers = s.encrypt_gh_batch_seq(&[0.5, -0.5], &[0.1, 0.2], &plan, 3).unwrap();
+        let mut packed = pack_gh_feature_hist(&s, &ciphers, &plan, 64).unwrap();
+        packed.bins = 7;
+        let err = unpack_gh_feature_hist(&s, &packed, &plan).unwrap_err();
+        assert!(matches!(err, CryptoError::ShapeMismatch { right: 7, .. }), "{err}");
     }
 
     #[test]
@@ -600,8 +766,8 @@ mod tests {
         let target = max_exponent(&encoding());
         let bins: Vec<Ciphertext> =
             [-0.5, 0.5, 0.1].iter().map(|&v| s.encrypt_at(v, target, &mut rng).unwrap()).collect();
-        let packed = pack_feature_hist(&s, &bins, &bins, 10, 1.0, 64, &encoding()).unwrap();
-        let pairs = unpack_feature_hist(&s, &packed, 10, 1.0).unwrap();
+        let packed = pack_feature_hist(&s, &bins, &bins, 10, 1.0, 1.0, 64, &encoding()).unwrap();
+        let pairs = unpack_feature_hist(&s, &packed, 10, 1.0, 1.0).unwrap();
         assert!((pairs[0].g + 0.5).abs() < 1e-9);
         assert!((pairs[1].g - 0.5).abs() < 1e-9);
         assert!((pairs[2].g - 0.1).abs() < 1e-9);
@@ -679,10 +845,10 @@ mod tests {
         let count = 24;
         let db = derived.finalize_feature(&s, 0, Some(target)).unwrap();
         let xb = direct.finalize_feature(&s, 0, Some(target)).unwrap();
-        let dp = pack_feature_hist(&s, &db, &db, count, 1.0, 64, &enc).unwrap();
-        let xp = pack_feature_hist(&s, &xb, &xb, count, 1.0, 64, &enc).unwrap();
-        let dv = unpack_feature_hist(&s, &dp, count, 1.0).unwrap();
-        let xv = unpack_feature_hist(&s, &xp, count, 1.0).unwrap();
+        let dp = pack_feature_hist(&s, &db, &db, count, 1.0, 1.0, 64, &enc).unwrap();
+        let xp = pack_feature_hist(&s, &xb, &xb, count, 1.0, 1.0, 64, &enc).unwrap();
+        let dv = unpack_feature_hist(&s, &dp, count, 1.0, 1.0).unwrap();
+        let xv = unpack_feature_hist(&s, &xp, count, 1.0, 1.0).unwrap();
         for (d, x) in dv.iter().zip(&xv) {
             assert_eq!(d.g.to_bits(), x.g.to_bits(), "{} vs {}", d.g, x.g);
             assert_eq!(d.h.to_bits(), x.h.to_bits(), "{} vs {}", d.h, x.h);
@@ -765,9 +931,9 @@ mod tests {
         let target = max_exponent(&enc);
         let bins: Vec<Ciphertext> =
             (0..3).map(|i| s.encrypt_at(i as f64, target, &mut rng).unwrap()).collect();
-        let err = pack_feature_hist(&s, &bins, &bins[..2], 10, 1.0, 64, &enc).unwrap_err();
+        let err = pack_feature_hist(&s, &bins, &bins[..2], 10, 1.0, 1.0, 64, &enc).unwrap_err();
         assert!(matches!(err, CryptoError::ShapeMismatch { left: 3, right: 2, .. }), "{err}");
-        let err = pack_feature_hist(&s, &[], &[], 10, 1.0, 64, &enc).unwrap_err();
+        let err = pack_feature_hist(&s, &[], &[], 10, 1.0, 1.0, 64, &enc).unwrap_err();
         assert!(matches!(err, CryptoError::ShapeMismatch { .. }), "{err}");
     }
 
@@ -779,9 +945,9 @@ mod tests {
         let target = max_exponent(&enc);
         let bins: Vec<Ciphertext> =
             (0..4).map(|i| s.encrypt_at(i as f64 * 0.1, target, &mut rng).unwrap()).collect();
-        let mut packed = pack_feature_hist(&s, &bins, &bins, 10, 1.0, 64, &enc).unwrap();
+        let mut packed = pack_feature_hist(&s, &bins, &bins, 10, 1.0, 1.0, 64, &enc).unwrap();
         packed.bins = 7; // hostile declaration
-        let err = unpack_feature_hist(&s, &packed, 10, 1.0).unwrap_err();
+        let err = unpack_feature_hist(&s, &packed, 10, 1.0, 1.0).unwrap_err();
         assert!(matches!(err, CryptoError::ShapeMismatch { right: 7, .. }), "{err}");
     }
 
@@ -807,8 +973,8 @@ mod tests {
         let target = max_exponent(&enc);
         let bg = builder_g.finalize_feature(&s, 0, Some(target)).unwrap();
         let bh = builder_h.finalize_feature(&s, 0, Some(target)).unwrap();
-        let packed = pack_feature_hist(&s, &bg, &bh, 30, 1.0, 64, &enc).unwrap();
-        let pairs = unpack_feature_hist(&s, &packed, 30, 1.0).unwrap();
+        let packed = pack_feature_hist(&s, &bg, &bh, 30, 1.0, 1.0, 64, &enc).unwrap();
+        let pairs = unpack_feature_hist(&s, &packed, 30, 1.0, 1.0).unwrap();
         for (got, want) in pairs.iter().zip(&plain) {
             assert!((got.g - want.g).abs() < 1e-5, "{} vs {}", got.g, want.g);
             assert!((got.h - want.h).abs() < 1e-5, "{} vs {}", got.h, want.h);

@@ -14,7 +14,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vf2_channel::{Endpoint, Envelope, RecvError};
-use vf2_crypto::suite::{Ciphertext, Suite};
+use vf2_crypto::packing::GhPlan;
+use vf2_crypto::suite::{Ciphertext, Suite, SuiteKind};
 use vf2_gbdt::binning::{BinnedColumn, BinnedDataset};
 use vf2_gbdt::data::Dataset;
 use vf2_gbdt::tree::{left_child, right_child, NodeSplit};
@@ -22,9 +23,10 @@ use vf2_gbdt::tree::{left_child, right_child, NodeSplit};
 use crate::config::TrainConfig;
 use crate::error::{HostFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
 use crate::fsm::{Admit, HostFsm, MisbehaviorBudget};
-use crate::hist_enc::{max_exponent, pack_feature_hist, EncHistBuilder};
+use crate::hist_enc::{max_exponent, pack_feature_hist, pack_gh_feature_hist, EncHistBuilder};
 use crate::messages::{
-    FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist, HEARTBEAT_KIND,
+    FeatureMeta, GhFeatureHist, GhPackedFeatureHist, HistPayload, Msg, PackedFeatureHist,
+    RawFeatureHist, HEARTBEAT_KIND,
 };
 use crate::model::HostSplitTable;
 use crate::rows::{NodeRows, RowMajorBins};
@@ -69,15 +71,20 @@ pub fn run_host(
             // identity before surfacing the failure. Best-effort — a
             // failing dump must not mask the original error.
             let session = host.session.clone();
-            let (telemetry, _) = host.finish();
+            let (mut telemetry, _) = host.finish();
             if let Some(sess) = session {
-                let _ = write_flight_record(
+                if let Err(why) = write_flight_record(
                     &sess.flight_path(),
                     sess.session_id(),
                     sess.digest(),
                     &error.to_string(),
                     &telemetry,
-                );
+                ) {
+                    // The dump must not mask the original error, but it
+                    // must not vanish either: count and trace it.
+                    telemetry.events.flight_record_failed += 1;
+                    telemetry.trace.note(format!("flight record dump failed: {why}"));
+                }
             }
             Err(HostFailure { error, telemetry: Box::new(telemetry) })
         }
@@ -330,7 +337,7 @@ impl HostParty {
             None => (0, 0, Vec::new()),
         };
         self.telemetry.trace.note(format!("hello: session {sid} epoch {epoch}"));
-        self.send(&Msg::SessionHello { session_id: sid, epoch, durable });
+        self.send(&Msg::SessionHello { session_id: sid, epoch, durable })?;
         // Then announce histogram structure (bin counts + zero bins only).
         let metas: Vec<FeatureMeta> = self
             .binned
@@ -338,7 +345,7 @@ impl HostParty {
             .iter()
             .map(|c| FeatureMeta { num_bins: c.num_bins() as u16, zero_bin: c.zero_bin })
             .collect();
-        self.send(&Msg::FeatureMeta(metas));
+        self.send(&Msg::FeatureMeta(metas))?;
 
         while !self.shutdown {
             let msg = if self.task_queue.is_empty() {
@@ -380,16 +387,46 @@ impl HostParty {
         (self.telemetry, self.splits)
     }
 
-    fn send(&self, msg: &Msg) {
-        self.endpoint.send(msg.kind(), wire::encode(msg));
+    /// A message of our own failed to encode (a count overflowed the
+    /// wire's `u32` fields) — surfaced as a malformed-message error
+    /// attributed to this host, never sent.
+    fn encode_failed(&self, error: wire::WireError) -> TrainError {
+        ProtocolError::Malformed { from: PartyId::Host(self.party_index), error }.into()
+    }
+
+    fn send(&self, msg: &Msg) -> Result<(), TrainError> {
+        let payload = wire::encode(msg).map_err(|e| self.encode_failed(e))?;
+        self.endpoint.send(msg.kind(), payload);
+        Ok(())
     }
 
     /// Sends a bulk protocol message, recording a transfer trace event
     /// with its encoded payload size.
-    fn send_traced(&mut self, msg: &Msg, tree: u32) {
-        let payload = wire::encode(msg);
+    fn send_traced(&mut self, msg: &Msg, tree: u32) -> Result<(), TrainError> {
+        let payload = wire::encode(msg).map_err(|e| self.encode_failed(e))?;
         self.telemetry.trace.transfer(Some(tree), payload.len() as u64);
         self.endpoint.send(msg.kind(), payload);
+        Ok(())
+    }
+
+    /// Whether the negotiated run ships packed (g, h) pairs. Mirrors the
+    /// guest's derivation exactly: both sides compute it from the shared
+    /// config, so no negotiation message exists to spoof.
+    fn gh_active(&self) -> bool {
+        self.cfg.gh_packing && self.suite.kind() == SuiteKind::Paillier
+    }
+
+    /// The shared pair-packing plan (loss bounds, instance count and
+    /// encoding are common knowledge, so both parties derive the same
+    /// plan independently).
+    fn gh_plan(&self) -> Result<GhPlan, TrainError> {
+        GhPlan::new(
+            self.cfg.gbdt.loss.grad_bound(),
+            self.cfg.gbdt.loss.hess_bound(),
+            self.csr.num_rows() as u64,
+            &self.cfg.encoding,
+        )
+        .map_err(TrainError::crypto("gh plan derivation"))
     }
 
     /// Declares the guest lost after a failed wait that began at `t0`.
@@ -414,7 +451,7 @@ impl HostParty {
             self.hb_last = now;
             let seq = self.hb_seq;
             self.hb_seq += 1;
-            self.send(&Msg::Heartbeat { seq });
+            self.send(&Msg::Heartbeat { seq })?;
             self.telemetry.events.heartbeats_sent += 1;
             if self.endpoint.idle_for() >= self.cfg.heartbeat_interval {
                 self.telemetry.events.heartbeats_missed += 1;
@@ -552,6 +589,7 @@ impl HostParty {
             self.binned.num_features(),
             self.cfg.gbdt.max_layers as u32,
             &self.suite,
+            self.gh_active(),
         )
         .and_then(|()| self.fsm.admit(msg));
         match verdict {
@@ -574,6 +612,9 @@ impl HostParty {
         match msg {
             Msg::GradBatch { tree, start_row, g, h, last } => {
                 self.on_grad_batch(tree, start_row, g, h, last)?;
+            }
+            Msg::PackedGradBatch { tree, start_row, gh, last } => {
+                self.on_packed_grad_batch(tree, start_row, gh, last)?;
             }
             Msg::NodeTask { tree, node, epoch } => {
                 self.phase = ProtocolPhase::TreeBuild;
@@ -673,7 +714,7 @@ impl HostParty {
                 self.telemetry.events.splits_won += 1;
                 self.telemetry.phases.split_nodes += t0.elapsed();
                 self.telemetry.trace.exit(TracePhase::Placement, Some(tree), Some(node));
-                self.send_traced(&Msg::Placement { tree, node, placement }, tree);
+                self.send_traced(&Msg::Placement { tree, node, placement }, tree)?;
             }
             Msg::NodeLeaf { .. } => {}
             Msg::TreeDone { tree } => {
@@ -786,7 +827,79 @@ impl HostParty {
             };
             state.root_sent = true;
             let tree = state.tree;
-            self.send_traced(&Msg::NodeHistograms { tree, node: 0, epoch: 1, payload }, tree);
+            self.send_traced(&Msg::NodeHistograms { tree, node: 0, epoch: 1, payload }, tree)?;
+            self.phase = ProtocolPhase::TreeBuild;
+        }
+        Ok(())
+    }
+
+    /// The packed forward path's batch handler: one ciphertext per
+    /// instance carries both statistics, stored in the `enc_g` stream (the
+    /// `enc_h` stream stays empty for the whole tree — every accumulation
+    /// site branches on [`HostParty::gh_active`]).
+    fn on_packed_grad_batch(
+        &mut self,
+        tree: u32,
+        start_row: u32,
+        gh: Vec<Ciphertext>,
+        last: bool,
+    ) -> Result<(), TrainError> {
+        self.ensure_tree(tree);
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        self.telemetry.trace.enter(TracePhase::Hadd, Some(tree), Some(0));
+        {
+            let num_rows = self.csr.num_rows();
+            let Some(state) = self.state.as_mut() else {
+                return Err(state_invariant("gradient batch arrived with no tree state"));
+            };
+            if state.enc_g.len() != start_row as usize {
+                return Err(ProtocolError::OutOfOrderGradients {
+                    expected: state.enc_g.len() as u32,
+                    got: start_row,
+                }
+                .into());
+            }
+            if state.enc_g.len() + gh.len() > num_rows {
+                return Err(ProtocolError::UnexpectedMessage {
+                    from: PartyId::Guest,
+                    kind: 14,
+                    context: "packed gradient batch with overflowing row count",
+                }
+                .into());
+            }
+            state.enc_g.extend(gh);
+        }
+        let (batch_start, batch_end) = {
+            let Some(state) = self.state.as_ref() else {
+                return Err(state_invariant("tree state vanished during gradient batch"));
+            };
+            (start_row as usize, state.enc_g.len())
+        };
+        self.accumulate_rows_into_root(batch_start, batch_end)?;
+        self.telemetry.phases.build_hist_enc += t0.elapsed();
+        self.telemetry.trace.exit(TracePhase::Hadd, Some(tree), Some(0));
+
+        if last {
+            let enc_rows = {
+                let Some(state) = self.state.as_ref() else {
+                    return Err(state_invariant("tree state vanished before the root payload"));
+                };
+                state.enc_g.len()
+            };
+            if enc_rows != self.csr.num_rows() {
+                return Err(ProtocolError::IncompleteGradients {
+                    expected: self.csr.num_rows(),
+                    got: enc_rows,
+                }
+                .into());
+            }
+            let payload = self.merge_and_payload_root()?;
+            let Some(state) = self.state.as_mut() else {
+                return Err(state_invariant("tree state vanished after the root payload"));
+            };
+            state.root_sent = true;
+            let tree = state.tree;
+            self.send_traced(&Msg::NodeHistograms { tree, node: 0, epoch: 1, payload }, tree)?;
             self.phase = ProtocolPhase::TreeBuild;
         }
         Ok(())
@@ -798,6 +911,7 @@ impl HostParty {
         let workers = self.cfg.workers.max(1);
         let party_index = self.party_index;
         let crash_tree = self.cfg.crash_hist_worker_on_tree;
+        let gh_mode = self.gh_active();
         let Some(state) = self.state.as_mut() else {
             return Err(state_invariant("root accumulation with no tree state"));
         };
@@ -816,7 +930,9 @@ impl HostParty {
             for row in start..end {
                 for &(f, bin) in csr.row(row) {
                     bg.add(suite, f as usize, bin as usize, &enc_g[row]).map_err(&crypto)?;
-                    bh.add(suite, f as usize, bin as usize, &enc_h[row]).map_err(&crypto)?;
+                    if !gh_mode {
+                        bh.add(suite, f as usize, bin as usize, &enc_h[row]).map_err(&crypto)?;
+                    }
                 }
             }
             return Ok(());
@@ -851,8 +967,10 @@ impl HostParty {
                                     for &(f, bin) in csr.row(row) {
                                         bg.add(suite, f as usize, bin as usize, &enc_g[row])
                                             .map_err(crypto)?;
-                                        bh.add(suite, f as usize, bin as usize, &enc_h[row])
-                                            .map_err(crypto)?;
+                                        if !gh_mode {
+                                            bh.add(suite, f as usize, bin as usize, &enc_h[row])
+                                                .map_err(crypto)?;
+                                        }
                                     }
                                 }
                                 Ok(())
@@ -937,7 +1055,7 @@ impl HostParty {
         // Re-insert so the node's children can derive from it at the next
         // level (take/re-insert rather than borrow across make_payload).
         self.cache_insert(node, g, h);
-        self.send_traced(&Msg::NodeHistograms { tree, node, epoch, payload }, tree);
+        self.send_traced(&Msg::NodeHistograms { tree, node, epoch, payload }, tree)?;
         Ok(())
     }
 
@@ -1080,6 +1198,7 @@ impl HostParty {
         let enc_g = &state.enc_g;
         let enc_h = &state.enc_h;
         let reordered = self.cfg.protocol.reordered_accumulation;
+        let gh_mode = self.gh_active();
         let crypto = TrainError::crypto("node histogram accumulation");
         let mk = || {
             (
@@ -1093,8 +1212,10 @@ impl HostParty {
                 for &(f, bin) in csr.row(row as usize) {
                     g.add(suite, f as usize, bin as usize, &enc_g[row as usize])
                         .map_err(&crypto)?;
-                    h.add(suite, f as usize, bin as usize, &enc_h[row as usize])
-                        .map_err(&crypto)?;
+                    if !gh_mode {
+                        h.add(suite, f as usize, bin as usize, &enc_h[row as usize])
+                            .map_err(&crypto)?;
+                    }
                 }
             }
             Ok((g, h))
@@ -1134,9 +1255,49 @@ impl HostParty {
         self.telemetry.trace.enter(TracePhase::Pack, tree, None);
         let suite = &self.suite;
         let crypto = TrainError::crypto("histogram finalize/pack");
-        let payload = if self.cfg.protocol.pack_histograms {
+        let payload = if self.gh_active() {
+            // Pair mode: the whole histogram lives in the `g` builders; a
+            // bin decodes through the shared pair plan. Finalizing at the
+            // plan exponent is a no-op rescale (every pair cipher was
+            // encrypted there), so no scaling noise enters either path.
+            let plan = self.gh_plan()?;
             let target = max_exponent(&self.cfg.encoding);
-            let bound = self.cfg.gbdt.loss.grad_bound().max(self.cfg.gbdt.loss.hess_bound());
+            if self.cfg.protocol.pack_histograms {
+                let pack_one = |f: usize| -> Result<GhPackedFeatureHist, TrainError> {
+                    let bins = g.finalize_feature(suite, f, Some(target)).map_err(&crypto)?;
+                    pack_gh_feature_hist(suite, &bins, &plan, self.cfg.protocol.target_slot_bits)
+                        .map_err(&crypto)
+                };
+                let features: Vec<Result<GhPackedFeatureHist, TrainError>> =
+                    if self.cfg.workers <= 1 {
+                        (0..g.num_features()).map(pack_one).collect()
+                    } else {
+                        self.pool.install(|| {
+                            use rayon::prelude::*;
+                            (0..g.num_features()).into_par_iter().map(pack_one).collect()
+                        })
+                    };
+                HistPayload::GhPacked(features.into_iter().collect::<Result<Vec<_>, _>>()?)
+            } else {
+                let raw_one = |f: usize| -> Result<GhFeatureHist, TrainError> {
+                    Ok(GhFeatureHist {
+                        bins: g.finalize_feature(suite, f, Some(target)).map_err(&crypto)?,
+                    })
+                };
+                let features: Vec<Result<GhFeatureHist, TrainError>> = if self.cfg.workers <= 1 {
+                    (0..g.num_features()).map(raw_one).collect()
+                } else {
+                    self.pool.install(|| {
+                        use rayon::prelude::*;
+                        (0..g.num_features()).into_par_iter().map(raw_one).collect()
+                    })
+                };
+                HistPayload::GhRaw(features.into_iter().collect::<Result<Vec<_>, _>>()?)
+            }
+        } else if self.cfg.protocol.pack_histograms {
+            let target = max_exponent(&self.cfg.encoding);
+            let grad_bound = self.cfg.gbdt.loss.grad_bound();
+            let hess_bound = self.cfg.gbdt.loss.hess_bound();
             let pack_one = |f: usize| -> Result<PackedFeatureHist, TrainError> {
                 let bins_g = g.finalize_feature(suite, f, Some(target)).map_err(&crypto)?;
                 let bins_h = h.finalize_feature(suite, f, Some(target)).map_err(&crypto)?;
@@ -1145,7 +1306,8 @@ impl HostParty {
                     &bins_g,
                     &bins_h,
                     count,
-                    bound,
+                    grad_bound,
+                    hess_bound,
                     self.cfg.protocol.target_slot_bits,
                     &self.cfg.encoding,
                 )
@@ -1214,8 +1376,8 @@ mod tests {
         // The host's admission machine expects the resume decision before
         // anything else, exactly as the real guest behaves.
         let resume = Msg::Resume { session_id: 0, tree_count: 0 };
-        guest_ep.send(resume.kind(), wire::encode(&resume));
-        guest_ep.send(Msg::Shutdown.kind(), wire::encode(&Msg::Shutdown));
+        guest_ep.send(resume.kind(), wire::encode(&resume).unwrap());
+        guest_ep.send(Msg::Shutdown.kind(), wire::encode(&Msg::Shutdown).unwrap());
         let (telemetry, splits) = handle.join().unwrap().expect("host run succeeds");
         assert_eq!(telemetry.name, "host-3");
         assert!(splits.splits.is_empty());

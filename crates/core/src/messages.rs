@@ -41,13 +41,38 @@ pub struct PackedFeatureHist {
     pub bins: u16,
 }
 
-/// The histogram payload of one node, in either wire format.
+/// One feature's histogram under forward-path GH packing: a single cipher
+/// per bin whose plaintext holds both `Σg` and `Σh` as stride-spaced
+/// two's-complement slots (see `vf2_crypto::GhPlan`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhFeatureHist {
+    /// Per-bin GH-pair ciphers.
+    pub bins: Vec<Ciphertext>,
+}
+
+/// One feature's GH-packed histogram additionally packed on the return
+/// path: each [`PackedCiphertext`] slot holds one bin's GH-pair
+/// representative, so a single decryption recovers `(Σg, Σh)` for many
+/// bins at once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhPackedFeatureHist {
+    /// Packed runs of per-bin GH representatives.
+    pub packed: Vec<PackedCiphertext>,
+    /// Number of bins the runs cover.
+    pub bins: u16,
+}
+
+/// The histogram payload of one node, in any wire format.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HistPayload {
     /// Raw per-bin ciphers.
     Raw(Vec<RawFeatureHist>),
     /// Packed prefix sums.
     Packed(Vec<PackedFeatureHist>),
+    /// One GH-pair cipher per bin (forward-path packing, raw return).
+    GhRaw(Vec<GhFeatureHist>),
+    /// GH-pair bins packed again on the return path.
+    GhPacked(Vec<GhPackedFeatureHist>),
 }
 
 /// A protocol message. Direction is indicated per variant.
@@ -67,6 +92,19 @@ pub enum Msg {
         g: Vec<Ciphertext>,
         /// Encrypted hessians.
         h: Vec<Ciphertext>,
+        /// True on the final batch of the tree.
+        last: bool,
+    },
+    /// guest → host: one blaster batch of GH-packed gradient statistics —
+    /// a single cipher per row holding both `g` and `h` (forward-path
+    /// packing; requires `TrainConfig::gh_packing` and a Paillier suite).
+    PackedGradBatch {
+        /// Tree index.
+        tree: u32,
+        /// First row covered by this batch.
+        start_row: u32,
+        /// Encrypted GH pairs, one cipher per row.
+        gh: Vec<Ciphertext>,
         /// True on the final batch of the tree.
         last: bool,
     },
@@ -186,6 +224,7 @@ impl Msg {
             Msg::SessionHello { .. } => 11,
             Msg::Resume { .. } => 12,
             Msg::Heartbeat { .. } => 13,
+            Msg::PackedGradBatch { .. } => 14,
         }
     }
 }

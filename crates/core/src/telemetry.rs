@@ -172,6 +172,11 @@ pub struct ProtocolEvents {
     /// is exceeded the run fails with
     /// [`crate::error::TrainError::PeerMisbehaving`].
     pub misbehavior: u64,
+    /// Flight-record dumps that failed to hit disk on the error path.
+    /// The dump is best-effort (it must never mask the original failure),
+    /// but a silent loss would strand a post-mortem — so it is counted and
+    /// traced instead.
+    pub flight_record_failed: u64,
     /// Liveness heartbeats this party sent while blocked on the peer.
     pub heartbeats_sent: u64,
     /// Heartbeat supervision ticks where the link had been silent for at
@@ -417,6 +422,7 @@ pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
         .u64("misbehavior", p.events.misbehavior)
         .u64("checkpoints_written", p.events.checkpoints_written)
         .u64("resumes", p.events.resumes)
+        .u64("flight_record_failed", p.events.flight_record_failed)
         .u64("heartbeats_sent", p.events.heartbeats_sent)
         .u64("heartbeats_missed", p.events.heartbeats_missed);
     let mut ops = JsonObj::new();
@@ -427,6 +433,7 @@ pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
         .u64("negs", p.ops.negs)
         .u64("scalings", p.ops.scalings)
         .u64("packs", p.ops.packs)
+        .u64("ghpack", p.ops.ghpack)
         .u64("modmul", p.ops.modmul)
         .u64("redc", p.ops.redc);
     let mut trace = JsonObj::new();
@@ -542,6 +549,21 @@ mod tests {
         let events = parties[0].get("events").expect("events");
         assert_eq!(events.get("misbehavior").and_then(Json::as_f64), Some(2.0));
         assert_eq!(events.get("stale_msgs_dropped").and_then(Json::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn report_json_carries_ghpack_and_flight_record_counters() {
+        use crate::json::{parse, Json};
+        let mut r = TrainReport::default();
+        r.guest.name = "guest".into();
+        r.guest.events.flight_record_failed = 1;
+        r.guest.ops.ghpack = 42;
+        let parsed = parse(&r.to_json()).expect("report parses");
+        let parties = parsed.get("parties").and_then(Json::as_arr).expect("parties");
+        let events = parties[0].get("events").expect("events");
+        assert_eq!(events.get("flight_record_failed").and_then(Json::as_f64), Some(1.0));
+        let ops = parties[0].get("ops").expect("ops");
+        assert_eq!(ops.get("ghpack").and_then(Json::as_f64), Some(42.0));
     }
 
     #[test]

@@ -132,6 +132,35 @@ pub fn check_grad_batch(
     Ok(())
 }
 
+/// Checks a GH-packed gradient batch at the host: one cipher per row (each
+/// holding a `(g, h)` pair), a row range inside the peer-declared instance
+/// count, and every cipher admissible. The kind is only admissible at all
+/// when the run negotiated forward-path GH packing under a Paillier suite —
+/// an unsolicited packed batch is a protocol violation, not a fallback.
+pub fn check_packed_grad_batch(
+    from: PartyId,
+    start_row: u32,
+    gh: &[Ciphertext],
+    num_rows: u32,
+    suite: &Suite,
+    gh_packing: bool,
+) -> Result<(), ProtocolError> {
+    const KIND: u16 = 14;
+    if !gh_packing {
+        return Err(inadmissible(from, KIND, "gh packing was not negotiated for this run"));
+    }
+    if suite.kind() != SuiteKind::Paillier {
+        return Err(inadmissible(from, KIND, "gh packing requires a Paillier suite"));
+    }
+    if u64::from(start_row) + gh.len() as u64 > u64::from(num_rows) {
+        return Err(inadmissible(from, KIND, "gradient rows past the instance count"));
+    }
+    for c in gh {
+        check_cipher(c, suite, from, KIND)?;
+    }
+    Ok(())
+}
+
 /// Checks the feature metadata a host declares at startup: every feature
 /// needs at least one bin and a zero bin inside its bin range.
 pub fn check_feature_meta(from: PartyId, metas: &[FeatureMeta]) -> Result<(), ProtocolError> {
@@ -149,12 +178,14 @@ pub fn check_feature_meta(from: PartyId, metas: &[FeatureMeta]) -> Result<(), Pr
 
 /// Checks a histogram payload against the metadata the same host
 /// negotiated at startup: the feature count, every per-feature bin count
-/// (raw bins or packed slot totals), and every cipher.
+/// (raw bins or packed slot totals), and every cipher. GH wire forms are
+/// only admissible when the run negotiated `gh_packing`.
 pub fn check_hist_payload(
     from: PartyId,
     payload: &HistPayload,
     metas: &[FeatureMeta],
     suite: &Suite,
+    gh_packing: bool,
 ) -> Result<(), ProtocolError> {
     const KIND: u16 = 4;
     match payload {
@@ -211,6 +242,64 @@ pub fn check_hist_payload(
             }
             Ok(())
         }
+        HistPayload::GhRaw(feats) => {
+            if !gh_packing {
+                return Err(inadmissible(from, KIND, "gh histogram without negotiated gh packing"));
+            }
+            if feats.len() != metas.len() {
+                return Err(inadmissible(
+                    from,
+                    KIND,
+                    "histogram feature count disagrees with the negotiated metadata",
+                ));
+            }
+            for (f, m) in feats.iter().zip(metas) {
+                if f.bins.len() != usize::from(m.num_bins) {
+                    return Err(inadmissible(
+                        from,
+                        KIND,
+                        "histogram bin count disagrees with the negotiated metadata",
+                    ));
+                }
+                for c in &f.bins {
+                    check_cipher(c, suite, from, KIND)?;
+                }
+            }
+            Ok(())
+        }
+        HistPayload::GhPacked(feats) => {
+            if !gh_packing {
+                return Err(inadmissible(from, KIND, "gh histogram without negotiated gh packing"));
+            }
+            if feats.len() != metas.len() {
+                return Err(inadmissible(
+                    from,
+                    KIND,
+                    "histogram feature count disagrees with the negotiated metadata",
+                ));
+            }
+            for (f, m) in feats.iter().zip(metas) {
+                if f.bins != m.num_bins {
+                    return Err(inadmissible(
+                        from,
+                        KIND,
+                        "packed bin declaration disagrees with the negotiated metadata",
+                    ));
+                }
+                let slots: usize = f.packed.iter().map(PackedCiphertext::count).sum();
+                if slots != usize::from(f.bins) {
+                    return Err(inadmissible(
+                        from,
+                        KIND,
+                        "packed slot total disagrees with the declared bin count",
+                    ));
+                }
+                for p in &f.packed {
+                    check_packed(p, suite, from, KIND)?;
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -232,18 +321,23 @@ fn check_node_index(
 
 /// Semantic admission for every message a host may receive from the
 /// guest. `num_rows` is the host's own instance count, `num_features` its
-/// own feature count, `max_layers` the negotiated tree depth.
+/// own feature count, `max_layers` the negotiated tree depth, and
+/// `gh_packing` whether the run negotiated forward-path GH packing.
 pub fn check_host_inbound(
     msg: &Msg,
     num_rows: u32,
     num_features: usize,
     max_layers: u32,
     suite: &Suite,
+    gh_packing: bool,
 ) -> Result<(), ProtocolError> {
     let from = PartyId::Guest;
     match msg {
         Msg::GradBatch { start_row, g, h, .. } => {
             check_grad_batch(from, *start_row, g, h, num_rows, suite)
+        }
+        Msg::PackedGradBatch { start_row, gh, .. } => {
+            check_packed_grad_batch(from, *start_row, gh, num_rows, suite, gh_packing)
         }
         Msg::NodeTask { node, epoch, .. } => {
             check_node_index(from, msg.kind(), *node, max_layers)?;
@@ -279,6 +373,7 @@ pub fn check_guest_inbound(
     metas: Option<&[FeatureMeta]>,
     max_layers: u32,
     suite: &Suite,
+    gh_packing: bool,
 ) -> Result<(), ProtocolError> {
     let from = PartyId::Host(host);
     match msg {
@@ -286,7 +381,7 @@ pub fn check_guest_inbound(
         Msg::NodeHistograms { node, payload, .. } => {
             check_node_index(from, msg.kind(), *node, max_layers)?;
             match metas {
-                Some(metas) => check_hist_payload(from, payload, metas, suite),
+                Some(metas) => check_hist_payload(from, payload, metas, suite, gh_packing),
                 None => Ok(()),
             }
         }
@@ -304,7 +399,7 @@ mod tests {
     use vf2_crypto::encoding::EncodingConfig;
     use vf2_crypto::suite::PlainNumber;
 
-    use crate::messages::{PackedFeatureHist, RawFeatureHist};
+    use crate::messages::{GhFeatureHist, GhPackedFeatureHist, PackedFeatureHist, RawFeatureHist};
 
     fn enc() -> EncodingConfig {
         EncodingConfig { base: 16, base_exp: 8, jitter: 4 }
@@ -417,13 +512,13 @@ mod tests {
             g: (0..bins).map(|_| cipher(&s, 1.0)).collect(),
             h: (0..bins).map(|_| cipher(&s, 1.0)).collect(),
         };
-        check_hist_payload(from, &HistPayload::Raw(vec![feat(2)]), &metas, &s).unwrap();
+        check_hist_payload(from, &HistPayload::Raw(vec![feat(2)]), &metas, &s, false).unwrap();
         assert_inadmissible(
-            check_hist_payload(from, &HistPayload::Raw(vec![feat(3)]), &metas, &s),
+            check_hist_payload(from, &HistPayload::Raw(vec![feat(3)]), &metas, &s, false),
             "bin count disagrees",
         );
         assert_inadmissible(
-            check_hist_payload(from, &HistPayload::Raw(vec![feat(2), feat(2)]), &metas, &s),
+            check_hist_payload(from, &HistPayload::Raw(vec![feat(2), feat(2)]), &metas, &s, false),
             "feature count disagrees",
         );
     }
@@ -438,13 +533,14 @@ mod tests {
             h: vec![PackedCiphertext::Plain(vec![1.0; slots])],
             bins,
         };
-        check_hist_payload(from, &HistPayload::Packed(vec![packed(3, 3)]), &metas, &s).unwrap();
+        check_hist_payload(from, &HistPayload::Packed(vec![packed(3, 3)]), &metas, &s, false)
+            .unwrap();
         assert_inadmissible(
-            check_hist_payload(from, &HistPayload::Packed(vec![packed(3, 4)]), &metas, &s),
+            check_hist_payload(from, &HistPayload::Packed(vec![packed(3, 4)]), &metas, &s, false),
             "disagrees with the negotiated metadata",
         );
         assert_inadmissible(
-            check_hist_payload(from, &HistPayload::Packed(vec![packed(2, 3)]), &metas, &s),
+            check_hist_payload(from, &HistPayload::Packed(vec![packed(2, 3)]), &metas, &s, false),
             "slot total disagrees",
         );
     }
@@ -453,13 +549,13 @@ mod tests {
     fn node_and_feature_indices_are_bounded() {
         let s = Suite::plain(enc());
         // 4 layers => heap of 15 nodes (0..=14).
-        check_host_inbound(&Msg::NodeLeaf { tree: 0, node: 14 }, 10, 3, 4, &s).unwrap();
+        check_host_inbound(&Msg::NodeLeaf { tree: 0, node: 14 }, 10, 3, 4, &s, false).unwrap();
         assert_inadmissible(
-            check_host_inbound(&Msg::NodeLeaf { tree: 0, node: 15 }, 10, 3, 4, &s),
+            check_host_inbound(&Msg::NodeLeaf { tree: 0, node: 15 }, 10, 3, 4, &s, false),
             "outside the tree heap",
         );
         assert_inadmissible(
-            check_host_inbound(&Msg::NodeTask { tree: 0, node: 1, epoch: 0 }, 10, 3, 4, &s),
+            check_host_inbound(&Msg::NodeTask { tree: 0, node: 1, epoch: 0 }, 10, 3, 4, &s, false),
             "epochs start at 1",
         );
         assert_inadmissible(
@@ -469,6 +565,7 @@ mod tests {
                 3,
                 4,
                 &s,
+                false,
             ),
             "feature index outside",
         );
@@ -480,8 +577,78 @@ mod tests {
                 None,
                 4,
                 &s,
+                false,
             ),
             "outside the tree heap",
+        );
+    }
+
+    #[test]
+    fn packed_grad_batch_requires_negotiation_and_paillier() {
+        let s = paillier();
+        let gh = vec![cipher(&s, 0.5), cipher(&s, -0.25)];
+        check_packed_grad_batch(PartyId::Guest, 3, &gh, 5, &s, true).unwrap();
+        assert_inadmissible(
+            check_packed_grad_batch(PartyId::Guest, 3, &gh, 5, &s, false),
+            "not negotiated",
+        );
+        assert_inadmissible(
+            check_packed_grad_batch(PartyId::Guest, 4, &gh, 5, &s, true),
+            "past the instance count",
+        );
+        let mock = Suite::plain(enc());
+        let plain = vec![cipher(&mock, 0.5)];
+        assert_inadmissible(
+            check_packed_grad_batch(PartyId::Guest, 0, &plain, 5, &mock, true),
+            "Paillier suite",
+        );
+        // And through the host-inbound dispatcher.
+        let msg = Msg::PackedGradBatch { tree: 0, start_row: 0, gh: gh.clone(), last: true };
+        check_host_inbound(&msg, 5, 3, 4, &s, true).unwrap();
+        assert_inadmissible(check_host_inbound(&msg, 5, 3, 4, &s, false), "not negotiated");
+    }
+
+    #[test]
+    fn gh_hist_payloads_require_negotiation_and_matching_shape() {
+        let s = paillier();
+        let from = PartyId::Host(0);
+        let metas = vec![FeatureMeta { num_bins: 2, zero_bin: 0 }];
+        let feat =
+            |bins: usize| GhFeatureHist { bins: (0..bins).map(|_| cipher(&s, 1.0)).collect() };
+        let raw = |bins: usize| HistPayload::GhRaw(vec![feat(bins)]);
+        check_hist_payload(from, &raw(2), &metas, &s, true).unwrap();
+        assert_inadmissible(
+            check_hist_payload(from, &raw(2), &metas, &s, false),
+            "without negotiated gh packing",
+        );
+        assert_inadmissible(
+            check_hist_payload(from, &raw(3), &metas, &s, true),
+            "bin count disagrees",
+        );
+        assert_inadmissible(
+            check_hist_payload(from, &HistPayload::GhRaw(vec![feat(2), feat(2)]), &metas, &s, true),
+            "feature count disagrees",
+        );
+
+        let mock = Suite::plain(enc());
+        let packed = |slots: usize, bins: u16| {
+            HistPayload::GhPacked(vec![GhPackedFeatureHist {
+                packed: vec![PackedCiphertext::Plain(vec![1.0; slots])],
+                bins,
+            }])
+        };
+        check_hist_payload(from, &packed(2, 2), &metas, &mock, true).unwrap();
+        assert_inadmissible(
+            check_hist_payload(from, &packed(2, 2), &metas, &mock, false),
+            "without negotiated gh packing",
+        );
+        assert_inadmissible(
+            check_hist_payload(from, &packed(3, 2), &metas, &mock, true),
+            "slot total disagrees",
+        );
+        assert_inadmissible(
+            check_hist_payload(from, &packed(3, 3), &metas, &mock, true),
+            "bin declaration disagrees",
         );
     }
 }

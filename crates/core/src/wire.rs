@@ -11,7 +11,10 @@ use vf2_channel::codec::{DecodeError, Decoder, Encoder};
 use vf2_crypto::encnum::EncryptedNumber;
 use vf2_crypto::suite::{Ciphertext, PackedCiphertext, PlainNumber};
 
-use crate::messages::{FeatureMeta, HistPayload, Msg, PackedFeatureHist, RawFeatureHist};
+use crate::messages::{
+    FeatureMeta, GhFeatureHist, GhPackedFeatureHist, HistPayload, Msg, PackedFeatureHist,
+    RawFeatureHist,
+};
 
 /// Hard protocol maxima enforced at decode time, before any allocation.
 ///
@@ -63,6 +66,15 @@ pub enum WireError {
         /// The protocol ceiling it exceeded.
         max: usize,
     },
+    /// A count to *encode* exceeds its fixed-width wire field, so writing
+    /// it would silently truncate. Encoding refuses instead: a message
+    /// that cannot round-trip must never leave the process.
+    EncodeOverflow {
+        /// What was being encoded.
+        what: &'static str,
+        /// The count that does not fit.
+        count: u64,
+    },
 }
 
 impl From<DecodeError> for WireError {
@@ -81,6 +93,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::OverLimit { what, len, max } => {
                 write!(f, "{what} count {len} exceeds the protocol maximum {max}")
+            }
+            WireError::EncodeOverflow { what, count } => {
+                write!(f, "{what} count {count} does not fit its wire field")
             }
         }
     }
@@ -148,12 +163,22 @@ fn get_ciphertext(d: &mut Decoder) -> Result<Ciphertext, WireError> {
     }
 }
 
-fn put_packed(e: &mut Encoder, p: &PackedCiphertext) {
+/// Writes a count into a `u32` wire field, refusing (typed) rather than
+/// truncating when it does not fit. Every count encode routes through
+/// here so no `as u32` cast can silently wrap past `u32::MAX`.
+fn put_count_u32(e: &mut Encoder, count: usize, what: &'static str) -> Result<(), WireError> {
+    let v = u32::try_from(count)
+        .map_err(|_| WireError::EncodeOverflow { what, count: count as u64 })?;
+    e.put_u32(v);
+    Ok(())
+}
+
+fn put_packed(e: &mut Encoder, p: &PackedCiphertext) -> Result<(), WireError> {
     match p {
         PackedCiphertext::Paillier { cipher, exponent, count, slot_bits } => {
             e.put_u8(0);
             e.put_i32(*exponent);
-            e.put_u32(*count as u32);
+            put_count_u32(e, *count, "packed slot count")?;
             e.put_u32(*slot_bits);
             e.put_bytes(&cipher.to_bytes_le());
         }
@@ -162,6 +187,7 @@ fn put_packed(e: &mut Encoder, p: &PackedCiphertext) {
             e.put_f64_slice(values);
         }
     }
+    Ok(())
 }
 
 fn get_packed(d: &mut Decoder) -> Result<PackedCiphertext, WireError> {
@@ -206,11 +232,12 @@ fn get_cipher_vec(d: &mut Decoder) -> Result<Vec<Ciphertext>, WireError> {
     (0..len).map(|_| get_ciphertext(d)).collect()
 }
 
-fn put_packed_vec(e: &mut Encoder, v: &[PackedCiphertext]) {
+fn put_packed_vec(e: &mut Encoder, v: &[PackedCiphertext]) -> Result<(), WireError> {
     e.put_varint(v.len() as u64);
     for c in v {
-        put_packed(e, c);
+        put_packed(e, c)?;
     }
+    Ok(())
 }
 
 fn get_packed_vec(d: &mut Decoder) -> Result<Vec<PackedCiphertext>, WireError> {
@@ -222,8 +249,9 @@ fn get_packed_vec(d: &mut Decoder) -> Result<Vec<PackedCiphertext>, WireError> {
 }
 
 /// Encodes a message to its payload bytes (use [`Msg::kind`] for the
-/// envelope tag).
-pub fn encode(msg: &Msg) -> Bytes {
+/// envelope tag). Fails (typed) when a count does not fit its wire field
+/// instead of truncating.
+pub fn encode(msg: &Msg) -> Result<Bytes, WireError> {
     let mut e = Encoder::new();
     match msg {
         Msg::FeatureMeta(metas) => {
@@ -239,6 +267,12 @@ pub fn encode(msg: &Msg) -> Bytes {
             e.put_bool(*last);
             put_cipher_vec(&mut e, g);
             put_cipher_vec(&mut e, h);
+        }
+        Msg::PackedGradBatch { tree, start_row, gh, last } => {
+            e.put_u32(*tree);
+            e.put_u32(*start_row);
+            e.put_bool(*last);
+            put_cipher_vec(&mut e, gh);
         }
         Msg::NodeTask { tree, node, epoch } => {
             e.put_u32(*tree);
@@ -263,8 +297,23 @@ pub fn encode(msg: &Msg) -> Bytes {
                     e.put_varint(features.len() as u64);
                     for f in features {
                         e.put_u16(f.bins);
-                        put_packed_vec(&mut e, &f.g);
-                        put_packed_vec(&mut e, &f.h);
+                        put_packed_vec(&mut e, &f.g)?;
+                        put_packed_vec(&mut e, &f.h)?;
+                    }
+                }
+                HistPayload::GhRaw(features) => {
+                    e.put_u8(2);
+                    e.put_varint(features.len() as u64);
+                    for f in features {
+                        put_cipher_vec(&mut e, &f.bins);
+                    }
+                }
+                HistPayload::GhPacked(features) => {
+                    e.put_u8(3);
+                    e.put_varint(features.len() as u64);
+                    for f in features {
+                        e.put_u16(f.bins);
+                        put_packed_vec(&mut e, &f.packed)?;
                     }
                 }
             }
@@ -309,7 +358,7 @@ pub fn encode(msg: &Msg) -> Bytes {
             e.put_u64(*seq);
         }
     }
-    e.finish()
+    Ok(e.finish())
 }
 
 /// Decodes a message from its envelope kind and payload.
@@ -367,6 +416,30 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
                     }
                     HistPayload::Packed(features)
                 }
+                2 => {
+                    // Smallest GH feature: one empty ciphertext vector.
+                    let announced = d.get_varint()?;
+                    let len = bounded_len(&d, announced, 1, "gh histogram vector")?;
+                    let len = capped_len(len, limits::MAX_FEATURES, "gh histogram vector")?;
+                    let mut features = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        features.push(GhFeatureHist { bins: get_cipher_vec(&mut d)? });
+                    }
+                    HistPayload::GhRaw(features)
+                }
+                3 => {
+                    // Smallest GH packed feature: bin count + one empty vector.
+                    let announced = d.get_varint()?;
+                    let len = bounded_len(&d, announced, 3, "gh packed histogram vector")?;
+                    let len = capped_len(len, limits::MAX_FEATURES, "gh packed histogram vector")?;
+                    let mut features = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let bins = d.get_u16()?;
+                        let packed = get_packed_vec(&mut d)?;
+                        features.push(GhPackedFeatureHist { packed, bins });
+                    }
+                    HistPayload::GhPacked(features)
+                }
                 t => return Err(WireError::BadTag("hist payload", t as u64)),
             };
             Msg::NodeHistograms { tree, node, epoch, payload }
@@ -400,6 +473,13 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
         }
         12 => Msg::Resume { session_id: d.get_u64()?, tree_count: d.get_u32()? },
         13 => Msg::Heartbeat { seq: d.get_u64()? },
+        14 => {
+            let tree = d.get_u32()?;
+            let start_row = d.get_u32()?;
+            let last = d.get_bool()?;
+            let gh = get_cipher_vec(&mut d)?;
+            Msg::PackedGradBatch { tree, start_row, gh, last }
+        }
         t => return Err(WireError::BadTag("message kind", t as u64)),
     })
 }
@@ -414,7 +494,7 @@ mod tests {
 
     fn round_trip(msg: Msg) {
         let kind = msg.kind();
-        let bytes = encode(&msg);
+        let bytes = encode(&msg).expect("encode");
         let back = decode(kind, bytes).expect("decode");
         assert_eq!(back, msg);
     }
@@ -493,9 +573,72 @@ mod tests {
     fn paillier_cipher_wire_size_reflects_key() {
         let c = paillier_ciphers(1);
         let msg = Msg::GradBatch { tree: 0, start_row: 0, g: c, h: vec![], last: false };
-        let bytes = encode(&msg);
+        let bytes = encode(&msg).unwrap();
         // 256-bit key ⇒ 512-bit cipher ⇒ 64 bytes + framing.
         assert!(bytes.len() >= 64 && bytes.len() < 96, "wire size {}", bytes.len());
+    }
+
+    #[test]
+    fn packed_grad_batch_round_trips() {
+        let c = paillier_ciphers(3);
+        round_trip(Msg::PackedGradBatch { tree: 2, start_row: 96, gh: c, last: true });
+        round_trip(Msg::PackedGradBatch { tree: 0, start_row: 0, gh: vec![], last: false });
+    }
+
+    #[test]
+    fn gh_histograms_round_trip() {
+        let c = paillier_ciphers(4);
+        round_trip(Msg::NodeHistograms {
+            tree: 1,
+            node: 3,
+            epoch: 0,
+            payload: HistPayload::GhRaw(vec![
+                GhFeatureHist { bins: c[..2].to_vec() },
+                GhFeatureHist { bins: c[2..].to_vec() },
+            ]),
+        });
+        let packed = PackedCiphertext::Paillier {
+            cipher: BigUint::from(12345u32),
+            exponent: 11,
+            count: 4,
+            slot_bits: 96,
+        };
+        round_trip(Msg::NodeHistograms {
+            tree: 1,
+            node: 3,
+            epoch: 2,
+            payload: HistPayload::GhPacked(vec![GhPackedFeatureHist {
+                packed: vec![packed],
+                bins: 4,
+            }]),
+        });
+    }
+
+    #[test]
+    fn oversized_counts_fail_encode_instead_of_truncating() {
+        // A packed slot count past u32::MAX must refuse to encode — the
+        // old `as u32` cast would have wrapped it silently.
+        let packed = PackedCiphertext::Paillier {
+            cipher: BigUint::from(7u32),
+            exponent: 10,
+            count: u32::MAX as usize + 1,
+            slot_bits: 64,
+        };
+        let msg = Msg::NodeHistograms {
+            tree: 0,
+            node: 0,
+            epoch: 0,
+            payload: HistPayload::Packed(vec![PackedFeatureHist {
+                g: vec![packed],
+                h: vec![],
+                bins: 3,
+            }]),
+        };
+        let r = encode(&msg);
+        assert!(
+            matches!(r, Err(WireError::EncodeOverflow { what: "packed slot count", .. })),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -503,11 +646,18 @@ mod tests {
         assert!(matches!(decode(99, Bytes::new()), Err(WireError::BadTag("message kind", 99))));
     }
 
-    /// One representative message per kind (1–13), with real ciphertext
+    /// One representative message per kind (1–14), with real ciphertext
     /// payloads where the kind carries any.
     fn sample_messages() -> Vec<Msg> {
         let c = paillier_ciphers(4);
         vec![
+            Msg::PackedGradBatch { tree: 1, start_row: 32, gh: c[..2].to_vec(), last: true },
+            Msg::NodeHistograms {
+                tree: 0,
+                node: 2,
+                epoch: 1,
+                payload: HistPayload::GhRaw(vec![GhFeatureHist { bins: c[..2].to_vec() }]),
+            },
             Msg::FeatureMeta(vec![
                 FeatureMeta { num_bins: 20, zero_bin: 3 },
                 FeatureMeta { num_bins: 7, zero_bin: 0 },
@@ -556,7 +706,7 @@ mod tests {
         // a silently wrong Ok.
         for msg in sample_messages() {
             let kind = msg.kind();
-            let bytes = encode(&msg);
+            let bytes = encode(&msg).unwrap();
             for cut in 0..bytes.len() {
                 let r = decode(kind, bytes.slice(..cut));
                 assert!(r.is_err(), "kind {kind} decoded a {cut}-byte prefix: {r:?}");
@@ -580,7 +730,7 @@ mod tests {
         for len in [0usize, 1, 3, 7, 16, 64, 257] {
             for round in 0..16 {
                 let garbage: Vec<u8> = (0..len).map(|_| (next() >> (round % 8)) as u8).collect();
-                for kind in 0..=15u16 {
+                for kind in 0..=16u16 {
                     let _ = decode(kind, Bytes::from(garbage.clone()));
                 }
             }
@@ -605,13 +755,14 @@ mod tests {
         };
         bomb(1, &[]); // FeatureMeta count
         bomb(2, &[0, 0, 0, 0, 0, 0, 0, 0, 1]); // GradBatch g-vector count
+        bomb(14, &[0, 0, 0, 0, 0, 0, 0, 0, 1]); // PackedGradBatch gh count
         let hdr = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]; // tree, node, epoch
-        let mut raw = hdr.to_vec();
-        raw.push(0); // HistPayload::Raw tag
-        bomb(4, &raw);
-        let mut packed = hdr.to_vec();
-        packed.push(1); // HistPayload::Packed tag
-        bomb(4, &packed);
+        for tag in 0..=3u8 {
+            // Every HistPayload wire form: Raw, Packed, GhRaw, GhPacked.
+            let mut p = hdr.to_vec();
+            p.push(tag);
+            bomb(4, &p);
+        }
         bomb(11, &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]); // SessionHello durable count
     }
 

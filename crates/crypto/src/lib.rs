@@ -42,6 +42,7 @@ pub mod math;
 pub mod montgomery;
 pub mod packing;
 pub mod paillier;
+pub mod seed;
 pub mod suite;
 
 pub use counters::OpCounters;
@@ -50,6 +51,7 @@ pub use encoding::{EncodedNumber, EncodingConfig};
 pub use error::{CryptoError, Result};
 pub use fixed::Fixed;
 pub use montgomery::{CryptoBackend, MontCost, MontExp};
-pub use packing::{pack_ciphers, unpack_plaintext, PackingPlan};
+pub use packing::{pack_ciphers, unpack_plaintext, GhPlan, PackingPlan};
 pub use paillier::{KeyPair, PrivateKey, PublicKey, RandomnessPool};
+pub use seed::split_seed;
 pub use suite::{Ciphertext, PackedCiphertext, Suite, SuiteKind};

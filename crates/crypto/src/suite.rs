@@ -16,7 +16,7 @@ use crate::counters::OpCounters;
 use crate::encnum::EncryptedNumber;
 use crate::encoding::{EncodedNumber, EncodingConfig};
 use crate::error::{CryptoError, Result};
-use crate::packing::{pack_ciphers, unpack_plaintext, PackingPlan};
+use crate::packing::{pack_ciphers, unpack_plaintext, GhPlan, PackingPlan};
 use crate::paillier::{KeyPair, PrivateKey, PublicKey, RawCipher};
 
 /// Which cryptography backs a [`Suite`].
@@ -318,6 +318,118 @@ impl Suite {
                     })
                     .collect())
             }
+        }
+    }
+
+    /// Encrypts `(g, h)` pairs one packed plaintext each, sequentially on
+    /// the calling thread (same per-element derivation as
+    /// [`Suite::encrypt_gh_batch`], so the two are interchangeable
+    /// bit-for-bit). Paillier suites only — the mock keeps separate g/h
+    /// streams, so forward-path packing has nothing to gain there.
+    pub fn encrypt_gh_batch_seq(
+        &self,
+        g: &[f64],
+        h: &[f64],
+        plan: &GhPlan,
+        seed: u64,
+    ) -> Result<Vec<Ciphertext>> {
+        if g.len() != h.len() {
+            return Err(CryptoError::ShapeMismatch {
+                context: "encrypt_gh_batch g/h lengths",
+                left: g.len(),
+                right: h.len(),
+            });
+        }
+        if self.0.kind != SuiteKind::Paillier {
+            return Err(CryptoError::SuiteMismatch);
+        }
+        let sk = self.sk()?;
+        g.iter()
+            .zip(h)
+            .enumerate()
+            .map(|(i, (&gv, &hv))| {
+                let rep = plan.encode_pair(gv, hv, &self.0.cfg)?;
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                let cipher = sk.encrypt_raw_ctr(&rep, &mut rng, &self.0.counters);
+                self.0.counters.add_enc(1);
+                self.0.counters.add_ghpack(1);
+                Ok(Ciphertext::Paillier(EncryptedNumber { cipher, exponent: plan.exponent }))
+            })
+            .collect()
+    }
+
+    /// Encrypts `(g, h)` pairs one packed plaintext each, in parallel
+    /// (rayon), deterministically derived from `seed`. The forward-path
+    /// counterpart of [`Suite::encrypt_batch`]: one Paillier encryption per
+    /// *pair* instead of one per value.
+    pub fn encrypt_gh_batch(
+        &self,
+        g: &[f64],
+        h: &[f64],
+        plan: &GhPlan,
+        seed: u64,
+    ) -> Result<Vec<Ciphertext>> {
+        use rayon::prelude::*;
+        if g.len() != h.len() {
+            return Err(CryptoError::ShapeMismatch {
+                context: "encrypt_gh_batch g/h lengths",
+                left: g.len(),
+                right: h.len(),
+            });
+        }
+        if self.0.kind != SuiteKind::Paillier {
+            return Err(CryptoError::SuiteMismatch);
+        }
+        let sk = self.sk()?.clone();
+        let cfg = self.0.cfg;
+        g.par_iter()
+            .zip(h)
+            .enumerate()
+            .map(|(i, (&gv, &hv))| {
+                let rep = plan.encode_pair(gv, hv, &cfg)?;
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                let cipher = sk.encrypt_raw_ctr(&rep, &mut rng, &self.0.counters);
+                self.0.counters.add_enc(1);
+                self.0.counters.add_ghpack(1);
+                Ok(Ciphertext::Paillier(EncryptedNumber { cipher, exponent: plan.exponent }))
+            })
+            .collect()
+    }
+
+    /// Decrypts one GH-packed cipher (typically an accumulated histogram
+    /// bin) back to its `(Σg, Σh)` component sums.
+    pub fn decrypt_gh(&self, c: &Ciphertext, plan: &GhPlan) -> Result<(f64, f64)> {
+        match c {
+            Ciphertext::Paillier(e) => {
+                let sk = self.sk()?;
+                self.0.counters.add_dec(1);
+                let plain = sk.decrypt_raw_ctr(&e.cipher, &self.0.counters);
+                Ok(plan.decode_pair(&plain, &self.0.cfg))
+            }
+            Ciphertext::Plain(_) => Err(CryptoError::SuiteMismatch),
+        }
+    }
+
+    /// Decrypts a packed cipher whose slots are GH-pair representatives
+    /// (return-path packing composed with forward-path GH packing): one
+    /// decryption recovers `(Σg, Σh)` for every slot.
+    pub fn unpack_decrypt_gh(
+        &self,
+        packed: &PackedCiphertext,
+        plan: &GhPlan,
+    ) -> Result<Vec<(f64, f64)>> {
+        match packed {
+            PackedCiphertext::Paillier { cipher, exponent: _, count, slot_bits } => {
+                let sk = self.sk()?;
+                self.0.counters.add_dec(1);
+                let plain = sk.decrypt_raw_ctr(cipher, &self.0.counters);
+                let wire_plan = PackingPlan { slot_bits: *slot_bits, slots: *count };
+                Ok(unpack_plaintext(&plain, &wire_plan, *count)
+                    .iter()
+                    .map(|slot| plan.decode_pair(slot, &self.0.cfg))
+                    .collect())
+            }
+            PackedCiphertext::Plain(_) => Err(CryptoError::SuiteMismatch),
         }
     }
 
@@ -778,6 +890,80 @@ mod tests {
         let cp = p.encrypt(1.0, &mut rng).unwrap();
         let cm = m.encrypt(1.0, &mut rng).unwrap();
         assert!(matches!(p.add(&cp, &cm), Err(CryptoError::SuiteMismatch)));
+    }
+
+    #[test]
+    fn gh_batch_round_trips_and_accumulates() {
+        let s = paillier_suite();
+        let plan = GhPlan::new(1.0, 1.0, 8, s.encoding()).unwrap();
+        plan.validate_capacity(s.public_key().unwrap()).unwrap();
+        let g = [0.5, -0.25, 0.75, -1.0];
+        let h = [0.25, 0.25, -0.125, 0.0];
+        let before = s.counters().snapshot();
+        let cts = s.encrypt_gh_batch_seq(&g, &h, &plan, 77).unwrap();
+        let delta = s.counters().snapshot().since(&before);
+        assert_eq!(delta.enc, 4);
+        assert_eq!(delta.ghpack, 4);
+        // Each cipher decodes to its own pair.
+        for (i, c) in cts.iter().enumerate() {
+            let (gv, hv) = s.decrypt_gh(c, &plan).unwrap();
+            assert!((gv - g[i]).abs() < 1e-6 && (hv - h[i]).abs() < 1e-6);
+        }
+        // HAdd on packed pairs accumulates both components at once.
+        let host = s.public_half();
+        let mut acc = cts[0].clone();
+        for c in &cts[1..] {
+            acc = host.add(&acc, c).unwrap();
+        }
+        let (gs, hs) = s.decrypt_gh(&acc, &plan).unwrap();
+        assert!((gs - 0.0).abs() < 1e-6, "sum g {gs}");
+        assert!((hs - 0.375).abs() < 1e-6, "sum h {hs}");
+    }
+
+    #[test]
+    fn gh_batch_parallel_matches_sequential() {
+        let s = paillier_suite();
+        let plan = GhPlan::new(1.0, 1.0, 16, s.encoding()).unwrap();
+        let g: Vec<f64> = (0..10).map(|i| (i as f64) / 10.0 - 0.5).collect();
+        let h: Vec<f64> = (0..10).map(|i| 0.25 - (i as f64) * 0.01).collect();
+        let a = s.encrypt_gh_batch_seq(&g, &h, &plan, 5).unwrap();
+        let b = s.encrypt_gh_batch(&g, &h, &plan, 5).unwrap();
+        assert_eq!(a, b, "parallel and sequential GH batches must be bit-identical");
+    }
+
+    #[test]
+    fn gh_batch_rejects_mock_and_mismatched_lengths() {
+        let s = paillier_suite();
+        let plan = GhPlan::new(1.0, 1.0, 4, s.encoding()).unwrap();
+        assert!(matches!(
+            s.encrypt_gh_batch_seq(&[1.0], &[1.0, 2.0], &plan, 1),
+            Err(CryptoError::ShapeMismatch { .. })
+        ));
+        let m = Suite::plain(EncodingConfig::default());
+        let mplan = GhPlan::new(1.0, 1.0, 4, m.encoding()).unwrap();
+        assert!(matches!(
+            m.encrypt_gh_batch_seq(&[1.0], &[1.0], &mplan, 1),
+            Err(CryptoError::SuiteMismatch)
+        ));
+    }
+
+    #[test]
+    fn gh_pairs_survive_return_path_packing() {
+        // Accumulated GH bins → generic return-path pack → one decryption
+        // recovers (Σg, Σh) per bin.
+        let s = paillier_suite();
+        let plan = GhPlan::new(1.0, 1.0, 4, s.encoding()).unwrap();
+        let g = [0.5, -0.25, 0.75];
+        let h = [0.25, 0.125, -0.5];
+        let bins = s.encrypt_gh_batch_seq(&g, &h, &plan, 9).unwrap();
+        let slot_bits = plan.stride().div_ceil(8) * 8;
+        let wire_plan = PackingPlan::new(s.public_key().unwrap(), slot_bits, bins.len()).unwrap();
+        let packed = s.pack(&bins, &wire_plan).unwrap();
+        let pairs = s.unpack_decrypt_gh(&packed, &plan).unwrap();
+        assert_eq!(pairs.len(), 3);
+        for (i, (gv, hv)) in pairs.iter().enumerate() {
+            assert!((gv - g[i]).abs() < 1e-6 && (hv - h[i]).abs() < 1e-6, "bin {i}");
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn eat_greetings(guest_ep: &Endpoint) {
 }
 
 fn send(ep: &Endpoint, msg: &Msg) {
-    ep.send(msg.kind(), wire::encode(msg));
+    ep.send(msg.kind(), wire::encode(msg).unwrap());
 }
 
 #[test]
@@ -108,9 +108,9 @@ fn host_detects_replayed_gradient_batch() {
     // transport re-sequences it, so only the protocol FSM can object.
     evil.script(1, Misdeed::ReplayEarlier(1));
     let resume = Msg::Resume { session_id: 0, tree_count: 0 };
-    evil.send(resume.kind(), wire::encode(&resume));
+    evil.send(resume.kind(), wire::encode(&resume).unwrap());
     let batch = grad_batch(0, 0, 2, false, 8);
-    evil.send(batch.kind(), wire::encode(&batch));
+    evil.send(batch.kind(), wire::encode(&batch).unwrap());
     let failure = handle.join().unwrap().expect_err("replay must abort the host");
     match failure.error {
         TrainError::PeerMisbehaving { last, .. } => {
@@ -195,7 +195,7 @@ fn truncated_frame_surfaces_as_malformed_not_a_panic() {
     // The resume frame arrives transport-valid but chopped to one byte.
     evil.script(0, Misdeed::Truncate(1));
     let resume = Msg::Resume { session_id: 0, tree_count: 0 };
-    evil.send(resume.kind(), wire::encode(&resume));
+    evil.send(resume.kind(), wire::encode(&resume).unwrap());
     let failure = handle.join().unwrap().expect_err("truncated frame must abort the host");
     assert!(
         matches!(
@@ -447,7 +447,7 @@ fn decode_survives_single_byte_mutations() {
     let mut rejected = 0u64;
     for msg in mutation_corpus() {
         let kind = msg.kind();
-        let bytes = wire::encode(&msg);
+        let bytes = wire::encode(&msg).unwrap();
         for i in 0..bytes.len() {
             for mask in [0x01u8, 0x80, 0xff] {
                 let mut mutated = bytes.to_vec();

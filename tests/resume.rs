@@ -240,12 +240,46 @@ fn a_session_id_mismatch_is_a_typed_resume_error() {
     let _ = guest_ep.recv().unwrap();
     let _ = guest_ep.recv().unwrap();
     let resume = Msg::Resume { session_id: 8, tree_count: 0 };
-    guest_ep.send(resume.kind(), wire::encode(&resume));
+    guest_ep.send(resume.kind(), wire::encode(&resume).unwrap());
     let failure = handle.join().unwrap().expect_err("a foreign session id must be rejected");
     assert!(
         matches!(failure.error, TrainError::ResumeMismatch { party: PartyId::Guest, .. }),
         "expected ResumeMismatch, got {}",
         failure.error
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failing failure-time flight-record dump must never mask the original
+/// error — but it must not vanish either: the guest counts it in
+/// `events.flight_record_failed` and leaves a trace note. A *directory*
+/// squatting on the guest's flight path makes the dump fail (EISDIR bites
+/// even a root test runner, unlike permission bits) while checkpoints and
+/// the rest of the session stay healthy; an injected host crash supplies
+/// the error path.
+#[test]
+fn a_failing_flight_record_dump_is_counted_not_fatal() {
+    let s = scenario(11);
+    let cfg = TrainConfig {
+        crash_host_after_trees: Some(2),
+        ..resume_cfg(11, ProtocolConfig::baseline())
+    };
+    let dir = temp_dir("flight_fail");
+    std::fs::create_dir_all(dir.join("guest.flight.json")).unwrap();
+    let session = SessionConfig::new(0xf11e, &dir);
+    let failure = train_federated_session(&s.hosts, &s.guest, &cfg, Some(&session))
+        .expect_err("the injected host crash must abort the run");
+    assert!(
+        matches!(failure.error, TrainError::PartyPanicked { party: PartyId::Host(0), .. }),
+        "expected the injected host crash, got {}",
+        failure.error
+    );
+    assert_eq!(
+        failure.partial.guest.events.flight_record_failed, 1,
+        "the failed flight-record dump must be counted: {:?}",
+        failure.partial.guest.events
+    );
+    // The squatting directory is still a directory: nothing overwrote it.
+    assert!(dir.join("guest.flight.json").is_dir());
     let _ = std::fs::remove_dir_all(&dir);
 }
