@@ -34,6 +34,16 @@ timeout 900 cargo test -q --test resume
 echo "== byzantine conformance gate (5 min cap) =="
 timeout 300 cargo test -q --test byzantine
 
+# Dropout chaos gate: a host is killed *inside* the node loop (between a
+# NodeTask and its histogram answer) across a seeded matrix. AwaitRejoin
+# must produce a bitwise-identical model after the live rejoin (3 seeds x
+# sequential/optimistic x raw/packed, plus a two-host survivor-rewind
+# run); Degrade must complete with a typed per-tree party_set record; a
+# stalled-but-alive link must be ridden out by the retry layer without a
+# quarantine. The outer timeout turns a rejoin hang into a failure.
+echo "== dropout chaos gate (in-run host loss, 10 min cap) =="
+timeout 600 cargo test -q --test resume dropout_chaos
+
 # Fixed-limb crypto gate: the Montgomery backend's property tests — limb
 # mul/REDC/modpow vs. the num-bigint reference at every dispatch width,
 # including carry-edge and modulus-adjacent vectors — plus the rest of
@@ -82,6 +92,11 @@ jq -e 'all(.parties[]; .phases.busy_s >= 0 and .ops != null and .events != null 
 # guest's modpow work.
 jq -e 'all(.parties[]; (.crypto_backend | length) > 0 and .ops.modmul != null and .ops.redc != null)' "$REPORT" > /dev/null
 jq -e '.parties[0] | (.crypto_backend | startswith("fixed-")) and .ops.modmul > 0 and .ops.redc > .ops.modmul' "$REPORT" > /dev/null
+# Robustness telemetry: every party carries the host-loss counters and a
+# per-peer-link retransmission block, and every completed tree records
+# the party set that trained it (party 0 = guest is always present).
+jq -e 'all(.parties[]; .events.quarantines != null and .events.rejoins != null and .events.transfer_retries != null and (.links | type == "array"))' "$REPORT" > /dev/null
+jq -e '(.trees | length) > 0 and all(.trees[]; (.party_set | length) >= 1 and .party_set[0] == 0)' "$REPORT" > /dev/null
 # busy == sum(phases) per party, and busy <= wall + slack.
 jq -e '
   .wall_time_s as $wall |

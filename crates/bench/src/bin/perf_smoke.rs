@@ -11,6 +11,11 @@
 //! * `BENCH_PR8.json` — forward-path GH-pair packing (PR 8): the same
 //!   end-to-end run with `gh_packing` off vs. on — forward-path
 //!   encryption counts, guest bytes on the wire, and wall clock.
+//! * `BENCH_PR9.json` — in-run host failure survival (PR 9): an
+//!   uninterrupted run vs. one where the host is killed mid-node-loop
+//!   and live-rejoins under `AwaitRejoin` — the wall-clock catch-up cost
+//!   of the quarantine/rewind/re-execute cycle, with the final models
+//!   verified bitwise identical.
 //!
 //! Run with `cargo run --release -p vf2-bench --bin perf_smoke`.
 //!
@@ -19,7 +24,7 @@
 //! (`vf2boost-run-report/v1`, see `vf2boost_core::telemetry`) to `path` —
 //! the artifact ci.sh schema-checks with `jq`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use num_bigint::BigUint;
 use vf2_bench::{base_config, key_bits};
@@ -31,11 +36,12 @@ use vf2_datagen::synthetic::{generate_classification, SyntheticConfig};
 use vf2_datagen::vertical::split_vertical;
 use vf2_gbdt::binning::{BinnedDataset, BinningConfig};
 use vf2_gbdt::train::GbdtParams;
+use vf2boost_core::config::HostLossPolicy;
 use vf2boost_core::hist_enc::EncHistBuilder;
 use vf2boost_core::protocol::ProtocolConfig;
 use vf2boost_core::rows::RowMajorBins;
-use vf2boost_core::train::train_federated;
-use vf2boost_core::TrainConfig;
+use vf2boost_core::train::{train_federated, train_federated_session};
+use vf2boost_core::{SessionConfig, TrainConfig};
 
 const MICRO_ROWS: usize = 2048;
 const MICRO_BINS: usize = 16;
@@ -75,6 +81,90 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
     std::fs::write(path, &json).expect("write BENCH_PR8.json");
     println!("\nwrote {path}");
+
+    let json = pr9_rejoin();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    std::fs::write(path, &json).expect("write BENCH_PR9.json");
+    println!("\nwrote {path}");
+}
+
+/// PR 9: the wall-clock cost of surviving a host kill in-run. The host
+/// dies inside tree 2's node loop; under `AwaitRejoin` a fresh
+/// incarnation replays the session handshake, every party rewinds to the
+/// last mutually durable tree, and the aborted work is re-executed. The
+/// catch-up cost is the chaos run's wall clock minus the uninterrupted
+/// run's — the price of the quarantine, respawn handshake, rewind
+/// barrier, and re-executed trees. Models must match bitwise.
+fn pr9_rejoin() -> String {
+    let s = split_vertical(
+        &generate_classification(&SyntheticConfig {
+            rows: 600,
+            features: 8,
+            density: 1.0,
+            informative_frac: 0.5,
+            label_noise: 0.0,
+            seed: 9,
+        }),
+        &[4],
+    );
+    let cfg = TrainConfig {
+        gbdt: GbdtParams {
+            num_trees: 4,
+            max_layers: 4,
+            binning: BinningConfig { num_bins: MICRO_BINS, max_samples: 1 << 16 },
+            ..Default::default()
+        },
+        protocol: ProtocolConfig::vf2boost(),
+        ..base_config()
+    };
+
+    let t0 = Instant::now();
+    let clean = train_federated(&s.hosts, &s.guest, &cfg).expect("clean run succeeds");
+    let wall_clean = t0.elapsed();
+
+    let dir = std::env::temp_dir().join(format!("vf2_bench_pr9_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let session = SessionConfig::new(0x0009, &dir);
+    let chaos_cfg = TrainConfig {
+        crash_host_on_node_task: Some((2, 0)),
+        on_host_loss: HostLossPolicy::AwaitRejoin { deadline: Duration::from_secs(60) },
+        ..cfg
+    };
+    let t0 = Instant::now();
+    let chaos = train_federated_session(&s.hosts, &s.guest, &chaos_cfg, Some(&session))
+        .expect("the kill-and-rejoin run must survive");
+    let wall_chaos = t0.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cm = clean.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    let xm = chaos.model.predict_margin(&[&s.hosts[0]], &s.guest);
+    for (a, b) in cm.iter().zip(&xm) {
+        assert_eq!(a.to_bits(), b.to_bits(), "rejoined model diverged: {a} vs {b}");
+    }
+
+    let ev = &chaos.report.guest.events;
+    let catchup = wall_chaos.saturating_sub(wall_clean);
+    println!("\nPR9 in-run host kill + live rejoin (600 rows, 4 trees, key_bits={}):", key_bits());
+    println!(
+        "  wall   clean {:>8.3} s   kill+rejoin {:>8.3} s   catch-up {:>8.3} s",
+        wall_clean.as_secs_f64(),
+        wall_chaos.as_secs_f64(),
+        catchup.as_secs_f64()
+    );
+    println!(
+        "  quarantines {}  rejoins {}  transfer_retries {}  (models bitwise identical)",
+        ev.quarantines, ev.rejoins, ev.transfer_retries
+    );
+    format!(
+        "{{\n  \"bench\": \"PR9 in-run host kill and live rejoin\",\n  \"rows\": 600,\n  \"trees\": 4,\n  \"key_bits\": {},\n  \"crash_at\": [2, 0],\n  \"clean_wall_s\": {:.3},\n  \"rejoin_wall_s\": {:.3},\n  \"catchup_cost_s\": {:.3},\n  \"quarantines\": {},\n  \"rejoins\": {},\n  \"transfer_retries\": {},\n  \"bitwise_identical\": true\n}}\n",
+        key_bits(),
+        wall_clean.as_secs_f64(),
+        wall_chaos.as_secs_f64(),
+        catchup.as_secs_f64(),
+        ev.quarantines,
+        ev.rejoins,
+        ev.transfer_retries
+    )
 }
 
 /// PR 8: forward-path GH-pair packing — one ciphertext per instance

@@ -7,6 +7,7 @@ use vf2_crypto::encoding::EncodingConfig;
 use vf2_crypto::CryptoBackend;
 use vf2_gbdt::train::GbdtParams;
 
+use crate::error::ConfigError;
 use crate::protocol::ProtocolConfig;
 
 /// Which cipher suite backs the run.
@@ -19,6 +20,36 @@ pub enum CryptoConfig {
     },
     /// Plaintext mock — the paper's VF-MOCK baseline.
     Mock,
+}
+
+/// What the guest does when liveness supervision declares a host dead
+/// mid-run.
+///
+/// The policy is deliberately excluded from the session config digest
+/// (like the liveness knobs it extends): it changes how a run *survives*
+/// a failure, never the model an uninterrupted run produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostLossPolicy {
+    /// Abort the run with [`crate::error::TrainError::PeerLost`] (the
+    /// pre-existing behavior, and the default).
+    Fail,
+    /// Quarantine the dead host, keep the session open, and wait up to
+    /// `deadline` for a restarted host process to replay the resumable
+    /// handshake against the live session. On rejoin the parties rewind
+    /// to the last mutually durable tree and continue; the final model is
+    /// bitwise identical to an uninterrupted run. If the deadline expires
+    /// the original `PeerLost` aborts the run.
+    AwaitRejoin {
+        /// How long the guest holds the session open for the restart.
+        deadline: Duration,
+    },
+    /// Park the dead host's feature columns permanently and continue
+    /// training on the remaining parties: the in-flight tree is aborted
+    /// and rebuilt without the lost host, split finding never considers
+    /// parked features again, and each completed tree's
+    /// [`crate::telemetry::TreeRecord::party_set`] records which parties
+    /// trained it.
+    Degrade,
 }
 
 /// Everything needed to run one federated training job.
@@ -78,10 +109,23 @@ pub struct TrainConfig {
     /// robustness notes are always recorded). Tracing never influences
     /// protocol decisions, so models are identical either way.
     pub trace_spans: bool,
+    /// Failure policy when a host is declared dead mid-run: fail the run
+    /// (default), hold the session open for a live rejoin, or continue
+    /// degraded on the surviving parties. Excluded from the session
+    /// config digest — the policy never changes the model of an
+    /// uninterrupted run.
+    pub on_host_loss: HostLossPolicy,
     /// Chaos knob: the host panics (simulating a process kill) right
     /// after completing — and checkpointing — this many trees. `None`
     /// in production.
     pub crash_host_after_trees: Option<u32>,
+    /// Chaos knob: the host panics (simulating a process kill) the
+    /// moment it receives the `NodeTask` for this `(tree, node)` — i.e.
+    /// *inside* the node loop, between a task and its histogram answer.
+    /// Only host party 0 honors the knob, so multi-host chaos runs keep
+    /// live survivors to exercise the rewind barrier. `None` in
+    /// production.
+    pub crash_host_on_node_task: Option<(u32, u32)>,
     /// Chaos knob: histogram worker shard 0 panics *inside the rayon
     /// scope* while accumulating this tree's root, exercising the
     /// worker-panic recovery path. `None` in production.
@@ -129,7 +173,9 @@ impl Default for TrainConfig {
             peer_dead_after: Duration::from_secs(60),
             trace_events_cap: 256,
             trace_spans: true,
+            on_host_loss: HostLossPolicy::Fail,
             crash_host_after_trees: None,
+            crash_host_on_node_task: None,
             crash_hist_worker_on_tree: None,
             misbehavior_budget: 0,
             gh_packing: false,
@@ -140,6 +186,32 @@ impl Default for TrainConfig {
 }
 
 impl TrainConfig {
+    /// Rejects configurations whose supervision windows contradict each
+    /// other *before* any party starts. An inconsistent liveness config
+    /// used to train silently with a window that could never fire; now it
+    /// is a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.peer_timeout.is_zero() {
+            return Err(ConfigError::ZeroPeerTimeout);
+        }
+        let deadline = self.peer_dead_after.min(self.peer_timeout);
+        if self.heartbeat_interval >= deadline {
+            return Err(ConfigError::HeartbeatSlowerThanDeadline {
+                heartbeat: self.heartbeat_interval,
+                deadline,
+            });
+        }
+        if let HostLossPolicy::AwaitRejoin { deadline } = self.on_host_loss {
+            if deadline < self.heartbeat_interval {
+                return Err(ConfigError::RejoinDeadlineTooShort {
+                    deadline,
+                    heartbeat: self.heartbeat_interval,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// A configuration sized for unit tests: small key, instant network,
     /// few trees.
     pub fn for_tests() -> TrainConfig {

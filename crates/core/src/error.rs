@@ -184,12 +184,66 @@ impl std::fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// A liveness/robustness configuration that can never work: the
+/// supervision windows contradict each other, so the run would either
+/// hang forever or declare every peer dead instantly. Caught by
+/// [`crate::config::TrainConfig::validate`] before any party starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `heartbeat_interval >= peer_dead_after`: the silence deadline
+    /// would expire between two beacons, so an idle-but-healthy link is
+    /// indistinguishable from a dead one.
+    HeartbeatSlowerThanDeadline {
+        /// The configured beacon cadence.
+        heartbeat: Duration,
+        /// The configured silence deadline it can never outpace.
+        deadline: Duration,
+    },
+    /// `peer_timeout == 0`: every blocking cross-party wait would expire
+    /// immediately, before the peer could possibly answer.
+    ZeroPeerTimeout,
+    /// An `AwaitRejoin` deadline shorter than one heartbeat interval: the
+    /// quarantine window would close before the guest polls for a
+    /// restarted host even once.
+    RejoinDeadlineTooShort {
+        /// The configured rejoin deadline.
+        deadline: Duration,
+        /// The heartbeat interval it must cover at least once.
+        heartbeat: Duration,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::HeartbeatSlowerThanDeadline { heartbeat, deadline } => write!(
+                f,
+                "heartbeat interval {heartbeat:?} is not shorter than the liveness deadline \
+                 {deadline:?}; the supervision window can never observe a beacon"
+            ),
+            ConfigError::ZeroPeerTimeout => {
+                write!(f, "peer_timeout is zero; every cross-party wait would expire instantly")
+            }
+            ConfigError::RejoinDeadlineTooShort { deadline, heartbeat } => write!(
+                f,
+                "AwaitRejoin deadline {deadline:?} is shorter than one heartbeat interval \
+                 {heartbeat:?}; the quarantine window closes before a rejoin can be observed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Anything that can abort a federated training run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrainError {
     /// The caller's inputs are unusable (misaligned datasets, missing
     /// labels, labels on a host).
     InvalidInput(String),
+    /// The configuration is self-contradictory (see [`ConfigError`]);
+    /// rejected before any party thread starts.
+    InvalidConfig(ConfigError),
     /// A cryptographic operation failed.
     Crypto {
         /// The operation that failed.
@@ -260,6 +314,7 @@ impl std::fmt::Display for TrainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TrainError::InvalidInput(reason) => write!(f, "invalid input: {reason}"),
+            TrainError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             TrainError::Crypto { context, error } => {
                 write!(f, "crypto failure during {context}: {error:?}")
             }
@@ -303,6 +358,12 @@ impl TrainError {
 impl From<ProtocolError> for TrainError {
     fn from(e: ProtocolError) -> TrainError {
         TrainError::Protocol(e)
+    }
+}
+
+impl From<ConfigError> for TrainError {
+    fn from(e: ConfigError) -> TrainError {
+        TrainError::InvalidConfig(e)
     }
 }
 

@@ -33,15 +33,16 @@ use vf2_gbdt::histogram::GradPair;
 use vf2_gbdt::split::{best_of, best_split_from_prefix, find_best_split, SplitCandidate};
 use vf2_gbdt::tree::{layer_of, left_child, right_child, NodeId, NodeSplit};
 
-use crate::config::TrainConfig;
+use crate::config::{HostLossPolicy, TrainConfig};
 use crate::error::{GuestFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
 use crate::fsm::{Admit, GuestFsm, MisbehaviorBudget};
 use crate::hist_enc::{unpack_feature_hist, unpack_gh_feature_hist};
 use crate::messages::{FeatureMeta, HistPayload, Msg, HEARTBEAT_KIND};
 use crate::model::{FedNode, FedTree};
+use crate::retry::Backoff;
 use crate::rows::{NodeRows, RowMajorBins};
 use crate::session::{dead_after, PartySession};
-use crate::telemetry::{PartyTelemetry, Stopwatch, TreeRecord};
+use crate::telemetry::{LinkFaultEvents, PartyTelemetry, Stopwatch, TreeRecord};
 use crate::trace::{write_flight_record, TracePhase, TraceRing};
 use crate::validate;
 use crate::wire;
@@ -56,6 +57,42 @@ pub struct GuestOutput {
     pub tree_records: Vec<TreeRecord>,
     /// Final training-set margins.
     pub train_margins: Vec<f64>,
+    /// Per-host robustness outcome, index-aligned with the endpoints.
+    pub host_outcomes: Vec<HostOutcome>,
+}
+
+/// How one host fared over a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostOutcome {
+    /// Alive and participating for the whole run.
+    Healthy,
+    /// Died mid-run and was brought back under
+    /// [`HostLossPolicy::AwaitRejoin`].
+    Rejoined {
+        /// Completed rejoin handshakes (one per survived failure).
+        rejoins: u32,
+    },
+    /// Declared dead under [`HostLossPolicy::Degrade`] and parked for the
+    /// rest of the run.
+    Parked {
+        /// Completed trees at the moment the host was parked. Its split
+        /// table is recoverable from the session checkpoint at this count
+        /// (and the model stays servable regardless: parked-host splits
+        /// degrade to a neutral contribution at prediction time).
+        tree_count: u32,
+    },
+}
+
+/// Replacement-link factory for [`HostLossPolicy::AwaitRejoin`]: the
+/// deployment driver (the trainer, in the in-process deployment) restarts
+/// a fresh host process incarnation and hands the guest the new link.
+/// Passing `None` to [`run_guest`] means a lost host cannot be brought
+/// back, so the policy falls through to a fatal
+/// [`TrainError::PeerLost`].
+pub trait HostSpawner: Send + Sync {
+    /// Starts a fresh incarnation of host `party` and returns the guest
+    /// side of the new link.
+    fn respawn(&self, party: usize) -> Result<Endpoint, TrainError>;
 }
 
 /// Which party won a node, if any.
@@ -124,8 +161,9 @@ pub fn run_guest(
     suite: Suite,
     endpoints: Vec<Endpoint>,
     session: Option<PartySession>,
+    spawner: Option<Arc<dyn HostSpawner>>,
 ) -> Result<GuestOutput, GuestFailure> {
-    match GuestParty::new(data, cfg, suite, endpoints, session) {
+    match GuestParty::new(data, cfg, suite, endpoints, session, spawner) {
         Ok(party) => party.run(),
         Err(error) => Err(GuestFailure {
             error,
@@ -161,6 +199,15 @@ struct GuestParty {
     fsms: Vec<GuestFsm>,
     /// Protocol-violation tolerance accounting, per host.
     budgets: Vec<MisbehaviorBudget>,
+    /// Replacement-link factory for the `AwaitRejoin` policy.
+    spawner: Option<Arc<dyn HostSpawner>>,
+    /// Hosts parked under `Degrade`: their links are dead and every send
+    /// and receive path skips them for the rest of the run.
+    parked: Vec<bool>,
+    /// Completed-tree count at the moment each parked host was parked.
+    parked_at: Vec<u32>,
+    /// Completed rejoin handshakes per host.
+    rejoined: Vec<u32>,
 }
 
 impl GuestParty {
@@ -170,6 +217,7 @@ impl GuestParty {
         suite: Suite,
         endpoints: Vec<Endpoint>,
         session: Option<PartySession>,
+        spawner: Option<Arc<dyn HostSpawner>>,
     ) -> Result<GuestParty, TrainError> {
         let Some(labels) = data.labels() else {
             return Err(TrainError::InvalidInput("the guest must own the labels".into()));
@@ -198,6 +246,10 @@ impl GuestParty {
             hb_seq: 0,
             fsms: (0..endpoints.len()).map(GuestFsm::new).collect(),
             budgets: vec![MisbehaviorBudget::new(cfg.misbehavior_budget); endpoints.len()],
+            spawner,
+            parked: vec![false; endpoints.len()],
+            parked_at: vec![0; endpoints.len()],
+            rejoined: vec![0; endpoints.len()],
             cfg,
             suite,
             endpoints,
@@ -213,11 +265,13 @@ impl GuestParty {
         match self.run_inner() {
             Ok(trees) => {
                 self.collect_transfer_stats();
+                let host_outcomes = self.host_outcomes();
                 Ok(GuestOutput {
                     trees,
                     telemetry: self.telemetry,
                     tree_records: self.tree_records,
                     train_margins: self.preds,
+                    host_outcomes,
                 })
             }
             Err(error) => {
@@ -344,32 +398,351 @@ impl GuestParty {
         }
 
         self.started = Instant::now();
-        for t in (resume_from as usize)..self.cfg.gbdt.num_trees {
-            let tree = self.train_tree(t as u32)?;
-            trees.push(tree);
-            self.tree_records.push(TreeRecord {
-                tree: t,
-                completed_at: self.started.elapsed(),
-                train_loss: self.cfg.gbdt.loss.mean_loss(&self.labels, &self.preds),
-            });
-            if let Some(sess) = &session {
-                let completed = t as u32 + 1;
-                if sess.should_checkpoint(completed) {
-                    sess.save_guest(completed, trees.clone(), self.preds.clone())?;
-                    self.telemetry.events.checkpoints_written += 1;
-                    self.telemetry.trace.note(format!("checkpoint written at {completed} trees"));
+        let mut t = resume_from as usize;
+        while t < self.cfg.gbdt.num_trees {
+            match self.train_tree(t as u32) {
+                Ok(tree) => {
+                    trees.push(tree);
+                    self.tree_records.push(TreeRecord {
+                        tree: t,
+                        completed_at: self.started.elapsed(),
+                        train_loss: self.cfg.gbdt.loss.mean_loss(&self.labels, &self.preds),
+                        party_set: self.party_set(),
+                    });
+                    if let Some(sess) = &session {
+                        let completed = t as u32 + 1;
+                        if sess.should_checkpoint(completed) {
+                            sess.save_guest(completed, trees.clone(), self.preds.clone())?;
+                            self.telemetry.events.checkpoints_written += 1;
+                            self.telemetry
+                                .trace
+                                .note(format!("checkpoint written at {completed} trees"));
+                        }
+                    }
+                    t += 1;
                 }
+                // A host died mid-tree and the policy makes that
+                // survivable. Only *tree-phase* losses are survivable:
+                // hello/resume failures above stay fatal, and a host that
+                // is already parked cannot be lost again.
+                Err(TrainError::PeerLost { party: PartyId::Host(h), phase, waited })
+                    if !matches!(self.cfg.on_host_loss, HostLossPolicy::Fail)
+                        && h < self.endpoints.len()
+                        && !self.parked[h] =>
+                {
+                    let original = TrainError::PeerLost { party: PartyId::Host(h), phase, waited };
+                    t = self.handle_host_loss(h, original, &mut trees, t)?;
+                }
+                Err(e) => return Err(e),
             }
         }
         self.broadcast(&Msg::Shutdown)?;
         // Linger until the hosts ack the goodbye (bounded by the peer
         // deadline): returning now would drop the endpoints, and a
         // Shutdown frame the fault plan dropped would die unacked — the
-        // host would see a disconnect instead of an orderly finish.
-        for ep in &self.endpoints {
-            ep.flush(self.cfg.peer_timeout);
+        // host would see a disconnect instead of an orderly finish. A
+        // parked host's link is dead; flushing it would only burn the
+        // full deadline.
+        for (h, ep) in self.endpoints.iter().enumerate() {
+            if !self.parked[h] {
+                ep.flush(self.cfg.peer_timeout);
+            }
         }
         Ok(trees)
+    }
+
+    // ------------------------------------------------------------------
+    // In-run host-failure survival (rejoin / degrade)
+    // ------------------------------------------------------------------
+
+    /// Policy dispatch after host `host` was lost at `completed` finished
+    /// trees. Returns the tree index training continues from.
+    fn handle_host_loss(
+        &mut self,
+        host: usize,
+        original: TrainError,
+        trees: &mut Vec<FedTree>,
+        completed: usize,
+    ) -> Result<usize, TrainError> {
+        match self.cfg.on_host_loss {
+            // Unreachable through the caller's guard; kept total.
+            HostLossPolicy::Fail => Err(original),
+            HostLossPolicy::AwaitRejoin { deadline } => {
+                self.rejoin_host(host, deadline, original, trees, completed)
+            }
+            HostLossPolicy::Degrade => {
+                self.park_host(host, completed)?;
+                Ok(completed)
+            }
+        }
+    }
+
+    /// `AwaitRejoin`: keep the session open, wait (bounded by the policy
+    /// deadline) for a restarted host process to present a newer-epoch
+    /// hello on a fresh link, then rewind every party to the last
+    /// mutually durable tree and re-execute from there. Training is
+    /// deterministic and the rewound trees were durable on both sides, so
+    /// the final model is bitwise identical to an uninterrupted run.
+    fn rejoin_host(
+        &mut self,
+        host: usize,
+        deadline: Duration,
+        original: TrainError,
+        trees: &mut Vec<FedTree>,
+        completed: usize,
+    ) -> Result<usize, TrainError> {
+        // Rejoin needs both a session (for the epoch fence and the
+        // checkpoints to rewind to) and a way to produce a fresh link.
+        let Some(sess) = self.session.clone() else {
+            self.telemetry
+                .trace
+                .note(format!("host-{host} lost with no session attached: rejoin impossible"));
+            return Err(original);
+        };
+        let Some(spawner) = self.spawner.clone() else {
+            self.telemetry
+                .trace
+                .note(format!("host-{host} lost with no respawner attached: rejoin impossible"));
+            return Err(original);
+        };
+        let my_sid = sess.session_id();
+        self.fsms[host].quarantine();
+        self.telemetry.events.quarantines += 1;
+        self.telemetry.trace.note(format!(
+            "host-{host} quarantined ({original}); holding the session open for rejoin"
+        ));
+        self.endpoints[host] = spawner.respawn(host)?;
+        self.hb_last[host] = Instant::now();
+        self.fsms[host].begin_rejoin();
+
+        // Wait for the restarted incarnation's hello and feature metadata
+        // on the fresh link. The epoch fence lives in the FSM: only a
+        // hello with a *newer* epoch is admitted, anything from the dead
+        // incarnation classifies as stale. Survivors are beaconed
+        // throughout so their guest-silence clocks do not trip meanwhile.
+        let t0 = Instant::now();
+        let mut durable_at_host: Option<Vec<u32>> = None;
+        let metas = loop {
+            if t0.elapsed() >= deadline {
+                self.telemetry
+                    .trace
+                    .note(format!("host-{host} missed the rejoin deadline {deadline:?}"));
+                return Err(original);
+            }
+            self.beacon_live_hosts()?;
+            let chunk = self
+                .cfg
+                .heartbeat_interval
+                .min(deadline.saturating_sub(t0.elapsed()))
+                .max(Duration::from_millis(1));
+            match self.endpoints[host].recv_timeout(chunk) {
+                Ok(env) if env.kind == HEARTBEAT_KIND => {}
+                Ok(env) => {
+                    let msg = Self::decode_from(host, env)?;
+                    match self.admit_from(host, msg)? {
+                        Some(Msg::SessionHello { session_id, epoch, durable }) => {
+                            if session_id != my_sid {
+                                return Err(TrainError::ResumeMismatch {
+                                    party: PartyId::Host(host),
+                                    detail: format!(
+                                        "rejoining host announced session {session_id}, \
+                                         guest runs session {my_sid}"
+                                    ),
+                                });
+                            }
+                            self.telemetry.trace.note(format!(
+                                "host-{host} rejoin hello: session {session_id} epoch {epoch}"
+                            ));
+                            durable_at_host = Some(durable);
+                        }
+                        Some(Msg::FeatureMeta(m)) => {
+                            if m.iter().any(|meta| meta.zero_bin >= meta.num_bins) {
+                                return Err(ProtocolError::UnexpectedMessage {
+                                    from: PartyId::Host(host),
+                                    kind: 1,
+                                    context: "FeatureMeta zero_bin out of range",
+                                }
+                                .into());
+                            }
+                            break m;
+                        }
+                        Some(other) => {
+                            return Err(ProtocolError::UnexpectedMessage {
+                                from: PartyId::Host(host),
+                                kind: other.kind(),
+                                context: "rejoin handshake",
+                            }
+                            .into())
+                        }
+                        None => {}
+                    }
+                }
+                // The replacement incarnation died too: the policy spent
+                // its respawn, so the loss is final.
+                Err(RecvError::Disconnected) => return Err(original),
+                Err(RecvError::Timeout) => {}
+            }
+        };
+        self.host_metas[host] = metas;
+
+        // The rewind target: the newest tree count durable at the guest
+        // AND the rejoined incarnation, never past what this run already
+        // completed (a stale checkpoint directory must not fast-forward
+        // the run).
+        let durable_at_host = durable_at_host.unwrap_or_default();
+        let mut common = sess.durable();
+        common.retain(|&k| durable_at_host.contains(&k) && k as usize <= completed);
+        let target = common.last().copied().unwrap_or(0);
+
+        // The rejoiner resumes from its checkpoint exactly like a fresh
+        // connect; the survivors rewind their in-memory state and ack.
+        self.send_to(host, &Msg::Resume { session_id: my_sid, tree_count: target })?;
+        self.rewind_survivors(target, Some(host))?;
+        self.rewind_guest_state(&sess, trees, target)?;
+        self.rejoined[host] += 1;
+        self.telemetry.events.rejoins += 1;
+        self.telemetry
+            .trace
+            .note(format!("host-{host} rejoined; training rewound to {target} trees"));
+        Ok(target as usize)
+    }
+
+    /// `Degrade`: permanently park a dead host and abort the in-flight
+    /// tree on the survivors, which rebuild it from the remaining
+    /// parties' features. No checkpoint is needed: leaf weights fold into
+    /// the predictions only on tree success, so the guest's model state
+    /// is exactly the `completed`-tree state, and each survivor's
+    /// in-memory split table is truncated by the rewind it is sent.
+    fn park_host(&mut self, host: usize, completed: usize) -> Result<(), TrainError> {
+        self.fsms[host].quarantine();
+        self.parked[host] = true;
+        self.parked_at[host] = completed as u32;
+        self.telemetry.events.quarantines += 1;
+        let active = self.parked.iter().filter(|&&p| !p).count();
+        self.telemetry.trace.note(format!(
+            "host-{host} parked at {completed} trees: degrading to {active} of {} hosts",
+            self.endpoints.len()
+        ));
+        self.rewind_survivors(completed as u32, None)
+    }
+
+    /// Sends `Rewind { tree_count }` to every live host except `except`
+    /// (the rejoiner, which resumes via `Resume` instead), then drains
+    /// each survivor's stream up to its `RewindAck`. The ack is a FIFO
+    /// barrier: every answer the survivor produced for the aborted tree
+    /// attempt precedes it on the wire, so after the drain nothing stale
+    /// can collide with the re-run's identically-numbered tasks.
+    fn rewind_survivors(
+        &mut self,
+        tree_count: u32,
+        except: Option<usize>,
+    ) -> Result<(), TrainError> {
+        let my_sid = self.session.as_ref().map_or(0, |s| s.session_id());
+        for h in 0..self.endpoints.len() {
+            if Some(h) == except || self.parked[h] {
+                continue;
+            }
+            self.send_to(h, &Msg::Rewind { session_id: my_sid, tree_count })?;
+            self.fsms[h].begin_drain();
+            match self.recv_from(h, ProtocolPhase::TreeBuild)? {
+                Msg::RewindAck { session_id, tree_count: acked }
+                    if session_id == my_sid && acked == tree_count => {}
+                Msg::RewindAck { .. } => {
+                    return Err(TrainError::ResumeMismatch {
+                        party: PartyId::Host(h),
+                        detail: "rewind ack names a different session or tree count".into(),
+                    });
+                }
+                other => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        from: PartyId::Host(h),
+                        kind: other.kind(),
+                        context: "waiting for the rewind ack",
+                    }
+                    .into())
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewinds the guest's own model state to `target` completed trees.
+    /// With per-tree checkpointing the target usually equals the trees
+    /// already built (the failure struck mid-tree), making this a no-op;
+    /// an older target reloads the guest checkpoint, and zero resets to
+    /// the base score.
+    fn rewind_guest_state(
+        &mut self,
+        sess: &PartySession,
+        trees: &mut Vec<FedTree>,
+        target: u32,
+    ) -> Result<(), TrainError> {
+        if trees.len() as u32 != target {
+            if target == 0 {
+                trees.clear();
+                self.preds = vec![self.cfg.gbdt.loss.base_score(); self.preds.len()];
+            } else {
+                let ck = sess.load_guest(target)?;
+                if ck.preds.len() != self.preds.len() {
+                    return Err(TrainError::ResumeMismatch {
+                        party: PartyId::Guest,
+                        detail: format!(
+                            "checkpoint holds {} prediction rows, dataset has {}",
+                            ck.preds.len(),
+                            self.preds.len()
+                        ),
+                    });
+                }
+                *trees = ck.trees;
+                self.preds = ck.preds;
+            }
+        }
+        self.tree_records.retain(|r| (r.tree as u32) < target);
+        Ok(())
+    }
+
+    /// Beacons a heartbeat at every host with a live link whose beacon is
+    /// due. Send-only supervision for waits (like a rejoin) where the
+    /// guest is otherwise silent toward the other hosts and must not be
+    /// declared dead by *their* silence clocks.
+    fn beacon_live_hosts(&mut self) -> Result<(), TrainError> {
+        let now = Instant::now();
+        for h in 0..self.endpoints.len() {
+            if self.parked[h] {
+                continue;
+            }
+            if now.duration_since(self.hb_last[h]) >= self.cfg.heartbeat_interval {
+                self.hb_last[h] = now;
+                let seq = self.hb_seq;
+                self.hb_seq += 1;
+                self.send_to(h, &Msg::Heartbeat { seq })?;
+                self.telemetry.events.heartbeats_sent += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-host robustness outcomes for a finished run.
+    fn host_outcomes(&self) -> Vec<HostOutcome> {
+        (0..self.endpoints.len())
+            .map(|h| {
+                if self.parked[h] {
+                    HostOutcome::Parked { tree_count: self.parked_at[h] }
+                } else if self.rejoined[h] > 0 {
+                    HostOutcome::Rejoined { rejoins: self.rejoined[h] }
+                } else {
+                    HostOutcome::Healthy
+                }
+            })
+            .collect()
+    }
+
+    /// The party set that trained the current tree, for the run report:
+    /// party 0 is the guest (always present), host `h` is party `h + 1`.
+    fn party_set(&self) -> Vec<u16> {
+        std::iter::once(0)
+            .chain((0..self.endpoints.len()).filter(|&h| !self.parked[h]).map(|h| (h + 1) as u16))
+            .collect()
     }
 
     fn collect_transfer_stats(&mut self) {
@@ -383,6 +756,17 @@ impl GuestParty {
             link.absorb(ep.send_stats());
         }
         self.telemetry.link = link;
+        // Per-peer breakout: lets the run report attribute
+        // retransmissions and RTO expiries to the specific flaky link.
+        self.telemetry.links = self
+            .endpoints
+            .iter()
+            .map(|ep| {
+                let mut l = LinkFaultEvents::default();
+                l.absorb(ep.send_stats());
+                l
+            })
+            .collect();
     }
 
     /// Declares host `h` lost after a failed wait that began at `t0`.
@@ -480,19 +864,25 @@ impl GuestParty {
 
     fn broadcast(&self, msg: &Msg) -> Result<(), TrainError> {
         let payload = wire::encode(msg).map_err(Self::encode_failed)?;
-        for ep in &self.endpoints {
-            ep.send(msg.kind(), payload.clone());
+        for (h, ep) in self.endpoints.iter().enumerate() {
+            if !self.parked[h] {
+                ep.send(msg.kind(), payload.clone());
+            }
         }
         Ok(())
     }
 
     /// Broadcasts a bulk protocol message, recording one transfer trace
-    /// event with the payload bytes summed over all destination links.
+    /// event with the payload bytes summed over all live destination
+    /// links (parked hosts receive nothing and cost nothing).
     fn broadcast_traced(&mut self, msg: &Msg, tree: u32) -> Result<(), TrainError> {
         let payload = wire::encode(msg).map_err(Self::encode_failed)?;
-        self.telemetry.trace.transfer(Some(tree), (payload.len() * self.endpoints.len()) as u64);
-        for ep in &self.endpoints {
-            ep.send(msg.kind(), payload.clone());
+        let active = self.parked.iter().filter(|&&p| !p).count();
+        self.telemetry.trace.transfer(Some(tree), (payload.len() * active) as u64);
+        for (h, ep) in self.endpoints.iter().enumerate() {
+            if !self.parked[h] {
+                ep.send(msg.kind(), payload.clone());
+            }
         }
         Ok(())
     }
@@ -542,19 +932,41 @@ impl GuestParty {
     /// Blocks until a protocol message arrives from `host`, transparently
     /// consuming heartbeats (they never reach the protocol drivers) and
     /// running liveness supervision, bounded by the per-phase deadline.
+    ///
+    /// Waiting is paced by an exponential-backoff schedule with
+    /// deterministic jitter: short waits stay responsive, long waits
+    /// converge to heartbeat-interval chunks. Each expired chunk counts
+    /// one *transfer retry* — a slow link being ridden out — while the
+    /// overall clock `t0` keeps judging whether the peer is dead. The
+    /// schedule only shapes wait granularity; it never touches any
+    /// model-determining state.
     fn recv_from(&mut self, host: usize, phase: ProtocolPhase) -> Result<Msg, TrainError> {
         let t0 = Instant::now();
+        let mut backoff = Backoff::new(
+            self.cfg.heartbeat_interval / 8,
+            self.cfg.heartbeat_interval,
+            self.cfg.seed.wrapping_add(host as u64),
+        );
         loop {
             let elapsed = t0.elapsed();
             if elapsed >= self.cfg.peer_timeout {
                 return Err(self.peer_lost(host, phase, t0, RecvError::Timeout));
             }
-            let chunk = self.cfg.heartbeat_interval.min(self.cfg.peer_timeout - elapsed);
+            let chunk = backoff.next_delay().min(self.cfg.peer_timeout - elapsed);
             match self.endpoints[host].recv_timeout(chunk) {
                 Ok(env) if env.kind == HEARTBEAT_KIND => continue,
                 Ok(env) => {
                     let msg = Self::decode_from(host, env)?;
                     if let Some(msg) = self.admit_from(host, msg)? {
+                        if backoff.attempts() >= 8 {
+                            // The schedule saturated several times over:
+                            // a genuinely slow transfer was ridden out,
+                            // worth a mark in the flight record.
+                            self.telemetry.trace.note(format!(
+                                "rode out a slow transfer from host-{host} after {} retries",
+                                backoff.attempts()
+                            ));
+                        }
                         self.telemetry.phases.idle += t0.elapsed();
                         return Ok(msg);
                     }
@@ -562,7 +974,10 @@ impl GuestParty {
                 Err(RecvError::Disconnected) => {
                     return Err(self.peer_lost(host, phase, t0, RecvError::Disconnected))
                 }
-                Err(RecvError::Timeout) => self.supervise(host, phase, t0)?,
+                Err(RecvError::Timeout) => {
+                    self.telemetry.events.transfer_retries += 1;
+                    self.supervise(host, phase, t0)?;
+                }
             }
         }
     }
@@ -573,42 +988,48 @@ impl GuestParty {
     /// accounted.
     fn recv_any(&mut self) -> Result<(usize, Msg), TrainError> {
         let phase = ProtocolPhase::TreeBuild;
-        if self.endpoints.len() == 1 {
-            return Ok((0, self.recv_from(0, phase)?));
-        }
-        let t0 = Instant::now();
-        let mut last_supervised = Instant::now();
-        loop {
-            for h in 0..self.endpoints.len() {
-                match self.endpoints[h].recv_timeout(Duration::from_micros(100)) {
-                    Ok(env) if env.kind == HEARTBEAT_KIND => {}
-                    Ok(env) => {
-                        let msg = Self::decode_from(h, env)?;
-                        if let Some(msg) = self.admit_from(h, msg)? {
-                            self.telemetry.phases.idle += t0.elapsed();
-                            return Ok((h, msg));
+        let live: Vec<usize> = (0..self.endpoints.len()).filter(|&h| !self.parked[h]).collect();
+        match live.as_slice() {
+            [] => Err(guest_invariant("waiting for host messages with every host parked")),
+            // Single live host: one blocking wait beats polling.
+            &[only] => Ok((only, self.recv_from(only, phase)?)),
+            live => {
+                let t0 = Instant::now();
+                let mut last_supervised = Instant::now();
+                loop {
+                    for &h in live {
+                        match self.endpoints[h].recv_timeout(Duration::from_micros(100)) {
+                            Ok(env) if env.kind == HEARTBEAT_KIND => {}
+                            Ok(env) => {
+                                let msg = Self::decode_from(h, env)?;
+                                if let Some(msg) = self.admit_from(h, msg)? {
+                                    self.telemetry.phases.idle += t0.elapsed();
+                                    return Ok((h, msg));
+                                }
+                            }
+                            // A vanished peer is reported immediately; mere
+                            // silence is judged by the shared deadline below.
+                            Err(RecvError::Disconnected) => {
+                                return Err(self.peer_lost(h, phase, t0, RecvError::Disconnected))
+                            }
+                            Err(RecvError::Timeout) => {}
                         }
                     }
-                    // A vanished peer is reported immediately; mere
-                    // silence is judged by the shared deadline below.
-                    Err(RecvError::Disconnected) => {
-                        return Err(self.peer_lost(h, phase, t0, RecvError::Disconnected))
+                    // Liveness supervision is per poll round, throttled so
+                    // the 100 µs polls do not spin through the heartbeat
+                    // clocks.
+                    if last_supervised.elapsed() >= Duration::from_millis(5) {
+                        last_supervised = Instant::now();
+                        for &h in live {
+                            self.supervise(h, phase, t0)?;
+                        }
                     }
-                    Err(RecvError::Timeout) => {}
+                    if t0.elapsed() > self.cfg.peer_timeout {
+                        // Every live host is silent; attribute the loss to
+                        // the first one (the specific index is arbitrary).
+                        return Err(self.peer_lost(live[0], phase, t0, RecvError::Timeout));
+                    }
                 }
-            }
-            // Liveness supervision is per poll round, throttled so the
-            // 100 µs polls do not spin through the heartbeat clocks.
-            if last_supervised.elapsed() >= Duration::from_millis(5) {
-                last_supervised = Instant::now();
-                for h in 0..self.endpoints.len() {
-                    self.supervise(h, phase, t0)?;
-                }
-            }
-            if t0.elapsed() > self.cfg.peer_timeout {
-                // Every host is silent; attribute the loss to the first
-                // one (the specific index is arbitrary here).
-                return Err(self.peer_lost(0, phase, t0, RecvError::Timeout));
             }
         }
     }
@@ -806,10 +1227,13 @@ impl GuestParty {
             node: node as u32,
             epoch: ctx.epoch[node],
         })?;
-        // Every host now legitimately owes one histogram for this exact
-        // (node, epoch); the admission layer holds them to it.
-        for fsm in &mut self.fsms {
-            fsm.task_sent(node as u32, ctx.epoch[node]);
+        // Every live host now legitimately owes one histogram for this
+        // exact (node, epoch); the admission layer holds them to it.
+        // Parked hosts were not sent the task and owe nothing.
+        for (h, fsm) in self.fsms.iter_mut().enumerate() {
+            if !self.parked[h] {
+                fsm.task_sent(node as u32, ctx.epoch[node]);
+            }
         }
         // Optimistic node-splitting: act on our own best split before the
         // hosts weigh in (§4.2). Speculation is bounded to ONE layer
@@ -827,8 +1251,10 @@ impl GuestParty {
             NodeState {
                 total,
                 guest_best,
+                // A parked host will never answer: pre-mark it received
+                // so resolution waits on the live hosts only.
                 host_best: vec![None; self.endpoints.len()],
-                host_received: vec![false; self.endpoints.len()],
+                host_received: self.parked.clone(),
                 already_split: speculate,
                 awaiting_placement: None,
                 resolved: false,
@@ -842,6 +1268,12 @@ impl GuestParty {
                 self.telemetry.events.optimistic_splits += 1;
                 self.materialize_children(ctx, node)?;
             }
+        }
+        // With every host parked no histogram will ever arrive: resolve
+        // on the guest's evidence alone, recursing through the children
+        // (their placements apply immediately).
+        if self.parked.iter().all(|&p| p) {
+            self.resolve(ctx, node)?;
         }
         Ok(true)
     }
@@ -1228,9 +1660,9 @@ impl GuestParty {
         ctx.rows.apply_placement(node, &placement);
         self.telemetry.phases.split_nodes += t0.elapsed();
         self.telemetry.trace.exit(TracePhase::Placement, Some(ctx.tree), Some(node as u32));
-        // Relay to the other hosts so their row lists stay aligned.
+        // Relay to the other live hosts so their row lists stay aligned.
         for other in 0..self.endpoints.len() {
-            if other != host {
+            if other != host && !self.parked[other] {
                 self.send_to(
                     other,
                     &Msg::ApplyPlacement {
@@ -1321,18 +1753,25 @@ impl GuestParty {
 
     fn run_tree_sequential(&mut self, ctx: &mut TreeCtx) -> Result<(), TrainError> {
         self.materialize(ctx, 0)?;
-        let mut active: Vec<NodeId> = ctx.states.keys().copied().collect();
+        // The root may already have resolved (all hosts parked resolves
+        // eagerly, recursing through the children): only unresolved nodes
+        // are active.
+        let mut active: Vec<NodeId> =
+            ctx.states.iter().filter(|(_, s)| !s.resolved).map(|(&n, _)| n).collect();
         // Histograms can arrive ahead of their layer (hosts start next-layer
         // tasks as soon as placements land), so the buffer persists across
         // layers.
         let mut buffered: HashMap<(usize, NodeId), HistPayload> = HashMap::new();
         while !active.is_empty() {
             // Phase 1: buffer every active node's histograms from every
-            // host before decrypting anything (BuildHistA fully precedes
-            // FindSplitA, as in the baseline's Gantt chart).
+            // live host before decrypting anything (BuildHistA fully
+            // precedes FindSplitA, as in the baseline's Gantt chart).
             let num_hosts = self.endpoints.len();
+            let parked = self.parked.clone();
             let needed = move |buf: &HashMap<(usize, NodeId), HistPayload>, active: &[NodeId]| {
-                active.iter().any(|&n| (0..num_hosts).any(|h| !buf.contains_key(&(h, n))))
+                active
+                    .iter()
+                    .any(|&n| (0..num_hosts).any(|h| !parked[h] && !buf.contains_key(&(h, n))))
             };
             while needed(&buffered, &active) {
                 let (host, msg) = self.recv_any()?;
@@ -1359,6 +1798,9 @@ impl GuestParty {
             let mut awaiting: Vec<NodeId> = Vec::new();
             for &node in &active {
                 for host in 0..self.endpoints.len() {
+                    if self.parked[host] {
+                        continue;
+                    }
                     let Some(payload) = buffered.remove(&(host, node)) else {
                         return Err(guest_invariant("layer wait ended with a histogram missing"));
                     };

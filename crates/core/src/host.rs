@@ -29,6 +29,7 @@ use crate::messages::{
     RawFeatureHist, HEARTBEAT_KIND,
 };
 use crate::model::HostSplitTable;
+use crate::retry::Backoff;
 use crate::rows::{NodeRows, RowMajorBins};
 use crate::session::{dead_after, PartySession};
 use crate::telemetry::{PartyTelemetry, Stopwatch};
@@ -472,24 +473,49 @@ impl HostParty {
     /// Blocks for the next protocol envelope, transparently consuming
     /// heartbeats and running liveness supervision, bounded by the
     /// per-phase deadline. Idle time is accounted.
+    ///
+    /// The wait is paced by a deterministic [`Backoff`]: retry chunks grow
+    /// from a fraction of the heartbeat interval up to exactly the
+    /// heartbeat interval, so a timeout on a *slow* transfer re-polls
+    /// quickly without ever loosening the liveness cadence. Each expired
+    /// chunk counts as one transfer retry; the overall `peer_timeout` and
+    /// silence-clock deadlines are untouched.
     fn next_envelope(&mut self) -> Result<Envelope, TrainError> {
         let t0 = Instant::now();
+        let mut backoff = Backoff::new(
+            self.cfg.heartbeat_interval / 8,
+            self.cfg.heartbeat_interval,
+            self.cfg.seed.wrapping_add(self.party_index as u64),
+        );
         loop {
             let elapsed = t0.elapsed();
             if elapsed >= self.cfg.peer_timeout {
                 return Err(self.guest_lost(t0, RecvError::Timeout));
             }
-            let chunk = self.cfg.heartbeat_interval.min(self.cfg.peer_timeout - elapsed);
+            let chunk = backoff.next_delay().min(self.cfg.peer_timeout - elapsed);
             match self.endpoint.recv_timeout(chunk) {
                 Ok(env) if env.kind == HEARTBEAT_KIND => continue,
                 Ok(env) => {
+                    // Only a wait that saturated the backoff schedule —
+                    // several heartbeat intervals of riding out — is worth
+                    // a note; routine one-chunk stalls would flood the
+                    // ring.
+                    if backoff.attempts() >= 8 {
+                        self.telemetry.trace.note(format!(
+                            "rode out a slow transfer from the guest after {} retries",
+                            backoff.attempts()
+                        ));
+                    }
                     self.telemetry.phases.idle += t0.elapsed();
                     return Ok(env);
                 }
                 Err(RecvError::Disconnected) => {
                     return Err(self.guest_lost(t0, RecvError::Disconnected))
                 }
-                Err(RecvError::Timeout) => self.supervise(t0)?,
+                Err(RecvError::Timeout) => {
+                    self.telemetry.events.transfer_retries += 1;
+                    self.supervise(t0)?;
+                }
             }
         }
     }
@@ -619,6 +645,17 @@ impl HostParty {
             Msg::NodeTask { tree, node, epoch } => {
                 self.phase = ProtocolPhase::TreeBuild;
                 self.ensure_tree(tree);
+                // Deterministic crash injection for the chaos suite: die
+                // *inside* the node loop, after this task was accepted but
+                // before its histogram answer — the worst spot for the
+                // guest, which now holds a half-built tree. Party 0 only,
+                // so multi-host runs keep live survivors.
+                if self.party_index == 0 && self.cfg.crash_host_on_node_task == Some((tree, node)) {
+                    panic!(
+                        "injected crash: host {} dying on node task ({tree}, {node})",
+                        self.party_index
+                    );
+                }
                 match self.task_epoch.get(&node) {
                     Some(&old) if old >= epoch => {
                         // The guest bumps the epoch before every task it
@@ -744,6 +781,34 @@ impl HostParty {
             }
             Msg::Resume { session_id, tree_count } => {
                 self.on_resume(session_id, tree_count)?;
+            }
+            Msg::Rewind { session_id, tree_count } => {
+                // A peer failure elsewhere forced the run back to
+                // `tree_count` completed trees. This host survived, so its
+                // in-memory split table is a superset of any checkpoint:
+                // truncating it *is* the rewind — no disk load needed. All
+                // in-flight tree state is void; the gradient stream of
+                // tree `tree_count` arrives next (the FSM already reset
+                // its row cursor on admission).
+                let my_sid = self.session.as_ref().map_or(0, |s| s.session_id());
+                if session_id != my_sid {
+                    return Err(TrainError::ResumeMismatch {
+                        party: PartyId::Guest,
+                        detail: format!(
+                            "guest rewound session {session_id}, host runs session {my_sid}"
+                        ),
+                    });
+                }
+                self.splits.splits.retain(|&(t, _), _| t < tree_count);
+                self.state = None;
+                self.task_queue.clear();
+                self.task_epoch.clear();
+                self.phase = ProtocolPhase::Gradients;
+                // The ack is a FIFO barrier: every answer this host sent
+                // for the aborted attempt precedes it on the wire, so the
+                // guest can drain stragglers deterministically.
+                self.send(&Msg::RewindAck { session_id, tree_count })?;
+                self.telemetry.trace.note(format!("rewound to {tree_count} trees mid-run"));
             }
             // Liveness beacon: the transport-level ack already answered it.
             Msg::Heartbeat { .. } => {}

@@ -52,6 +52,7 @@ pub mod messages;
 pub mod model;
 pub mod persist;
 pub mod protocol;
+pub mod retry;
 pub mod rows;
 pub mod session;
 pub mod telemetry;

@@ -205,6 +205,28 @@ pub enum Msg {
         /// Monotone per-sender beacon counter.
         seq: u64,
     },
+    /// guest → host, mid-run: a peer failure forced the run back to the
+    /// last mutually durable tree. Surviving hosts discard every split
+    /// recorded for trees `>= tree_count` along with any in-flight tree
+    /// state, and expect the gradient stream of tree `tree_count` next —
+    /// exactly the state a fresh `Resume { tree_count }` would produce.
+    Rewind {
+        /// Session identifier the guest was started with (0 = none).
+        session_id: u64,
+        /// The tree count training restarts from.
+        tree_count: u32,
+    },
+    /// host → guest, in answer to a [`Msg::Rewind`]: the host has
+    /// discarded its in-flight tree state. Because the link is FIFO, the
+    /// ack is a barrier — every answer the host produced for the aborted
+    /// attempt precedes it on the wire, so the guest drains its stream up
+    /// to the ack and knows everything after it belongs to the re-run.
+    RewindAck {
+        /// Session identifier echoed from the rewind.
+        session_id: u64,
+        /// The tree count echoed from the rewind.
+        tree_count: u32,
+    },
 }
 
 impl Msg {
@@ -225,6 +247,8 @@ impl Msg {
             Msg::Resume { .. } => 12,
             Msg::Heartbeat { .. } => 13,
             Msg::PackedGradBatch { .. } => 14,
+            Msg::Rewind { .. } => 15,
+            Msg::RewindAck { .. } => 16,
         }
     }
 }

@@ -145,10 +145,18 @@ impl FederatedModel {
                     };
                 }
                 FedNode::HostSplit { party } => {
-                    let s = self.host_tables[party as usize]
-                        .splits
-                        .get(&(t as u32, id as u32))
-                        .unwrap_or_else(|| panic!("host {party} lacks split ({t}, {id})"));
+                    // A missing host split is survivable, not a crash: a
+                    // host parked mid-run under the `Degrade` loss policy
+                    // (with no checkpoint to recover its table from)
+                    // leaves such holes. The instance cannot be routed
+                    // further, so this subtree contributes a neutral 0.0
+                    // to the margin — a graceful quality degradation that
+                    // keeps the rest of the ensemble servable.
+                    let Some(s) =
+                        self.host_tables[party as usize].splits.get(&(t as u32, id as u32))
+                    else {
+                        return 0.0;
+                    };
                     id = if host_rows[party as usize][s.feature] <= s.threshold {
                         left_child(id)
                     } else {

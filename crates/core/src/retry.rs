@@ -1,0 +1,124 @@
+//! Transfer-level retry pacing with deterministic exponential backoff.
+//!
+//! Large histogram transfers over a congested WAN can make a blocking
+//! receive time out many times while the peer is busily streaming — a
+//! *slow link*, not a *dead peer*. The receive loops in
+//! [`crate::guest`] and [`crate::host`] therefore wait in short retry
+//! chunks paced by [`Backoff`]: the first chunks are small (a fresh
+//! message is probably right behind the timeout), then grow
+//! exponentially up to the heartbeat interval so liveness beaconing and
+//! the silence clock keep their configured cadence. Each expired chunk
+//! is one *transfer retry*, counted in
+//! [`crate::telemetry::ProtocolEvents::transfer_retries`].
+//!
+//! The jitter is **deterministic** — a hash of a caller-supplied seed and
+//! the attempt index — because retry pacing runs inside parties whose
+//! models must be bitwise reproducible: timing may flex, but nothing here
+//! may introduce cross-run nondeterminism in any observable the run
+//! report compares. (Pacing never touches model-determining state either
+//! way; determinism of the schedule keeps chaos tests replayable.)
+
+use std::time::Duration;
+
+/// Deterministic exponential backoff over retry chunks.
+///
+/// `next_delay()` yields `base * 2^attempt` plus a seeded jitter of at
+/// most a quarter of the base, saturating at `cap`. `reset()` rewinds to
+/// the first attempt once real progress is observed.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    attempt: u32,
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Backoff {
+    /// A fresh schedule growing from `base` to `cap`, jittered by `seed`.
+    ///
+    /// A zero `base` is clamped to one millisecond (a zero-length receive
+    /// chunk would spin), and `cap` is raised to at least `base`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_millis(1));
+        Backoff { base, cap: cap.max(base), seed, attempt: 0 }
+    }
+
+    /// The next retry chunk; advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        // 2^attempt with the shift clamped so the multiplier can't
+        // overflow; the cap clamps the result anyway.
+        let factor = 1u32 << self.attempt.min(16);
+        let exp = self.base.saturating_mul(factor);
+        let jitter_unit = (self.base / 4).as_nanos() as u64;
+        let jitter = if jitter_unit == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(mix(self.seed ^ u64::from(self.attempt)) % jitter_unit)
+        };
+        self.attempt = self.attempt.saturating_add(1);
+        (exp + jitter).min(self.cap)
+    }
+
+    /// Retry chunks handed out since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Observed progress: the next wait starts back at `base`.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_to_the_cap_and_never_exceed_it() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(150);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut last = Duration::ZERO;
+        for _ in 0..12 {
+            let d = b.next_delay();
+            assert!(d >= base, "chunk below base: {d:?}");
+            assert!(d <= cap, "chunk above cap: {d:?}");
+            last = d;
+        }
+        assert_eq!(last, cap, "schedule must saturate at the cap");
+        assert_eq!(b.attempts(), 12);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() < cap / 2, "post-reset chunk restarts small");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(80), seed);
+            (0..8).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(3), mk(3), "same seed, same schedule");
+        assert_ne!(mk(3), mk(4), "different seeds must jitter apart");
+    }
+
+    #[test]
+    fn degenerate_bases_are_clamped() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO, 0);
+        let d = b.next_delay();
+        assert!(d >= Duration::from_millis(1));
+        // Overflowing attempt counts stay clamped at the cap.
+        for _ in 0..100 {
+            assert!(b.next_delay() <= Duration::from_millis(1));
+        }
+    }
+}

@@ -183,6 +183,17 @@ pub struct ProtocolEvents {
     /// least a full heartbeat interval (the precursor signal to
     /// declaring the peer dead at `peer_dead_after`).
     pub heartbeats_missed: u64,
+    /// Hosts this party quarantined after liveness supervision declared
+    /// them dead mid-run (guest only; each is also a trace note).
+    pub quarantines: u64,
+    /// Quarantined hosts that completed a live rejoin — a restarted
+    /// process replayed the session handshake and training rewound to the
+    /// last mutually durable tree (guest only).
+    pub rejoins: u64,
+    /// Transient receive timeouts ridden out by the transfer-level
+    /// retry/backoff layer instead of counting toward the liveness
+    /// deadline: the link was slow, not dead.
+    pub transfer_retries: u64,
 }
 
 impl ProtocolEvents {
@@ -266,8 +277,14 @@ pub struct PartyTelemetry {
     pub bytes_sent: u64,
     /// Messages this party sent across the WAN.
     pub messages_sent: u64,
-    /// Reliable-delivery and fault counters for this party's links.
+    /// Reliable-delivery and fault counters for this party's links,
+    /// summed over peers.
     pub link: LinkFaultEvents,
+    /// The same counters broken out per peer link, in peer order (one
+    /// entry per host for the guest; hosts have a single link and may
+    /// leave this empty). Lets a run report attribute retransmissions and
+    /// RTO expiries to the specific flaky link.
+    pub links: Vec<LinkFaultEvents>,
     /// Bounded structured trace ring (cap from
     /// [`crate::config::TrainConfig::trace_events_cap`], span gating from
     /// [`crate::config::TrainConfig::trace_spans`]).
@@ -288,7 +305,7 @@ pub struct TrainReport {
 }
 
 /// One tree's completion record.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeRecord {
     /// Tree index.
     pub tree: usize,
@@ -296,6 +313,12 @@ pub struct TreeRecord {
     pub completed_at: Duration,
     /// Mean training loss after this tree.
     pub train_loss: f64,
+    /// Host parties whose features participated in this tree's split
+    /// finding (the guest always participates). A full-strength tree
+    /// lists every host; a tree trained after a `Degrade` quarantine
+    /// omits the parked ones — the run report's per-tree audit of *who*
+    /// trained *what*.
+    pub party_set: Vec<u16>,
 }
 
 impl TrainReport {
@@ -365,10 +388,12 @@ impl TrainReport {
             .tree_records
             .iter()
             .map(|t| {
+                let party_set: Vec<String> = t.party_set.iter().map(|p| p.to_string()).collect();
                 let mut rec = JsonObj::new();
                 rec.u64("tree", t.tree as u64)
                     .f64("completed_at_s", t.completed_at.as_secs_f64())
-                    .f64("train_loss", t.train_loss);
+                    .f64("train_loss", t.train_loss)
+                    .raw("party_set", render_array(&party_set, 4));
                 rec.render(4)
             })
             .collect();
@@ -424,7 +449,10 @@ pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
         .u64("resumes", p.events.resumes)
         .u64("flight_record_failed", p.events.flight_record_failed)
         .u64("heartbeats_sent", p.events.heartbeats_sent)
-        .u64("heartbeats_missed", p.events.heartbeats_missed);
+        .u64("heartbeats_missed", p.events.heartbeats_missed)
+        .u64("quarantines", p.events.quarantines)
+        .u64("rejoins", p.events.rejoins)
+        .u64("transfer_retries", p.events.transfer_retries);
     let mut ops = JsonObj::new();
     ops.u64("enc", p.ops.enc)
         .u64("dec", p.ops.dec)
@@ -447,7 +475,9 @@ pub fn party_to_json(p: &PartyTelemetry, indent: usize) -> String {
         .raw("phases", phases_to_json(&p.phases, indent + 2))
         .raw("ops", ops.render(indent + 2))
         .raw("events", events.render(indent + 2))
-        .raw("link", link_to_json(&p.link, indent + 2))
+        .raw("link", link_to_json(&p.link, indent + 2));
+    let links: Vec<String> = p.links.iter().map(|l| link_to_json(l, indent + 4)).collect();
+    o.raw("links", render_array(&links, indent + 2))
         .u64("bytes_sent", p.bytes_sent)
         .u64("messages_sent", p.messages_sent)
         .raw("trace", trace.render(indent + 2));
@@ -521,6 +551,7 @@ mod tests {
             tree: 0,
             completed_at: Duration::from_millis(35),
             train_loss: 0.5,
+            party_set: vec![0],
         });
         let parsed = parse(&r.to_json()).expect("report parses");
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(RUN_REPORT_SCHEMA));
@@ -535,6 +566,33 @@ mod tests {
         let trees = parsed.get("trees").and_then(Json::as_arr).expect("trees");
         assert_eq!(trees.len(), 1);
         assert_eq!(trees[0].get("tree").and_then(Json::as_f64), Some(0.0));
+        let party_set = trees[0].get("party_set").and_then(Json::as_arr).expect("party_set");
+        assert_eq!(party_set.len(), 1);
+        assert_eq!(party_set[0].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn report_json_carries_robustness_counters_and_per_peer_links() {
+        use crate::json::{parse, Json};
+        let mut r = TrainReport::default();
+        r.guest.name = "guest".into();
+        r.guest.events.quarantines = 1;
+        r.guest.events.rejoins = 1;
+        r.guest.events.transfer_retries = 4;
+        r.guest.links = vec![
+            LinkFaultEvents { retransmissions: 2, ..Default::default() },
+            LinkFaultEvents { recv_timeouts: 1, ..Default::default() },
+        ];
+        let parsed = parse(&r.to_json()).expect("report parses");
+        let parties = parsed.get("parties").and_then(Json::as_arr).expect("parties");
+        let events = parties[0].get("events").expect("events");
+        assert_eq!(events.get("quarantines").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(events.get("rejoins").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(events.get("transfer_retries").and_then(Json::as_f64), Some(4.0));
+        let links = parties[0].get("links").and_then(Json::as_arr).expect("links");
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].get("retransmissions").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(links[1].get("recv_timeouts").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

@@ -7,20 +7,20 @@
 //! cross-party links — no shared state crosses the party boundary except
 //! the messages themselves.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
-use vf2_channel::{duplex_faulty, FaultConfig};
+use vf2_channel::{duplex_faulty, Endpoint, FaultConfig};
 use vf2_crypto::paillier::KeyPair;
 use vf2_crypto::suite::Suite;
 use vf2_gbdt::data::Dataset;
 
 use crate::config::{CryptoConfig, TrainConfig};
 use crate::error::{GuestFailure, HostFailure, PartyId, TrainError, TrainFailure};
-use crate::guest::run_guest;
+use crate::guest::{run_guest, HostOutcome, HostSpawner};
 use crate::host::run_host;
-use crate::model::FederatedModel;
+use crate::model::{FederatedModel, HostSplitTable};
 use crate::session::{PartySession, SessionConfig};
 use crate::telemetry::{PartyTelemetry, TrainReport};
 
@@ -50,6 +50,67 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 /// 0's fault stream.
 fn fault_for_host(base: FaultConfig, p: usize) -> FaultConfig {
     FaultConfig { seed: base.seed.wrapping_add(p as u64), ..base }
+}
+
+/// The trainer's [`HostSpawner`]: brings a lost host back as a fresh
+/// thread incarnation for the `AwaitRejoin` policy — the in-process
+/// equivalent of an orchestrator restarting a crashed host job.
+///
+/// The respawned incarnation runs with the chaos-injection knobs and the
+/// link-fault plans cleared (a replacement must not replay the injected
+/// failure that killed its predecessor) but keeps the WAN shaping and
+/// reliability parameters, so its link behaves like the original one.
+struct HostRespawner {
+    datasets: Vec<Arc<Dataset>>,
+    cfg: TrainConfig,
+    /// A public-half suite template; each respawn derives a fresh suite
+    /// (with its own operation counters) from it.
+    suite: Suite,
+    session: Option<SessionConfig>,
+    /// Joinable handles of every respawned incarnation, in spawn order.
+    /// The trainer drains these after the guest returns; the newest
+    /// incarnation's telemetry and split table supersede the original's.
+    handles: Mutex<Vec<(usize, RespawnedHandle)>>,
+}
+
+type RespawnedHandle = thread::JoinHandle<Result<(PartyTelemetry, HostSplitTable), HostFailure>>;
+
+impl HostSpawner for HostRespawner {
+    fn respawn(&self, party: usize) -> Result<Endpoint, TrainError> {
+        let cfg = TrainConfig {
+            fault_guest_to_host: FaultConfig::none(),
+            fault_host_to_guest: FaultConfig::none(),
+            crash_host_on_node_task: None,
+            crash_host_after_trees: None,
+            crash_hist_worker_on_tree: None,
+            ..self.cfg
+        };
+        let data = self.datasets.get(party).cloned().ok_or_else(|| TrainError::Setup {
+            party: PartyId::Host(party),
+            detail: "respawn requested for an unknown host index".into(),
+        })?;
+        let (guest_ep, host_ep) =
+            duplex_faulty(cfg.wan, FaultConfig::none(), FaultConfig::none(), cfg.reliability);
+        let host_suite = match cfg.crypto {
+            CryptoConfig::Paillier { .. } => self.suite.public_half(),
+            CryptoConfig::Mock => Suite::plain(cfg.encoding),
+        };
+        let host_session = self.session.as_ref().map(|sc| PartySession::host(sc, &cfg, party));
+        let mut handles = self.handles.lock().map_err(|_| TrainError::Setup {
+            party: PartyId::Host(party),
+            detail: "respawn bookkeeping poisoned".into(),
+        })?;
+        let incarnation = handles.iter().filter(|(p, _)| *p == party).count() + 2;
+        let handle = thread::Builder::new()
+            .name(format!("vf2-host-{party}-r{incarnation}"))
+            .spawn(move || run_host(party, data, cfg, host_suite, host_ep, host_session))
+            .map_err(|e| TrainError::Setup {
+                party: PartyId::Host(party),
+                detail: format!("respawn thread failed: {e}"),
+            })?;
+        handles.push((party, handle));
+        Ok(guest_ep)
+    }
 }
 
 /// Trains a federated GBDT over vertically partitioned data.
@@ -86,6 +147,13 @@ pub fn train_federated_session(
     cfg: &TrainConfig,
     session: Option<&SessionConfig>,
 ) -> Result<TrainOutput, TrainFailure> {
+    // Liveness and loss-policy knobs are validated before any thread,
+    // link, or key material exists: an unsatisfiable configuration (a
+    // beacon slower than the silence deadline, a rejoin window no restart
+    // could meet) is a typed error, never a silent mis-train.
+    if let Err(bad) = cfg.validate() {
+        return Err(TrainError::from(bad).into());
+    }
     if let Some(sc) = session {
         std::fs::create_dir_all(&sc.dir).map_err(|e| TrainError::Checkpoint {
             party: PartyId::Guest,
@@ -125,9 +193,10 @@ pub fn train_federated_session(
     };
 
     let started = Instant::now();
+    let host_datasets: Vec<Arc<Dataset>> = hosts.iter().map(|h| Arc::new(h.clone())).collect();
     let mut host_handles = Vec::with_capacity(hosts.len());
     let mut guest_endpoints = Vec::with_capacity(hosts.len());
-    for (p, host_data) in hosts.iter().enumerate() {
+    for (p, data) in host_datasets.iter().enumerate() {
         let (guest_ep, host_ep) = duplex_faulty(
             cfg.wan,
             fault_for_host(cfg.fault_guest_to_host, p),
@@ -135,7 +204,7 @@ pub fn train_federated_session(
             cfg.reliability,
         );
         guest_endpoints.push(guest_ep);
-        let data = Arc::new(host_data.clone());
+        let data = Arc::clone(data);
         let host_suite = match cfg.crypto {
             CryptoConfig::Paillier { .. } => guest_suite.public_half(),
             CryptoConfig::Mock => Suite::plain(cfg.encoding),
@@ -152,16 +221,49 @@ pub fn train_federated_session(
         host_handles.push(handle);
     }
 
+    let respawner = Arc::new(HostRespawner {
+        datasets: host_datasets,
+        cfg: *cfg,
+        suite: match cfg.crypto {
+            CryptoConfig::Paillier { .. } => guest_suite.public_half(),
+            CryptoConfig::Mock => Suite::plain(cfg.encoding),
+        },
+        session: session.cloned(),
+        handles: Mutex::new(Vec::new()),
+    });
     let guest_session = session.map(|sc| PartySession::guest(sc, cfg));
-    let guest_result =
-        run_guest(Arc::new(guest.clone()), *cfg, guest_suite, guest_endpoints, guest_session);
+    let guest_result = run_guest(
+        Arc::new(guest.clone()),
+        *cfg,
+        guest_suite,
+        guest_endpoints,
+        guest_session,
+        Some(respawner.clone() as Arc<dyn HostSpawner>),
+    );
     let wall_time = started.elapsed();
 
-    let (guest_telemetry, tree_records, guest_ok, guest_error) = match guest_result {
-        Ok(out) => (out.telemetry, out.tree_records, Some((out.trees, out.train_margins)), None),
+    let (guest_telemetry, tree_records, guest_ok, guest_error, host_outcomes) = match guest_result {
+        Ok(out) => (
+            out.telemetry,
+            out.tree_records,
+            Some((out.trees, out.train_margins)),
+            None,
+            out.host_outcomes,
+        ),
         Err(GuestFailure { error, telemetry, tree_records }) => {
-            (*telemetry, tree_records, None, Some(error))
+            (*telemetry, tree_records, None, Some(error), Vec::new())
         }
+    };
+    // A host incarnation that died under a loss policy the guest then
+    // survived (it rejoined, or the run degraded around it) is an
+    // *expected* death: its error must not masquerade as the run's
+    // primary failure. Outcomes exist only when the guest succeeded, so
+    // any real failure still surfaces.
+    let expected_death = |p: usize| {
+        matches!(
+            host_outcomes.get(p),
+            Some(HostOutcome::Rejoined { .. } | HostOutcome::Parked { .. })
+        )
     };
 
     // Join every host even after a failure: their partial telemetry still
@@ -169,27 +271,87 @@ pub fn train_federated_session(
     // rather than poisoning the caller.
     let mut first_host_error = None;
     let mut host_telemetry = Vec::with_capacity(host_handles.len());
-    let mut host_tables = Vec::with_capacity(host_handles.len());
+    let mut host_tables: Vec<Option<HostSplitTable>> = Vec::with_capacity(host_handles.len());
     for (p, handle) in host_handles.into_iter().enumerate() {
         match handle.join() {
             Ok(Ok((telemetry, table))) => {
                 host_telemetry.push(telemetry);
-                host_tables.push(table);
+                host_tables.push(Some(table));
             }
             Ok(Err(HostFailure { error, telemetry })) => {
                 host_telemetry.push(*telemetry);
-                first_host_error.get_or_insert(error);
+                host_tables.push(None);
+                if !expected_death(p) {
+                    first_host_error.get_or_insert(error);
+                }
             }
             Err(payload) => {
                 host_telemetry
                     .push(PartyTelemetry { name: format!("host-{p}"), ..Default::default() });
-                first_host_error.get_or_insert(TrainError::PartyPanicked {
-                    party: PartyId::Host(p),
-                    detail: panic_detail(payload),
-                });
+                host_tables.push(None);
+                if !expected_death(p) {
+                    first_host_error.get_or_insert(TrainError::PartyPanicked {
+                        party: PartyId::Host(p),
+                        detail: panic_detail(payload),
+                    });
+                }
             }
         }
     }
+
+    // Respawned incarnations joined in spawn order: for a host that died
+    // more than once, the newest incarnation's telemetry and split table
+    // win (earlier ones are the expected deaths the guest survived).
+    let respawned = match respawner.handles.lock() {
+        Ok(mut guard) => guard.drain(..).collect::<Vec<_>>(),
+        Err(_) => Vec::new(),
+    };
+    for (p, handle) in respawned {
+        match handle.join() {
+            Ok(Ok((telemetry, table))) => {
+                if let Some(slot) = host_telemetry.get_mut(p) {
+                    *slot = telemetry;
+                }
+                if let Some(slot) = host_tables.get_mut(p) {
+                    *slot = Some(table);
+                }
+            }
+            Ok(Err(HostFailure { error, telemetry })) => {
+                if let Some(slot) = host_telemetry.get_mut(p) {
+                    *slot = *telemetry;
+                }
+                if !expected_death(p) {
+                    first_host_error.get_or_insert(error);
+                }
+            }
+            Err(payload) => {
+                if !expected_death(p) {
+                    first_host_error.get_or_insert(TrainError::PartyPanicked {
+                        party: PartyId::Host(p),
+                        detail: panic_detail(payload),
+                    });
+                }
+            }
+        }
+    }
+
+    // A parked host left no live thread to hand its split table over;
+    // recover it from the session checkpoint taken at the park point so
+    // the degraded model still serves that host's earlier splits.
+    if let Some(sc) = session {
+        for (p, outcome) in host_outcomes.iter().enumerate() {
+            if let HostOutcome::Parked { tree_count } = outcome {
+                if *tree_count > 0 && host_tables.get(p).is_some_and(|t| t.is_none()) {
+                    if let Ok(ck) = PartySession::host(sc, cfg, p).load_host(*tree_count, p as u32)
+                    {
+                        host_tables[p] = Some(ck.table);
+                    }
+                }
+            }
+        }
+    }
+    let host_tables: Vec<HostSplitTable> =
+        host_tables.into_iter().map(Option::unwrap_or_default).collect();
 
     let report =
         TrainReport { guest: guest_telemetry, hosts: host_telemetry, wall_time, tree_records };
@@ -448,6 +610,27 @@ mod tests {
         let margins = out.model.predict_margin(&[&s.hosts[0]], &s.guest);
         let a = auc(labels(&s.guest), &margins);
         assert!(a > 0.7, "train AUC {a}");
+    }
+
+    #[test]
+    fn unsatisfiable_liveness_config_is_a_typed_error() {
+        use crate::error::{ConfigError, TrainError};
+        use std::time::Duration;
+        let s = scenario(50, 4, 2, 32);
+        // A beacon slower than the silence deadline could never keep an
+        // idle-but-healthy link alive; the run must refuse to start.
+        let cfg = TrainConfig { heartbeat_interval: Duration::from_secs(120), ..mock_cfg() };
+        let err = train_federated(&s.hosts, &s.guest, &cfg).unwrap_err();
+        assert!(matches!(
+            err.error,
+            TrainError::InvalidConfig(ConfigError::HeartbeatSlowerThanDeadline { .. })
+        ));
+        // Nothing ran: the failure precedes thread spawn and key setup.
+        assert!(err.partial.hosts.is_empty());
+
+        let cfg = TrainConfig { peer_timeout: Duration::ZERO, ..mock_cfg() };
+        let err = train_federated(&s.hosts, &s.guest, &cfg).unwrap_err();
+        assert!(matches!(err.error, TrainError::InvalidConfig(ConfigError::ZeroPeerTimeout)));
     }
 
     #[test]

@@ -357,6 +357,14 @@ pub fn encode(msg: &Msg) -> Result<Bytes, WireError> {
         Msg::Heartbeat { seq } => {
             e.put_u64(*seq);
         }
+        Msg::Rewind { session_id, tree_count } => {
+            e.put_u64(*session_id);
+            e.put_u32(*tree_count);
+        }
+        Msg::RewindAck { session_id, tree_count } => {
+            e.put_u64(*session_id);
+            e.put_u32(*tree_count);
+        }
     }
     Ok(e.finish())
 }
@@ -473,6 +481,8 @@ pub fn decode(kind: u16, payload: Bytes) -> Result<Msg, WireError> {
         }
         12 => Msg::Resume { session_id: d.get_u64()?, tree_count: d.get_u32()? },
         13 => Msg::Heartbeat { seq: d.get_u64()? },
+        15 => Msg::Rewind { session_id: d.get_u64()?, tree_count: d.get_u32()? },
+        16 => Msg::RewindAck { session_id: d.get_u64()?, tree_count: d.get_u32()? },
         14 => {
             let tree = d.get_u32()?;
             let start_row = d.get_u32()?;
@@ -646,7 +656,7 @@ mod tests {
         assert!(matches!(decode(99, Bytes::new()), Err(WireError::BadTag("message kind", 99))));
     }
 
-    /// One representative message per kind (1–14), with real ciphertext
+    /// One representative message per kind (1–15), with real ciphertext
     /// payloads where the kind carries any.
     fn sample_messages() -> Vec<Msg> {
         let c = paillier_ciphers(4);
@@ -688,6 +698,8 @@ mod tests {
             Msg::SessionHello { session_id: 0xFACE, epoch: 3, durable: vec![1, 2, 5] },
             Msg::Resume { session_id: 0xFACE, tree_count: 5 },
             Msg::Heartbeat { seq: 17 },
+            Msg::Rewind { session_id: 0xFACE, tree_count: 3 },
+            Msg::RewindAck { session_id: 0xFACE, tree_count: 3 },
         ]
     }
 
@@ -697,6 +709,9 @@ mod tests {
         round_trip(Msg::SessionHello { session_id: u64::MAX, epoch: 9, durable: vec![0, 7, 31] });
         round_trip(Msg::Resume { session_id: 0, tree_count: 0 });
         round_trip(Msg::Heartbeat { seq: u64::MAX });
+        round_trip(Msg::Rewind { session_id: 0, tree_count: 0 });
+        round_trip(Msg::Rewind { session_id: u64::MAX, tree_count: u32::MAX });
+        round_trip(Msg::RewindAck { session_id: 7, tree_count: 2 });
     }
 
     #[test]

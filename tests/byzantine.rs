@@ -262,7 +262,7 @@ fn spawn_guest(
     let data = guest_data();
     let suite = Suite::plain(cfg.encoding);
     let handle =
-        std::thread::spawn(move || run_guest(data, cfg, suite, vec![guest_ep], None).err());
+        std::thread::spawn(move || run_guest(data, cfg, suite, vec![guest_ep], None, None).err());
     (host_ep, handle)
 }
 
