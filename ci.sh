@@ -66,6 +66,15 @@ if grep -n "debug_assert" \
   exit 1
 fi
 
+# Many-party chaos gate: 8 hosts behind heterogeneous faulty WANs
+# (rolling staggered stalls, reordering links, a bandwidth/latency
+# spread) must train bitwise-identical models under the lockstep and
+# pipelined schedulers in every protocol mode, and a mid-run
+# kill-and-rejoin under the pipelined scheduler must hold the rewind
+# barrier. The outer timeout turns a scheduler livelock into a failure.
+echo "== many-party scheduler chaos gate (8 hosts, 10 min cap) =="
+timeout 600 cargo test -q --test many_party
+
 # GH-packing losslessness gate: with forward-path (g, h) pair packing on,
 # every protocol mode x bignum backend must reproduce the unpacked run's
 # split decisions exactly (bitwise-identical final margins). The outer
@@ -104,6 +113,24 @@ jq -e '
     (((.encrypt_s + .build_hist_enc_s + .build_hist_plain_s
        + .pack_s + .decrypt_find_s + .split_nodes_s) - .busy_s) | fabs) < 1e-5
     and .busy_s <= $wall + 1.0)' "$REPORT" > /dev/null
+rm -f "$REPORT"
+
+# Pipelined-scheduler overlap gate: an 8-host smoke run under the
+# event-driven scheduler must show real phase overlap in its run report —
+# every party's busy time exceeds its largest single phase (work in at
+# least two phases interleaved instead of one phase serializing the
+# party), and the guest actually drained multi-answer batches from the
+# event queue (more answers than batches).
+echo "== pipelined scheduler overlap gate (8 hosts, jq) =="
+REPORT=$(mktemp /tmp/vf2_pipelined_report.XXXXXX.json)
+VF2_KEY_BITS=256 cargo run --release -q -p vf2-bench --bin perf_smoke -- --report-pipelined "$REPORT"
+jq -e '.schema == "vf2boost-run-report/v1" and (.parties | length) == 9' "$REPORT" > /dev/null
+jq -e '
+  all(.parties[]; .phases |
+    ([.encrypt_s, .build_hist_enc_s, .build_hist_plain_s,
+      .pack_s, .decrypt_find_s, .split_nodes_s] | max) < .busy_s)' "$REPORT" > /dev/null
+jq -e '.parties[0].events |
+  .sched_batches > 0 and .sched_batch_hists > .sched_batches' "$REPORT" > /dev/null
 rm -f "$REPORT"
 
 echo "CI OK"

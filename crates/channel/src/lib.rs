@@ -40,5 +40,8 @@ pub mod malfeasant;
 
 pub use codec::{checksum, Checksum, Decoder, Encoder};
 pub use fault::{FaultConfig, ReliabilityConfig, StallWindow};
-pub use link::{duplex, duplex_faulty, Endpoint, Envelope, LinkStats, RecvError, WanConfig};
+pub use link::{
+    duplex, duplex_faulty, recv_ready, Endpoint, Envelope, LinkStats, RecvError, RecvReady,
+    WanConfig,
+};
 pub use malfeasant::{MalfeasantPeer, Misdeed};

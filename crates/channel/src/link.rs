@@ -359,6 +359,85 @@ impl Drop for Endpoint {
     }
 }
 
+/// Outcome of a [`recv_ready`] wait across several endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvReady {
+    /// A message fully arrived on `endpoints[idx]`.
+    Msg(usize, Envelope),
+    /// `endpoints[idx]` is torn down and its delivery queue is drained.
+    Disconnected(usize),
+    /// Nothing arrived anywhere within the timeout.
+    Timeout,
+}
+
+/// Waits on several endpoints at once, returning the first fully-arrived
+/// message — or which endpoint disconnected, or a timeout.
+///
+/// This is the wakeup-based primitive a multi-party driver builds its
+/// event queue on: the calling thread parks on every delivery queue
+/// simultaneously (one shared condvar-backed waker registered on each
+/// queue) instead of round-robin polling each endpoint with a short
+/// `recv_timeout` — which burns a full core the moment two or more peers
+/// are live.
+///
+/// Two properties callers rely on:
+///
+/// * **Deterministic harvest order.** When several endpoints have a
+///   message ready, the *lowest index* wins, not `Select`'s randomized
+///   pick. (Protocol determinism must never depend on this — decisions
+///   key off complete per-node message sets — but a stable order keeps
+///   traces and fault attribution reproducible.)
+/// * **No consumption on timeout.** Like [`Endpoint::recv_timeout`], a
+///   `Timeout` result consumes nothing; callers retry or escalate.
+pub fn recv_ready(endpoints: &[&Endpoint], timeout: Duration) -> RecvReady {
+    use crossbeam::channel::{TryRecvError, Waker};
+    let deadline = Instant::now() + timeout;
+    if endpoints.is_empty() {
+        thread::sleep(timeout);
+        return RecvReady::Timeout;
+    }
+    // Register the shared waker on every queue *before* the readiness
+    // scan: a delivery racing the scan latches the waker, so the wakeup
+    // cannot be lost between scan and park.
+    let waker = Waker::new();
+    for ep in endpoints {
+        ep.delivered_rx.register_waker(&waker);
+    }
+    let outcome = loop {
+        // Index-ordered harvest: scan for anything already delivered (or
+        // a torn-down queue) before parking. The lowest index wins ties.
+        let mut hit = None;
+        for (idx, ep) in endpoints.iter().enumerate() {
+            match ep.delivered_rx.try_recv() {
+                Ok(env) => {
+                    hit = Some(RecvReady::Msg(idx, env));
+                    break;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    hit = Some(RecvReady::Disconnected(idx));
+                    break;
+                }
+            }
+        }
+        if let Some(outcome) = hit {
+            break outcome;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break RecvReady::Timeout;
+        }
+        // Park until some queue signals (delivery or disconnect); then
+        // loop back and classify via the index-ordered scan. A spurious
+        // or already-consumed wakeup simply re-parks for the remainder.
+        waker.wait_timeout(remaining);
+    };
+    for ep in endpoints {
+        ep.delivered_rx.clear_waker(&waker);
+    }
+    outcome
+}
+
 fn sleep_until(deadline: Instant) {
     let now = Instant::now();
     if deadline > now {
@@ -800,6 +879,68 @@ mod tests {
     fn try_recv_returns_none_when_empty() {
         let (_a, b) = duplex(WanConfig::instant());
         assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn recv_ready_wakes_on_any_endpoint() {
+        let (a1, b1) = duplex(WanConfig::instant());
+        let (_a2, b2) = duplex(WanConfig::instant());
+        a1.send(7, Bytes::from_static(b"wake"));
+        match recv_ready(&[&b2, &b1], Duration::from_secs(5)) {
+            RecvReady::Msg(idx, env) => {
+                assert_eq!(idx, 1);
+                assert_eq!(env.kind, 7);
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_ready_times_out_without_spinning() {
+        let (_a1, b1) = duplex(WanConfig::instant());
+        let (_a2, b2) = duplex(WanConfig::instant());
+        let t0 = Instant::now();
+        assert_eq!(recv_ready(&[&b1, &b2], Duration::from_millis(40)), RecvReady::Timeout);
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn recv_ready_prefers_the_lowest_index() {
+        let (a1, b1) = duplex(WanConfig::instant());
+        let (a2, b2) = duplex(WanConfig::instant());
+        a1.send(1, Bytes::from_static(b"one"));
+        a2.send(2, Bytes::from_static(b"two"));
+        // Let both deliveries land so the pick is a genuine tie-break.
+        thread::sleep(Duration::from_millis(50));
+        match recv_ready(&[&b1, &b2], Duration::from_secs(5)) {
+            RecvReady::Msg(idx, env) => {
+                assert_eq!(idx, 0, "index order must win the tie");
+                assert_eq!(env.kind, 1);
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_ready_names_the_disconnected_endpoint() {
+        let (_a1, b1) = duplex(WanConfig::instant());
+        let (a2, b2) = duplex(WanConfig::instant());
+        drop(a2);
+        // Give the teardown cascade a moment to drain the delivery queue.
+        thread::sleep(Duration::from_millis(200));
+        assert_eq!(recv_ready(&[&b1, &b2], Duration::from_secs(5)), RecvReady::Disconnected(1));
+    }
+
+    #[test]
+    fn recv_ready_consumes_nothing_on_timeout() {
+        let (a1, b1) = duplex(WanConfig::instant());
+        let (_a2, b2) = duplex(WanConfig::instant());
+        assert_eq!(recv_ready(&[&b1, &b2], Duration::from_millis(20)), RecvReady::Timeout);
+        a1.send(9, Bytes::from_static(b"later"));
+        match recv_ready(&[&b1, &b2], Duration::from_secs(5)) {
+            RecvReady::Msg(0, env) => assert_eq!(env.kind, 9),
+            other => panic!("expected message on 0, got {other:?}"),
+        }
     }
 
     #[test]

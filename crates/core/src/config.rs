@@ -52,6 +52,48 @@ pub enum HostLossPolicy {
     Degrade,
 }
 
+/// How the guest drives its hosts through each tree.
+///
+/// Like the liveness knobs, the scheduler is deliberately excluded from
+/// the session config digest: it changes *when* work runs, never the
+/// model — per-node split decisions fire only once every live host's
+/// histogram for that node has been admitted, and the winner scan walks
+/// hosts in index order, so admission order (not arrival order) fixes
+/// the outcome under either scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Phase-lockstep waits (the pre-existing behavior, and the
+    /// default): the sequential protocol drains each layer's histograms
+    /// before any placement, the optimistic protocol handles one event
+    /// at a time.
+    Lockstep,
+    /// Event-driven per-party pipelining: both protocols run through the
+    /// arrival-order event loop, already-arrived histograms are drained
+    /// in batches of up to [`TrainConfig::pipeline_depth`] and decrypted
+    /// in parallel on the guest's worker pool, so one host's transfer
+    /// and decryption overlap another host's HAdd and the guest's own
+    /// plaintext histogram build.
+    Pipelined,
+}
+
+/// Heterogeneous WAN spread across host links: link `p` of `n` gets its
+/// bandwidth and latency interpolated linearly from the base
+/// [`TrainConfig::wan`] (host 0) to `slowest_bandwidth_frac` /
+/// `latency_mult` times the base (the last host). Models the paper's
+/// cross-enterprise reality where every party connects over a different
+/// public link and makespan is bound by the slowest one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanSpread {
+    /// The slowest link's bandwidth as a fraction of the base link's
+    /// (e.g. `0.25` = the last host gets a quarter of the bandwidth).
+    /// Must be finite and positive.
+    pub slowest_bandwidth_frac: f64,
+    /// The slowest link's latency as a multiple of the base link's
+    /// (e.g. `4.0` = the last host sits four RTT-classes away). Must be
+    /// finite and at least zero.
+    pub latency_mult: f64,
+}
+
 /// Everything needed to run one federated training job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
@@ -147,6 +189,25 @@ pub struct TrainConfig {
     /// flag — like `crypto_backend` — is deliberately excluded from the
     /// session config digest by living outside the digested sub-configs.
     pub gh_packing: bool,
+    /// Which scheduler drives the hosts (see [`Scheduler`]). Excluded
+    /// from the session config digest: the trained model is bitwise
+    /// identical under either value.
+    pub scheduler: Scheduler,
+    /// Under [`Scheduler::Pipelined`], how many already-arrived
+    /// histogram payloads the guest drains into one parallel decrypt
+    /// batch before committing results (in deterministic `(node, host)`
+    /// order). `1` degenerates to one-at-a-time event handling; larger
+    /// values let slow-link transfers overlap the decrypt of whatever
+    /// already landed. Must be at least 1.
+    pub pipeline_depth: usize,
+    /// Optional heterogeneous WAN spread across host links (see
+    /// [`WanSpread`]). `None` gives every link the base [`Self::wan`].
+    pub wan_spread: Option<WanSpread>,
+    /// Staggers each host's injected stall window
+    /// ([`FaultConfig::stall`]) by `host_index × stall_stagger`, so a
+    /// many-party chaos run exercises *rolling* per-link stalls instead
+    /// of one synchronized outage. Zero leaves the plans unshifted.
+    pub stall_stagger: Duration,
     /// Data-parallel workers inside each party (shards per histogram
     /// build; also the rayon pool width per party).
     pub workers: usize,
@@ -179,6 +240,10 @@ impl Default for TrainConfig {
             crash_hist_worker_on_tree: None,
             misbehavior_budget: 0,
             gh_packing: false,
+            scheduler: Scheduler::Lockstep,
+            pipeline_depth: 4,
+            wan_spread: None,
+            stall_stagger: Duration::ZERO,
             workers: 1,
             seed: 42,
         }
@@ -209,7 +274,41 @@ impl TrainConfig {
                 });
             }
         }
+        if self.pipeline_depth == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
+        }
+        if let Some(spread) = self.wan_spread {
+            let bw_ok =
+                spread.slowest_bandwidth_frac.is_finite() && spread.slowest_bandwidth_frac > 0.0;
+            let lat_ok = spread.latency_mult.is_finite() && spread.latency_mult >= 0.0;
+            if !bw_ok || !lat_ok {
+                return Err(ConfigError::InvalidWanSpread {
+                    bandwidth_frac: spread.slowest_bandwidth_frac,
+                    latency_mult: spread.latency_mult,
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// The WAN characteristics of host `p`'s link out of `total` hosts:
+    /// the base [`Self::wan`] when no [`Self::wan_spread`] is set, else a
+    /// linear interpolation from the base (host 0) down to the spread's
+    /// slowest point (the last host). A single-host run always gets the
+    /// base link.
+    pub fn wan_for_host(&self, p: usize, total: usize) -> WanConfig {
+        let Some(spread) = self.wan_spread else { return self.wan };
+        if total <= 1 {
+            return self.wan;
+        }
+        let t = p as f64 / (total - 1) as f64;
+        let bw_frac = 1.0 + t * (spread.slowest_bandwidth_frac - 1.0);
+        let lat_mult = 1.0 + t * (spread.latency_mult - 1.0);
+        WanConfig {
+            bandwidth_bytes_per_sec: self.wan.bandwidth_bytes_per_sec * bw_frac,
+            latency: self.wan.latency.mul_f64(lat_mult.max(0.0)),
+            per_message_overhead_bytes: self.wan.per_message_overhead_bytes,
+        }
     }
 
     /// A configuration sized for unit tests: small key, instant network,
@@ -272,5 +371,55 @@ mod tests {
         let c = TrainConfig::for_tests();
         assert!(matches!(c.crypto, CryptoConfig::Paillier { key_bits: 256 }));
         assert!(c.gbdt.num_trees <= 4);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_lockstep_with_sane_depth() {
+        let c = TrainConfig::default();
+        assert_eq!(c.scheduler, Scheduler::Lockstep);
+        assert!(c.pipeline_depth >= 1);
+        assert!(c.wan_spread.is_none());
+        assert_eq!(c.stall_stagger, Duration::ZERO);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_pipeline_depth_is_rejected() {
+        let c = TrainConfig { pipeline_depth: 0, ..TrainConfig::default() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPipelineDepth));
+    }
+
+    #[test]
+    fn degenerate_wan_spreads_are_rejected() {
+        for (bw, lat) in [(0.0, 1.0), (-1.0, 1.0), (f64::NAN, 1.0), (0.5, -0.5), (0.5, f64::NAN)] {
+            let c = TrainConfig {
+                wan_spread: Some(WanSpread { slowest_bandwidth_frac: bw, latency_mult: lat }),
+                ..TrainConfig::default()
+            };
+            assert!(c.validate().is_err(), "spread ({bw}, {lat}) must be rejected");
+        }
+    }
+
+    #[test]
+    fn wan_spread_interpolates_from_base_to_slowest() {
+        let cfg = TrainConfig {
+            wan: WanConfig {
+                bandwidth_bytes_per_sec: 1_000_000.0,
+                latency: Duration::from_millis(10),
+                per_message_overhead_bytes: 64,
+            },
+            wan_spread: Some(WanSpread { slowest_bandwidth_frac: 0.25, latency_mult: 4.0 }),
+            ..TrainConfig::default()
+        };
+        let first = cfg.wan_for_host(0, 4);
+        let last = cfg.wan_for_host(3, 4);
+        assert!((first.bandwidth_bytes_per_sec - 1_000_000.0).abs() < 1e-6);
+        assert_eq!(first.latency, Duration::from_millis(10));
+        assert!((last.bandwidth_bytes_per_sec - 250_000.0).abs() < 1e-6);
+        assert_eq!(last.latency, Duration::from_millis(40));
+        // Without a spread (or with a single host) every link is the base.
+        let plain = TrainConfig { wan_spread: None, ..cfg };
+        assert_eq!(plain.wan_for_host(3, 4), cfg.wan);
+        assert_eq!(cfg.wan_for_host(0, 1), cfg.wan);
     }
 }

@@ -188,7 +188,8 @@ impl std::error::Error for ProtocolError {}
 /// supervision windows contradict each other, so the run would either
 /// hang forever or declare every peer dead instantly. Caught by
 /// [`crate::config::TrainConfig::validate`] before any party starts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// (`Eq` is off: the WAN-spread variant carries `f64` bounds.)
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConfigError {
     /// `heartbeat_interval >= peer_dead_after`: the silence deadline
     /// would expire between two beacons, so an idle-but-healthy link is
@@ -211,6 +212,18 @@ pub enum ConfigError {
         /// The heartbeat interval it must cover at least once.
         heartbeat: Duration,
     },
+    /// `pipeline_depth == 0`: the pipelined scheduler could never admit
+    /// a histogram batch, so every tree would stall at its root.
+    ZeroPipelineDepth,
+    /// A [`crate::config::WanSpread`] with a non-finite or non-positive
+    /// bandwidth fraction, or a non-finite / negative latency multiple —
+    /// the interpolated links would have zero or undefined capacity.
+    InvalidWanSpread {
+        /// The rejected slowest-link bandwidth fraction.
+        bandwidth_frac: f64,
+        /// The rejected slowest-link latency multiple.
+        latency_mult: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -228,6 +241,14 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "AwaitRejoin deadline {deadline:?} is shorter than one heartbeat interval \
                  {heartbeat:?}; the quarantine window closes before a rejoin can be observed"
+            ),
+            ConfigError::ZeroPipelineDepth => {
+                write!(f, "pipeline_depth is zero; the pipelined scheduler could never drain")
+            }
+            ConfigError::InvalidWanSpread { bandwidth_frac, latency_mult } => write!(
+                f,
+                "WAN spread (slowest bandwidth fraction {bandwidth_frac}, latency multiple \
+                 {latency_mult}) is degenerate; links need finite positive capacity"
             ),
         }
     }

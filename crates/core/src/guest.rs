@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use vf2_channel::{Endpoint, Envelope, RecvError};
+use vf2_channel::{recv_ready, Endpoint, Envelope, RecvError, RecvReady};
 use vf2_crypto::packing::GhPlan;
 use vf2_crypto::split_seed;
 use vf2_crypto::suite::{Suite, SuiteKind};
@@ -33,9 +33,9 @@ use vf2_gbdt::histogram::GradPair;
 use vf2_gbdt::split::{best_of, best_split_from_prefix, find_best_split, SplitCandidate};
 use vf2_gbdt::tree::{layer_of, left_child, right_child, NodeId, NodeSplit};
 
-use crate::config::{HostLossPolicy, TrainConfig};
+use crate::config::{HostLossPolicy, Scheduler, TrainConfig};
 use crate::error::{GuestFailure, PartyId, ProtocolError, ProtocolPhase, TrainError};
-use crate::fsm::{Admit, GuestFsm, MisbehaviorBudget};
+use crate::fsm::{Admit, GuestFsm, HostDriver, MisbehaviorBudget};
 use crate::hist_enc::{unpack_feature_hist, unpack_gh_feature_hist};
 use crate::messages::{FeatureMeta, HistPayload, Msg, HEARTBEAT_KIND};
 use crate::model::{FedNode, FedTree};
@@ -135,6 +135,18 @@ struct TreeCtx {
     pending: usize,
 }
 
+/// A histogram answer the pipelined scheduler has admitted but not yet
+/// decrypted. Batching these lets one party's FindSplitA overlap another
+/// party's transfer (and the guest's own plaintext build): the decrypt
+/// work is deferred until the event queue runs dry or `pipeline_depth`
+/// answers are waiting, then committed in `(node, host)` order.
+struct PendingHist {
+    host: usize,
+    node: NodeId,
+    epoch: u32,
+    payload: HistPayload,
+}
+
 /// Adds the mass of implicit zeros (`node_total − Σ stored bins`) into the
 /// feature's zero bin.
 fn fold_zero_mass(bins: &mut [GradPair], meta: FeatureMeta, total: GradPair) {
@@ -197,6 +209,10 @@ struct GuestParty {
     hb_seq: u64,
     /// One validating state machine per host's inbound stream.
     fsms: Vec<GuestFsm>,
+    /// Scheduler-side per-host ledger (outstanding tasks, drain/park
+    /// state), layered on the FSMs. Observational: never consulted for a
+    /// split decision.
+    drivers: Vec<HostDriver>,
     /// Protocol-violation tolerance accounting, per host.
     budgets: Vec<MisbehaviorBudget>,
     /// Replacement-link factory for the `AwaitRejoin` policy.
@@ -245,6 +261,7 @@ impl GuestParty {
             hb_last: vec![Instant::now(); endpoints.len()],
             hb_seq: 0,
             fsms: (0..endpoints.len()).map(GuestFsm::new).collect(),
+            drivers: (0..endpoints.len()).map(HostDriver::new).collect(),
             budgets: vec![MisbehaviorBudget::new(cfg.misbehavior_budget); endpoints.len()],
             spawner,
             parked: vec![false; endpoints.len()],
@@ -507,6 +524,7 @@ impl GuestParty {
         };
         let my_sid = sess.session_id();
         self.fsms[host].quarantine();
+        self.drivers[host].park();
         self.telemetry.events.quarantines += 1;
         self.telemetry.trace.note(format!(
             "host-{host} quarantined ({original}); holding the session open for rejoin"
@@ -599,6 +617,7 @@ impl GuestParty {
         self.send_to(host, &Msg::Resume { session_id: my_sid, tree_count: target })?;
         self.rewind_survivors(target, Some(host))?;
         self.rewind_guest_state(&sess, trees, target)?;
+        self.drivers[host].resume_active();
         self.rejoined[host] += 1;
         self.telemetry.events.rejoins += 1;
         self.telemetry
@@ -615,6 +634,7 @@ impl GuestParty {
     /// in-memory split table is truncated by the rewind it is sent.
     fn park_host(&mut self, host: usize, completed: usize) -> Result<(), TrainError> {
         self.fsms[host].quarantine();
+        self.drivers[host].park();
         self.parked[host] = true;
         self.parked_at[host] = completed as u32;
         self.telemetry.events.quarantines += 1;
@@ -644,6 +664,7 @@ impl GuestParty {
             }
             self.send_to(h, &Msg::Rewind { session_id: my_sid, tree_count })?;
             self.fsms[h].begin_drain();
+            self.drivers[h].begin_drain();
             match self.recv_from(h, ProtocolPhase::TreeBuild)? {
                 Msg::RewindAck { session_id, tree_count: acked }
                     if session_id == my_sid && acked == tree_count => {}
@@ -770,14 +791,18 @@ impl GuestParty {
     }
 
     /// Declares host `h` lost after a failed wait that began at `t0`.
+    /// `busy` is the processing time the wait loop spent decoding and
+    /// admitting messages — it is real work, so only the remainder of the
+    /// wait counts as idle.
     fn peer_lost(
         &mut self,
         host: usize,
         phase: ProtocolPhase,
         t0: Instant,
+        busy: Duration,
         reason: RecvError,
     ) -> TrainError {
-        self.telemetry.phases.idle += t0.elapsed();
+        self.telemetry.phases.idle += t0.elapsed().saturating_sub(busy);
         if reason == RecvError::Timeout {
             self.telemetry.link.recv_timeouts += 1;
         }
@@ -823,7 +848,19 @@ impl GuestParty {
         )
         .and_then(|()| self.fsms[host].admit(&msg));
         match verdict {
-            Ok(Admit::Deliver) => Ok(Some(msg)),
+            Ok(Admit::Deliver) => {
+                // Scheduler ledger: an admitted histogram settles its
+                // outstanding task; an admitted rewind-ack ends a drain.
+                // (Admission order, not arrival order, updates the ledger.)
+                match &msg {
+                    Msg::NodeHistograms { node, epoch, .. } => {
+                        self.drivers[host].histogram_arrived(*node, *epoch);
+                    }
+                    Msg::RewindAck { .. } => self.drivers[host].resume_active(),
+                    _ => {}
+                }
+                Ok(Some(msg))
+            }
             Ok(Admit::Stale(reason)) => {
                 self.drop_stale(host, msg.kind(), reason);
                 Ok(None)
@@ -905,6 +942,7 @@ impl GuestParty {
         host: usize,
         phase: ProtocolPhase,
         t0: Instant,
+        busy: Duration,
     ) -> Result<(), TrainError> {
         let now = Instant::now();
         if now.duration_since(self.hb_last[host]) >= self.cfg.heartbeat_interval {
@@ -924,40 +962,80 @@ impl GuestParty {
         let deadline = dead_after(&self.cfg);
         if self.endpoints[host].idle_for() >= deadline {
             self.telemetry.trace.note(format!("host-{host} declared dead after {deadline:?}"));
-            return Err(self.peer_lost(host, phase, t0, RecvError::Timeout));
+            return Err(self.peer_lost(host, phase, t0, busy, RecvError::Timeout));
         }
         Ok(())
     }
 
-    /// Blocks until a protocol message arrives from `host`, transparently
-    /// consuming heartbeats (they never reach the protocol drivers) and
-    /// running liveness supervision, bounded by the per-phase deadline.
+    /// Among `targets`, the host whose link has been silent the longest —
+    /// the peer to blame when *every* target went quiet for the whole
+    /// per-phase deadline. Ties break to the lowest index.
+    fn longest_idle(&self, targets: &[usize]) -> usize {
+        let mut blame = targets.first().copied().unwrap_or(0);
+        let mut idle = Duration::ZERO;
+        for &h in targets {
+            let hi = self.endpoints[h].idle_for();
+            if hi > idle {
+                idle = hi;
+                blame = h;
+            }
+        }
+        blame
+    }
+
+    /// The one blocking wait shared by every guest receive path: parks on
+    /// the given hosts' delivery queues through the channel layer's
+    /// wakeup-based [`recv_ready`] (no spin loops — the thread sleeps
+    /// until a frame lands on *any* target link), transparently consumes
+    /// heartbeats, and runs one supervision/accounting routine regardless
+    /// of how many hosts are being waited on.
     ///
     /// Waiting is paced by an exponential-backoff schedule with
     /// deterministic jitter: short waits stay responsive, long waits
     /// converge to heartbeat-interval chunks. Each expired chunk counts
-    /// one *transfer retry* — a slow link being ridden out — while the
-    /// overall clock `t0` keeps judging whether the peer is dead. The
-    /// schedule only shapes wait granularity; it never touches any
-    /// model-determining state.
-    fn recv_from(&mut self, host: usize, phase: ProtocolPhase) -> Result<Msg, TrainError> {
+    /// one *transfer retry* — a slow link being ridden out — and
+    /// supervises every target, while the overall clock `t0` keeps
+    /// judging whether a peer is dead. If the whole per-phase deadline
+    /// expires with every target silent, the loss is attributed to the
+    /// host whose link has the longest [`Endpoint::idle_for`] — the
+    /// actually-dead peer, not an arbitrary index.
+    ///
+    /// Time spent decoding, validating, and admitting messages inside the
+    /// loop is tracked as `processing` and subtracted from the idle-phase
+    /// accounting: only genuine waiting skews the modeled makespan.
+    fn recv_internal(
+        &mut self,
+        targets: &[usize],
+        phase: ProtocolPhase,
+    ) -> Result<(usize, Msg), TrainError> {
         let t0 = Instant::now();
+        let mut processing = Duration::ZERO;
         let mut backoff = Backoff::new(
             self.cfg.heartbeat_interval / 8,
             self.cfg.heartbeat_interval,
-            self.cfg.seed.wrapping_add(host as u64),
+            self.cfg.seed.wrapping_add(targets.first().copied().unwrap_or(0) as u64),
         );
         loop {
             let elapsed = t0.elapsed();
             if elapsed >= self.cfg.peer_timeout {
-                return Err(self.peer_lost(host, phase, t0, RecvError::Timeout));
+                let blame = self.longest_idle(targets);
+                return Err(self.peer_lost(blame, phase, t0, processing, RecvError::Timeout));
             }
             let chunk = backoff.next_delay().min(self.cfg.peer_timeout - elapsed);
-            match self.endpoints[host].recv_timeout(chunk) {
-                Ok(env) if env.kind == HEARTBEAT_KIND => continue,
-                Ok(env) => {
+            let ready = {
+                let eps: Vec<&Endpoint> = targets.iter().map(|&h| &self.endpoints[h]).collect();
+                recv_ready(&eps, chunk)
+            };
+            match ready {
+                // Liveness beacons never enter the protocol queue.
+                RecvReady::Msg(_, env) if env.kind == HEARTBEAT_KIND => {}
+                RecvReady::Msg(i, env) => {
+                    let host = targets[i];
+                    let w0 = Instant::now();
                     let msg = Self::decode_from(host, env)?;
-                    if let Some(msg) = self.admit_from(host, msg)? {
+                    let admitted = self.admit_from(host, msg)?;
+                    processing += w0.elapsed();
+                    if let Some(msg) = admitted {
                         if backoff.attempts() >= 8 {
                             // The schedule saturated several times over:
                             // a genuinely slow transfer was ridden out,
@@ -967,69 +1045,72 @@ impl GuestParty {
                                 backoff.attempts()
                             ));
                         }
-                        self.telemetry.phases.idle += t0.elapsed();
-                        return Ok(msg);
+                        self.telemetry.phases.idle += t0.elapsed().saturating_sub(processing);
+                        return Ok((host, msg));
                     }
                 }
-                Err(RecvError::Disconnected) => {
-                    return Err(self.peer_lost(host, phase, t0, RecvError::Disconnected))
+                RecvReady::Disconnected(i) => {
+                    let host = targets[i];
+                    return Err(self.peer_lost(
+                        host,
+                        phase,
+                        t0,
+                        processing,
+                        RecvError::Disconnected,
+                    ));
                 }
-                Err(RecvError::Timeout) => {
+                RecvReady::Timeout => {
                     self.telemetry.events.transfer_retries += 1;
-                    self.supervise(host, phase, t0)?;
+                    for &host in targets {
+                        self.supervise(host, phase, t0, processing)?;
+                    }
                 }
             }
         }
     }
 
-    /// Blocks until any host message arrives (single-host fast path;
-    /// round-robin polling otherwise), bounded by the per-phase peer
-    /// deadline. Heartbeats are consumed below this call. Idle time is
-    /// accounted.
+    /// Blocks until a protocol message arrives from `host` (heartbeats
+    /// are consumed below this call), bounded by the per-phase deadline.
+    fn recv_from(&mut self, host: usize, phase: ProtocolPhase) -> Result<Msg, TrainError> {
+        let targets = [host];
+        Ok(self.recv_internal(&targets, phase)?.1)
+    }
+
+    /// Blocks until any live host's message arrives, bounded by the
+    /// per-phase peer deadline. One wakeup-based wait covers every live
+    /// link; heartbeats are consumed below this call; idle time is
+    /// accounted net of processing.
     fn recv_any(&mut self) -> Result<(usize, Msg), TrainError> {
-        let phase = ProtocolPhase::TreeBuild;
         let live: Vec<usize> = (0..self.endpoints.len()).filter(|&h| !self.parked[h]).collect();
-        match live.as_slice() {
-            [] => Err(guest_invariant("waiting for host messages with every host parked")),
-            // Single live host: one blocking wait beats polling.
-            &[only] => Ok((only, self.recv_from(only, phase)?)),
-            live => {
-                let t0 = Instant::now();
-                let mut last_supervised = Instant::now();
-                loop {
-                    for &h in live {
-                        match self.endpoints[h].recv_timeout(Duration::from_micros(100)) {
-                            Ok(env) if env.kind == HEARTBEAT_KIND => {}
-                            Ok(env) => {
-                                let msg = Self::decode_from(h, env)?;
-                                if let Some(msg) = self.admit_from(h, msg)? {
-                                    self.telemetry.phases.idle += t0.elapsed();
-                                    return Ok((h, msg));
-                                }
-                            }
-                            // A vanished peer is reported immediately; mere
-                            // silence is judged by the shared deadline below.
-                            Err(RecvError::Disconnected) => {
-                                return Err(self.peer_lost(h, phase, t0, RecvError::Disconnected))
-                            }
-                            Err(RecvError::Timeout) => {}
-                        }
-                    }
-                    // Liveness supervision is per poll round, throttled so
-                    // the 100 µs polls do not spin through the heartbeat
-                    // clocks.
-                    if last_supervised.elapsed() >= Duration::from_millis(5) {
-                        last_supervised = Instant::now();
-                        for &h in live {
-                            self.supervise(h, phase, t0)?;
-                        }
-                    }
-                    if t0.elapsed() > self.cfg.peer_timeout {
-                        // Every live host is silent; attribute the loss to
-                        // the first one (the specific index is arbitrary).
-                        return Err(self.peer_lost(live[0], phase, t0, RecvError::Timeout));
+        if live.is_empty() {
+            return Err(guest_invariant("waiting for host messages with every host parked"));
+        }
+        self.recv_internal(&live, ProtocolPhase::TreeBuild)
+    }
+
+    /// Non-blocking companion to [`Self::recv_internal`] for the
+    /// pipelined drain: harvests one already-arrived protocol message
+    /// from any live host (consuming heartbeats) without waiting.
+    /// Returns `Ok(None)` when nothing is pending — or when a link died,
+    /// which the next *blocking* wait will classify and report properly.
+    /// No idle time accrues: nothing here waits.
+    fn try_recv_admitted(&mut self) -> Result<Option<(usize, Msg)>, TrainError> {
+        let live: Vec<usize> = (0..self.endpoints.len()).filter(|&h| !self.parked[h]).collect();
+        loop {
+            let ready = {
+                let eps: Vec<&Endpoint> = live.iter().map(|&h| &self.endpoints[h]).collect();
+                recv_ready(&eps, Duration::ZERO)
+            };
+            match ready {
+                RecvReady::Msg(_, env) if env.kind == HEARTBEAT_KIND => {}
+                RecvReady::Msg(i, env) => {
+                    let host = live[i];
+                    let msg = Self::decode_from(host, env)?;
+                    if let Some(msg) = self.admit_from(host, msg)? {
+                        return Ok(Some((host, msg)));
                     }
                 }
+                RecvReady::Disconnected(_) | RecvReady::Timeout => return Ok(None),
             }
         }
     }
@@ -1044,6 +1125,9 @@ impl GuestParty {
         for fsm in &mut self.fsms {
             fsm.begin_tree(tree);
         }
+        for driver in &mut self.drivers {
+            driver.begin_tree();
+        }
         let grads = self.cfg.gbdt.loss.grad_hess_all(&self.labels, &self.preds);
         let n = self.data.num_rows();
         let mut ctx = TreeCtx {
@@ -1057,10 +1141,10 @@ impl GuestParty {
         };
 
         self.send_gradients(&ctx)?;
-        if self.cfg.protocol.optimistic {
-            self.run_tree_optimistic(&mut ctx)?;
-        } else {
-            self.run_tree_sequential(&mut ctx)?;
+        match (self.cfg.scheduler, self.cfg.protocol.optimistic) {
+            (Scheduler::Pipelined, _) => self.run_tree_pipelined(&mut ctx)?,
+            (Scheduler::Lockstep, true) => self.run_tree_optimistic(&mut ctx)?,
+            (Scheduler::Lockstep, false) => self.run_tree_sequential(&mut ctx)?,
         }
         self.broadcast(&Msg::TreeDone { tree })?;
 
@@ -1235,6 +1319,11 @@ impl GuestParty {
                 fsm.task_sent(node as u32, ctx.epoch[node]);
             }
         }
+        for (h, driver) in self.drivers.iter_mut().enumerate() {
+            if !self.parked[h] {
+                driver.task_issued(node as u32, ctx.epoch[node]);
+            }
+        }
         // Optimistic node-splitting: act on our own best split before the
         // hosts weigh in (§4.2). Speculation is bounded to ONE layer
         // beyond the validated frontier, as in the paper ("only after
@@ -1359,6 +1448,26 @@ impl GuestParty {
         total: GradPair,
         count: usize,
     ) -> Result<Option<SplitCandidate>, TrainError> {
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        let best = self.host_best_split_core(host, payload, total, count, self.cfg.workers > 1);
+        self.telemetry.phases.decrypt_find += t0.elapsed();
+        best
+    }
+
+    /// The decrypt-and-search kernel behind [`Self::host_best_split`].
+    /// Borrows `self` immutably so a batch of histograms from different
+    /// parties can be searched concurrently on the rayon pool; `parallel`
+    /// selects per-feature fan-out (a caller already running on the pool
+    /// passes `false` and parallelizes across payloads instead). Timing
+    /// is charged by the callers, which know the batch boundaries.
+    fn host_best_split_core(
+        &self,
+        host: usize,
+        payload: &HistPayload,
+        total: GradPair,
+        count: usize,
+        parallel: bool,
+    ) -> Result<Option<SplitCandidate>, TrainError> {
         // The payload shape must match the host's announced metadata; a
         // mismatch is a protocol violation, not a crash.
         let metas = &self.host_metas[host];
@@ -1382,7 +1491,6 @@ impl GuestParty {
             HistPayload::GhRaw(_) | HistPayload::GhPacked(_) => Some(self.gh_plan()?),
             _ => None,
         };
-        let t0 = Stopwatch::start(self.cfg.workers <= 1);
         let grad_bound = self.cfg.gbdt.loss.grad_bound();
         let hess_bound = self.cfg.gbdt.loss.hess_bound();
         let suite = &self.suite;
@@ -1465,7 +1573,7 @@ impl GuestParty {
             Ok(find_best_split(f, &hist, total, &split_params))
         };
         type FeatureResult = Result<Option<SplitCandidate>, TrainError>;
-        let results: Vec<FeatureResult> = if self.cfg.workers <= 1 {
+        let results: Vec<FeatureResult> = if !parallel {
             match payload {
                 HistPayload::Raw(features) => {
                     features.iter().enumerate().map(per_feature_raw).collect()
@@ -1503,7 +1611,6 @@ impl GuestParty {
                 candidates.push(c);
             }
         }
-        self.telemetry.phases.decrypt_find += t0.elapsed();
         Ok(best_of(candidates))
     }
 
@@ -1620,6 +1727,9 @@ impl GuestParty {
                 }
             }
             ctx.decisions.remove(&d);
+            for driver in &mut self.drivers {
+                driver.task_superseded(d as u32);
+            }
             stack.push(left_child(d));
             stack.push(right_child(d));
         }
@@ -1742,6 +1852,178 @@ impl GuestParty {
                     }
                     .into())
                 }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined driver (event-driven many-party scheduler)
+    // ------------------------------------------------------------------
+
+    /// True while `(node, epoch)` still names a live, unanswered slot for
+    /// `host`. Checked when a histogram is enqueued, again when its batch
+    /// commits, and once more before its result is recorded — a rollback
+    /// or placement admitted between any two of those points retires the
+    /// answer as stale instead of letting it corrupt the frontier.
+    fn hist_is_fresh(ctx: &TreeCtx, host: usize, node: NodeId, epoch: u32) -> bool {
+        ctx.epoch.get(node).copied() == Some(epoch)
+            && ctx.states.get(&node).is_some_and(|s| !s.host_received[host] && !s.resolved)
+    }
+
+    /// Event-driven tree loop: one blocking wait per round, then a
+    /// sleep-free drain of everything already queued, batching admitted
+    /// histograms so party A's decrypt overlaps party B's transfer and
+    /// HAdd. Works for both protocol flavors — the sequential flavor
+    /// simply never speculates, so the frontier advances one validated
+    /// node at a time while answers still arrive in any order.
+    ///
+    /// Determinism: the model depends only on per-node `(guest_best,
+    /// host_best[*])` sets and `winner`'s index-ordered comparison, never
+    /// on arrival order, so batching (and any interleaving the WAN
+    /// produces) yields the model the lockstep drivers build bit for bit.
+    fn run_tree_pipelined(&mut self, ctx: &mut TreeCtx) -> Result<(), TrainError> {
+        let depth = self.cfg.pipeline_depth.max(1);
+        self.materialize(ctx, 0)?;
+        while ctx.pending > 0 {
+            let mut batch: Vec<PendingHist> = Vec::new();
+            // Block for the first event of the round; every further event
+            // is taken only if it is already queued (zero-timeout poll of
+            // the same unified queue), so the drain never sleeps while
+            // decryptable work is waiting.
+            let mut next = Some(self.recv_any()?);
+            while let Some((host, msg)) = next.take() {
+                match msg {
+                    Msg::NodeHistograms { tree, node, epoch, payload } if tree == ctx.tree => {
+                        let node = node as usize;
+                        if Self::hist_is_fresh(ctx, host, node, epoch) {
+                            batch.push(PendingHist { host, node, epoch, payload });
+                        } else {
+                            self.telemetry.events.stale_histograms += 1;
+                        }
+                    }
+                    Msg::Placement { tree, node, placement } if tree == ctx.tree => {
+                        self.on_placement(ctx, host, node as usize, placement)?;
+                    }
+                    ref other @ (Msg::NodeHistograms { .. } | Msg::Placement { .. }) => {
+                        let kind = other.kind();
+                        self.drop_stale(host, kind, "cross-tree straggler in the pipelined loop");
+                    }
+                    other => {
+                        return Err(ProtocolError::UnexpectedMessage {
+                            from: PartyId::Host(host),
+                            kind: other.kind(),
+                            context: "pipelined tree loop",
+                        }
+                        .into())
+                    }
+                }
+                if batch.len() >= depth {
+                    break;
+                }
+                next = self.try_recv_admitted()?;
+            }
+            self.commit_hist_batch(ctx, batch)?;
+        }
+        let peaks: Vec<usize> = self.drivers.iter().map(|d| d.peak_outstanding()).collect();
+        self.telemetry
+            .trace
+            .note(format!("tree {}: per-host peak outstanding tasks {peaks:?}", ctx.tree));
+        Ok(())
+    }
+
+    /// Decrypts and commits one drained batch of histogram answers.
+    /// Commit order is `(node, host)` — ascending node ids put ancestors
+    /// before descendants, so a rollback caused by committing a parent
+    /// retires the children still in this batch via the freshness
+    /// re-check; host index breaks ties exactly like [`Self::winner`].
+    /// The decrypt itself fans out across the rayon pool: across payloads
+    /// when the batch has several, across features inside the single
+    /// payload otherwise.
+    fn commit_hist_batch(
+        &mut self,
+        ctx: &mut TreeCtx,
+        mut batch: Vec<PendingHist>,
+    ) -> Result<(), TrainError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        batch.sort_by_key(|p| (p.node, p.host));
+        // Placements admitted later in the same drain may have rolled
+        // nodes back after these answers were enqueued.
+        let before = batch.len();
+        batch.retain(|p| Self::hist_is_fresh(ctx, p.host, p.node, p.epoch));
+        self.telemetry.events.stale_histograms += (before - batch.len()) as u64;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if batch.len() > 1 {
+            self.telemetry.trace.sched_batch(ctx.tree, batch.len() as u64);
+        }
+        self.telemetry.events.sched_batches += 1;
+        self.telemetry.events.sched_batch_hists += batch.len() as u64;
+        self.telemetry.events.sched_batch_rounds +=
+            (batch.len() as u64).div_ceil(self.cfg.workers.max(1) as u64);
+        for p in &batch {
+            self.telemetry.trace.enter(
+                TracePhase::DecryptSplit,
+                Some(ctx.tree),
+                Some(p.node as u32),
+            );
+        }
+        let jobs: Vec<(&PendingHist, GradPair, usize)> = batch
+            .iter()
+            .map(|p| {
+                let total = ctx.states[&p.node].total;
+                (p, total, ctx.rows.rows(p.node).len())
+            })
+            .collect();
+        let t0 = Stopwatch::start(self.cfg.workers <= 1);
+        type BestResult = Result<Option<SplitCandidate>, TrainError>;
+        let results: Vec<BestResult> = if jobs.len() == 1 || self.cfg.workers <= 1 {
+            jobs.iter()
+                .map(|&(p, total, count)| {
+                    self.host_best_split_core(
+                        p.host,
+                        &p.payload,
+                        total,
+                        count,
+                        self.cfg.workers > 1,
+                    )
+                })
+                .collect()
+        } else {
+            use rayon::prelude::*;
+            self.pool.install(|| {
+                jobs.par_iter()
+                    .map(|&(p, total, count)| {
+                        self.host_best_split_core(p.host, &p.payload, total, count, false)
+                    })
+                    .collect()
+            })
+        };
+        self.telemetry.phases.decrypt_find += t0.elapsed();
+        drop(jobs);
+        for p in &batch {
+            self.telemetry.trace.exit(
+                TracePhase::DecryptSplit,
+                Some(ctx.tree),
+                Some(p.node as u32),
+            );
+        }
+        for (p, best) in batch.iter().zip(results) {
+            let best = best?;
+            if !Self::hist_is_fresh(ctx, p.host, p.node, p.epoch) {
+                self.telemetry.events.stale_histograms += 1;
+                continue;
+            }
+            let Some(state) = ctx.states.get_mut(&p.node) else {
+                return Err(guest_invariant("node state vanished while committing a batch"));
+            };
+            state.host_best[p.host] = best;
+            state.host_received[p.host] = true;
+            if state.host_received.iter().all(|&b| b) {
+                self.resolve(ctx, p.node)?;
             }
         }
         Ok(())

@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vf2_channel::{Endpoint, Envelope, RecvError};
 use vf2_crypto::packing::GhPlan;
@@ -431,8 +431,12 @@ impl HostParty {
     }
 
     /// Declares the guest lost after a failed wait that began at `t0`.
-    fn guest_lost(&mut self, t0: Instant, reason: RecvError) -> TrainError {
-        self.telemetry.phases.idle += t0.elapsed();
+    /// `busy` is the wait's own working time (heartbeat beacons and
+    /// bookkeeping ran inside the loop): only the remainder was idle.
+    /// The reported `waited` stays the full wall time — the peer was
+    /// silent for all of it.
+    fn guest_lost(&mut self, t0: Instant, busy: Duration, reason: RecvError) -> TrainError {
+        self.telemetry.phases.idle += t0.elapsed().saturating_sub(busy);
         if reason == RecvError::Timeout {
             self.telemetry.link.recv_timeouts += 1;
         }
@@ -446,7 +450,7 @@ impl HostParty {
     /// effective liveness deadline. The overall wait clock `t0` is never
     /// reset by heartbeats: a guest that beacons but makes no protocol
     /// progress still trips the per-phase `peer_timeout`.
-    fn supervise(&mut self, t0: Instant) -> Result<(), TrainError> {
+    fn supervise(&mut self, t0: Instant, busy: Duration) -> Result<(), TrainError> {
         let now = Instant::now();
         if now.duration_since(self.hb_last) >= self.cfg.heartbeat_interval {
             self.hb_last = now;
@@ -465,7 +469,7 @@ impl HostParty {
         let deadline = dead_after(&self.cfg);
         if self.endpoint.idle_for() >= deadline {
             self.telemetry.trace.note(format!("guest declared dead after {deadline:?}"));
-            return Err(self.guest_lost(t0, RecvError::Timeout));
+            return Err(self.guest_lost(t0, busy, RecvError::Timeout));
         }
         Ok(())
     }
@@ -482,6 +486,10 @@ impl HostParty {
     /// silence-clock deadlines are untouched.
     fn next_envelope(&mut self) -> Result<Envelope, TrainError> {
         let t0 = Instant::now();
+        // Working time accrued inside the wait (heartbeat consumption,
+        // supervision beacons): subtracted from the idle charge so
+        // `phases.idle` measures genuine waiting only.
+        let mut busy = Duration::ZERO;
         let mut backoff = Backoff::new(
             self.cfg.heartbeat_interval / 8,
             self.cfg.heartbeat_interval,
@@ -490,7 +498,7 @@ impl HostParty {
         loop {
             let elapsed = t0.elapsed();
             if elapsed >= self.cfg.peer_timeout {
-                return Err(self.guest_lost(t0, RecvError::Timeout));
+                return Err(self.guest_lost(t0, busy, RecvError::Timeout));
             }
             let chunk = backoff.next_delay().min(self.cfg.peer_timeout - elapsed);
             match self.endpoint.recv_timeout(chunk) {
@@ -506,15 +514,17 @@ impl HostParty {
                             backoff.attempts()
                         ));
                     }
-                    self.telemetry.phases.idle += t0.elapsed();
+                    self.telemetry.phases.idle += t0.elapsed().saturating_sub(busy);
                     return Ok(env);
                 }
                 Err(RecvError::Disconnected) => {
-                    return Err(self.guest_lost(t0, RecvError::Disconnected))
+                    return Err(self.guest_lost(t0, busy, RecvError::Disconnected))
                 }
                 Err(RecvError::Timeout) => {
                     self.telemetry.events.transfer_retries += 1;
-                    self.supervise(t0)?;
+                    let w0 = Instant::now();
+                    self.supervise(t0, busy)?;
+                    busy += w0.elapsed();
                 }
             }
         }

@@ -12,6 +12,15 @@
 /// | +Re-ordered only | baseline + `reordered_accumulation: true` |
 /// | +OptimSplit only | baseline + `optimistic: true` |
 /// | +HistPack only | baseline + `pack_histograms: true` |
+///
+/// Orthogonal to all of the above is the guest's *scheduler*
+/// ([`crate::config::Scheduler`]): `Lockstep` drives hosts with the
+/// phase-synchronous wait loops, `Pipelined` drives them from a unified
+/// event queue that overlaps one party's transfer with another's
+/// decryption. Every protocol combination composes with either scheduler
+/// and trains the same model bit for bit — the scheduler changes *when*
+/// answers are decrypted, never *which* split wins (admission order and
+/// the index-ordered winner scan decide that).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProtocolConfig {
     /// Optimistic node-splitting with dirty-node rollback (§4.2). When

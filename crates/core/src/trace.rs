@@ -90,6 +90,12 @@ pub enum TraceEventKind {
         /// Resident bytes released.
         bytes: u64,
     },
+    /// The pipelined scheduler drained a multi-answer batch from the
+    /// event queue and committed it in one decrypt pass.
+    SchedBatch {
+        /// Histogram answers committed together.
+        drained: u64,
+    },
     /// A free-form robustness note (hello, checkpoint written, heartbeat
     /// missed, peer declared dead, ...).
     Note(String),
@@ -119,6 +125,7 @@ impl TraceEvent {
             TraceEventKind::Transfer { .. } => "transfer",
             TraceEventKind::DirtyRollback => "dirty-rollback",
             TraceEventKind::CacheEvict { .. } => "cache-evict",
+            TraceEventKind::SchedBatch { .. } => "sched-batch",
             TraceEventKind::Note(_) => "note",
         };
         o.str("kind", kind);
@@ -131,6 +138,9 @@ impl TraceEvent {
             }
             TraceEventKind::CacheEvict { node, bytes } => {
                 o.u64("evicted_node", u64::from(*node)).u64("bytes", *bytes);
+            }
+            TraceEventKind::SchedBatch { drained } => {
+                o.u64("drained", *drained);
             }
             TraceEventKind::Note(text) => {
                 o.str("note", text);
@@ -214,6 +224,15 @@ impl TraceRing {
     /// Records a node-histogram cache eviction.
     pub fn cache_evict(&mut self, tree: u32, node: u32, bytes: u64) {
         self.push(Some(tree), None, TraceEventKind::CacheEvict { node, bytes });
+    }
+
+    /// Records a pipelined-scheduler batch commit of `drained` answers.
+    /// Span-gated like the phase spans it brackets: the batch boundary is
+    /// timing detail, not robustness audit trail.
+    pub fn sched_batch(&mut self, tree: u32, drained: u64) {
+        if self.spans {
+            self.push(Some(tree), None, TraceEventKind::SchedBatch { drained });
+        }
     }
 
     /// Records a free-form robustness note (always on — notes are rare

@@ -47,9 +47,16 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Offsets a fault plan's seed so host `p`'s link does not replay host
-/// 0's fault stream.
-fn fault_for_host(base: FaultConfig, p: usize) -> FaultConfig {
-    FaultConfig { seed: base.seed.wrapping_add(p as u64), ..base }
+/// 0's fault stream, and staggers any stall window by `p` multiples of
+/// [`TrainConfig::stall_stagger`] so a many-party chaos run exercises
+/// *rolling* outages (every link dark at once tells you nothing about
+/// scheduling) instead of one synchronized blackout.
+fn fault_for_host(base: FaultConfig, p: usize, stagger: std::time::Duration) -> FaultConfig {
+    let stall = base.stall.map(|w| vf2_channel::StallWindow {
+        after: w.after.saturating_add(stagger.saturating_mul(p as u32)),
+        ..w
+    });
+    FaultConfig { seed: base.seed.wrapping_add(p as u64), stall, ..base }
 }
 
 /// The trainer's [`HostSpawner`]: brings a lost host back as a fresh
@@ -89,8 +96,12 @@ impl HostSpawner for HostRespawner {
             party: PartyId::Host(party),
             detail: "respawn requested for an unknown host index".into(),
         })?;
-        let (guest_ep, host_ep) =
-            duplex_faulty(cfg.wan, FaultConfig::none(), FaultConfig::none(), cfg.reliability);
+        let (guest_ep, host_ep) = duplex_faulty(
+            cfg.wan_for_host(party, self.datasets.len()),
+            FaultConfig::none(),
+            FaultConfig::none(),
+            cfg.reliability,
+        );
         let host_suite = match cfg.crypto {
             CryptoConfig::Paillier { .. } => self.suite.public_half(),
             CryptoConfig::Mock => Suite::plain(cfg.encoding),
@@ -197,10 +208,13 @@ pub fn train_federated_session(
     let mut host_handles = Vec::with_capacity(hosts.len());
     let mut guest_endpoints = Vec::with_capacity(hosts.len());
     for (p, data) in host_datasets.iter().enumerate() {
+        // Heterogeneous WANs: each host's link interpolates from the base
+        // WAN toward the configured slowest profile, and any stall window
+        // is staggered per party (rolling outages, not one blackout).
         let (guest_ep, host_ep) = duplex_faulty(
-            cfg.wan,
-            fault_for_host(cfg.fault_guest_to_host, p),
-            fault_for_host(cfg.fault_host_to_guest, p),
+            cfg.wan_for_host(p, host_datasets.len()),
+            fault_for_host(cfg.fault_guest_to_host, p, cfg.stall_stagger),
+            fault_for_host(cfg.fault_host_to_guest, p, cfg.stall_stagger),
             cfg.reliability,
         );
         guest_endpoints.push(guest_ep);

@@ -39,11 +39,71 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// A multi-channel wakeup token: register one `Waker` on several
+    /// receivers, then park on it until *any* of them becomes ready
+    /// (message arrival or disconnect). This is the shim's stand-in for
+    /// crossbeam's `Select` — sufficient for the single-consumer
+    /// "wait on many peers at once" pattern the workspace uses, without
+    /// the type-erased operation machinery of the real thing.
+    ///
+    /// The notified flag is latched: a notify that lands between a
+    /// caller's readiness scan and its `wait_timeout` call is never lost
+    /// (the wait returns immediately and resets the latch).
+    pub struct Waker {
+        notified: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Waker {
+        /// Creates an unsignaled waker.
+        pub fn new() -> Arc<Waker> {
+            Arc::new(Waker { notified: Mutex::new(false), cv: Condvar::new() })
+        }
+
+        /// Signals the waker, releasing a parked [`Waker::wait_timeout`].
+        pub fn notify(&self) {
+            let mut flag = self.notified.lock().unwrap_or_else(|p| p.into_inner());
+            *flag = true;
+            drop(flag);
+            self.cv.notify_all();
+        }
+
+        /// Parks until notified or the timeout elapses. Returns `true` if
+        /// a notification arrived (including one latched before the
+        /// call). The latch resets on return either way.
+        pub fn wait_timeout(&self, timeout: Duration) -> bool {
+            let deadline = Instant::now() + timeout;
+            let mut flag = self.notified.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if *flag {
+                    *flag = false;
+                    return true;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let (guard, _timed_out) =
+                    self.cv.wait_timeout(flag, deadline - now).unwrap_or_else(|p| p.into_inner());
+                flag = guard;
+            }
+        }
+    }
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        waker: Mutex<Option<Arc<Waker>>>,
+    }
+
+    impl<T> Shared<T> {
+        fn wake_external(&self) {
+            if let Some(w) = self.waker.lock().unwrap_or_else(|p| p.into_inner()).as_ref() {
+                w.notify();
+            }
+        }
     }
 
     /// The sending half of an unbounded channel.
@@ -63,6 +123,7 @@ pub mod channel {
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            waker: Mutex::new(None),
         });
         (Sender { shared: shared.clone() }, Receiver { shared })
     }
@@ -81,6 +142,7 @@ pub mod channel {
                 // disconnect.
                 let _guard = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
                 self.shared.ready.notify_all();
+                self.shared.wake_external();
             }
         }
     }
@@ -95,6 +157,7 @@ pub mod channel {
             q.push_back(value);
             drop(q);
             self.shared.ready.notify_one();
+            self.shared.wake_external();
             Ok(())
         }
     }
@@ -166,6 +229,24 @@ pub mod channel {
             }
         }
 
+        /// Registers `waker` to be notified whenever this channel becomes
+        /// ready (a message is sent, or the last sender disconnects).
+        /// At most one waker is registered per channel; a new registration
+        /// replaces the previous one. Used to park one consumer thread on
+        /// several channels at once.
+        pub fn register_waker(&self, waker: &Arc<Waker>) {
+            *self.shared.waker.lock().unwrap_or_else(|p| p.into_inner()) = Some(waker.clone());
+        }
+
+        /// Removes `waker` if it is the one currently registered (a
+        /// registration made by someone else is left alone).
+        pub fn clear_waker(&self, waker: &Arc<Waker>) {
+            let mut slot = self.shared.waker.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.as_ref().is_some_and(|w| Arc::ptr_eq(w, waker)) {
+                *slot = None;
+            }
+        }
+
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
             self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
@@ -229,6 +310,53 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn waker_wakes_on_send_across_channels() {
+            let (tx1, rx1) = unbounded::<u8>();
+            let (_tx2, rx2) = unbounded::<u8>();
+            let waker = Waker::new();
+            rx1.register_waker(&waker);
+            rx2.register_waker(&waker);
+            let h = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx1.send(7).unwrap();
+            });
+            assert!(waker.wait_timeout(Duration::from_secs(5)), "send must wake the waker");
+            assert_eq!(rx1.try_recv(), Ok(7));
+            h.join().unwrap();
+            rx1.clear_waker(&waker);
+            rx2.clear_waker(&waker);
+        }
+
+        #[test]
+        fn waker_latches_notifications_and_times_out_clean() {
+            let (tx, rx) = unbounded::<u8>();
+            let waker = Waker::new();
+            rx.register_waker(&waker);
+            // Notify lands before the wait: the latch must catch it.
+            tx.send(1).unwrap();
+            assert!(waker.wait_timeout(Duration::from_millis(1)));
+            // Latch resets: a second wait with no traffic times out.
+            let t0 = Instant::now();
+            assert!(!waker.wait_timeout(Duration::from_millis(20)));
+            assert!(t0.elapsed() >= Duration::from_millis(20));
+            rx.clear_waker(&waker);
+        }
+
+        #[test]
+        fn waker_wakes_on_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            let waker = Waker::new();
+            rx.register_waker(&waker);
+            let h = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                drop(tx);
+            });
+            assert!(waker.wait_timeout(Duration::from_secs(5)), "disconnect must wake");
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            h.join().unwrap();
         }
     }
 }
